@@ -1,0 +1,206 @@
+// Benchmarks regenerating every table and figure of the paper's §VII.
+// Each benchmark reports the headline comparison as custom metrics
+// (shc_seconds / sparksql_seconds, or the figure's own unit) at the largest
+// configured point, so `go test -bench=.` doubles as the experiment
+// harness. cmd/shcbench prints the full series.
+package shc_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"github.com/shc-go/shc/internal/bench"
+	"github.com/shc-go/shc/internal/harness"
+	"github.com/shc-go/shc/internal/tpcds"
+)
+
+// benchParams keeps benchmark iterations affordable while preserving the
+// experiment's shape; cmd/shcbench runs the full sweeps.
+func benchParams() bench.Params {
+	return bench.Params{
+		Scales:  []int{1, 2, 3},
+		Servers: 5,
+		Out:     io.Discard,
+	}
+}
+
+// BenchmarkTable1FeatureMatrix renders the paper's Table I (static).
+func BenchmarkTable1FeatureMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table1(io.Discard)
+	}
+}
+
+// BenchmarkFig4QueryLatency reproduces Fig. 4: q39a/q39b latency vs data
+// size on SHC and the Spark SQL baseline.
+func BenchmarkFig4QueryLatency(b *testing.B) {
+	p := benchParams()
+	var series []bench.Series
+	var err error
+	for i := 0; i < b.N; i++ {
+		series, err = bench.Fig4(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportLast(b, series, "sec")
+}
+
+// BenchmarkFig5ShuffleCost reproduces Fig. 5: data movement vs data size.
+func BenchmarkFig5ShuffleCost(b *testing.B) {
+	p := benchParams()
+	var series []bench.Series
+	var err error
+	for i := 0; i < b.N; i++ {
+		series, err = bench.Fig5(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportLast(b, series, "KB")
+}
+
+// BenchmarkFig6Executors reproduces Fig. 6: latency vs executor count.
+func BenchmarkFig6Executors(b *testing.B) {
+	p := benchParams()
+	p.Executors = []int{5, 10, 20}
+	var series []bench.Series
+	var err error
+	for i := 0; i < b.N; i++ {
+		series, err = bench.Fig6(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportLast(b, series, "sec")
+}
+
+// BenchmarkFig7WriteThroughput reproduces Fig. 7: bulk-write time vs data
+// size through each system's write path.
+func BenchmarkFig7WriteThroughput(b *testing.B) {
+	p := benchParams()
+	var series []bench.Series
+	var err error
+	for i := 0; i < b.N; i++ {
+		series, err = bench.Fig7(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportLast(b, series, "sec")
+}
+
+// BenchmarkTable2Encodings reproduces Table II: query/write/memory across
+// the PrimitiveType, Phoenix, and Avro coders.
+func BenchmarkTable2Encodings(b *testing.B) {
+	p := benchParams()
+	var rows []bench.Table2Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = bench.Table2(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if !r.Supported {
+			continue
+		}
+		tag := r.System + "_" + r.Coder
+		b.ReportMetric(r.QuerySec, tag+"_query_sec")
+	}
+}
+
+// BenchmarkAblation quantifies each SHC optimization in isolation.
+func BenchmarkAblation(b *testing.B) {
+	p := benchParams()
+	var rows []bench.AblationRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = bench.Ablation(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.QuerySec, sanitize(r.Config)+"_sec")
+	}
+}
+
+// BenchmarkQ39aSHC and BenchmarkQ39aSparkSQL time just the query on a
+// pre-loaded rig, for profiling individual systems.
+func BenchmarkQ39aSHC(b *testing.B)      { benchQuery(b, harness.SHC, tpcds.Q39a()) }
+func BenchmarkQ39aSparkSQL(b *testing.B) { benchQuery(b, harness.SparkSQL, tpcds.Q39a()) }
+func BenchmarkQ38SHC(b *testing.B)       { benchQuery(b, harness.SHC, tpcds.Q38()) }
+func BenchmarkQ38SparkSQL(b *testing.B)  { benchQuery(b, harness.SparkSQL, tpcds.Q38()) }
+
+func benchQuery(b *testing.B, sys harness.System, query string) {
+	rig, err := harness.NewRig(harness.Config{System: sys, Servers: 5, Scale: 2, RPC: bench.DefaultRPC()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rig.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rig.Run(query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteSHC / BenchmarkWriteSparkSQL time the bulk write path alone.
+func BenchmarkWriteSHC(b *testing.B)      { benchWrite(b, harness.SHC) }
+func BenchmarkWriteSparkSQL(b *testing.B) { benchWrite(b, harness.SparkSQL) }
+
+func benchWrite(b *testing.B, sys harness.System) {
+	data := tpcds.Generate(tpcds.Config{Scale: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rig, err := harness.NewRig(harness.Config{System: sys, Servers: 5, Scale: 2, SkipLoad: true, RPC: bench.DefaultRPC()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := rig.LoadTable("inventory", data.Inventory); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		rig.Close()
+		b.StartTimer()
+	}
+}
+
+func reportLast(b *testing.B, series []bench.Series, unit string) {
+	for _, s := range series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		pt := s.Points[len(s.Points)-1]
+		name := sanitize(s.Name)
+		b.ReportMetric(pt.SHC, name+"_shc_"+unit)
+		b.ReportMetric(pt.SparkSQL, name+"_sparksql_"+unit)
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == ' ' || r == ':' || r == ',':
+			if len(out) > 0 && out[len(out)-1] != '_' {
+				out = append(out, '_')
+			}
+		}
+	}
+	return string(out)
+}
+
+// Example of the quickest possible end-to-end check for godoc.
+func Example() {
+	fmt.Println("see examples/quickstart for the full walkthrough")
+	// Output: see examples/quickstart for the full walkthrough
+}

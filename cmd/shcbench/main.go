@@ -1,0 +1,81 @@
+// Command shcbench regenerates every table and figure of the paper's
+// evaluation (§VII) on the simulated stack:
+//
+//	shcbench -exp all                # everything
+//	shcbench -exp fig4 -scales 1,2,3 # query latency at selected scales
+//	shcbench -exp table2             # encoding comparison
+//	shcbench -exp ablation           # per-optimization breakdown
+//
+// Scale stands in for the paper's 5–30 GB axis: scale s generates s× the
+// base TPC-DS row counts. Absolute numbers depend on the machine; the
+// shapes (who wins, by what factor, where curves flatten) are the
+// reproduction target, recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/shc-go/shc/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|table2|ablation")
+	scales := flag.String("scales", "1,2,3,4,5,6", "comma-separated scale factors (the 5..30 GB axis)")
+	servers := flag.Int("servers", 5, "region servers / executor hosts")
+	runs := flag.Int("runs", 1, "average each measurement over N runs")
+	executors := flag.String("executors", "5,10,15,20,25", "total executor counts for fig6")
+	flag.Parse()
+
+	p := bench.Params{
+		Scales:    parseInts(*scales),
+		Servers:   *servers,
+		Runs:      *runs,
+		Executors: parseInts(*executors),
+		Out:       os.Stdout,
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("\n===== %s =====\n", name)
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	run("table1", func() error { bench.Table1(os.Stdout); return nil })
+	run("fig4", func() error { _, err := bench.Fig4(p); return err })
+	run("fig5", func() error { _, err := bench.Fig5(p); return err })
+	run("fig6", func() error { _, err := bench.Fig6(p); return err })
+	run("fig7", func() error { _, err := bench.Fig7(p); return err })
+	run("table2", func() error { _, err := bench.Table2(p); return err })
+	run("ablation", func() error { _, err := bench.Ablation(p); return err })
+
+	switch *exp {
+	case "all", "table1", "fig4", "fig5", "fig6", "fig7", "table2", "ablation":
+	default:
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			log.Fatalf("bad integer list entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+// Command shcsql is an interactive SQL shell over the simulated stack: it
+// boots an HBase cluster, loads the TPC-DS tables through the chosen
+// connector, and evaluates queries — one-shot from -q, or as a REPL on
+// stdin.
+//
+//	shcsql -q "SELECT count(1) FROM inventory"
+//	shcsql -system sparksql -scale 2
+//	echo "EXPLAIN SELECT i_item_id FROM item WHERE i_item_sk = 7" | shcsql
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/shc-go/shc/internal/harness"
+	"github.com/shc-go/shc/internal/metrics"
+)
+
+func main() {
+	system := flag.String("system", "shc", "connector: shc or sparksql")
+	scale := flag.Int("scale", 1, "TPC-DS scale factor")
+	servers := flag.Int("servers", 3, "region servers")
+	query := flag.String("q", "", "one-shot query (REPL on stdin when empty)")
+	flag.Parse()
+
+	sys := harness.SHC
+	switch strings.ToLower(*system) {
+	case "shc":
+	case "sparksql", "baseline":
+		sys = harness.SparkSQL
+	default:
+		log.Fatalf("unknown system %q", *system)
+	}
+
+	fmt.Fprintf(os.Stderr, "booting %s over %d region servers, scale %d...\n", sys, *servers, *scale)
+	rig, err := harness.NewRig(harness.Config{System: sys, Servers: *servers, Scale: *scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rig.Close()
+	fmt.Fprintf(os.Stderr, "tables: warehouse, item, date_dim, inventory, store_sales\n")
+
+	if *query != "" {
+		if err := runOne(rig, *query); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Fprint(os.Stderr, "shc> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(strings.TrimSuffix(sc.Text(), ";"))
+		if line == "" {
+			fmt.Fprint(os.Stderr, "shc> ")
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if err := runOne(rig, line); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+		fmt.Fprint(os.Stderr, "shc> ")
+	}
+}
+
+func runOne(rig *harness.Rig, query string) error {
+	if rest, ok := strings.CutPrefix(strings.ToUpper(query), "EXPLAIN "); ok {
+		_ = rest
+		df, err := rig.Session.SQL(query[len("EXPLAIN "):])
+		if err != nil {
+			return err
+		}
+		out, err := df.Explain()
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+	start := time.Now()
+	res, err := rig.Run(query)
+	if err != nil {
+		return err
+	}
+	df, err := rig.Session.SQL(query)
+	if err != nil {
+		return err
+	}
+	schema := df.Schema()
+	cols := make([]string, len(schema))
+	for i, f := range schema {
+		cols[i] = f.Name
+	}
+	fmt.Println(strings.Join(cols, " | "))
+	for _, r := range res.Rows {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			parts[i] = fmt.Sprint(v)
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	fmt.Printf("-- %d rows in %v (rows fetched: %d, regions pruned: %d, shuffle: %d B)\n",
+		len(res.Rows), time.Since(start).Round(time.Millisecond),
+		res.Delta[metrics.RowsReturned], res.Delta[metrics.RegionsPruned], res.Delta[metrics.ShuffleBytes])
+	return nil
+}

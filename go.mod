@@ -1,0 +1,3 @@
+module github.com/shc-go/shc
+
+go 1.22

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func tinyParams() Params {
+	return Params{Scales: []int{1}, Servers: 2, Executors: []int{2, 4}, Out: io.Discard}
+}
+
+func TestFig4ShapesHold(t *testing.T) {
+	series, err := Fig4(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 1 {
+			t.Fatalf("%s: points = %d", s.Name, len(s.Points))
+		}
+		pt := s.Points[0]
+		if pt.SHC <= 0 || pt.SparkSQL <= 0 {
+			t.Errorf("%s: non-positive timings %+v", s.Name, pt)
+		}
+		if pt.SHC >= pt.SparkSQL {
+			t.Errorf("%s: SHC (%.3fs) should beat SparkSQL (%.3fs)", s.Name, pt.SHC, pt.SparkSQL)
+		}
+	}
+}
+
+func TestFig5SHCMovesLess(t *testing.T) {
+	series, err := Fig5(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range series {
+		pt := s.Points[0]
+		if pt.SHC >= pt.SparkSQL {
+			t.Errorf("%s: SHC moved %.1fKB vs SparkSQL %.1fKB", s.Name, pt.SHC, pt.SparkSQL)
+		}
+	}
+}
+
+func TestFig6RunsAllExecutorCounts(t *testing.T) {
+	p := tinyParams()
+	series, err := Fig6(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range series {
+		if len(s.Points) != len(p.Executors) {
+			t.Errorf("%s: points = %d, want %d", s.Name, len(s.Points), len(p.Executors))
+		}
+	}
+}
+
+func TestFig7SHCWritesFaster(t *testing.T) {
+	series, err := Fig7(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		pt := s.Points[0]
+		if pt.SHC <= 0 || pt.SparkSQL <= 0 {
+			t.Errorf("%s: non-positive timings %+v", s.Name, pt)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows, err := Table2(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byKey := make(map[string]Table2Row)
+	for _, r := range rows {
+		byKey[r.System+"/"+r.Coder] = r
+	}
+	if !byKey["SHC/PrimitiveType"].Supported || !byKey["SHC/Phoenix"].Supported || !byKey["SHC/Avro"].Supported {
+		t.Error("all SHC coders must be supported")
+	}
+	if byKey["SparkSQL/Phoenix"].Supported || byKey["SparkSQL/Avro"].Supported {
+		t.Error("baseline must not support Phoenix/Avro (the paper's x cells)")
+	}
+	// Memory ladder: Avro costs more than the native coder.
+	if byKey["SHC/Avro"].MemoryMB <= byKey["SHC/PrimitiveType"].MemoryMB {
+		t.Errorf("Avro memory (%.2f) should exceed native (%.2f)",
+			byKey["SHC/Avro"].MemoryMB, byKey["SHC/PrimitiveType"].MemoryMB)
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	rows, err := Ablation(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var full, noPush Table2RowLike
+	for _, r := range rows {
+		switch r.Config {
+		case "full SHC":
+			full = Table2RowLike{r.RowsFetched, r.RPCCalls}
+		case "no filter pushdown":
+			noPush = Table2RowLike{r.RowsFetched, r.RPCCalls}
+		}
+	}
+	if noPush.rows <= full.rows {
+		t.Errorf("disabling pushdown must fetch more rows: %d vs %d", noPush.rows, full.rows)
+	}
+}
+
+type Table2RowLike struct{ rows, rpcs int64 }
+
+func TestTable1Prints(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(&buf)
+	out := buf.String()
+	for _, want := range []string{"SHC", "Phoenix Spark", "thread pool", "Multiple data coding"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+}

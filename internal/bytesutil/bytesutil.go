@@ -1,0 +1,225 @@
+// Package bytesutil provides order-preserving byte-array encodings for the
+// primitive types SHC supports in HBase row keys and cells.
+//
+// HBase stores everything as raw byte arrays and compares them
+// lexicographically. Java's (and Go's) native big-endian two's-complement
+// integer encoding does NOT sort correctly for negative values, and IEEE 754
+// floats do not sort at all under a byte-wise comparison. The encoders here
+// apply the standard bias/flip transforms so that for any two values a and b
+// of the same type,
+//
+//	a < b  ⇔  bytes.Compare(Encode(a), Encode(b)) < 0
+//
+// which is the property SHC's partition pruning and range-scan pushdown
+// depend on (paper §IV-B, §VI-A.5).
+package bytesutil
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// EncodeUint64 encodes v big-endian; unsigned values already sort correctly.
+func EncodeUint64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+// DecodeUint64 decodes a value produced by EncodeUint64.
+func DecodeUint64(b []byte) (uint64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("bytesutil: uint64 needs 8 bytes, got %d", len(b))
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+// EncodeInt64 encodes v so the result sorts like the signed integer: the
+// sign bit is flipped, biasing negatives below positives.
+func EncodeInt64(v int64) []byte {
+	return EncodeUint64(uint64(v) ^ (1 << 63))
+}
+
+// DecodeInt64 decodes a value produced by EncodeInt64.
+func DecodeInt64(b []byte) (int64, error) {
+	u, err := DecodeUint64(b)
+	if err != nil {
+		return 0, fmt.Errorf("bytesutil: int64: %w", err)
+	}
+	return int64(u ^ (1 << 63)), nil
+}
+
+// EncodeInt32 encodes v as 4 order-preserving bytes.
+func EncodeInt32(v int32) []byte {
+	b := make([]byte, 4)
+	binary.BigEndian.PutUint32(b, uint32(v)^(1<<31))
+	return b
+}
+
+// DecodeInt32 decodes a value produced by EncodeInt32.
+func DecodeInt32(b []byte) (int32, error) {
+	if len(b) != 4 {
+		return 0, fmt.Errorf("bytesutil: int32 needs 4 bytes, got %d", len(b))
+	}
+	return int32(binary.BigEndian.Uint32(b) ^ (1 << 31)), nil
+}
+
+// EncodeInt16 encodes v as 2 order-preserving bytes.
+func EncodeInt16(v int16) []byte {
+	b := make([]byte, 2)
+	binary.BigEndian.PutUint16(b, uint16(v)^(1<<15))
+	return b
+}
+
+// DecodeInt16 decodes a value produced by EncodeInt16.
+func DecodeInt16(b []byte) (int16, error) {
+	if len(b) != 2 {
+		return 0, fmt.Errorf("bytesutil: int16 needs 2 bytes, got %d", len(b))
+	}
+	return int16(binary.BigEndian.Uint16(b) ^ (1 << 15)), nil
+}
+
+// EncodeInt8 encodes v as 1 order-preserving byte.
+func EncodeInt8(v int8) []byte {
+	return []byte{uint8(v) ^ (1 << 7)}
+}
+
+// DecodeInt8 decodes a value produced by EncodeInt8.
+func DecodeInt8(b []byte) (int8, error) {
+	if len(b) != 1 {
+		return 0, fmt.Errorf("bytesutil: int8 needs 1 byte, got %d", len(b))
+	}
+	return int8(b[0] ^ (1 << 7)), nil
+}
+
+// EncodeFloat64 encodes v with the IEEE 754 total-order transform: positive
+// floats get the sign bit set, negative floats have all bits flipped. NaNs
+// sort above +Inf (as in HBase's OrderedBytes).
+func EncodeFloat64(v float64) []byte {
+	u := math.Float64bits(v)
+	if u&(1<<63) != 0 {
+		u = ^u
+	} else {
+		u |= 1 << 63
+	}
+	return EncodeUint64(u)
+}
+
+// DecodeFloat64 decodes a value produced by EncodeFloat64.
+func DecodeFloat64(b []byte) (float64, error) {
+	u, err := DecodeUint64(b)
+	if err != nil {
+		return 0, fmt.Errorf("bytesutil: float64: %w", err)
+	}
+	if u&(1<<63) != 0 {
+		u &^= 1 << 63
+	} else {
+		u = ^u
+	}
+	return math.Float64frombits(u), nil
+}
+
+// EncodeFloat32 encodes v as 4 order-preserving bytes.
+func EncodeFloat32(v float32) []byte {
+	u := math.Float32bits(v)
+	if u&(1<<31) != 0 {
+		u = ^u
+	} else {
+		u |= 1 << 31
+	}
+	b := make([]byte, 4)
+	binary.BigEndian.PutUint32(b, u)
+	return b
+}
+
+// DecodeFloat32 decodes a value produced by EncodeFloat32.
+func DecodeFloat32(b []byte) (float32, error) {
+	if len(b) != 4 {
+		return 0, fmt.Errorf("bytesutil: float32 needs 4 bytes, got %d", len(b))
+	}
+	u := binary.BigEndian.Uint32(b)
+	if u&(1<<31) != 0 {
+		u &^= 1 << 31
+	} else {
+		u = ^u
+	}
+	return math.Float32frombits(u), nil
+}
+
+// EncodeBool encodes false as 0x00 and true as 0x01.
+func EncodeBool(v bool) []byte {
+	if v {
+		return []byte{1}
+	}
+	return []byte{0}
+}
+
+// DecodeBool decodes a value produced by EncodeBool.
+func DecodeBool(b []byte) (bool, error) {
+	if len(b) != 1 {
+		return false, fmt.Errorf("bytesutil: bool needs 1 byte, got %d", len(b))
+	}
+	return b[0] != 0, nil
+}
+
+// EncodeString returns the raw UTF-8 bytes; byte-wise comparison of UTF-8
+// already matches code-point order.
+func EncodeString(v string) []byte { return []byte(v) }
+
+// DecodeString decodes a value produced by EncodeString.
+func DecodeString(b []byte) (string, error) { return string(b), nil }
+
+// Compare compares two byte slices lexicographically, the way HBase orders
+// row keys.
+func Compare(a, b []byte) int { return bytes.Compare(a, b) }
+
+// PrefixSuccessor returns the shortest key that is strictly greater than
+// every key having prefix p, or nil when p is empty or all 0xFF (meaning
+// "no upper bound"). It is used to turn an equality predicate on a rowkey
+// prefix into a half-open scan range [p, PrefixSuccessor(p)).
+func PrefixSuccessor(p []byte) []byte {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0xFF {
+			out := make([]byte, i+1)
+			copy(out, p[:i+1])
+			out[i]++
+			return out
+		}
+	}
+	return nil
+}
+
+// Successor returns the immediate successor key of k under lexicographic
+// order: k with a zero byte appended. Useful to convert an inclusive upper
+// bound into an exclusive one.
+func Successor(k []byte) []byte {
+	out := make([]byte, len(k)+1)
+	copy(out, k)
+	return out
+}
+
+// Clone returns a copy of b, so callers can retain results that alias
+// internal buffers.
+func Clone(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// Concat concatenates byte slices into a freshly allocated buffer.
+func Concat(parts ...[]byte) []byte {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]byte, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package bytesutil
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestInt64RoundTrip(t *testing.T) {
+	for _, v := range []int64{math.MinInt64, -1, 0, 1, 42, math.MaxInt64} {
+		got, err := DecodeInt64(EncodeInt64(v))
+		if err != nil {
+			t.Fatalf("DecodeInt64(%d): %v", v, err)
+		}
+		if got != v {
+			t.Errorf("round trip %d: got %d", v, got)
+		}
+	}
+}
+
+func TestInt64OrderPreserving(t *testing.T) {
+	if err := quick.Check(func(a, b int64) bool {
+		ea, eb := EncodeInt64(a), EncodeInt64(b)
+		return (a < b) == (bytes.Compare(ea, eb) < 0)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInt32OrderPreserving(t *testing.T) {
+	if err := quick.Check(func(a, b int32) bool {
+		return (a < b) == (bytes.Compare(EncodeInt32(a), EncodeInt32(b)) < 0)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInt16OrderPreserving(t *testing.T) {
+	if err := quick.Check(func(a, b int16) bool {
+		return (a < b) == (bytes.Compare(EncodeInt16(a), EncodeInt16(b)) < 0)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInt8RoundTripAndOrder(t *testing.T) {
+	for a := math.MinInt8; a <= math.MaxInt8; a++ {
+		got, err := DecodeInt8(EncodeInt8(int8(a)))
+		if err != nil || got != int8(a) {
+			t.Fatalf("round trip %d: got %d err %v", a, got, err)
+		}
+		for b := math.MinInt8; b <= math.MaxInt8; b++ {
+			ea, eb := EncodeInt8(int8(a)), EncodeInt8(int8(b))
+			if (a < b) != (bytes.Compare(ea, eb) < 0) {
+				t.Fatalf("order violated for %d, %d", a, b)
+			}
+		}
+	}
+}
+
+func TestFloat64RoundTrip(t *testing.T) {
+	for _, v := range []float64{math.Inf(-1), -math.MaxFloat64, -1.5, -0.0, 0.0, math.SmallestNonzeroFloat64, 1.5, math.MaxFloat64, math.Inf(1)} {
+		got, err := DecodeFloat64(EncodeFloat64(v))
+		if err != nil {
+			t.Fatalf("DecodeFloat64(%v): %v", v, err)
+		}
+		if got != v {
+			t.Errorf("round trip %v: got %v", v, got)
+		}
+	}
+}
+
+func TestFloat64NaNRoundTrip(t *testing.T) {
+	got, err := DecodeFloat64(EncodeFloat64(math.NaN()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got) {
+		t.Errorf("NaN round trip: got %v", got)
+	}
+}
+
+func TestFloat64OrderPreserving(t *testing.T) {
+	if err := quick.Check(func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ea, eb := EncodeFloat64(a), EncodeFloat64(b)
+		if a == b { // covers -0.0 vs 0.0 producing distinct but adjacent encodings
+			return true
+		}
+		return (a < b) == (bytes.Compare(ea, eb) < 0)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat32OrderPreserving(t *testing.T) {
+	if err := quick.Check(func(a, b float32) bool {
+		if a != a || b != b || a == b {
+			return true
+		}
+		return (a < b) == (bytes.Compare(EncodeFloat32(a), EncodeFloat32(b)) < 0)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat32RoundTrip(t *testing.T) {
+	if err := quick.Check(func(v float32) bool {
+		got, err := DecodeFloat32(EncodeFloat32(v))
+		if err != nil {
+			return false
+		}
+		if v != v {
+			return got != got
+		}
+		return got == v
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	if err := quick.Check(func(v uint64) bool {
+		got, err := DecodeUint64(EncodeUint64(v))
+		return err == nil && got == v
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBool(t *testing.T) {
+	for _, v := range []bool{true, false} {
+		got, err := DecodeBool(EncodeBool(v))
+		if err != nil || got != v {
+			t.Errorf("bool round trip %v: got %v err %v", v, got, err)
+		}
+	}
+	if bytes.Compare(EncodeBool(false), EncodeBool(true)) >= 0 {
+		t.Error("false must sort before true")
+	}
+}
+
+func TestDecodeLengthErrors(t *testing.T) {
+	if _, err := DecodeInt64([]byte{1, 2}); err == nil {
+		t.Error("DecodeInt64 short input: want error")
+	}
+	if _, err := DecodeInt32([]byte{1}); err == nil {
+		t.Error("DecodeInt32 short input: want error")
+	}
+	if _, err := DecodeInt16([]byte{1, 2, 3}); err == nil {
+		t.Error("DecodeInt16 wrong-size input: want error")
+	}
+	if _, err := DecodeInt8(nil); err == nil {
+		t.Error("DecodeInt8 nil input: want error")
+	}
+	if _, err := DecodeFloat64([]byte{0}); err == nil {
+		t.Error("DecodeFloat64 short input: want error")
+	}
+	if _, err := DecodeFloat32([]byte{0}); err == nil {
+		t.Error("DecodeFloat32 short input: want error")
+	}
+	if _, err := DecodeBool([]byte{0, 1}); err == nil {
+		t.Error("DecodeBool long input: want error")
+	}
+	if _, err := DecodeUint64([]byte{}); err == nil {
+		t.Error("DecodeUint64 empty input: want error")
+	}
+}
+
+func TestPrefixSuccessor(t *testing.T) {
+	cases := []struct {
+		in, want []byte
+	}{
+		{[]byte("abc"), []byte("abd")},
+		{[]byte{0x01, 0xFF}, []byte{0x02}},
+		{[]byte{0xFF, 0xFF}, nil},
+		{nil, nil},
+	}
+	for _, c := range cases {
+		if got := PrefixSuccessor(c.in); !bytes.Equal(got, c.want) {
+			t.Errorf("PrefixSuccessor(%x) = %x, want %x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPrefixSuccessorProperty(t *testing.T) {
+	// Every key with prefix p is < PrefixSuccessor(p).
+	if err := quick.Check(func(p, suffix []byte) bool {
+		succ := PrefixSuccessor(p)
+		if succ == nil {
+			return true
+		}
+		key := Concat(p, suffix)
+		return bytes.Compare(key, succ) < 0 && bytes.Compare(p, succ) < 0
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSuccessor(t *testing.T) {
+	if err := quick.Check(func(k []byte) bool {
+		s := Successor(k)
+		return bytes.Compare(k, s) < 0 && bytes.HasPrefix(s, k)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	orig := []byte{1, 2, 3}
+	c := Clone(orig)
+	c[0] = 9
+	if orig[0] != 1 {
+		t.Error("Clone must not alias the source")
+	}
+	if Clone(nil) != nil {
+		t.Error("Clone(nil) must be nil")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	got := Concat([]byte("a"), nil, []byte("bc"))
+	if !bytes.Equal(got, []byte("abc")) {
+		t.Errorf("Concat = %q", got)
+	}
+}

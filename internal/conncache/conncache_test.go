@@ -1,0 +1,209 @@
+package conncache
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/shc-go/shc/internal/metrics"
+	"github.com/shc-go/shc/internal/rpc"
+)
+
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t = f.t.Add(d)
+}
+
+func newTestCache(t *testing.T) (*Cache, *metrics.Registry, *fakeClock) {
+	t.Helper()
+	m := metrics.NewRegistry()
+	net := rpc.NewNetwork(rpc.Config{}, m)
+	for _, h := range []string{"rs1", "rs2"} {
+		if err := net.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Handle(h, "ping", func(rpc.Message) (rpc.Message, error) { return rpc.Bytes("pong"), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	cache := New(net, Config{CloseDelay: 10 * time.Minute, Now: clock.Now}, m)
+	return cache, m, clock
+}
+
+func TestAcquireReuses(t *testing.T) {
+	cache, m, _ := newTestCache(t)
+	conn1, rel1, err := cache.Acquire("rs1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn2, rel2, err := cache.Acquire("rs1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn1 != conn2 {
+		t.Error("same host must reuse the connection")
+	}
+	rel1()
+	rel2()
+	if m.Get(metrics.ConnectionsCreated) != 1 {
+		t.Errorf("created = %d", m.Get(metrics.ConnectionsCreated))
+	}
+	if m.Get(metrics.ConnectionsReused) != 1 {
+		t.Errorf("reused = %d", m.Get(metrics.ConnectionsReused))
+	}
+	// Still usable after release (cache keeps it open).
+	if _, err := conn1.Call("ping", nil); err != nil {
+		t.Errorf("pooled conn must stay open: %v", err)
+	}
+}
+
+func TestDistinctHostsDistinctConns(t *testing.T) {
+	cache, m, _ := newTestCache(t)
+	_, rel1, _ := cache.Acquire("rs1")
+	_, rel2, _ := cache.Acquire("rs2")
+	rel1()
+	rel2()
+	if m.Get(metrics.ConnectionsCreated) != 2 {
+		t.Errorf("created = %d", m.Get(metrics.ConnectionsCreated))
+	}
+	if cache.Len() != 2 {
+		t.Errorf("Len = %d", cache.Len())
+	}
+}
+
+func TestAcquireUnknownHost(t *testing.T) {
+	cache, _, _ := newTestCache(t)
+	if _, _, err := cache.Acquire("ghost"); err == nil {
+		t.Error("unknown host must fail")
+	}
+}
+
+func TestSweepEvictsIdleAfterDelay(t *testing.T) {
+	cache, _, clock := newTestCache(t)
+	conn, rel, _ := cache.Acquire("rs1")
+	rel()
+	// Not yet idle long enough.
+	clock.Advance(5 * time.Minute)
+	if n := cache.Sweep(); n != 0 {
+		t.Errorf("early sweep evicted %d", n)
+	}
+	clock.Advance(6 * time.Minute)
+	if n := cache.Sweep(); n != 1 {
+		t.Errorf("sweep evicted %d, want 1", n)
+	}
+	if cache.Len() != 0 {
+		t.Errorf("Len after sweep = %d", cache.Len())
+	}
+	if _, err := conn.Call("ping", nil); err == nil {
+		t.Error("evicted connection must be closed")
+	}
+}
+
+func TestSweepSparesHeldConnections(t *testing.T) {
+	cache, _, clock := newTestCache(t)
+	_, rel, _ := cache.Acquire("rs1")
+	clock.Advance(time.Hour)
+	if n := cache.Sweep(); n != 0 {
+		t.Errorf("sweep evicted a held connection (%d)", n)
+	}
+	rel()
+	clock.Advance(time.Hour)
+	if n := cache.Sweep(); n != 1 {
+		t.Errorf("sweep after release evicted %d", n)
+	}
+}
+
+func TestReacquireResetsIdleness(t *testing.T) {
+	cache, _, clock := newTestCache(t)
+	_, rel, _ := cache.Acquire("rs1")
+	rel()
+	clock.Advance(9 * time.Minute)
+	_, rel2, _ := cache.Acquire("rs1") // back in use
+	clock.Advance(9 * time.Minute)
+	if n := cache.Sweep(); n != 0 {
+		t.Error("in-use connection must survive sweep")
+	}
+	rel2()
+	clock.Advance(10 * time.Minute)
+	if n := cache.Sweep(); n != 1 {
+		t.Errorf("idle again: evicted %d", n)
+	}
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	cache, _, clock := newTestCache(t)
+	_, rel, _ := cache.Acquire("rs1")
+	_, rel2, _ := cache.Acquire("rs1")
+	rel()
+	rel() // double release must not underflow the refcount
+	clock.Advance(time.Hour)
+	if n := cache.Sweep(); n != 0 {
+		t.Error("second holder must keep the connection alive")
+	}
+	rel2()
+	clock.Advance(time.Hour)
+	if n := cache.Sweep(); n != 1 {
+		t.Errorf("evicted %d", n)
+	}
+}
+
+func TestConcurrentAcquire(t *testing.T) {
+	cache, m, _ := newTestCache(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, rel, err := cache.Acquire("rs1")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := conn.Call("ping", nil); err != nil {
+				t.Error(err)
+			}
+			rel()
+		}()
+	}
+	wg.Wait()
+	if cache.Len() != 1 {
+		t.Errorf("Len = %d", cache.Len())
+	}
+	// The race in Acquire may dial more than once, but the cache must
+	// converge to a single pooled connection and mostly reuse.
+	if m.Get(metrics.ConnectionsReused) == 0 {
+		t.Error("expected reuse under concurrency")
+	}
+}
+
+func TestCloseShutsEverything(t *testing.T) {
+	cache, _, _ := newTestCache(t)
+	conn, rel, _ := cache.Acquire("rs1")
+	rel()
+	cache.StartHousekeeper()
+	cache.Close()
+	if cache.Len() != 0 {
+		t.Errorf("Len after Close = %d", cache.Len())
+	}
+	if _, err := conn.Call("ping", nil); err == nil {
+		t.Error("Close must close pooled connections")
+	}
+	select {
+	case <-cache.done:
+	case <-time.After(time.Second):
+		t.Fatal("housekeeper did not stop")
+	}
+}

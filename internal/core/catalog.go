@@ -1,0 +1,204 @@
+// Package core implements SHC itself — the paper's contribution: a JSON
+// catalog mapping HBase tables to relational schemas (§IV-A), pluggable
+// field coders (§IV-B), and an HBase relation that plugs into the engine's
+// data-source seam with partition pruning, column pruning, selective
+// predicate pushdown, operator fusion, and data locality (§VI-A). The
+// package also provides the generic baseline relation modelling how stock
+// Spark SQL reads HBase, which every experiment compares against.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/shc-go/shc/internal/hbase"
+	"github.com/shc-go/shc/internal/plan"
+)
+
+// RowkeyCF is the pseudo column family that marks catalog columns as row
+// key dimensions (paper Code 1: "cf":"rowkey").
+const RowkeyCF = "rowkey"
+
+// Catalog maps an HBase table to a relational schema. It is defined by the
+// JSON document of the paper's Code 1.
+type Catalog struct {
+	Table   TableSpec             `json:"table"`
+	Rowkey  string                `json:"rowkey"`
+	Columns map[string]ColumnSpec `json:"columns"`
+
+	// derived, filled by Parse/finish:
+	rowkeyFields []string // relational names of rowkey dimensions, in key order
+	dataFields   []string // non-rowkey column names, sorted
+	schema       plan.Schema
+}
+
+// TableSpec names the HBase table and its coder.
+type TableSpec struct {
+	Namespace  string `json:"namespace"`
+	Name       string `json:"name"`
+	TableCoder string `json:"tableCoder"`
+	Version    string `json:"Version"`
+}
+
+// ColumnSpec maps one relational column to HBase coordinates.
+type ColumnSpec struct {
+	CF   string `json:"cf"`
+	Col  string `json:"col"`
+	Type string `json:"type"`
+	Avro string `json:"avro,omitempty"`
+}
+
+// ParseCatalog parses and validates a catalog JSON document.
+func ParseCatalog(doc string) (*Catalog, error) {
+	var c Catalog
+	if err := json.Unmarshal([]byte(doc), &c); err != nil {
+		return nil, fmt.Errorf("core: bad catalog JSON: %w", err)
+	}
+	if err := c.finish(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// finish validates the catalog and derives the relational schema. Rowkey
+// dimensions come first in declared key order, then data columns sorted by
+// name (JSON objects are unordered, so the order must be derived).
+func (c *Catalog) finish() error {
+	if c.Table.Name == "" {
+		return fmt.Errorf("core: catalog needs table.name")
+	}
+	if c.Rowkey == "" {
+		return fmt.Errorf("core: catalog needs a rowkey")
+	}
+	if len(c.Columns) == 0 {
+		return fmt.Errorf("core: catalog needs columns")
+	}
+	keyParts := strings.Split(c.Rowkey, ":")
+	// Map HBase rowkey part -> relational column name.
+	partToField := make(map[string]string)
+	for name, spec := range c.Columns {
+		if spec.CF == "" || spec.Col == "" {
+			return fmt.Errorf("core: column %q needs cf and col", name)
+		}
+		if spec.Type == "" && spec.Avro == "" {
+			return fmt.Errorf("core: column %q needs a type", name)
+		}
+		if spec.CF == RowkeyCF {
+			if prev, dup := partToField[spec.Col]; dup {
+				return fmt.Errorf("core: rowkey part %q mapped by both %q and %q", spec.Col, prev, name)
+			}
+			partToField[spec.Col] = name
+		}
+	}
+	c.rowkeyFields = c.rowkeyFields[:0]
+	for _, part := range keyParts {
+		field, ok := partToField[part]
+		if !ok {
+			return fmt.Errorf("core: rowkey part %q has no column with cf=rowkey", part)
+		}
+		c.rowkeyFields = append(c.rowkeyFields, field)
+	}
+	if len(partToField) != len(keyParts) {
+		return fmt.Errorf("core: %d rowkey columns declared but rowkey has %d parts", len(partToField), len(keyParts))
+	}
+	c.dataFields = c.dataFields[:0]
+	for name, spec := range c.Columns {
+		if spec.CF != RowkeyCF {
+			c.dataFields = append(c.dataFields, name)
+		}
+	}
+	sort.Strings(c.dataFields)
+
+	c.schema = c.schema[:0]
+	for _, name := range append(append([]string{}, c.rowkeyFields...), c.dataFields...) {
+		spec := c.Columns[name]
+		var t plan.DataType
+		var err error
+		if spec.Avro != "" {
+			// An Avro-typed column surfaces as binary unless a type is given.
+			t = plan.TypeBinary
+			if spec.Type != "" {
+				if t, err = plan.ParseDataType(spec.Type); err != nil {
+					return err
+				}
+			}
+		} else if t, err = plan.ParseDataType(spec.Type); err != nil {
+			return fmt.Errorf("core: column %q: %w", name, err)
+		}
+		c.schema = append(c.schema, plan.Field{Name: name, Type: t})
+	}
+	// Variable-length rowkey dimensions other than the last cannot be
+	// decoded unambiguously without a terminator; the coder handles that,
+	// but binary is disallowed there outright.
+	for i, f := range c.rowkeyFields[:len(c.rowkeyFields)-1] {
+		if c.fieldType(f) == plan.TypeBinary {
+			return fmt.Errorf("core: rowkey dimension %d (%q) cannot be binary unless last", i, f)
+		}
+	}
+	return nil
+}
+
+// Schema returns the catalog's relational schema: rowkey dimensions first
+// (in key order), then data columns sorted by name.
+func (c *Catalog) Schema() plan.Schema { return c.schema }
+
+// RowkeyFields lists the relational names of the rowkey dimensions in key
+// order.
+func (c *Catalog) RowkeyFields() []string { return c.rowkeyFields }
+
+// IsRowkeyField reports whether name is a rowkey dimension, and its
+// position when it is.
+func (c *Catalog) IsRowkeyField(name string) (int, bool) {
+	for i, f := range c.rowkeyFields {
+		if f == name {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// fieldType returns a column's data type (TypeUnknown when absent).
+func (c *Catalog) fieldType(name string) plan.DataType {
+	for _, f := range c.schema {
+		if f.Name == name {
+			return f.Type
+		}
+	}
+	return plan.TypeUnknown
+}
+
+// Column returns the HBase coordinates of a relational column.
+func (c *Catalog) Column(name string) (ColumnSpec, error) {
+	spec, ok := c.Columns[name]
+	if !ok {
+		return ColumnSpec{}, fmt.Errorf("core: catalog for %q has no column %q", c.Table.Name, name)
+	}
+	return spec, nil
+}
+
+// Families lists the distinct column families of the data columns, sorted.
+func (c *Catalog) Families() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, name := range c.dataFields {
+		cf := c.Columns[name].CF
+		if !seen[cf] {
+			seen[cf] = true
+			out = append(out, cf)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TableDescriptor derives the HBase descriptor for creating the table.
+func (c *Catalog) TableDescriptor(maxVersions int) hbase.TableDescriptor {
+	return hbase.TableDescriptor{Name: c.Table.Name, Families: c.Families(), MaxVersions: maxVersions}
+}
+
+// Coder instantiates the catalog's field coder (tableCoder).
+func (c *Catalog) Coder() (FieldCoder, error) {
+	return CoderByName(c.Table.TableCoder)
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/shc-go/shc/internal/plan"
+)
+
+// activesCatalog is the paper's Code 1 catalog.
+const activesCatalog = `{
+  "table":{"namespace":"default", "name":"actives", "tableCoder":"PrimitiveType", "Version":"2.0"},
+  "rowkey":"key",
+  "columns":{
+    "col0":{"cf":"rowkey", "col":"key", "type":"string"},
+    "user-id":{"cf":"cf1", "col":"col1", "type":"tinyint"},
+    "visit-pages":{"cf":"cf2", "col":"col2", "type":"string"},
+    "stay-time":{"cf":"cf3", "col":"col3", "type":"double"},
+    "time":{"cf":"cf4", "col":"col4", "type":"time"}
+  }
+}`
+
+const compositeCatalog = `{
+  "table":{"name":"logs", "tableCoder":"PrimitiveType"},
+  "rowkey":"key1:key2:key3",
+  "columns":{
+    "region":{"cf":"rowkey", "col":"key1", "type":"string"},
+    "host":{"cf":"rowkey", "col":"key2", "type":"string"},
+    "ts":{"cf":"rowkey", "col":"key3", "type":"bigint"},
+    "msg":{"cf":"cf", "col":"m", "type":"string"}
+  }
+}`
+
+func TestParseCatalogPaperExample(t *testing.T) {
+	c, err := ParseCatalog(activesCatalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Table.Name != "actives" || c.Table.TableCoder != "PrimitiveType" || c.Table.Version != "2.0" {
+		t.Errorf("table = %+v", c.Table)
+	}
+	schema := c.Schema()
+	if len(schema) != 5 {
+		t.Fatalf("schema = %s", schema)
+	}
+	// Rowkey dimension first.
+	if schema[0].Name != "col0" || schema[0].Type != plan.TypeString {
+		t.Errorf("first field = %+v", schema[0])
+	}
+	// Data columns sorted by name after the key.
+	want := []string{"col0", "stay-time", "time", "user-id", "visit-pages"}
+	for i, w := range want {
+		if schema[i].Name != w {
+			t.Errorf("schema[%d] = %q, want %q", i, schema[i].Name, w)
+		}
+	}
+	if got := c.fieldType("user-id"); got != plan.TypeInt8 {
+		t.Errorf("tinyint mapped to %s", got)
+	}
+	if got := c.fieldType("time"); got != plan.TypeTimestamp {
+		t.Errorf("time mapped to %s", got)
+	}
+	fams := c.Families()
+	if len(fams) != 4 || fams[0] != "cf1" {
+		t.Errorf("families = %v", fams)
+	}
+	desc := c.TableDescriptor(3)
+	if desc.Name != "actives" || desc.MaxVersions != 3 || len(desc.Families) != 4 {
+		t.Errorf("descriptor = %+v", desc)
+	}
+}
+
+func TestParseCatalogComposite(t *testing.T) {
+	c, err := ParseCatalog(compositeCatalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.RowkeyFields(); len(got) != 3 || got[0] != "region" || got[2] != "ts" {
+		t.Errorf("rowkey fields = %v", got)
+	}
+	if i, ok := c.IsRowkeyField("host"); !ok || i != 1 {
+		t.Errorf("IsRowkeyField(host) = %d, %v", i, ok)
+	}
+	if _, ok := c.IsRowkeyField("msg"); ok {
+		t.Error("msg is not a key field")
+	}
+}
+
+func TestParseCatalogErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":          `{`,
+		"no table name":     `{"table":{}, "rowkey":"k", "columns":{"a":{"cf":"rowkey","col":"k","type":"string"}}}`,
+		"no rowkey":         `{"table":{"name":"t"}, "columns":{"a":{"cf":"cf","col":"c","type":"string"}}}`,
+		"no columns":        `{"table":{"name":"t"}, "rowkey":"k", "columns":{}}`,
+		"missing cf":        `{"table":{"name":"t"}, "rowkey":"k", "columns":{"a":{"col":"k","type":"string"}}}`,
+		"missing type":      `{"table":{"name":"t"}, "rowkey":"k", "columns":{"a":{"cf":"rowkey","col":"k"}}}`,
+		"unknown type":      `{"table":{"name":"t"}, "rowkey":"k", "columns":{"a":{"cf":"rowkey","col":"k","type":"blob"}}}`,
+		"key part unmapped": `{"table":{"name":"t"}, "rowkey":"k1:k2", "columns":{"a":{"cf":"rowkey","col":"k1","type":"string"},"b":{"cf":"cf","col":"c","type":"string"}}}`,
+		"dup key part":      `{"table":{"name":"t"}, "rowkey":"k", "columns":{"a":{"cf":"rowkey","col":"k","type":"string"},"b":{"cf":"rowkey","col":"k","type":"string"}}}`,
+		"binary mid key":    `{"table":{"name":"t"}, "rowkey":"k1:k2", "columns":{"a":{"cf":"rowkey","col":"k1","type":"binary"},"b":{"cf":"rowkey","col":"k2","type":"string"}}}`,
+		"bad coder":         `{"table":{"name":"t","tableCoder":"Nope"}, "rowkey":"k", "columns":{"a":{"cf":"rowkey","col":"k","type":"string"}}}`,
+	}
+	for name, doc := range cases {
+		c, err := ParseCatalog(doc)
+		if err == nil && name == "bad coder" {
+			_, err = c.Coder()
+		}
+		if err == nil {
+			t.Errorf("case %q should fail", name)
+		}
+	}
+}
+
+func TestCatalogAvroColumn(t *testing.T) {
+	doc := `{
+	  "table":{"name":"avrotable", "tableCoder":"Avro"},
+	  "rowkey":"key",
+	  "columns":{
+	    "col0":{"cf":"rowkey", "col":"key", "type":"string"},
+	    "col1":{"cf":"cf1", "col":"col1", "avro":"avroSchema"}
+	  }
+	}`
+	c, err := ParseCatalog(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.fieldType("col1"); got != plan.TypeBinary {
+		t.Errorf("avro column surfaces as %s", got)
+	}
+	coder, err := c.Coder()
+	if err != nil || coder.Name() != CoderAvro {
+		t.Errorf("coder = %v, %v", coder, err)
+	}
+}
+
+func TestCatalogColumnLookup(t *testing.T) {
+	c, _ := ParseCatalog(activesCatalog)
+	spec, err := c.Column("stay-time")
+	if err != nil || spec.CF != "cf3" || spec.Col != "col3" {
+		t.Errorf("Column = %+v, %v", spec, err)
+	}
+	if _, err := c.Column("ghost"); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Errorf("missing column err = %v", err)
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/shc-go/shc/internal/datasource"
+	"github.com/shc-go/shc/internal/hbase"
+	"github.com/shc-go/shc/internal/metrics"
+	"github.com/shc-go/shc/internal/plan"
+)
+
+// compositeRig loads a composite-key table: logs keyed by region:host:ts.
+func compositeRig(t *testing.T, opts Options) (*HBaseRelation, *metrics.Registry) {
+	t.Helper()
+	meter := metrics.NewRegistry()
+	cluster, err := hbase.NewCluster(hbase.ClusterConfig{Name: "c", NumServers: 3, Meter: meter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := ParseCatalog(compositeCatalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.NewTableRegions == 0 {
+		opts.NewTableRegions = 6
+	}
+	rel, err := NewHBaseRelation(cluster.NewClient(), cat, opts, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []plan.Row
+	for _, region := range []string{"ap", "eu", "us"} {
+		for h := 0; h < 4; h++ {
+			for ts := int64(0); ts < 25; ts++ {
+				rows = append(rows, plan.Row{region, fmt.Sprintf("host-%d", h), ts,
+					fmt.Sprintf("msg-%s-%d-%d", region, h, ts)})
+			}
+		}
+	}
+	if err := rel.Insert(rows); err != nil {
+		t.Fatal(err)
+	}
+	return rel, meter
+}
+
+func compositeFilters() []datasource.Filter {
+	return []datasource.Filter{
+		datasource.EqualTo{Column: "region", Value: "eu"},
+		datasource.EqualTo{Column: "host", Value: "host-2"},
+		datasource.GreaterThanOrEqual{Column: "ts", Value: int64(10)},
+		datasource.LessThan{Column: "ts", Value: int64(20)},
+	}
+}
+
+func compositeScan(t *testing.T, rel *HBaseRelation) []plan.Row {
+	t.Helper()
+	parts, err := rel.BuildScan([]string{"region", "host", "ts", "msg"}, compositeFilters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := scanAll(t, parts)
+	// The engine re-applies unhandled predicates; emulate that here so
+	// both configurations produce final answers.
+	var out []plan.Row
+	schema := rel.Schema()
+	for _, r := range rows {
+		keep := true
+		for _, f := range compositeFilters() {
+			ok, err := datasource.EvalFilter(f, schema, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func TestFullKeyPruningNarrowsScans(t *testing.T) {
+	relOff, meterOff := compositeRig(t, Options{})
+	relOn, meterOn := compositeRig(t, Options{FullKeyPruning: true})
+
+	rowsOff := compositeScan(t, relOff)
+	rowsOn := compositeScan(t, relOn)
+
+	// Identical answers.
+	if len(rowsOff) != 10 || len(rowsOn) != 10 {
+		t.Fatalf("rows: off=%d on=%d, want 10", len(rowsOff), len(rowsOn))
+	}
+	sortRows(rowsOff)
+	sortRows(rowsOn)
+	for i := range rowsOff {
+		if fmt.Sprint(rowsOff[i]) != fmt.Sprint(rowsOn[i]) {
+			t.Fatalf("row %d differs: %v vs %v", i, rowsOff[i], rowsOn[i])
+		}
+	}
+	// Strictly less scanning with the extension on: first-dimension-only
+	// pruning still scans every host/ts under region=eu, full-key pruning
+	// hits exactly the (eu, host-2, [10,20)) range.
+	scannedOff := meterOff.Get(metrics.RowsScanned)
+	scannedOn := meterOn.Get(metrics.RowsScanned)
+	if scannedOn >= scannedOff {
+		t.Errorf("full-key pruning should scan fewer rows: %d vs %d", scannedOn, scannedOff)
+	}
+	if scannedOn != 10 {
+		t.Errorf("full-key pruning should scan exactly the 10 matching rows, got %d", scannedOn)
+	}
+}
+
+func TestFullKeyPruningFallsBackWithoutLeadingEquality(t *testing.T) {
+	rel, _ := compositeRig(t, Options{FullKeyPruning: true})
+	// Equality only on the second dimension: no contiguous prefix, so the
+	// extension must not narrow (and must not break results).
+	filters := []datasource.Filter{datasource.EqualTo{Column: "host", Value: "host-1"}}
+	set := rel.compositeRanges(filters)
+	if !set.IsFull() {
+		t.Errorf("no leading equality must give the full set, got %v", set.Ranges())
+	}
+	// A key dimension is not a cell, so no server-side filter exists for
+	// it: the scan stays full and the engine re-applies the predicate.
+	parts, err := rel.BuildScan([]string{"region", "host"}, filters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(scanAll(t, parts)); got != 300 {
+		t.Errorf("rows = %d, want 300 (unnarrowed)", got)
+	}
+	if un := rel.UnhandledFilters(filters); len(un) != 1 {
+		t.Errorf("host equality must be unhandled, got %v", un)
+	}
+}
+
+func TestFullKeyPruningEqualityOnAllDims(t *testing.T) {
+	rel, meter := compositeRig(t, Options{FullKeyPruning: true})
+	filters := []datasource.Filter{
+		datasource.EqualTo{Column: "region", Value: "us"},
+		datasource.EqualTo{Column: "host", Value: "host-0"},
+		datasource.EqualTo{Column: "ts", Value: int64(7)},
+	}
+	before := meter.Get(metrics.RowsScanned)
+	parts, err := rel.BuildScan([]string{"msg"}, filters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := scanAll(t, parts)
+	if len(rows) != 1 || rows[0][0] != "msg-us-0-7" {
+		t.Fatalf("rows = %v", rows)
+	}
+	if scanned := meter.Get(metrics.RowsScanned) - before; scanned != 1 {
+		t.Errorf("scanned %d rows, want exactly 1", scanned)
+	}
+}
+
+func TestCompositeFirstDimensionOnlyDefault(t *testing.T) {
+	// Without the extension, the paper's stated behaviour: pruning on the
+	// first dimension only (BuildScan never consults compositeRanges).
+	rel, meter := compositeRig(t, Options{})
+	before := meter.Get(metrics.RowsScanned)
+	parts, err := rel.BuildScan([]string{"msg"}, compositeFilters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanAll(t, parts)
+	scanned := meter.Get(metrics.RowsScanned) - before
+	// region=eu narrows to 100 rows (first dimension); host/ts predicates
+	// do not narrow further without the extension.
+	if scanned != 100 {
+		t.Errorf("scanned = %d, want 100 (first-dimension pruning only)", scanned)
+	}
+	tr := rel.translate(datasource.EqualTo{Column: "host", Value: "host-1"})
+	if tr.handled {
+		t.Error("equality on a non-first key dimension is not handled without the extension")
+	}
+}

@@ -1,0 +1,627 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"github.com/shc-go/shc/internal/bytesutil"
+	"github.com/shc-go/shc/internal/datasource"
+	"github.com/shc-go/shc/internal/hbase"
+	"github.com/shc-go/shc/internal/metrics"
+	"github.com/shc-go/shc/internal/plan"
+)
+
+// Options carries the per-relation settings of HBaseSparkConf (paper Code 5
+// and §IV-C) plus the ablation switches the benchmarks sweep.
+type Options struct {
+	// Timestamp restricts reads to cells with exactly this timestamp.
+	Timestamp int64
+	// MinTimestamp/MaxTimestamp restrict reads to [Min, Max).
+	MinTimestamp int64
+	MaxTimestamp int64
+	// MaxVersions is how many versions per cell a read may return
+	// (default 1).
+	MaxVersions int
+	// WriteTimestamp stamps written cells (default 1).
+	WriteTimestamp int64
+	// NewTableRegions pre-splits a created table into this many regions
+	// (HBaseTableCatalog.newTable; default 1).
+	NewTableRegions int
+	// DisablePartitionPruning scans every region regardless of rowkey
+	// ranges (ablation).
+	DisablePartitionPruning bool
+	// DisableOperatorFusion builds one partition per region instead of one
+	// per region server (ablation of §VI-A.4).
+	DisableOperatorFusion bool
+	// DisableFilterPushdown keeps every predicate in the engine (ablation
+	// of §VI-A.3).
+	DisableFilterPushdown bool
+	// FullKeyPruning enables the paper's stated future work (§VIII):
+	// extending rowkey pruning beyond the first dimension of a composite
+	// key. With equality predicates on a prefix of the key dimensions, the
+	// scan narrows to the exact composite prefix (plus an optional range
+	// on the next dimension).
+	FullKeyPruning bool
+}
+
+func (o Options) timeRange() hbase.TimeRange {
+	if o.Timestamp != 0 {
+		return hbase.TimeRange{Min: o.Timestamp, Max: o.Timestamp + 1}
+	}
+	return hbase.TimeRange{Min: o.MinTimestamp, Max: o.MaxTimestamp}
+}
+
+func (o Options) maxVersions() int {
+	if o.MaxVersions <= 0 {
+		return 1
+	}
+	return o.MaxVersions
+}
+
+// HBaseRelation is SHC's data-source relation: a catalog-mapped HBase table
+// that supports pruned, filtered scans with locality, and inserts.
+type HBaseRelation struct {
+	cat    *Catalog
+	coder  FieldCoder
+	client *hbase.Client
+	meter  *metrics.Registry
+	opts   Options
+	codec  rowkeyCodec
+}
+
+// NewHBaseRelation builds a relation over an HBase client. meter may be
+// nil.
+func NewHBaseRelation(client *hbase.Client, cat *Catalog, opts Options, meter *metrics.Registry) (*HBaseRelation, error) {
+	coder, err := cat.Coder()
+	if err != nil {
+		return nil, err
+	}
+	return &HBaseRelation{
+		cat:    cat,
+		coder:  coder,
+		client: client,
+		meter:  meter,
+		opts:   opts,
+		codec:  rowkeyCodec{cat: cat, coder: coder},
+	}, nil
+}
+
+// Name implements datasource.Relation.
+func (r *HBaseRelation) Name() string { return r.cat.Table.Name }
+
+// Schema implements datasource.Relation.
+func (r *HBaseRelation) Schema() plan.Schema { return r.cat.Schema() }
+
+// Catalog exposes the relation's catalog.
+func (r *HBaseRelation) Catalog() *Catalog { return r.cat }
+
+// translation is the outcome of mapping one source filter onto HBase.
+type translation struct {
+	ranges  RangeSet     // restriction on encoded row keys (full when none)
+	hfilter hbase.Filter // server-side filter (nil when none)
+	handled bool         // fully evaluated by HBase; engine need not re-apply
+}
+
+// translate maps a source filter to rowkey ranges and server filters. The
+// selective-pushdown policy of §VI-A.3 lives here: NOT IN never pushes,
+// range predicates on non-order-preserving coders never push, and anything
+// unpushable is left for the engine via handled=false.
+func (r *HBaseRelation) translate(f datasource.Filter) translation {
+	full := translation{ranges: fullSet()}
+	if r.opts.DisableFilterPushdown {
+		return full
+	}
+	firstDim := r.cat.RowkeyFields()[0]
+	isFirstDim := func(col string) bool { return col == firstDim }
+	singleDimKey := len(r.cat.RowkeyFields()) == 1
+
+	switch x := f.(type) {
+	case datasource.EqualTo:
+		if isFirstDim(x.Column) && r.coder.OrderPreserving() {
+			enc, err := r.codec.encodePrefix(x.Value)
+			if err == nil {
+				if singleDimKey {
+					return translation{ranges: pointSet(enc), handled: true}
+				}
+				return translation{ranges: prefixSet(enc), handled: true}
+			}
+		}
+		return r.columnFilter(x.Column, hbase.CmpEqual, x.Value, true)
+	case datasource.NotEqual:
+		if _, isKey := r.cat.IsRowkeyField(x.Column); isKey {
+			// != on a key dimension does not narrow ranges usefully.
+			return full
+		}
+		return r.columnFilter(x.Column, hbase.CmpNotEqual, x.Value, true)
+	case datasource.GreaterThan:
+		if tr, ok := r.keyBound(x.Column, x.Value, func(enc []byte) RowRange {
+			return RowRange{Start: bytesutil.PrefixSuccessor(enc)}
+		}); ok {
+			return tr
+		}
+		return r.columnFilter(x.Column, hbase.CmpGreater, x.Value, r.coder.OrderPreserving())
+	case datasource.GreaterThanOrEqual:
+		if tr, ok := r.keyBound(x.Column, x.Value, func(enc []byte) RowRange {
+			return RowRange{Start: enc}
+		}); ok {
+			return tr
+		}
+		return r.columnFilter(x.Column, hbase.CmpGreaterOrEqual, x.Value, r.coder.OrderPreserving())
+	case datasource.LessThan:
+		if tr, ok := r.keyBound(x.Column, x.Value, func(enc []byte) RowRange {
+			return RowRange{Stop: enc}
+		}); ok {
+			return tr
+		}
+		return r.columnFilter(x.Column, hbase.CmpLess, x.Value, r.coder.OrderPreserving())
+	case datasource.LessThanOrEqual:
+		if tr, ok := r.keyBound(x.Column, x.Value, func(enc []byte) RowRange {
+			return RowRange{Stop: bytesutil.PrefixSuccessor(enc)}
+		}); ok {
+			return tr
+		}
+		return r.columnFilter(x.Column, hbase.CmpLessOrEqual, x.Value, r.coder.OrderPreserving())
+	case datasource.In:
+		if isFirstDim(x.Column) && r.coder.OrderPreserving() {
+			set := emptySet()
+			ok := true
+			for _, v := range x.Values {
+				enc, err := r.codec.encodePrefix(v)
+				if err != nil {
+					ok = false
+					break
+				}
+				if singleDimKey {
+					set = set.Union(pointSet(enc))
+				} else {
+					set = set.Union(prefixSet(enc))
+				}
+			}
+			if ok {
+				return translation{ranges: set, handled: true}
+			}
+		}
+		// Non-key IN becomes an OR of equality filters.
+		spec, err := r.cat.Column(x.Column)
+		if err != nil || spec.CF == RowkeyCF {
+			return full
+		}
+		list := &hbase.FilterList{Op: hbase.MustPassOne}
+		for _, v := range x.Values {
+			enc, err := r.coder.Encode(v, r.cat.fieldType(x.Column))
+			if err != nil {
+				return full
+			}
+			list.Filters = append(list.Filters, &hbase.SingleColumnValueFilter{
+				Family: spec.CF, Qualifier: spec.Col, Op: hbase.CmpEqual, Value: enc,
+			})
+		}
+		return translation{ranges: fullSet(), hfilter: list, handled: true}
+	case datasource.NotIn:
+		// The paper's rule: scanning the whole table to evaluate NOT IN
+		// inside HBase is not worth building the filter — Spark applies it
+		// after the fetch (§VI-A.3).
+		return full
+	case datasource.StringStartsWith:
+		if isFirstDim(x.Column) && r.coder.OrderPreserving() && r.cat.fieldType(x.Column) == plan.TypeString {
+			return translation{ranges: prefixSet([]byte(x.Prefix)), handled: true}
+		}
+		if !r.coder.OrderPreserving() {
+			return full
+		}
+		spec, err := r.cat.Column(x.Column)
+		if err != nil || spec.CF == RowkeyCF || r.cat.fieldType(x.Column) != plan.TypeString {
+			return full
+		}
+		enc, err := r.coder.Encode(x.Prefix, plan.TypeString)
+		if err != nil {
+			return full
+		}
+		list := &hbase.FilterList{Op: hbase.MustPassAll, Filters: []hbase.Filter{
+			&hbase.SingleColumnValueFilter{Family: spec.CF, Qualifier: spec.Col, Op: hbase.CmpGreaterOrEqual, Value: enc},
+		}}
+		if succ := bytesutil.PrefixSuccessor(enc); succ != nil {
+			list.Filters = append(list.Filters, &hbase.SingleColumnValueFilter{
+				Family: spec.CF, Qualifier: spec.Col, Op: hbase.CmpLess, Value: succ,
+			})
+		}
+		return translation{ranges: fullSet(), hfilter: list, handled: true}
+	case datasource.AndFilter:
+		l := r.translate(x.Left)
+		rt := r.translate(x.Right)
+		out := translation{
+			ranges:  l.ranges.Intersect(rt.ranges),
+			handled: l.handled && rt.handled,
+		}
+		out.hfilter = andFilters(l.hfilter, rt.hfilter)
+		return out
+	case datasource.OrFilter:
+		l := r.translate(x.Left)
+		rt := r.translate(x.Right)
+		if !l.handled || !rt.handled {
+			// A disjunction is only as good as its weakest arm; without
+			// both arms the scan cannot be narrowed (the paper's "OR
+			// semantic ... results in a full scan", §VI-A.1).
+			return full
+		}
+		// Both arms handled. Ranges union; filters also OR — but a row in
+		// either arm's range with no filter must pass, so mixing ranges
+		// and filters across arms is only sound when the arms are
+		// symmetric: both pure-range or both pure-filter.
+		pureRangeL := l.hfilter == nil
+		pureRangeR := rt.hfilter == nil
+		switch {
+		case pureRangeL && pureRangeR:
+			return translation{ranges: l.ranges.Union(rt.ranges), handled: true}
+		case !pureRangeL && !pureRangeR && l.ranges.IsFull() && rt.ranges.IsFull():
+			return translation{
+				ranges:  fullSet(),
+				hfilter: &hbase.FilterList{Op: hbase.MustPassOne, Filters: []hbase.Filter{l.hfilter, rt.hfilter}},
+				handled: true,
+			}
+		default:
+			return full
+		}
+	}
+	return full
+}
+
+// keyBound builds a first-dimension range translation for an inequality.
+func (r *HBaseRelation) keyBound(col string, v any, build func(enc []byte) RowRange) (translation, bool) {
+	if col != r.cat.RowkeyFields()[0] || !r.coder.OrderPreserving() {
+		return translation{}, false
+	}
+	enc, err := r.codec.encodePrefix(v)
+	if err != nil {
+		return translation{}, false
+	}
+	return translation{ranges: singleSet(build(enc)), handled: true}, true
+}
+
+// columnFilter builds a server-side single-column filter; handled=false
+// when byte-order comparison would be unsound for the coder.
+func (r *HBaseRelation) columnFilter(col string, op hbase.CompareOp, v any, sound bool) translation {
+	full := translation{ranges: fullSet()}
+	if !sound {
+		return full
+	}
+	spec, err := r.cat.Column(col)
+	if err != nil || spec.CF == RowkeyCF {
+		return full
+	}
+	enc, err := r.coder.Encode(v, r.cat.fieldType(col))
+	if err != nil {
+		return full
+	}
+	return translation{
+		ranges:  fullSet(),
+		hfilter: &hbase.SingleColumnValueFilter{Family: spec.CF, Qualifier: spec.Col, Op: op, Value: enc},
+		handled: true,
+	}
+}
+
+func andFilters(a, b hbase.Filter) hbase.Filter {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	return &hbase.FilterList{Op: hbase.MustPassAll, Filters: []hbase.Filter{a, b}}
+}
+
+// compositeRanges implements the paper's future-work extension (§VIII):
+// pruning on every dimension of a composite rowkey. With equality
+// predicates on key dimensions 1..k-1, the matching keys share the encoded
+// prefix of those values; an additional equality or bound on dimension k
+// refines the range further. The result is an over-approximation (the
+// engine still re-applies the non-first-dimension predicates), so it only
+// ever narrows the scan, never changes answers.
+func (r *HBaseRelation) compositeRanges(filters []datasource.Filter) RangeSet {
+	fields := r.cat.RowkeyFields()
+	if len(fields) < 2 || !r.coder.OrderPreserving() || r.opts.DisableFilterPushdown {
+		return fullSet()
+	}
+	// Gather per-dimension simple predicates.
+	eq := make(map[int]any)
+	type bound struct {
+		v         any
+		inclusive bool
+	}
+	lower := make(map[int]bound)
+	upper := make(map[int]bound)
+	for _, f := range filters {
+		var col string
+		switch x := f.(type) {
+		case datasource.EqualTo:
+			col = x.Column
+			if dim, ok := r.cat.IsRowkeyField(col); ok {
+				eq[dim] = x.Value
+			}
+		case datasource.GreaterThan:
+			if dim, ok := r.cat.IsRowkeyField(x.Column); ok {
+				lower[dim] = bound{x.Value, false}
+			}
+		case datasource.GreaterThanOrEqual:
+			if dim, ok := r.cat.IsRowkeyField(x.Column); ok {
+				lower[dim] = bound{x.Value, true}
+			}
+		case datasource.LessThan:
+			if dim, ok := r.cat.IsRowkeyField(x.Column); ok {
+				upper[dim] = bound{x.Value, false}
+			}
+		case datasource.LessThanOrEqual:
+			if dim, ok := r.cat.IsRowkeyField(x.Column); ok {
+				upper[dim] = bound{x.Value, true}
+			}
+		}
+	}
+	// k = longest all-equality prefix.
+	k := 0
+	vals := make([]any, 0, len(fields))
+	for ; k < len(fields); k++ {
+		v, ok := eq[k]
+		if !ok {
+			break
+		}
+		vals = append(vals, v)
+	}
+	if k == 0 {
+		return fullSet() // first-dimension logic already covers this
+	}
+	prefix, err := r.codec.encodeDims(vals, k)
+	if err != nil {
+		return fullSet()
+	}
+	set := prefixSet(prefix)
+	// Refine with a bound on the next dimension when it is fixed-width
+	// (variable-width encodings do not compose into contiguous key ranges
+	// past a prefix). The result stays an over-approximation either way.
+	_, hasLower := lower[k]
+	_, hasUpper := upper[k]
+	if k < len(fields) && (hasLower || hasUpper) && fixedWidth(r.cat.fieldType(fields[k]), r.coder) > 0 {
+		t := r.cat.fieldType(fields[k])
+		rr := RowRange{Start: prefix, Stop: bytesutil.PrefixSuccessor(prefix)}
+		if lb, ok := lower[k]; ok {
+			if enc, err := r.coder.Encode(lb.v, t); err == nil {
+				if lb.inclusive {
+					rr.Start = bytesutil.Concat(prefix, enc)
+				} else if succ := bytesutil.PrefixSuccessor(enc); succ != nil {
+					rr.Start = bytesutil.Concat(prefix, succ)
+				}
+			}
+		}
+		if ub, ok := upper[k]; ok {
+			if enc, err := r.coder.Encode(ub.v, t); err == nil {
+				if !ub.inclusive {
+					rr.Stop = bytesutil.Concat(prefix, enc)
+				} else if succ := bytesutil.PrefixSuccessor(enc); succ != nil {
+					rr.Stop = bytesutil.Concat(prefix, succ)
+				}
+			}
+		}
+		set = set.Intersect(singleSet(rr))
+	}
+	return set
+}
+
+// EstimatedRowCount implements datasource.Statistics: cell count from the
+// master's region metrics divided by the catalog's data-column count. The
+// estimate ignores multi-versioned cells and NULL-absent columns, which is
+// the usual precision of storage-level statistics.
+func (r *HBaseRelation) EstimatedRowCount() (int64, bool) {
+	stats, err := r.client.TableStats(r.cat.Table.Name)
+	if err != nil {
+		return 0, false
+	}
+	cols := int64(len(r.cat.Schema()) - len(r.cat.RowkeyFields()))
+	if cols < 1 {
+		cols = 1
+	}
+	return stats.Cells / cols, true
+}
+
+// UnhandledFilters implements datasource.PrunedFilteredScan.
+func (r *HBaseRelation) UnhandledFilters(filters []datasource.Filter) []datasource.Filter {
+	var out []datasource.Filter
+	for _, f := range filters {
+		if !r.translate(f).handled {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// BuildScan implements datasource.PrunedFilteredScan: it derives rowkey
+// ranges and server filters from the pushed predicates, prunes regions,
+// fuses per-server work, and returns locality-tagged partitions.
+func (r *HBaseRelation) BuildScan(requiredColumns []string, filters []datasource.Filter) ([]datasource.Partition, error) {
+	// Validate the projection and split it into key dims vs cells.
+	var scanCols []hbase.Column
+	for _, col := range requiredColumns {
+		spec, err := r.cat.Column(col)
+		if err != nil {
+			return nil, err
+		}
+		if spec.CF != RowkeyCF {
+			scanCols = append(scanCols, hbase.Column{Family: spec.CF, Qualifier: spec.Col})
+		}
+	}
+
+	ranges := fullSet()
+	var hfilters []hbase.Filter
+	for _, f := range filters {
+		tr := r.translate(f)
+		ranges = ranges.Intersect(tr.ranges)
+		if tr.hfilter != nil {
+			hfilters = append(hfilters, tr.hfilter)
+		}
+		if tr.handled {
+			r.meter.Inc(metrics.FiltersPushed)
+		} else {
+			r.meter.Inc(metrics.FiltersUnhandled)
+		}
+	}
+	if r.opts.FullKeyPruning {
+		ranges = ranges.Intersect(r.compositeRanges(filters))
+	}
+	var filter hbase.Filter
+	for _, f := range hfilters {
+		filter = andFilters(filter, f)
+	}
+
+	regions, err := r.client.Regions(r.cat.Table.Name)
+	if err != nil {
+		return nil, err
+	}
+	scanTemplate := func(lo, hi []byte) *hbase.Scan {
+		return &hbase.Scan{
+			StartRow: lo, StopRow: hi,
+			Columns:     scanCols,
+			Filter:      filter,
+			MaxVersions: r.opts.maxVersions(),
+			TimeRange:   r.opts.timeRange(),
+		}
+	}
+
+	// Partition pruning: keep only regions intersecting some range.
+	type regionWork struct {
+		info hbase.RegionInfo
+		ops  []hbase.ScanOp
+	}
+	var work []regionWork
+	pruned := 0
+	for _, ri := range regions {
+		ri := ri
+		var ops []hbase.ScanOp
+		for _, rng := range ranges.Ranges() {
+			lo, hi, ok := hbase.SplitRowRange(&ri, rng.Start, rng.Stop)
+			if !ok {
+				continue
+			}
+			if isPoint(rng) {
+				ops = append(ops, hbase.ScanOp{RegionID: ri.ID, Rows: [][]byte{rng.Start}, Scan: scanTemplate(nil, nil)})
+			} else {
+				ops = append(ops, hbase.ScanOp{RegionID: ri.ID, Scan: scanTemplate(lo, hi)})
+			}
+		}
+		if len(ops) == 0 {
+			if !r.opts.DisablePartitionPruning {
+				pruned++
+				continue
+			}
+			// Pruning disabled: the region still receives a (vacuous) scan
+			// task — the wasted round trip the optimization removes.
+			empty := ri.StartKey
+			if empty == nil {
+				empty = []byte{}
+			}
+			ops = append(ops, hbase.ScanOp{RegionID: ri.ID, Scan: scanTemplate(empty, empty)})
+		}
+		work = append(work, regionWork{info: ri, ops: ops})
+	}
+	r.meter.Add(metrics.RegionsPruned, int64(pruned))
+
+	// Operator fusion: one partition (one task, one RPC) per region
+	// server, packing every Scan/Get for regions it hosts (§VI-A.4).
+	var parts []datasource.Partition
+	if r.opts.DisableOperatorFusion {
+		for i, w := range work {
+			parts = append(parts, &hbasePartition{
+				rel: r, index: i, host: w.info.Host, ops: w.ops, required: requiredColumns,
+			})
+		}
+		return parts, nil
+	}
+	byHost := make(map[string][]hbase.ScanOp)
+	for _, w := range work {
+		byHost[w.info.Host] = append(byHost[w.info.Host], w.ops...)
+	}
+	hosts := make([]string, 0, len(byHost))
+	for h := range byHost {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	for i, h := range hosts {
+		parts = append(parts, &hbasePartition{
+			rel: r, index: i, host: h, ops: byHost[h], required: requiredColumns,
+		})
+	}
+	return parts, nil
+}
+
+func isPoint(r RowRange) bool {
+	return r.Start != nil && r.Stop != nil &&
+		len(r.Stop) == len(r.Start)+1 && r.Stop[len(r.Stop)-1] == 0 &&
+		bytes.Equal(r.Stop[:len(r.Start)], r.Start)
+}
+
+// hbasePartition is one locality-tagged unit of scan work: every Scan and
+// BulkGet bound for one region server, executed in a single fused RPC.
+type hbasePartition struct {
+	rel      *HBaseRelation
+	index    int
+	host     string
+	ops      []hbase.ScanOp
+	required []string
+}
+
+// Index implements datasource.Partition.
+func (p *hbasePartition) Index() int { return p.index }
+
+// PreferredHost implements datasource.Partition — the region server's host,
+// which the scheduler matches to an executor (§VI-A.2).
+func (p *hbasePartition) PreferredHost() string { return p.host }
+
+// Compute implements datasource.Partition: fetch and decode this
+// partition's rows.
+func (p *hbasePartition) Compute() ([]plan.Row, error) {
+	results, err := p.rel.client.FusedExec(p.host, p.ops)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]plan.Row, 0, len(results))
+	for i := range results {
+		row, err := p.rel.decodeResult(&results[i], p.required)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// decodeResult projects one HBase result onto the required columns.
+func (r *HBaseRelation) decodeResult(res *hbase.Result, required []string) (plan.Row, error) {
+	var keyVals []any
+	row := make(plan.Row, len(required))
+	for i, col := range required {
+		if dim, ok := r.cat.IsRowkeyField(col); ok {
+			if keyVals == nil {
+				vals, err := r.codec.decodeRowkey(res.Row)
+				if err != nil {
+					return nil, err
+				}
+				keyVals = vals
+			}
+			row[i] = keyVals[dim]
+			continue
+		}
+		spec, err := r.cat.Column(col)
+		if err != nil {
+			return nil, err
+		}
+		raw, ok := res.Value(spec.CF, spec.Col)
+		if !ok {
+			row[i] = nil // SQL NULL for absent cells
+			continue
+		}
+		v, err := r.coder.Decode(raw, r.cat.fieldType(col))
+		if err != nil {
+			return nil, fmt.Errorf("core: decode %s: %w", col, err)
+		}
+		row[i] = v
+	}
+	return row, nil
+}

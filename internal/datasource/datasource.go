@@ -1,0 +1,307 @@
+// Package datasource is the plug-in seam between the query engine and
+// external storage — the analogue of Spark's Data Sources API (SPARK-3247,
+// paper §III-C). The engine hands a relation the columns it needs and the
+// source-level filters it derived; the relation answers with partitions
+// carrying preferred hosts for locality scheduling and declares, through
+// UnhandledFilters, which predicates the engine must still re-apply. SHC's
+// HBase relation and the generic baseline both implement exactly these
+// interfaces — the engine contains no HBase-specific code, mirroring the
+// paper's "least modification in Spark SQL itself".
+package datasource
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/shc-go/shc/internal/plan"
+)
+
+// Filter is a source-level predicate description, mirroring
+// org.apache.spark.sql.sources.Filter. Values are already coerced to the
+// column's catalog type.
+type Filter interface {
+	// References lists the columns the filter touches.
+	References() []string
+	// String renders the filter.
+	String() string
+}
+
+// EqualTo keeps rows where Column = Value.
+type EqualTo struct {
+	Column string
+	Value  any
+}
+
+// References implements Filter.
+func (f EqualTo) References() []string { return []string{f.Column} }
+
+// String implements Filter.
+func (f EqualTo) String() string { return fmt.Sprintf("%s = %v", f.Column, f.Value) }
+
+// NotEqual keeps rows where Column != Value (NULLs drop, SQL-style).
+type NotEqual struct {
+	Column string
+	Value  any
+}
+
+// References implements Filter.
+func (f NotEqual) References() []string { return []string{f.Column} }
+
+// String implements Filter.
+func (f NotEqual) String() string { return fmt.Sprintf("%s != %v", f.Column, f.Value) }
+
+// GreaterThan keeps rows where Column > Value.
+type GreaterThan struct {
+	Column string
+	Value  any
+}
+
+// References implements Filter.
+func (f GreaterThan) References() []string { return []string{f.Column} }
+
+// String implements Filter.
+func (f GreaterThan) String() string { return fmt.Sprintf("%s > %v", f.Column, f.Value) }
+
+// GreaterThanOrEqual keeps rows where Column >= Value.
+type GreaterThanOrEqual struct {
+	Column string
+	Value  any
+}
+
+// References implements Filter.
+func (f GreaterThanOrEqual) References() []string { return []string{f.Column} }
+
+// String implements Filter.
+func (f GreaterThanOrEqual) String() string { return fmt.Sprintf("%s >= %v", f.Column, f.Value) }
+
+// LessThan keeps rows where Column < Value.
+type LessThan struct {
+	Column string
+	Value  any
+}
+
+// References implements Filter.
+func (f LessThan) References() []string { return []string{f.Column} }
+
+// String implements Filter.
+func (f LessThan) String() string { return fmt.Sprintf("%s < %v", f.Column, f.Value) }
+
+// LessThanOrEqual keeps rows where Column <= Value.
+type LessThanOrEqual struct {
+	Column string
+	Value  any
+}
+
+// References implements Filter.
+func (f LessThanOrEqual) References() []string { return []string{f.Column} }
+
+// String implements Filter.
+func (f LessThanOrEqual) String() string { return fmt.Sprintf("%s <= %v", f.Column, f.Value) }
+
+// In keeps rows where Column is one of Values.
+type In struct {
+	Column string
+	Values []any
+}
+
+// References implements Filter.
+func (f In) References() []string { return []string{f.Column} }
+
+// String implements Filter.
+func (f In) String() string {
+	parts := make([]string, len(f.Values))
+	for i, v := range f.Values {
+		parts[i] = fmt.Sprintf("%v", v)
+	}
+	return fmt.Sprintf("%s IN (%s)", f.Column, strings.Join(parts, ", "))
+}
+
+// NotIn keeps rows where Column is none of Values — the predicate the
+// paper's rule-based pushdown deliberately leaves to the engine (§VI-A.3).
+type NotIn struct {
+	Column string
+	Values []any
+}
+
+// References implements Filter.
+func (f NotIn) References() []string { return []string{f.Column} }
+
+// String implements Filter.
+func (f NotIn) String() string {
+	parts := make([]string, len(f.Values))
+	for i, v := range f.Values {
+		parts[i] = fmt.Sprintf("%v", v)
+	}
+	return fmt.Sprintf("%s NOT IN (%s)", f.Column, strings.Join(parts, ", "))
+}
+
+// StringStartsWith keeps rows where the string Column begins with Prefix.
+type StringStartsWith struct {
+	Column string
+	Prefix string
+}
+
+// References implements Filter.
+func (f StringStartsWith) References() []string { return []string{f.Column} }
+
+// String implements Filter.
+func (f StringStartsWith) String() string { return fmt.Sprintf("%s LIKE %q%%", f.Column, f.Prefix) }
+
+// AndFilter keeps rows passing both children.
+type AndFilter struct {
+	Left, Right Filter
+}
+
+// References implements Filter.
+func (f AndFilter) References() []string {
+	return append(f.Left.References(), f.Right.References()...)
+}
+
+// String implements Filter.
+func (f AndFilter) String() string { return fmt.Sprintf("(%s AND %s)", f.Left, f.Right) }
+
+// OrFilter keeps rows passing either child.
+type OrFilter struct {
+	Left, Right Filter
+}
+
+// References implements Filter.
+func (f OrFilter) References() []string {
+	return append(f.Left.References(), f.Right.References()...)
+}
+
+// String implements Filter.
+func (f OrFilter) String() string { return fmt.Sprintf("(%s OR %s)", f.Left, f.Right) }
+
+// Partition is one independently computable slice of a relation's data.
+// The scheduler places the compute where PreferredHost points when an
+// executor lives there — SHC's data-locality optimization (paper §VI-A.2).
+type Partition interface {
+	// Index is the partition's ordinal within the scan.
+	Index() int
+	// PreferredHost names the host holding the data, or "" when any host
+	// will do.
+	PreferredHost() string
+	// Compute materializes the partition's rows in the scan's projected
+	// column order.
+	Compute() ([]plan.Row, error)
+}
+
+// Relation is a table provided by an external source.
+type Relation interface {
+	// Name identifies the relation for plans and error messages.
+	Name() string
+	// Schema describes the relational view of the source.
+	Schema() plan.Schema
+}
+
+// PrunedFilteredScan is a relation that accepts column pruning and filter
+// pushdown, Spark's PrunedFilteredScan contract.
+type PrunedFilteredScan interface {
+	Relation
+	// BuildScan returns the partitions of a scan restricted to the
+	// required columns, with the given filters pushed as far into the
+	// source as the relation can manage.
+	BuildScan(requiredColumns []string, filters []Filter) ([]Partition, error)
+	// UnhandledFilters reports the subset of filters the relation does NOT
+	// fully evaluate; the engine re-applies exactly those (and skips
+	// re-filtering for the rest) — Spark's unhandledFilters API, which the
+	// paper calls out as an effective optimization (§VI-A.3).
+	UnhandledFilters(filters []Filter) []Filter
+}
+
+// Statistics is an optional relation capability: sources that can estimate
+// their cardinality enable the engine's cost-based decisions (join-side
+// selection), the "cost-based optimization mechanisms" the paper credits
+// Catalyst with (§I).
+type Statistics interface {
+	// EstimatedRowCount returns an approximate row count and whether an
+	// estimate is available.
+	EstimatedRowCount() (int64, bool)
+}
+
+// InsertableRelation is a relation that accepts writes — the DataFrame
+// write path (paper Code 2).
+type InsertableRelation interface {
+	Relation
+	// Insert appends the rows, whose layout matches Schema.
+	Insert(rows []plan.Row) error
+}
+
+// EvalFilter applies a source filter description to a row (used by sources
+// without native filtering, and by tests as the reference semantics).
+func EvalFilter(f Filter, schema plan.Schema, row plan.Row) (bool, error) {
+	switch x := f.(type) {
+	case EqualTo:
+		return cmpFilter(schema, row, x.Column, x.Value, func(c int) bool { return c == 0 })
+	case NotEqual:
+		return cmpFilter(schema, row, x.Column, x.Value, func(c int) bool { return c != 0 })
+	case GreaterThan:
+		return cmpFilter(schema, row, x.Column, x.Value, func(c int) bool { return c > 0 })
+	case GreaterThanOrEqual:
+		return cmpFilter(schema, row, x.Column, x.Value, func(c int) bool { return c >= 0 })
+	case LessThan:
+		return cmpFilter(schema, row, x.Column, x.Value, func(c int) bool { return c < 0 })
+	case LessThanOrEqual:
+		return cmpFilter(schema, row, x.Column, x.Value, func(c int) bool { return c <= 0 })
+	case In:
+		for _, v := range x.Values {
+			ok, err := cmpFilter(schema, row, x.Column, v, func(c int) bool { return c == 0 })
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	case NotIn:
+		ok, err := EvalFilter(In{Column: x.Column, Values: x.Values}, schema, row)
+		if err != nil {
+			return false, err
+		}
+		i := schema.IndexOf(x.Column)
+		if i < 0 || row[i] == nil {
+			return false, nil
+		}
+		return !ok, nil
+	case StringStartsWith:
+		i := schema.IndexOf(x.Column)
+		if i < 0 {
+			return false, fmt.Errorf("datasource: column %q not in schema", x.Column)
+		}
+		s, ok := row[i].(string)
+		return ok && strings.HasPrefix(s, x.Prefix), nil
+	case AndFilter:
+		l, err := EvalFilter(x.Left, schema, row)
+		if err != nil || !l {
+			return false, err
+		}
+		return EvalFilter(x.Right, schema, row)
+	case OrFilter:
+		l, err := EvalFilter(x.Left, schema, row)
+		if err != nil {
+			return false, err
+		}
+		if l {
+			return true, nil
+		}
+		return EvalFilter(x.Right, schema, row)
+	}
+	return false, fmt.Errorf("datasource: unknown filter %T", f)
+}
+
+func cmpFilter(schema plan.Schema, row plan.Row, col string, val any, ok func(int) bool) (bool, error) {
+	i := schema.IndexOf(col)
+	if i < 0 {
+		return false, fmt.Errorf("datasource: column %q not in schema", col)
+	}
+	if row[i] == nil || val == nil {
+		return false, nil
+	}
+	c, err := plan.Compare(row[i], val)
+	if err != nil {
+		return false, err
+	}
+	return ok(c), nil
+}

@@ -1,0 +1,144 @@
+package datasource
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/shc-go/shc/internal/plan"
+)
+
+// MemRelation is the reference in-memory data source: it supports pruned,
+// filtered scans (handling every filter itself) and inserts. The examples
+// use it as the stand-in for Hive tables living next to HBase clusters, and
+// tests use it as the known-good source semantics.
+type MemRelation struct {
+	name       string
+	schema     plan.Schema
+	partitions int
+
+	mu   sync.RWMutex
+	rows []plan.Row
+}
+
+// NewMemRelation creates an empty in-memory table split into partitions
+// chunks for scans (minimum 1).
+func NewMemRelation(name string, schema plan.Schema, partitions int) *MemRelation {
+	if partitions <= 0 {
+		partitions = 1
+	}
+	return &MemRelation{name: name, schema: schema, partitions: partitions}
+}
+
+// Name implements Relation.
+func (m *MemRelation) Name() string { return m.name }
+
+// Schema implements Relation.
+func (m *MemRelation) Schema() plan.Schema { return m.schema }
+
+// Insert implements InsertableRelation.
+func (m *MemRelation) Insert(rows []plan.Row) error {
+	for _, r := range rows {
+		if len(r) != len(m.schema) {
+			return fmt.Errorf("datasource: row width %d != schema width %d", len(r), len(m.schema))
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rows = append(m.rows, rows...)
+	return nil
+}
+
+// Count reports the stored row count.
+func (m *MemRelation) Count() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.rows)
+}
+
+// EstimatedRowCount implements Statistics exactly.
+func (m *MemRelation) EstimatedRowCount() (int64, bool) { return int64(m.Count()), true }
+
+// BuildScan implements PrunedFilteredScan; the in-memory source evaluates
+// every filter itself.
+func (m *MemRelation) BuildScan(requiredColumns []string, filters []Filter) ([]Partition, error) {
+	idx := make([]int, len(requiredColumns))
+	for i, c := range requiredColumns {
+		j := m.schema.IndexOf(c)
+		if j < 0 {
+			return nil, fmt.Errorf("datasource: %s has no column %q", m.name, c)
+		}
+		idx[i] = j
+	}
+	m.mu.RLock()
+	rows := m.rows
+	m.mu.RUnlock()
+
+	n := m.partitions
+	if n > len(rows) && len(rows) > 0 {
+		n = len(rows)
+	}
+	if len(rows) == 0 {
+		n = 1
+	}
+	parts := make([]Partition, n)
+	chunk := (len(rows) + n - 1) / n
+	for p := 0; p < n; p++ {
+		lo := p * chunk
+		hi := lo + chunk
+		if lo > len(rows) {
+			lo = len(rows)
+		}
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		parts[p] = &memPartition{
+			rel: m, index: p, rows: rows[lo:hi], colIdx: idx, filters: filters,
+		}
+	}
+	return parts, nil
+}
+
+// UnhandledFilters implements PrunedFilteredScan: none, the source handles
+// everything it is given.
+func (m *MemRelation) UnhandledFilters([]Filter) []Filter { return nil }
+
+type memPartition struct {
+	rel     *MemRelation
+	index   int
+	rows    []plan.Row
+	colIdx  []int
+	filters []Filter
+}
+
+// Index implements Partition.
+func (p *memPartition) Index() int { return p.index }
+
+// PreferredHost implements Partition; in-memory data has no locality.
+func (p *memPartition) PreferredHost() string { return "" }
+
+// Compute implements Partition.
+func (p *memPartition) Compute() ([]plan.Row, error) {
+	var out []plan.Row
+	for _, r := range p.rows {
+		keep := true
+		for _, f := range p.filters {
+			ok, err := EvalFilter(f, p.rel.schema, r)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		nr := make(plan.Row, len(p.colIdx))
+		for i, j := range p.colIdx {
+			nr[i] = r[j]
+		}
+		out = append(out, nr)
+	}
+	return out, nil
+}

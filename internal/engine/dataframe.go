@@ -1,0 +1,227 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/shc-go/shc/internal/datasource"
+	"github.com/shc-go/shc/internal/exec"
+	"github.com/shc-go/shc/internal/plan"
+)
+
+// DataFrame is a lazy relational computation, the paper's extended Spark
+// DataFrame: transformations stack logical operators, and actions
+// (Collect/Count/Write) optimize, compile, and execute the plan.
+type DataFrame struct {
+	sess *Session
+	lp   plan.LogicalPlan
+}
+
+// Schema describes the DataFrame's output columns.
+func (df *DataFrame) Schema() plan.Schema { return df.lp.Schema() }
+
+// LogicalPlan exposes the underlying plan (for EXPLAIN and tests).
+func (df *DataFrame) LogicalPlan() plan.LogicalPlan { return df.lp }
+
+// Filter keeps rows satisfying cond (Code 3's df.filter($"col0" <= ...)).
+func (df *DataFrame) Filter(cond plan.Expr) *DataFrame {
+	return &DataFrame{sess: df.sess, lp: &plan.FilterNode{Cond: cond, Child: df.lp}}
+}
+
+// Select projects the named columns (Code 3's .select("col0", "col1")).
+func (df *DataFrame) Select(cols ...string) *DataFrame {
+	exprs := make([]plan.NamedExpr, len(cols))
+	for i, c := range cols {
+		exprs[i] = plan.NamedExpr{Expr: plan.Col(c), Name: c}
+	}
+	return &DataFrame{sess: df.sess, lp: &plan.ProjectNode{Exprs: exprs, Child: df.lp}}
+}
+
+// SelectExpr projects arbitrary named expressions.
+func (df *DataFrame) SelectExpr(exprs ...plan.NamedExpr) *DataFrame {
+	return &DataFrame{sess: df.sess, lp: &plan.ProjectNode{Exprs: exprs, Child: df.lp}}
+}
+
+// Join inner-joins with other on leftCols[i] = rightCols[i].
+func (df *DataFrame) Join(other *DataFrame, leftCols, rightCols []string) (*DataFrame, error) {
+	return df.join(other, leftCols, rightCols, plan.InnerJoin)
+}
+
+// LeftJoin left-outer-joins with other on leftCols[i] = rightCols[i]:
+// unmatched left rows survive with NULL right columns.
+func (df *DataFrame) LeftJoin(other *DataFrame, leftCols, rightCols []string) (*DataFrame, error) {
+	return df.join(other, leftCols, rightCols, plan.LeftOuterJoin)
+}
+
+func (df *DataFrame) join(other *DataFrame, leftCols, rightCols []string, jt plan.JoinType) (*DataFrame, error) {
+	if len(leftCols) != len(rightCols) || len(leftCols) == 0 {
+		return nil, fmt.Errorf("engine: join needs matching, non-empty key lists")
+	}
+	lk := make([]plan.Expr, len(leftCols))
+	rk := make([]plan.Expr, len(rightCols))
+	for i := range leftCols {
+		lk[i] = plan.Col(leftCols[i])
+		rk[i] = plan.Col(rightCols[i])
+	}
+	return &DataFrame{sess: df.sess, lp: &plan.JoinNode{
+		Left: df.lp, Right: other.lp, LeftKeys: lk, RightKeys: rk, Type: jt,
+	}}, nil
+}
+
+// Distinct deduplicates the DataFrame's rows.
+func (df *DataFrame) Distinct() *DataFrame {
+	groups := make([]plan.NamedExpr, len(df.lp.Schema()))
+	for i, f := range df.lp.Schema() {
+		groups[i] = plan.NamedExpr{Expr: plan.Col(f.Name), Name: f.Name}
+	}
+	return &DataFrame{sess: df.sess, lp: &plan.AggregateNode{GroupBy: groups, Child: df.lp}}
+}
+
+// GroupBy starts a grouped aggregation.
+func (df *DataFrame) GroupBy(cols ...string) *GroupedData {
+	return &GroupedData{df: df, cols: cols}
+}
+
+// GroupedData is an in-flight GROUP BY.
+type GroupedData struct {
+	df   *DataFrame
+	cols []string
+}
+
+// Agg finishes the aggregation with the given aggregate expressions.
+func (g *GroupedData) Agg(aggs ...plan.AggExpr) *DataFrame {
+	groups := make([]plan.NamedExpr, len(g.cols))
+	for i, c := range g.cols {
+		groups[i] = plan.NamedExpr{Expr: plan.Col(c), Name: c}
+	}
+	return &DataFrame{sess: g.df.sess, lp: &plan.AggregateNode{
+		GroupBy: groups, Aggs: aggs, Child: g.df.lp,
+	}}
+}
+
+// OrderBy sorts by the given keys.
+func (df *DataFrame) OrderBy(orders ...plan.SortOrder) *DataFrame {
+	return &DataFrame{sess: df.sess, lp: &plan.SortNode{Orders: orders, Child: df.lp}}
+}
+
+// Limit keeps the first n rows.
+func (df *DataFrame) Limit(n int) *DataFrame {
+	return &DataFrame{sess: df.sess, lp: &plan.LimitNode{N: n, Child: df.lp}}
+}
+
+// CreateOrReplaceTempView registers the DataFrame's plan under name for SQL
+// (the paper's Code 4).
+func (df *DataFrame) CreateOrReplaceTempView(name string) {
+	df.sess.mu.Lock()
+	defer df.sess.mu.Unlock()
+	df.sess.views[name] = df.lp
+}
+
+// Collect optimizes, compiles, and executes the plan, returning all rows.
+func (df *DataFrame) Collect() ([]plan.Row, error) {
+	phys, err := df.compile()
+	if err != nil {
+		return nil, err
+	}
+	return phys.Execute(df.sess.context())
+}
+
+// Count executes the plan and returns the number of rows.
+func (df *DataFrame) Count() (int64, error) {
+	agg := &plan.AggregateNode{Aggs: []plan.AggExpr{{Kind: plan.AggCount, Name: "count"}}, Child: df.lp}
+	phys, err := exec.CompileWith(plan.Optimize(agg), df.sess.compileConfig())
+	if err != nil {
+		return 0, err
+	}
+	rows, err := phys.Execute(df.sess.context())
+	if err != nil {
+		return 0, err
+	}
+	return rows[0][0].(int64), nil
+}
+
+// Write inserts the DataFrame's rows into an insertable relation — the
+// paper's write path (Code 2): df.write....save().
+func (df *DataFrame) Write(target datasource.InsertableRelation) error {
+	rows, err := df.Collect()
+	if err != nil {
+		return err
+	}
+	want := len(target.Schema())
+	for _, r := range rows {
+		if len(r) != want {
+			return fmt.Errorf("engine: cannot write %d-column rows into %q with %d columns", len(r), target.Name(), want)
+		}
+	}
+	return target.Insert(rows)
+}
+
+// Show renders up to n rows as an aligned text table (n <= 0 means all),
+// like Spark's df.show().
+func (df *DataFrame) Show(n int) (string, error) {
+	rows, err := df.Collect()
+	if err != nil {
+		return "", err
+	}
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	schema := df.Schema()
+	widths := make([]int, len(schema))
+	header := make([]string, len(schema))
+	for i, f := range schema {
+		header[i] = f.Name
+		widths[i] = len(f.Name)
+	}
+	cells := make([][]string, len(rows))
+	for r, row := range rows {
+		cells[r] = make([]string, len(schema))
+		for c := range schema {
+			v := "NULL"
+			if c < len(row) && row[c] != nil {
+				v = fmt.Sprintf("%v", row[c])
+			}
+			cells[r][c] = v
+			if len(v) > widths[c] {
+				widths[c] = len(v)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func() {
+		for _, w := range widths {
+			b.WriteByte('+')
+			b.WriteString(strings.Repeat("-", w+2))
+		}
+		b.WriteString("+\n")
+	}
+	writeRow := func(vals []string) {
+		for i, v := range vals {
+			fmt.Fprintf(&b, "| %-*s ", widths[i], v)
+		}
+		b.WriteString("|\n")
+	}
+	line()
+	writeRow(header)
+	line()
+	for _, r := range cells {
+		writeRow(r)
+	}
+	line()
+	return b.String(), nil
+}
+
+// Explain renders the optimized logical and physical plans.
+func (df *DataFrame) Explain() (string, error) {
+	opt := plan.Optimize(df.lp)
+	phys, err := exec.CompileWith(opt, df.sess.compileConfig())
+	if err != nil {
+		return "", err
+	}
+	return "== Optimized Logical Plan ==\n" + plan.Format(opt) +
+		"== Physical Plan ==\n" + exec.Explain(phys), nil
+}
+
+func (df *DataFrame) compile() (exec.PhysicalPlan, error) {
+	return exec.CompileWith(plan.Optimize(df.lp), df.sess.compileConfig())
+}

@@ -1,0 +1,132 @@
+// Package engine ties the stack together into the user-facing session: a
+// table catalog, the SQL front end, the Catalyst-style optimizer, the
+// physical compiler, and the DataFrame API the paper's Code 3 demonstrates.
+// The engine is source-agnostic: it talks to storage only through the
+// datasource seam, which is what makes SHC a plug-in rather than a fork.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/shc-go/shc/internal/exec"
+	"github.com/shc-go/shc/internal/metrics"
+	"github.com/shc-go/shc/internal/plan"
+	"github.com/shc-go/shc/internal/sql"
+)
+
+// Config sizes a session's execution resources.
+type Config struct {
+	// Hosts are the executor hosts; default is one local host.
+	Hosts []string
+	// ExecutorsPerHost is per-host task parallelism; default 2.
+	ExecutorsPerHost int
+	// ShufflePartitions overrides reduce-side parallelism; 0 = auto.
+	ShufflePartitions int
+	// BroadcastThreshold enables broadcast joins when the build side has
+	// at most this many rows; 0 disables them.
+	BroadcastThreshold int
+	// UseSortMergeJoin compiles equi-joins to sort-merge instead of hash
+	// joins (Spark's default strategy for large inputs).
+	UseSortMergeJoin bool
+	// Meter receives execution counters; a fresh registry when nil.
+	Meter *metrics.Registry
+}
+
+// Session is the engine entry point (the SparkSession/sqlContext analogue).
+type Session struct {
+	sched *exec.Scheduler
+	meter *metrics.Registry
+	cfg   Config
+
+	mu     sync.RWMutex
+	tables map[string]plan.Relation
+	views  map[string]plan.LogicalPlan
+}
+
+// NewSession builds a session.
+func NewSession(cfg Config) *Session {
+	if len(cfg.Hosts) == 0 {
+		cfg.Hosts = []string{"local"}
+	}
+	if cfg.ExecutorsPerHost <= 0 {
+		cfg.ExecutorsPerHost = 2
+	}
+	if cfg.Meter == nil {
+		cfg.Meter = metrics.NewRegistry()
+	}
+	return &Session{
+		sched:  exec.NewScheduler(cfg.Hosts, cfg.ExecutorsPerHost, cfg.Meter),
+		meter:  cfg.Meter,
+		cfg:    cfg,
+		tables: make(map[string]plan.Relation),
+		views:  make(map[string]plan.LogicalPlan),
+	}
+}
+
+// Meter exposes the session's counters.
+func (s *Session) Meter() *metrics.Registry { return s.meter }
+
+// Register adds a relation to the catalog under its own name.
+func (s *Session) Register(rel plan.Relation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tables[rel.Name()] = rel
+}
+
+// RegisterAs adds a relation under an explicit name.
+func (s *Session) RegisterAs(name string, rel plan.Relation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tables[name] = rel
+}
+
+// Table returns a DataFrame reading the named table.
+func (s *Session) Table(name string) (*DataFrame, error) {
+	lp, err := s.resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	return &DataFrame{sess: s, lp: lp}, nil
+}
+
+// Read wraps a relation in a DataFrame without registering it.
+func (s *Session) Read(rel plan.Relation) *DataFrame {
+	return &DataFrame{sess: s, lp: &plan.ScanNode{Relation: rel}}
+}
+
+func (s *Session) resolve(name string) (plan.LogicalPlan, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if v, ok := s.views[name]; ok {
+		return v, nil
+	}
+	if rel, ok := s.tables[name]; ok {
+		return &plan.ScanNode{Relation: rel}, nil
+	}
+	return nil, fmt.Errorf("engine: table or view %q not found", name)
+}
+
+// SQL parses a query against the catalog and returns its (lazy) DataFrame.
+func (s *Session) SQL(query string) (*DataFrame, error) {
+	lp, err := sql.Build(query, s.resolve)
+	if err != nil {
+		return nil, err
+	}
+	return &DataFrame{sess: s, lp: lp}, nil
+}
+
+// compileConfig selects physical strategies for this session.
+func (s *Session) compileConfig() exec.CompileConfig {
+	return exec.CompileConfig{SortMergeJoin: s.cfg.UseSortMergeJoin}
+}
+
+// context builds the execution context for one query run.
+func (s *Session) context() *exec.Context {
+	return &exec.Context{
+		Scheduler:          s.sched,
+		Meter:              s.meter,
+		ShufflePartitions:  s.cfg.ShufflePartitions,
+		BroadcastThreshold: s.cfg.BroadcastThreshold,
+	}
+}

@@ -1,0 +1,357 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/shc-go/shc/internal/datasource"
+	"github.com/shc-go/shc/internal/plan"
+)
+
+// CompileConfig selects physical strategies.
+type CompileConfig struct {
+	// SortMergeJoin compiles equi-joins to sort-merge instead of hash
+	// (Spark's default for large inputs).
+	SortMergeJoin bool
+}
+
+// Compile lowers an optimized logical plan to a physical one with default
+// strategies.
+func Compile(p plan.LogicalPlan) (PhysicalPlan, error) {
+	return CompileWith(p, CompileConfig{})
+}
+
+// CompileWith lowers an optimized logical plan to a physical one, resolving
+// every expression against its input schema, translating pushed predicates
+// to source filters, and consulting each relation's UnhandledFilters to
+// decide what the engine must re-apply (paper §VI-A.3).
+func CompileWith(p plan.LogicalPlan, cfg CompileConfig) (PhysicalPlan, error) {
+	switch n := p.(type) {
+	case *plan.ScanNode:
+		return compileScan(n)
+	case *plan.FilterNode:
+		child, err := CompileWith(n.Child, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cond := plan.CloneExpr(n.Cond)
+		if err := plan.Resolve(cond, child.Schema()); err != nil {
+			return nil, err
+		}
+		return &FilterExec{Cond: cond, Child: child}, nil
+	case *plan.ProjectNode:
+		child, err := CompileWith(n.Child, cfg)
+		if err != nil {
+			return nil, err
+		}
+		exprs := make([]plan.NamedExpr, len(n.Exprs))
+		schema := make(plan.Schema, len(n.Exprs))
+		for i, ne := range n.Exprs {
+			e := plan.CloneExpr(ne.Expr)
+			if err := plan.Resolve(e, child.Schema()); err != nil {
+				return nil, err
+			}
+			exprs[i] = plan.NamedExpr{Expr: e, Name: ne.Name}
+			schema[i] = plan.Field{Name: ne.Name, Type: e.Type()}
+		}
+		return &ProjectExec{Exprs: exprs, OutSchema: schema, Child: child}, nil
+	case *plan.JoinNode:
+		left, err := CompileWith(n.Left, cfg)
+		if err != nil {
+			return nil, err
+		}
+		right, err := CompileWith(n.Right, cfg)
+		if err != nil {
+			return nil, err
+		}
+		lk, err := resolveAll(n.LeftKeys, left.Schema())
+		if err != nil {
+			return nil, err
+		}
+		rk, err := resolveAll(n.RightKeys, right.Schema())
+		if err != nil {
+			return nil, err
+		}
+		out := append(append(plan.Schema{}, left.Schema()...), right.Schema()...)
+		if cfg.SortMergeJoin {
+			return &SortMergeJoinExec{Left: left, Right: right, LeftKeys: lk, RightKeys: rk, Type: n.Type, OutSchema: out}, nil
+		}
+		return &HashJoinExec{Left: left, Right: right, LeftKeys: lk, RightKeys: rk, Type: n.Type, OutSchema: out}, nil
+	case *plan.AggregateNode:
+		child, err := CompileWith(n.Child, cfg)
+		if err != nil {
+			return nil, err
+		}
+		groups := make([]plan.NamedExpr, len(n.GroupBy))
+		schema := make(plan.Schema, 0, len(n.GroupBy)+len(n.Aggs))
+		for i, g := range n.GroupBy {
+			e := plan.CloneExpr(g.Expr)
+			if err := plan.Resolve(e, child.Schema()); err != nil {
+				return nil, err
+			}
+			groups[i] = plan.NamedExpr{Expr: e, Name: g.Name}
+			schema = append(schema, plan.Field{Name: g.Name, Type: e.Type()})
+		}
+		aggs := make([]plan.AggExpr, len(n.Aggs))
+		for i, a := range n.Aggs {
+			aggs[i] = a
+			if a.Arg != nil {
+				arg := plan.CloneExpr(a.Arg)
+				if err := plan.Resolve(arg, child.Schema()); err != nil {
+					return nil, err
+				}
+				aggs[i].Arg = arg
+			}
+			schema = append(schema, plan.Field{Name: a.Name, Type: aggs[i].Type()})
+		}
+		return &HashAggExec{GroupBy: groups, Aggs: aggs, OutSchema: schema, Child: child}, nil
+	case *plan.SortNode:
+		child, err := CompileWith(n.Child, cfg)
+		if err != nil {
+			return nil, err
+		}
+		orders := make([]plan.SortOrder, len(n.Orders))
+		for i, o := range n.Orders {
+			e := plan.CloneExpr(o.Expr)
+			if err := plan.Resolve(e, child.Schema()); err != nil {
+				return nil, err
+			}
+			orders[i] = plan.SortOrder{Expr: e, Desc: o.Desc}
+		}
+		return &SortExec{Orders: orders, Child: child}, nil
+	case *plan.LimitNode:
+		child, err := CompileWith(n.Child, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &LimitExec{N: n.N, Child: child}, nil
+	case *plan.UnionNode:
+		inputs := make([]PhysicalPlan, len(n.Inputs))
+		for i, c := range n.Inputs {
+			in, err := CompileWith(c, cfg)
+			if err != nil {
+				return nil, err
+			}
+			inputs[i] = in
+		}
+		for i := 1; i < len(inputs); i++ {
+			if len(inputs[i].Schema()) != len(inputs[0].Schema()) {
+				return nil, fmt.Errorf("exec: union input %d has %d columns, want %d",
+					i, len(inputs[i].Schema()), len(inputs[0].Schema()))
+			}
+		}
+		return &UnionExec{Inputs: inputs}, nil
+	}
+	return nil, fmt.Errorf("exec: cannot compile %T", p)
+}
+
+func resolveAll(es []plan.Expr, schema plan.Schema) ([]plan.Expr, error) {
+	out := make([]plan.Expr, len(es))
+	for i, e := range es {
+		c := plan.CloneExpr(e)
+		if err := plan.Resolve(c, schema); err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+func compileScan(n *plan.ScanNode) (PhysicalPlan, error) {
+	rel, ok := n.Relation.(datasource.PrunedFilteredScan)
+	if !ok {
+		return nil, fmt.Errorf("exec: relation %q does not support scanning", n.Relation.Name())
+	}
+	outSchema := n.Schema()
+	// Required columns are passed to the source by its own (bare) names.
+	required := make([]string, len(outSchema))
+	for i, f := range outSchema {
+		required[i] = bare(f.Name)
+	}
+	// Translate pushed predicates to source filters.
+	var filters []datasource.Filter
+	var pushedExprs []plan.Expr
+	var engineOnly []plan.Expr
+	for _, e := range n.Pushed {
+		f, ok := translateFilter(e, rel.Schema())
+		if !ok {
+			engineOnly = append(engineOnly, e)
+			continue
+		}
+		filters = append(filters, f)
+		pushedExprs = append(pushedExprs, e)
+	}
+	parts, err := rel.BuildScan(required, filters)
+	if err != nil {
+		return nil, err
+	}
+	var scan PhysicalPlan = &ScanExec{
+		Source:     rel,
+		Columns:    required,
+		Filters:    filters,
+		OutSchema:  outSchema,
+		Partitions: parts,
+	}
+	// Re-apply exactly the filters the source declares unhandled, plus any
+	// predicate that had no source translation.
+	unhandled := rel.UnhandledFilters(filters)
+	reapply := append([]plan.Expr{}, engineOnly...)
+	for i, f := range filters {
+		if containsFilter(unhandled, f) {
+			reapply = append(reapply, pushedExprs[i])
+		}
+	}
+	if cond := plan.CombineConjuncts(reapply); cond != nil {
+		c := plan.CloneExpr(cond)
+		if err := plan.Resolve(c, outSchema); err != nil {
+			return nil, err
+		}
+		scan = &FilterExec{Cond: c, Child: scan}
+	}
+	return scan, nil
+}
+
+func containsFilter(fs []datasource.Filter, f datasource.Filter) bool {
+	for _, x := range fs {
+		if x.String() == f.String() {
+			return true
+		}
+	}
+	return false
+}
+
+func bare(name string) string {
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+// translateFilter maps a pushable predicate to the data-source filter
+// language, coercing literals to the source column's type. Column names are
+// stripped of their alias qualifier.
+func translateFilter(e plan.Expr, srcSchema plan.Schema) (datasource.Filter, bool) {
+	switch x := e.(type) {
+	case *plan.Comparison:
+		col, lit, flipped := columnAndLiteral(x.L, x.R)
+		if col == "" {
+			return nil, false
+		}
+		v, ok := coerceTo(srcSchema, col, lit)
+		if !ok {
+			return nil, false
+		}
+		op := x.Op
+		if flipped {
+			op = flipOp(op)
+		}
+		switch op {
+		case plan.OpEq:
+			return datasource.EqualTo{Column: col, Value: v}, true
+		case plan.OpNe:
+			return datasource.NotEqual{Column: col, Value: v}, true
+		case plan.OpLt:
+			return datasource.LessThan{Column: col, Value: v}, true
+		case plan.OpLe:
+			return datasource.LessThanOrEqual{Column: col, Value: v}, true
+		case plan.OpGt:
+			return datasource.GreaterThan{Column: col, Value: v}, true
+		case plan.OpGe:
+			return datasource.GreaterThanOrEqual{Column: col, Value: v}, true
+		}
+		return nil, false
+	case *plan.In:
+		c, ok := x.E.(*plan.ColumnRef)
+		if !ok {
+			return nil, false
+		}
+		col := bare(c.Name)
+		vals := make([]any, 0, len(x.Values))
+		for _, ve := range x.Values {
+			lit, ok := ve.(*plan.Literal)
+			if !ok {
+				return nil, false
+			}
+			v, ok := coerceTo(srcSchema, col, lit.Val)
+			if !ok {
+				return nil, false
+			}
+			vals = append(vals, v)
+		}
+		if x.Negate {
+			return datasource.NotIn{Column: col, Values: vals}, true
+		}
+		return datasource.In{Column: col, Values: vals}, true
+	case *plan.Like:
+		c, ok := x.E.(*plan.ColumnRef)
+		if !ok {
+			return nil, false
+		}
+		i := strings.IndexAny(x.Pattern, "%_")
+		if i < 0 || i != len(x.Pattern)-1 || x.Pattern[i] != '%' {
+			return nil, false
+		}
+		return datasource.StringStartsWith{Column: bare(c.Name), Prefix: x.Pattern[:i]}, true
+	case *plan.And:
+		l, ok := translateFilter(x.L, srcSchema)
+		if !ok {
+			return nil, false
+		}
+		r, ok := translateFilter(x.R, srcSchema)
+		if !ok {
+			return nil, false
+		}
+		return datasource.AndFilter{Left: l, Right: r}, true
+	case *plan.Or:
+		l, ok := translateFilter(x.L, srcSchema)
+		if !ok {
+			return nil, false
+		}
+		r, ok := translateFilter(x.R, srcSchema)
+		if !ok {
+			return nil, false
+		}
+		return datasource.OrFilter{Left: l, Right: r}, true
+	}
+	return nil, false
+}
+
+func columnAndLiteral(l, r plan.Expr) (col string, val any, flipped bool) {
+	if c, ok := l.(*plan.ColumnRef); ok {
+		if lit, ok := r.(*plan.Literal); ok {
+			return bare(c.Name), lit.Val, false
+		}
+	}
+	if c, ok := r.(*plan.ColumnRef); ok {
+		if lit, ok := l.(*plan.Literal); ok {
+			return bare(c.Name), lit.Val, true
+		}
+	}
+	return "", nil, false
+}
+
+func flipOp(op plan.CmpOp) plan.CmpOp {
+	switch op {
+	case plan.OpLt:
+		return plan.OpGt
+	case plan.OpLe:
+		return plan.OpGe
+	case plan.OpGt:
+		return plan.OpLt
+	case plan.OpGe:
+		return plan.OpLe
+	}
+	return op
+}
+
+func coerceTo(schema plan.Schema, col string, v any) (any, bool) {
+	f, err := schema.Field(col)
+	if err != nil {
+		return nil, false
+	}
+	out, err := plan.CoerceLiteral(v, f.Type)
+	if err != nil {
+		return nil, false
+	}
+	return out, true
+}

@@ -1,0 +1,814 @@
+package exec
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/shc-go/shc/internal/datasource"
+	"github.com/shc-go/shc/internal/metrics"
+	"github.com/shc-go/shc/internal/plan"
+)
+
+// Context carries execution-wide machinery.
+type Context struct {
+	Scheduler *Scheduler
+	Meter     *metrics.Registry
+	// ShufflePartitions is the reduce-side parallelism for joins and
+	// aggregations; defaults to the scheduler's total slots.
+	ShufflePartitions int
+	// BroadcastThreshold switches a join to broadcast mode when its right
+	// (build) side has at most this many rows — neither side shuffles.
+	// 0 disables broadcasting.
+	BroadcastThreshold int
+}
+
+func (c *Context) shufflePartitions() int {
+	if c.ShufflePartitions > 0 {
+		return c.ShufflePartitions
+	}
+	if n := c.Scheduler.TotalSlots(); n > 0 {
+		return n
+	}
+	return 1
+}
+
+// PhysicalPlan is an executable operator tree.
+type PhysicalPlan interface {
+	// Schema describes the operator's output.
+	Schema() plan.Schema
+	// Execute materializes the operator's rows.
+	Execute(ctx *Context) ([]plan.Row, error)
+	// Explain renders one line for EXPLAIN output.
+	Explain() string
+	// Children returns input operators.
+	Children() []PhysicalPlan
+}
+
+// ScanExec reads a data source's partitions in parallel with locality.
+type ScanExec struct {
+	Source     datasource.PrunedFilteredScan
+	Columns    []string
+	Filters    []datasource.Filter
+	OutSchema  plan.Schema
+	Partitions []datasource.Partition
+}
+
+// Schema implements PhysicalPlan.
+func (s *ScanExec) Schema() plan.Schema { return s.OutSchema }
+
+// Children implements PhysicalPlan.
+func (s *ScanExec) Children() []PhysicalPlan { return nil }
+
+// Explain implements PhysicalPlan.
+func (s *ScanExec) Explain() string {
+	parts := make([]string, len(s.Filters))
+	for i, f := range s.Filters {
+		parts[i] = f.String()
+	}
+	return fmt.Sprintf("ScanExec %s cols=[%s] pushed=[%s] partitions=%d",
+		s.Source.Name(), strings.Join(s.Columns, ","), strings.Join(parts, " AND "), len(s.Partitions))
+}
+
+// Execute implements PhysicalPlan: one task per partition, placed on the
+// partition's preferred host.
+func (s *ScanExec) Execute(ctx *Context) ([]plan.Row, error) {
+	results := make([][]plan.Row, len(s.Partitions))
+	tasks := make([]Task, len(s.Partitions))
+	for i, p := range s.Partitions {
+		i, p := i, p
+		tasks[i] = Task{
+			PreferredHost: p.PreferredHost(),
+			Run: func() error {
+				rows, err := p.Compute()
+				if err != nil {
+					return err
+				}
+				var bytes int64
+				for _, r := range rows {
+					bytes += int64(plan.RowSize(r))
+				}
+				ctx.Meter.Add(metrics.MemoryCharged, bytes)
+				results[i] = rows
+				return nil
+			},
+		}
+	}
+	if err := ctx.Scheduler.Run(tasks); err != nil {
+		return nil, err
+	}
+	var out []plan.Row
+	for _, rs := range results {
+		out = append(out, rs...)
+	}
+	return out, nil
+}
+
+// FilterExec keeps rows matching a resolved predicate.
+type FilterExec struct {
+	Cond  plan.Expr
+	Child PhysicalPlan
+}
+
+// Schema implements PhysicalPlan.
+func (f *FilterExec) Schema() plan.Schema { return f.Child.Schema() }
+
+// Children implements PhysicalPlan.
+func (f *FilterExec) Children() []PhysicalPlan { return []PhysicalPlan{f.Child} }
+
+// Explain implements PhysicalPlan.
+func (f *FilterExec) Explain() string { return "FilterExec " + f.Cond.String() }
+
+// Execute implements PhysicalPlan.
+func (f *FilterExec) Execute(ctx *Context) ([]plan.Row, error) {
+	rows, err := f.Child.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := rows[:0:0]
+	for _, r := range rows {
+		ok, err := plan.EvalPredicate(f.Cond, r)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// ProjectExec computes output expressions per row.
+type ProjectExec struct {
+	Exprs     []plan.NamedExpr
+	OutSchema plan.Schema
+	Child     PhysicalPlan
+}
+
+// Schema implements PhysicalPlan.
+func (p *ProjectExec) Schema() plan.Schema { return p.OutSchema }
+
+// Children implements PhysicalPlan.
+func (p *ProjectExec) Children() []PhysicalPlan { return []PhysicalPlan{p.Child} }
+
+// Explain implements PhysicalPlan.
+func (p *ProjectExec) Explain() string {
+	parts := make([]string, len(p.Exprs))
+	for i, ne := range p.Exprs {
+		parts[i] = ne.Name
+	}
+	return "ProjectExec " + strings.Join(parts, ", ")
+}
+
+// Execute implements PhysicalPlan.
+func (p *ProjectExec) Execute(ctx *Context) ([]plan.Row, error) {
+	rows, err := p.Child.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]plan.Row, len(rows))
+	for i, r := range rows {
+		nr := make(plan.Row, len(p.Exprs))
+		for j, ne := range p.Exprs {
+			v, err := ne.Expr.Eval(r)
+			if err != nil {
+				return nil, err
+			}
+			nr[j] = v
+		}
+		out[i] = nr
+	}
+	return out, nil
+}
+
+// keyString renders a key tuple unambiguously: each value is rendered and
+// length-prefixed, so no choice of in-value bytes can make two different
+// tuples collide.
+func keyString(r plan.Row, idx []int) string {
+	var b strings.Builder
+	for _, i := range idx {
+		v := fmt.Sprintf("%v", r[i])
+		fmt.Fprintf(&b, "%d,%s;", len(v), v)
+	}
+	return b.String()
+}
+
+// exchange hash-partitions rows by key into n buckets, metering every
+// moved record as shuffle traffic.
+func exchange(ctx *Context, rows []plan.Row, keyIdx []int, n int) [][]plan.Row {
+	buckets := make([][]plan.Row, n)
+	for _, r := range rows {
+		h := fnv.New64a()
+		h.Write([]byte(keyString(r, keyIdx)))
+		b := int(h.Sum64() % uint64(n))
+		buckets[b] = append(buckets[b], r)
+		ctx.Meter.Add(metrics.ShuffleBytes, int64(plan.RowSize(r)))
+		ctx.Meter.Inc(metrics.ShuffleRecords)
+	}
+	return buckets
+}
+
+// HashJoinExec is an equi-join: both sides shuffle by key, each bucket
+// pair builds and probes in its own task. Left-outer joins NULL-extend
+// unmatched left rows.
+type HashJoinExec struct {
+	Left, Right         PhysicalPlan
+	LeftKeys, RightKeys []plan.Expr // resolved against the child schemas
+	Type                plan.JoinType
+	OutSchema           plan.Schema
+	// swapped marks a runtime build-side swap: output rows re-assemble in
+	// the original column order (probe side second).
+	swapped bool
+}
+
+// Schema implements PhysicalPlan.
+func (j *HashJoinExec) Schema() plan.Schema { return j.OutSchema }
+
+// Children implements PhysicalPlan.
+func (j *HashJoinExec) Children() []PhysicalPlan { return []PhysicalPlan{j.Left, j.Right} }
+
+// Explain implements PhysicalPlan.
+func (j *HashJoinExec) Explain() string {
+	parts := make([]string, len(j.LeftKeys))
+	for i := range j.LeftKeys {
+		parts[i] = fmt.Sprintf("%s = %s", j.LeftKeys[i], j.RightKeys[i])
+	}
+	return fmt.Sprintf("HashJoinExec[%s] %s", j.Type, strings.Join(parts, " AND "))
+}
+
+// Execute implements PhysicalPlan.
+func (j *HashJoinExec) Execute(ctx *Context) ([]plan.Row, error) {
+	left, err := j.Left.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	right, err := j.Right.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	lKey := keyIndexes(j.LeftKeys)
+	rKey := keyIndexes(j.RightKeys)
+	if lKey == nil || rKey == nil {
+		return nil, fmt.Errorf("exec: join keys must be resolved column references")
+	}
+	// Broadcast mode: a small build side skips the shuffle entirely — the
+	// BroadcastHashJoin shape Spark picks for dimension tables.
+	if ctx.BroadcastThreshold > 0 && len(right) <= ctx.BroadcastThreshold {
+		return j.broadcast(ctx, left, right, lKey, rKey)
+	}
+	// Cost-based build-side selection: inner joins build the hash table on
+	// whichever side turned out smaller (output column order is unchanged
+	// by re-labelling sides). Left-outer must stream the left side.
+	if j.Type == plan.InnerJoin && len(left) < len(right) {
+		return (&HashJoinExec{
+			Left: j.Right, Right: j.Left,
+			LeftKeys: j.RightKeys, RightKeys: j.LeftKeys,
+			Type:      plan.InnerJoin,
+			OutSchema: j.OutSchema,
+			swapped:   true,
+		}).joinMaterialized(ctx, right, left, rKey, lKey)
+	}
+	return j.joinMaterialized(ctx, left, right, lKey, rKey)
+}
+
+// joinMaterialized runs the shuffle hash join over already-materialized
+// inputs. When swapped is set, output rows are re-assembled in the original
+// (pre-swap) column order.
+func (j *HashJoinExec) joinMaterialized(ctx *Context, left, right []plan.Row, lKey, rKey []int) ([]plan.Row, error) {
+	n := ctx.shufflePartitions()
+	lb := exchange(ctx, left, lKey, n)
+	rb := exchange(ctx, right, rKey, n)
+
+	rightWidth := len(j.Right.Schema())
+	results := make([][]plan.Row, n)
+	tasks := make([]Task, 0, n)
+	for b := 0; b < n; b++ {
+		b := b
+		tasks = append(tasks, Task{Run: func() error {
+			// Build on the right so left-outer can track unmatched left
+			// rows while streaming the (usually larger) left side.
+			build := make(map[string][]plan.Row)
+			for _, r := range rb[b] {
+				if hasNilKey(r, rKey) {
+					continue // SQL: NULL keys never match
+				}
+				build[joinKey(r, rKey)] = append(build[joinKey(r, rKey)], r)
+			}
+			var out []plan.Row
+			for _, l := range lb[b] {
+				var matches []plan.Row
+				if !hasNilKey(l, lKey) {
+					matches = build[joinKey(l, lKey)]
+				}
+				if len(matches) == 0 {
+					if j.Type == plan.LeftOuterJoin {
+						joined := make(plan.Row, len(l)+rightWidth)
+						copy(joined, l)
+						out = append(out, joined)
+					}
+					continue
+				}
+				for _, r := range matches {
+					joined := make(plan.Row, 0, len(l)+len(r))
+					if j.swapped {
+						joined = append(joined, r...)
+						joined = append(joined, l...)
+					} else {
+						joined = append(joined, l...)
+						joined = append(joined, r...)
+					}
+					out = append(out, joined)
+				}
+			}
+			results[b] = out
+			return nil
+		}})
+	}
+	if err := ctx.Scheduler.Run(tasks); err != nil {
+		return nil, err
+	}
+	var out []plan.Row
+	for _, rs := range results {
+		out = append(out, rs...)
+	}
+	return out, nil
+}
+
+// broadcast joins against a globally built hash of the right side, probing
+// left partitions in parallel without any exchange.
+func (j *HashJoinExec) broadcast(ctx *Context, left, right []plan.Row, lKey, rKey []int) ([]plan.Row, error) {
+	build := make(map[string][]plan.Row, len(right))
+	for _, r := range right {
+		if hasNilKey(r, rKey) {
+			continue
+		}
+		build[joinKey(r, rKey)] = append(build[joinKey(r, rKey)], r)
+	}
+	rightWidth := len(j.Right.Schema())
+	n := ctx.shufflePartitions()
+	chunk := (len(left) + n - 1) / n
+	if chunk == 0 {
+		chunk = 1
+	}
+	results := make([][]plan.Row, 0, n)
+	var tasks []Task
+	for lo := 0; lo < len(left); lo += chunk {
+		hi := lo + chunk
+		if hi > len(left) {
+			hi = len(left)
+		}
+		idx := len(results)
+		results = append(results, nil)
+		part := left[lo:hi]
+		tasks = append(tasks, Task{Run: func() error {
+			var out []plan.Row
+			for _, l := range part {
+				var matches []plan.Row
+				if !hasNilKey(l, lKey) {
+					matches = build[joinKey(l, lKey)]
+				}
+				if len(matches) == 0 {
+					if j.Type == plan.LeftOuterJoin {
+						joined := make(plan.Row, len(l)+rightWidth)
+						copy(joined, l)
+						out = append(out, joined)
+					}
+					continue
+				}
+				for _, r := range matches {
+					joined := make(plan.Row, 0, len(l)+len(r))
+					joined = append(joined, l...)
+					joined = append(joined, r...)
+					out = append(out, joined)
+				}
+			}
+			results[idx] = out
+			return nil
+		}})
+	}
+	if err := ctx.Scheduler.Run(tasks); err != nil {
+		return nil, err
+	}
+	var out []plan.Row
+	for _, rs := range results {
+		out = append(out, rs...)
+	}
+	return out, nil
+}
+
+func keyIndexes(keys []plan.Expr) []int {
+	out := make([]int, len(keys))
+	for i, k := range keys {
+		c, ok := k.(*plan.ColumnRef)
+		if !ok || c.Index() < 0 {
+			return nil
+		}
+		out[i] = c.Index()
+	}
+	return out
+}
+
+func hasNilKey(r plan.Row, idx []int) bool {
+	for _, i := range idx {
+		if r[i] == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func joinKey(r plan.Row, idx []int) string { return keyString(r, idx) }
+
+// SortExec orders rows by the resolved sort keys.
+type SortExec struct {
+	Orders []plan.SortOrder
+	Child  PhysicalPlan
+}
+
+// Schema implements PhysicalPlan.
+func (s *SortExec) Schema() plan.Schema { return s.Child.Schema() }
+
+// Children implements PhysicalPlan.
+func (s *SortExec) Children() []PhysicalPlan { return []PhysicalPlan{s.Child} }
+
+// Explain implements PhysicalPlan.
+func (s *SortExec) Explain() string { return "SortExec" }
+
+// Execute implements PhysicalPlan.
+func (s *SortExec) Execute(ctx *Context) ([]plan.Row, error) {
+	rows, err := s.Child.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var sortErr error
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, o := range s.Orders {
+			vi, err := o.Expr.Eval(rows[i])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			vj, err := o.Expr.Eval(rows[j])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			c, err := plan.Compare(vi, vj)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c != 0 {
+				if o.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
+	return rows, nil
+}
+
+// UnionExec concatenates child outputs (UNION ALL).
+type UnionExec struct {
+	Inputs []PhysicalPlan
+}
+
+// Schema implements PhysicalPlan.
+func (u *UnionExec) Schema() plan.Schema { return u.Inputs[0].Schema() }
+
+// Children implements PhysicalPlan.
+func (u *UnionExec) Children() []PhysicalPlan { return u.Inputs }
+
+// Explain implements PhysicalPlan.
+func (u *UnionExec) Explain() string { return fmt.Sprintf("UnionExec (%d inputs)", len(u.Inputs)) }
+
+// Execute implements PhysicalPlan.
+func (u *UnionExec) Execute(ctx *Context) ([]plan.Row, error) {
+	var out []plan.Row
+	for _, in := range u.Inputs {
+		rows, err := in.Execute(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+// LimitExec keeps the first N rows.
+type LimitExec struct {
+	N     int
+	Child PhysicalPlan
+}
+
+// Schema implements PhysicalPlan.
+func (l *LimitExec) Schema() plan.Schema { return l.Child.Schema() }
+
+// Children implements PhysicalPlan.
+func (l *LimitExec) Children() []PhysicalPlan { return []PhysicalPlan{l.Child} }
+
+// Explain implements PhysicalPlan.
+func (l *LimitExec) Explain() string { return fmt.Sprintf("LimitExec %d", l.N) }
+
+// Execute implements PhysicalPlan.
+func (l *LimitExec) Execute(ctx *Context) ([]plan.Row, error) {
+	rows, err := l.Child.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) > l.N {
+		rows = rows[:l.N]
+	}
+	return rows, nil
+}
+
+// HashAggExec groups rows and computes aggregates. It pre-aggregates
+// locally, exchanges the (much smaller) partial states, and merges them in
+// parallel — the partial-aggregation shape Spark uses, which keeps the
+// shuffle proportional to the number of groups rather than rows.
+type HashAggExec struct {
+	GroupBy   []plan.NamedExpr
+	Aggs      []plan.AggExpr
+	OutSchema plan.Schema
+	Child     PhysicalPlan
+}
+
+// Schema implements PhysicalPlan.
+func (a *HashAggExec) Schema() plan.Schema { return a.OutSchema }
+
+// Children implements PhysicalPlan.
+func (a *HashAggExec) Children() []PhysicalPlan { return []PhysicalPlan{a.Child} }
+
+// Explain implements PhysicalPlan.
+func (a *HashAggExec) Explain() string {
+	groups := make([]string, len(a.GroupBy))
+	for i, g := range a.GroupBy {
+		groups[i] = g.Name
+	}
+	return "HashAggExec group=[" + strings.Join(groups, ",") + "]"
+}
+
+// accumulator holds partial state for one group.
+type accumulator struct {
+	groupVals []any
+	states    []aggState
+}
+
+type aggState struct {
+	count    int64
+	sum      float64
+	mean     float64 // Welford running mean
+	m2       float64 // Welford running squared deviation
+	min, max any
+	distinct map[string]bool
+}
+
+func (s *aggState) update(kind plan.AggKind, v any) error {
+	if v == nil {
+		return nil
+	}
+	switch kind {
+	case plan.AggCount:
+		s.count++
+	case plan.AggCountDistinct:
+		if s.distinct == nil {
+			s.distinct = make(map[string]bool)
+		}
+		s.distinct[fmt.Sprintf("%v", v)] = true
+	case plan.AggSum, plan.AggAvg:
+		f, ok := plan.ToFloat(v)
+		if !ok {
+			return fmt.Errorf("exec: %s over non-numeric %T", kind, v)
+		}
+		s.count++
+		s.sum += f
+	case plan.AggStddevSamp:
+		f, ok := plan.ToFloat(v)
+		if !ok {
+			return fmt.Errorf("exec: stddev over non-numeric %T", v)
+		}
+		s.count++
+		d := f - s.mean
+		s.mean += d / float64(s.count)
+		s.m2 += d * (f - s.mean)
+	case plan.AggMin:
+		if s.min == nil {
+			s.min = v
+		} else if c, err := plan.Compare(v, s.min); err != nil {
+			return err
+		} else if c < 0 {
+			s.min = v
+		}
+	case plan.AggMax:
+		if s.max == nil {
+			s.max = v
+		} else if c, err := plan.Compare(v, s.max); err != nil {
+			return err
+		} else if c > 0 {
+			s.max = v
+		}
+	}
+	return nil
+}
+
+func (s *aggState) merge(kind plan.AggKind, o *aggState) error {
+	switch kind {
+	case plan.AggCount:
+		s.count += o.count
+	case plan.AggCountDistinct:
+		if s.distinct == nil {
+			s.distinct = make(map[string]bool)
+		}
+		for k := range o.distinct {
+			s.distinct[k] = true
+		}
+	case plan.AggSum, plan.AggAvg:
+		s.count += o.count
+		s.sum += o.sum
+	case plan.AggStddevSamp:
+		// Chan et al. parallel variance merge.
+		if o.count == 0 {
+			return nil
+		}
+		if s.count == 0 {
+			*s = *o
+			return nil
+		}
+		n := float64(s.count + o.count)
+		d := o.mean - s.mean
+		s.m2 += o.m2 + d*d*float64(s.count)*float64(o.count)/n
+		s.mean += d * float64(o.count) / n
+		s.count += o.count
+	case plan.AggMin:
+		if o.min != nil {
+			return s.update(plan.AggMin, o.min)
+		}
+	case plan.AggMax:
+		if o.max != nil {
+			return s.update(plan.AggMax, o.max)
+		}
+	}
+	return nil
+}
+
+func (s *aggState) final(kind plan.AggKind) any {
+	switch kind {
+	case plan.AggCount:
+		return s.count
+	case plan.AggCountDistinct:
+		return int64(len(s.distinct))
+	case plan.AggSum:
+		if s.count == 0 {
+			return nil
+		}
+		return s.sum
+	case plan.AggAvg:
+		if s.count == 0 {
+			return nil
+		}
+		return s.sum / float64(s.count)
+	case plan.AggStddevSamp:
+		if s.count < 2 {
+			return nil
+		}
+		return math.Sqrt(s.m2 / float64(s.count-1))
+	case plan.AggMin:
+		return s.min
+	case plan.AggMax:
+		return s.max
+	}
+	return nil
+}
+
+// stateSize approximates the shuffled size of a partial aggregate record.
+func (a *accumulator) stateSize() int {
+	n := len(a.states) * 40
+	return n + plan.RowSize(a.groupVals)
+}
+
+// Execute implements PhysicalPlan.
+func (a *HashAggExec) Execute(ctx *Context) ([]plan.Row, error) {
+	rows, err := a.Child.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Phase 1: local partial aggregation.
+	partials := make(map[string]*accumulator)
+	for _, r := range rows {
+		key, groupVals, err := a.groupOf(r)
+		if err != nil {
+			return nil, err
+		}
+		acc, ok := partials[key]
+		if !ok {
+			acc = &accumulator{groupVals: groupVals, states: make([]aggState, len(a.Aggs))}
+			partials[key] = acc
+		}
+		for i, agg := range a.Aggs {
+			var v any = int64(1) // COUNT(*) counts rows
+			if agg.Arg != nil {
+				v, err = agg.Arg.Eval(r)
+				if err != nil {
+					return nil, err
+				}
+			} else if agg.Kind != plan.AggCount {
+				return nil, fmt.Errorf("exec: %s requires an argument", agg.Kind)
+			}
+			if agg.Kind == plan.AggCount && agg.Arg != nil && v == nil {
+				continue // COUNT(col) skips NULLs
+			}
+			if err := acc.states[i].update(agg.Kind, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Phase 2: exchange partial states by group key (metered shuffle).
+	n := ctx.shufflePartitions()
+	buckets := make([]map[string]*accumulator, n)
+	for i := range buckets {
+		buckets[i] = make(map[string]*accumulator)
+	}
+	for key, acc := range partials {
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		b := int(h.Sum64() % uint64(n))
+		buckets[b][key] = acc
+		ctx.Meter.Add(metrics.ShuffleBytes, int64(acc.stateSize()))
+		ctx.Meter.Inc(metrics.ShuffleRecords)
+	}
+	// Phase 3: finalize per bucket in parallel.
+	results := make([][]plan.Row, n)
+	tasks := make([]Task, 0, n)
+	for b := 0; b < n; b++ {
+		b := b
+		tasks = append(tasks, Task{Run: func() error {
+			var out []plan.Row
+			for _, acc := range buckets[b] {
+				row := make(plan.Row, 0, len(a.GroupBy)+len(a.Aggs))
+				row = append(row, acc.groupVals...)
+				for i, agg := range a.Aggs {
+					row = append(row, acc.states[i].final(agg.Kind))
+				}
+				out = append(out, row)
+			}
+			results[b] = out
+			return nil
+		}})
+	}
+	if err := ctx.Scheduler.Run(tasks); err != nil {
+		return nil, err
+	}
+	var out []plan.Row
+	for _, rs := range results {
+		out = append(out, rs...)
+	}
+	// Global aggregates over an empty input still produce one row.
+	if len(a.GroupBy) == 0 && len(out) == 0 {
+		row := make(plan.Row, len(a.Aggs))
+		for i, agg := range a.Aggs {
+			var s aggState
+			row[i] = s.final(agg.Kind)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func (a *HashAggExec) groupOf(r plan.Row) (string, []any, error) {
+	vals := make([]any, len(a.GroupBy))
+	for i, g := range a.GroupBy {
+		v, err := g.Expr.Eval(r)
+		if err != nil {
+			return "", nil, err
+		}
+		vals[i] = v
+	}
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	return keyString(vals, idx), vals, nil
+}
+
+// Explain renders the whole physical tree.
+func Explain(p PhysicalPlan) string {
+	var b strings.Builder
+	var walk func(PhysicalPlan, int)
+	walk = func(n PhysicalPlan, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.Explain())
+		b.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(p, 0)
+	return b.String()
+}

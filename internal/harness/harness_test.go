@@ -1,0 +1,192 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/shc-go/shc/internal/metrics"
+	"github.com/shc-go/shc/internal/plan"
+	"github.com/shc-go/shc/internal/tpcds"
+)
+
+func bootPair(t *testing.T, scale int) (*Rig, *Rig) {
+	t.Helper()
+	shc, err := NewRig(Config{System: SHC, Scale: scale, Servers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewRig(Config{System: SparkSQL, Scale: scale, Servers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { shc.Close(); base.Close() })
+	return shc, base
+}
+
+func TestQ39aAgreesAcrossSystems(t *testing.T) {
+	shc, base := bootPair(t, 1)
+	s, err := shc.Run(tpcds.Q39a())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := base.Run(tpcds.Q39a())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) == 0 {
+		t.Fatal("q39a returned no rows; generator variance too low for the workload to be meaningful")
+	}
+	assertRowsEqual(t, s.Rows, b.Rows)
+}
+
+// assertRowsEqual compares result sets with a small floating-point
+// tolerance: variance merges are order-dependent in the last ulp.
+func assertRowsEqual(t *testing.T, a, b []plan.Row) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Errorf("row counts differ: %d vs %d", len(a), len(b))
+		return
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Errorf("row %d width differs", i)
+			return
+		}
+		for j := range a[i] {
+			av, bv := a[i][j], b[i][j]
+			af, aok := plan.ToFloat(av)
+			bf, bok := plan.ToFloat(bv)
+			if aok && bok {
+				scale := math.Max(math.Abs(af), math.Abs(bf))
+				if math.Abs(af-bf) > 1e-9*math.Max(scale, 1) {
+					t.Errorf("row %d col %d: %v vs %v", i, j, av, bv)
+					return
+				}
+				continue
+			}
+			if fmt.Sprint(av) != fmt.Sprint(bv) {
+				t.Errorf("row %d col %d: %v vs %v", i, j, av, bv)
+				return
+			}
+		}
+	}
+}
+
+func TestQ39bAndQ38AgreeAcrossSystems(t *testing.T) {
+	shc, base := bootPair(t, 1)
+	for _, q := range []string{tpcds.Q39b(), tpcds.Q38()} {
+		s, err := shc.Run(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := base.Run(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertRowsEqual(t, s.Rows, b.Rows)
+	}
+	// q39b is a strict subset of q39a.
+	a, _ := shc.Run(tpcds.Q39a())
+	bb, _ := shc.Run(tpcds.Q39b())
+	if len(bb.Rows) > len(a.Rows) {
+		t.Errorf("q39b (%d rows) must not exceed q39a (%d rows)", len(bb.Rows), len(a.Rows))
+	}
+}
+
+func TestSHCDoesLessWorkOnQ39a(t *testing.T) {
+	shc, base := bootPair(t, 1)
+	s, err := shc.Run(tpcds.Q39a())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := base.Run(tpcds.Q39a())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{metrics.RPCBytesReceived, metrics.RowsReturned, metrics.RowsScanned} {
+		sv, bv := s.Delta[name], b.Delta[name]
+		if sv >= bv {
+			t.Errorf("%s: SHC %d vs baseline %d (SHC should be lower)", name, sv, bv)
+		}
+	}
+	// Both engines filter before the join, so pure shuffle volume is no
+	// worse for SHC; its win is on the fetch side.
+	if s.Delta[metrics.ShuffleBytes] > b.Delta[metrics.ShuffleBytes] {
+		t.Errorf("shuffle: SHC %d vs baseline %d", s.Delta[metrics.ShuffleBytes], b.Delta[metrics.ShuffleBytes])
+	}
+	if s.Delta[metrics.RegionsPruned] == 0 {
+		t.Error("q39a's date filter should prune inventory regions for SHC")
+	}
+	if s.Delta[metrics.TasksLocal] == 0 {
+		t.Error("SHC tasks should run with locality")
+	}
+	if b.Delta[metrics.TasksLocal] != 0 {
+		t.Error("baseline tasks should not be local")
+	}
+}
+
+func TestConnectionCachingOnlyForSHC(t *testing.T) {
+	shc, base := bootPair(t, 1)
+	if _, err := shc.Run(tpcds.Q38()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.Run(tpcds.Q38()); err != nil {
+		t.Fatal(err)
+	}
+	if shc.Meter.Get(metrics.ConnectionsReused) == 0 {
+		t.Error("SHC should reuse pooled connections")
+	}
+	if base.Meter.Get(metrics.ConnectionsReused) != 0 {
+		t.Error("baseline should not reuse connections")
+	}
+	if base.Meter.Get(metrics.ConnectionsCreated) <= shc.Meter.Get(metrics.ConnectionsCreated) {
+		t.Errorf("baseline should create more connections: %d vs %d",
+			base.Meter.Get(metrics.ConnectionsCreated), shc.Meter.Get(metrics.ConnectionsCreated))
+	}
+}
+
+func TestWritePathsBothLoad(t *testing.T) {
+	shc, err := NewRig(Config{System: SHC, Scale: 1, Servers: 2, SkipLoad: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shc.Close()
+	d, err := shc.LoadTable("item", shc.Data.Item)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Error("load must take measurable time")
+	}
+	res, err := shc.Run("SELECT count(1) FROM item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != int64(len(shc.Data.Item)) {
+		t.Errorf("loaded %v items, want %d", res.Rows[0][0], len(shc.Data.Item))
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	if SHC.String() != "SHC" || SparkSQL.String() != "SparkSQL" {
+		t.Error("system names wrong")
+	}
+}
+
+func TestCoderVariants(t *testing.T) {
+	for _, coder := range []string{"PrimitiveType", "Phoenix", "Avro"} {
+		rig, err := NewRig(Config{System: SHC, Scale: 1, Servers: 2, Coder: coder})
+		if err != nil {
+			t.Fatalf("%s: %v", coder, err)
+		}
+		res, err := rig.Run("SELECT count(1) FROM inventory")
+		if err != nil {
+			t.Fatalf("%s: %v", coder, err)
+		}
+		if res.Rows[0][0].(int64) == 0 {
+			t.Errorf("%s: no rows", coder)
+		}
+		rig.Close()
+	}
+}

@@ -1,0 +1,434 @@
+package hbase
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/shc-go/shc/internal/rpc"
+	"github.com/shc-go/shc/internal/zk"
+)
+
+// ConnPool abstracts how the client obtains connections to hosts. The
+// default pool dials a fresh connection per operation and closes it after —
+// the naive behaviour whose cost SHC's connection cache removes. The
+// conncache package provides the caching implementation.
+type ConnPool interface {
+	// Acquire returns a connection to host and a release function the
+	// caller must invoke when done with it.
+	Acquire(host string) (*rpc.Conn, func(), error)
+}
+
+// TokenProvider supplies the security token attached to every request sent
+// to a cluster. A nil provider sends empty tokens (insecure clusters).
+type TokenProvider interface {
+	Token(cluster string) (string, error)
+}
+
+// dialPool is the no-cache ConnPool.
+type dialPool struct{ net *rpc.Network }
+
+func (p dialPool) Acquire(host string) (*rpc.Conn, func(), error) {
+	conn, err := p.net.Dial(host)
+	if err != nil {
+		return nil, nil, err
+	}
+	return conn, func() { _ = conn.Close() }, nil
+}
+
+// NewDialPool returns a ConnPool that dials per acquisition.
+func NewDialPool(net *rpc.Network) ConnPool { return dialPool{net: net} }
+
+// Client is the HBase client: it discovers the master through ZooKeeper,
+// caches region locations, and issues data RPCs to region servers.
+type Client struct {
+	clusterName string
+	net         *rpc.Network
+	zkSess      *zk.Session
+	pool        ConnPool
+	tokens      TokenProvider
+
+	mu         sync.Mutex
+	masterHost string
+	regions    map[string][]RegionInfo // table -> sorted regions
+}
+
+// ClientOption customizes a client.
+type ClientOption func(*Client)
+
+// WithConnPool sets the connection pool (e.g. the caching pool).
+func WithConnPool(p ConnPool) ClientOption { return func(c *Client) { c.pool = p } }
+
+// WithTokenProvider sets the credential source for secure clusters.
+func WithTokenProvider(tp TokenProvider) ClientOption { return func(c *Client) { c.tokens = tp } }
+
+// NewClient opens a client against a cluster's network and ZooKeeper.
+func NewClient(clusterName string, net *rpc.Network, zkSrv *zk.Server, opts ...ClientOption) *Client {
+	c := &Client{
+		clusterName: clusterName,
+		net:         net,
+		zkSess:      zkSrv.NewSession(),
+		regions:     make(map[string][]RegionInfo),
+	}
+	c.pool = NewDialPool(net)
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// ClusterName identifies the cluster this client talks to (used as the
+// token scope).
+func (c *Client) ClusterName() string { return c.clusterName }
+
+// Close releases the client's coordination session.
+func (c *Client) Close() { c.zkSess.Close() }
+
+func (c *Client) token() (string, error) {
+	if c.tokens == nil {
+		return "", nil
+	}
+	return c.tokens.Token(c.clusterName)
+}
+
+func (c *Client) master() (string, error) {
+	c.mu.Lock()
+	host := c.masterHost
+	c.mu.Unlock()
+	if host != "" {
+		return host, nil
+	}
+	leader, err := c.zkSess.Leader(zkMasterPath)
+	if err != nil {
+		return "", err
+	}
+	if leader == "" {
+		return "", fmt.Errorf("hbase: no master elected")
+	}
+	c.mu.Lock()
+	c.masterHost = leader
+	c.mu.Unlock()
+	return leader, nil
+}
+
+func (c *Client) call(host, method string, req rpc.Message) (rpc.Message, error) {
+	conn, release, err := c.pool.Acquire(host)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return conn.Call(method, req)
+}
+
+// callMaster sends a meta request to the current master. If the cached
+// master is unreachable (failover), it re-reads the leader from the
+// coordination service once and retries — how clients survive the
+// master-failover mechanism of the paper's §VI-B.
+func (c *Client) callMaster(method string, req rpc.Message) (rpc.Message, error) {
+	host, err := c.master()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.call(host, method, req)
+	if err == nil || !isUnreachable(err) {
+		return resp, err
+	}
+	c.mu.Lock()
+	c.masterHost = ""
+	c.mu.Unlock()
+	host, rerr := c.master()
+	if rerr != nil {
+		return nil, err
+	}
+	return c.call(host, method, req)
+}
+
+func isUnreachable(err error) bool {
+	return errors.Is(err, rpc.ErrHostDown) || errors.Is(err, rpc.ErrUnknownHost) || errors.Is(err, rpc.ErrConnClosed)
+}
+
+// CreateTable creates a table pre-split at splitKeys.
+func (c *Client) CreateTable(desc TableDescriptor, splitKeys [][]byte) error {
+	tok, err := c.token()
+	if err != nil {
+		return err
+	}
+	_, err = c.callMaster(MethodCreateTable, &CreateTableRequest{Desc: desc, SplitKeys: splitKeys, Token: tok})
+	return err
+}
+
+// DeleteTable drops a table.
+func (c *Client) DeleteTable(name string) error {
+	tok, err := c.token()
+	if err != nil {
+		return err
+	}
+	if _, err = c.callMaster(MethodDeleteTable, &TableRequest{Table: name, Token: tok}); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	delete(c.regions, name)
+	c.mu.Unlock()
+	return nil
+}
+
+// ListTables names every table in the cluster.
+func (c *Client) ListTables() ([]string, error) {
+	tok, err := c.token()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.callMaster(MethodListTables, &TableRequest{Token: tok})
+	if err != nil {
+		return nil, err
+	}
+	return resp.(*TableNames).Names, nil
+}
+
+// TableStats fetches a table's aggregate storage statistics from the
+// master.
+func (c *Client) TableStats(table string) (TableStats, error) {
+	tok, err := c.token()
+	if err != nil {
+		return TableStats{}, err
+	}
+	resp, err := c.callMaster(MethodTableStats, &TableRequest{Table: table, Token: tok})
+	if err != nil {
+		return TableStats{}, err
+	}
+	return resp.(TableStats), nil
+}
+
+// Regions returns the table's regions in key order, from the client's meta
+// cache when warm.
+func (c *Client) Regions(table string) ([]RegionInfo, error) {
+	c.mu.Lock()
+	cached, ok := c.regions[table]
+	c.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	return c.refreshRegions(table)
+}
+
+func (c *Client) refreshRegions(table string) ([]RegionInfo, error) {
+	tok, err := c.token()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.callMaster(MethodTableRegions, &TableRequest{Table: table, Token: tok})
+	if err != nil {
+		return nil, err
+	}
+	regions := resp.(*RegionList).Regions
+	c.mu.Lock()
+	c.regions[table] = regions
+	c.mu.Unlock()
+	return regions, nil
+}
+
+// InvalidateRegions drops the cached region map for table (after splits or
+// balancing move regions).
+func (c *Client) InvalidateRegions(table string) {
+	c.mu.Lock()
+	delete(c.regions, table)
+	c.mu.Unlock()
+}
+
+// regionForRow locates the region containing row.
+func (c *Client) regionForRow(table string, row []byte) (RegionInfo, error) {
+	regions, err := c.Regions(table)
+	if err != nil {
+		return RegionInfo{}, err
+	}
+	for _, ri := range regions {
+		if ri.ContainsRow(row) {
+			return ri, nil
+		}
+	}
+	return RegionInfo{}, fmt.Errorf("hbase: no region for row %x in table %q", row, table)
+}
+
+// withMetaRetry runs op and, when it fails because the client's region
+// cache went stale (split, balancer move, reassignment), refreshes the
+// cache and retries once — the NotServingRegionException dance of the real
+// HBase client.
+func (c *Client) withMetaRetry(table string, op func() error) error {
+	err := op()
+	if err == nil || !errors.Is(err, ErrNotServing) {
+		return err
+	}
+	c.InvalidateRegions(table)
+	return op()
+}
+
+// Put writes cells, batching them per region. Stale region locations are
+// refreshed and retried once.
+func (c *Client) Put(table string, cells []Cell) error {
+	if len(cells) == 0 {
+		return nil
+	}
+	tok, err := c.token()
+	if err != nil {
+		return err
+	}
+	return c.withMetaRetry(table, func() error {
+		batches := make(map[string]*PutRequest)
+		hosts := make(map[string]string)
+		for _, cell := range cells {
+			ri, err := c.regionForRow(table, cell.Row)
+			if err != nil {
+				return err
+			}
+			b, ok := batches[ri.ID]
+			if !ok {
+				b = &PutRequest{RegionID: ri.ID, Token: tok}
+				batches[ri.ID] = b
+				hosts[ri.ID] = ri.Host
+			}
+			b.Cells = append(b.Cells, cell)
+		}
+		for id, b := range batches {
+			if _, err := c.call(hosts[id], MethodPut, b); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Get reads one row.
+func (c *Client) Get(table string, row []byte, cols []Column, maxVersions int, tr TimeRange) (Result, error) {
+	results, err := c.BulkGet(table, [][]byte{row}, cols, maxVersions, tr)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(results) == 0 {
+		return Result{Row: append([]byte(nil), row...)}, nil
+	}
+	return results[0], nil
+}
+
+// BulkGet fetches many rows, one batched RPC per region. Stale region
+// locations are refreshed and retried once.
+func (c *Client) BulkGet(table string, rows [][]byte, cols []Column, maxVersions int, tr TimeRange) ([]Result, error) {
+	tok, err := c.token()
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	err = c.withMetaRetry(table, func() error {
+		out = nil
+		byRegion := make(map[string]*BulkGetRequest)
+		hosts := make(map[string]string)
+		for _, row := range rows {
+			ri, err := c.regionForRow(table, row)
+			if err != nil {
+				return err
+			}
+			b, ok := byRegion[ri.ID]
+			if !ok {
+				b = &BulkGetRequest{RegionID: ri.ID, Columns: cols, MaxVersions: maxVersions, TimeRange: tr, Token: tok}
+				byRegion[ri.ID] = b
+				hosts[ri.ID] = ri.Host
+			}
+			b.Rows = append(b.Rows, row)
+		}
+		for id, b := range byRegion {
+			resp, err := c.call(hosts[id], MethodBulkGet, b)
+			if err != nil {
+				return err
+			}
+			out = append(out, resp.(*ScanResponse).Results...)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ScanTable scans the whole key range [scan.StartRow, scan.StopRow),
+// visiting every overlapping region in key order and concatenating results.
+// A stale region map restarts the scan once with fresh locations.
+func (c *Client) ScanTable(table string, scan *Scan) ([]Result, error) {
+	tok, err := c.token()
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	err = c.withMetaRetry(table, func() error {
+		out = nil
+		regions, err := c.Regions(table)
+		if err != nil {
+			return err
+		}
+		for i := range regions {
+			ri := &regions[i]
+			if !ri.OverlapsRange(scan.StartRow, scan.StopRow) {
+				continue
+			}
+			resp, err := c.call(ri.Host, MethodScan, &ScanRequest{RegionID: ri.ID, Scan: scan, Token: tok})
+			if err != nil {
+				return err
+			}
+			out = append(out, resp.(*ScanResponse).Results...)
+			if scan.Limit > 0 && len(out) >= scan.Limit {
+				out = out[:scan.Limit]
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ScanRegion scans exactly one region — the per-partition read path SHC's
+// table-scan RDD uses.
+func (c *Client) ScanRegion(ri RegionInfo, scan *Scan) ([]Result, error) {
+	tok, err := c.token()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.call(ri.Host, MethodScan, &ScanRequest{RegionID: ri.ID, Scan: scan, Token: tok})
+	if err != nil {
+		return nil, err
+	}
+	return resp.(*ScanResponse).Results, nil
+}
+
+// FusedExec sends multiple scan/get operations for regions hosted on the
+// same server in a single RPC (operators fusion).
+func (c *Client) FusedExec(host string, ops []ScanOp) ([]Result, error) {
+	tok, err := c.token()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.call(host, MethodFused, &FusedRequest{Ops: ops, Token: tok})
+	if err != nil {
+		return nil, err
+	}
+	return resp.(*ScanResponse).Results, nil
+}
+
+// SplitRowRange clips the half-open range [start, stop) against a region
+// and reports the intersection; ok is false when they do not overlap.
+func SplitRowRange(ri *RegionInfo, start, stop []byte) (lo, hi []byte, ok bool) {
+	if !ri.OverlapsRange(start, stop) {
+		return nil, nil, false
+	}
+	lo = start
+	if len(ri.StartKey) > 0 && (lo == nil || bytes.Compare(ri.StartKey, lo) > 0) {
+		lo = ri.StartKey
+	}
+	hi = stop
+	if len(ri.EndKey) > 0 && (hi == nil || bytes.Compare(ri.EndKey, hi) < 0) {
+		hi = ri.EndKey
+	}
+	return lo, hi, true
+}

@@ -1,0 +1,86 @@
+package hbase
+
+import (
+	"fmt"
+
+	"github.com/shc-go/shc/internal/metrics"
+	"github.com/shc-go/shc/internal/rpc"
+	"github.com/shc-go/shc/internal/zk"
+)
+
+// ClusterConfig sizes a simulated cluster.
+type ClusterConfig struct {
+	// Name identifies the cluster (the scope tokens are issued for).
+	Name string
+	// NumServers is the number of region servers; defaults to 3.
+	NumServers int
+	// Store tunes per-region storage behaviour.
+	Store StoreConfig
+	// RPC tunes the simulated network cost model.
+	RPC rpc.Config
+	// Meter receives all counters; a fresh registry is created when nil.
+	Meter *metrics.Registry
+	// Validate authenticates request tokens; nil = insecure.
+	Validate TokenValidator
+}
+
+// Cluster bundles one simulated HBase deployment: a ZooKeeper ensemble, an
+// RPC network, a master, and a set of region servers on distinct hosts.
+type Cluster struct {
+	Name    string
+	Net     *rpc.Network
+	ZK      *zk.Server
+	Master  *Master
+	Servers []*RegionServer
+	Meter   *metrics.Registry
+}
+
+// NewCluster boots a cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Name == "" {
+		cfg.Name = "hbase"
+	}
+	if cfg.NumServers <= 0 {
+		cfg.NumServers = 3
+	}
+	if cfg.Meter == nil {
+		cfg.Meter = metrics.NewRegistry()
+	}
+	c := &Cluster{
+		Name:  cfg.Name,
+		Net:   rpc.NewNetwork(cfg.RPC, cfg.Meter),
+		ZK:    zk.NewServer(),
+		Meter: cfg.Meter,
+	}
+	master, err := NewMaster(cfg.Name+"-master", c.Net, c.ZK, cfg.Store, cfg.Meter, cfg.Validate)
+	if err != nil {
+		return nil, fmt.Errorf("hbase: boot master: %w", err)
+	}
+	c.Master = master
+	for i := 0; i < cfg.NumServers; i++ {
+		host := fmt.Sprintf("%s-rs%d", cfg.Name, i+1)
+		rs, err := NewRegionServer(host, c.Net, cfg.Meter, cfg.Validate)
+		if err != nil {
+			return nil, fmt.Errorf("hbase: boot region server %s: %w", host, err)
+		}
+		if err := master.AddServer(rs); err != nil {
+			return nil, err
+		}
+		c.Servers = append(c.Servers, rs)
+	}
+	return c, nil
+}
+
+// Hosts lists the region-server host names in boot order.
+func (c *Cluster) Hosts() []string {
+	out := make([]string, len(c.Servers))
+	for i, rs := range c.Servers {
+		out[i] = rs.Host()
+	}
+	return out
+}
+
+// NewClient opens a client on this cluster.
+func (c *Cluster) NewClient(opts ...ClientOption) *Client {
+	return NewClient(c.Name, c.Net, c.ZK, opts...)
+}

@@ -1,0 +1,169 @@
+package hbase
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// CompareOp is the comparison a value filter applies.
+type CompareOp int
+
+// Comparison operators, matching HBase's CompareFilter.CompareOp.
+const (
+	CmpEqual CompareOp = iota
+	CmpNotEqual
+	CmpLess
+	CmpLessOrEqual
+	CmpGreater
+	CmpGreaterOrEqual
+)
+
+// String renders the operator.
+func (op CompareOp) String() string {
+	switch op {
+	case CmpEqual:
+		return "="
+	case CmpNotEqual:
+		return "!="
+	case CmpLess:
+		return "<"
+	case CmpLessOrEqual:
+		return "<="
+	case CmpGreater:
+		return ">"
+	case CmpGreaterOrEqual:
+		return ">="
+	}
+	return "?"
+}
+
+func (op CompareOp) eval(cmp int) bool {
+	switch op {
+	case CmpEqual:
+		return cmp == 0
+	case CmpNotEqual:
+		return cmp != 0
+	case CmpLess:
+		return cmp < 0
+	case CmpLessOrEqual:
+		return cmp <= 0
+	case CmpGreater:
+		return cmp > 0
+	case CmpGreaterOrEqual:
+		return cmp >= 0
+	}
+	return false
+}
+
+// Filter is evaluated inside the region server against an assembled row.
+// Rows for which Match returns false are dropped before they reach the
+// wire — the mechanism behind SHC's predicate pushdown (paper §VI-A.3).
+type Filter interface {
+	// Match reports whether the row should be returned.
+	Match(r *Result) bool
+	// WireSize approximates the serialized size of the filter, charged on
+	// the request.
+	WireSize() int
+	// String renders the filter for plans and debugging.
+	String() string
+}
+
+// SingleColumnValueFilter keeps rows whose newest value in Family:Qualifier
+// satisfies Op against Value. Rows missing the column are dropped (matching
+// HBase with filterIfMissing=true, the setting SHC uses).
+type SingleColumnValueFilter struct {
+	Family    string
+	Qualifier string
+	Op        CompareOp
+	Value     []byte
+}
+
+// Match implements Filter.
+func (f *SingleColumnValueFilter) Match(r *Result) bool {
+	v, ok := r.Value(f.Family, f.Qualifier)
+	if !ok {
+		return false
+	}
+	return f.Op.eval(bytes.Compare(v, f.Value))
+}
+
+// WireSize implements Filter.
+func (f *SingleColumnValueFilter) WireSize() int {
+	return len(f.Family) + len(f.Qualifier) + 1 + len(f.Value)
+}
+
+// String implements Filter.
+func (f *SingleColumnValueFilter) String() string {
+	return fmt.Sprintf("%s:%s %s 0x%x", f.Family, f.Qualifier, f.Op, f.Value)
+}
+
+// RowPrefixFilter keeps rows whose key begins with Prefix.
+type RowPrefixFilter struct {
+	Prefix []byte
+}
+
+// Match implements Filter.
+func (f *RowPrefixFilter) Match(r *Result) bool { return bytes.HasPrefix(r.Row, f.Prefix) }
+
+// WireSize implements Filter.
+func (f *RowPrefixFilter) WireSize() int { return len(f.Prefix) + 1 }
+
+// String implements Filter.
+func (f *RowPrefixFilter) String() string { return fmt.Sprintf("rowprefix(0x%x)", f.Prefix) }
+
+// FilterListOp combines child filters.
+type FilterListOp int
+
+// Filter list combinators.
+const (
+	MustPassAll FilterListOp = iota // AND
+	MustPassOne                     // OR
+)
+
+// FilterList combines child filters with AND/OR semantics, mirroring
+// HBase's FilterList.
+type FilterList struct {
+	Op      FilterListOp
+	Filters []Filter
+}
+
+// Match implements Filter.
+func (f *FilterList) Match(r *Result) bool {
+	if f.Op == MustPassAll {
+		for _, c := range f.Filters {
+			if !c.Match(r) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, c := range f.Filters {
+		if c.Match(r) {
+			return true
+		}
+	}
+	return len(f.Filters) == 0
+}
+
+// WireSize implements Filter.
+func (f *FilterList) WireSize() int {
+	n := 1
+	for _, c := range f.Filters {
+		n += c.WireSize()
+	}
+	return n
+}
+
+// String implements Filter.
+func (f *FilterList) String() string {
+	op := " AND "
+	if f.Op == MustPassOne {
+		op = " OR "
+	}
+	parts := make([]string, len(f.Filters))
+	for i, c := range f.Filters {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, op) + ")"
+}

@@ -1,0 +1,450 @@
+package hbase
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/shc-go/shc/internal/metrics"
+	"github.com/shc-go/shc/internal/rpc"
+	"github.com/shc-go/shc/internal/zk"
+)
+
+// ZK paths the cluster publishes.
+const (
+	zkRoot       = "/hbase"
+	zkMasterPath = "/hbase/master"
+	zkServers    = "/hbase/rs"
+)
+
+// Master performs the administrative duties of HMaster (paper §III-B):
+// creating and dropping tables, assigning regions to servers, splitting
+// regions, and balancing load. It never touches the data path.
+type Master struct {
+	host     string
+	meter    *metrics.Registry
+	cfg      StoreConfig
+	sess     *zk.Session
+	validate TokenValidator
+
+	mu      sync.Mutex
+	servers []*RegionServer
+	tables  map[string]*tableState
+	nextID  int
+}
+
+type tableState struct {
+	desc    TableDescriptor
+	regions map[string]*Region // by region id
+}
+
+// NewMaster creates the master on host, registers its RPC handlers, elects
+// itself leader in ZooKeeper, and publishes its address for clients.
+func NewMaster(host string, net *rpc.Network, zkSrv *zk.Server, cfg StoreConfig, meter *metrics.Registry, validate TokenValidator) (*Master, error) {
+	m := &Master{host: host, meter: meter, cfg: cfg, validate: validate, tables: make(map[string]*tableState)}
+	if err := net.AddHost(host); err != nil {
+		return nil, err
+	}
+	for method, h := range map[string]rpc.Handler{
+		MethodCreateTable:  m.handleCreateTable,
+		MethodDeleteTable:  m.handleDeleteTable,
+		MethodTableRegions: m.handleTableRegions,
+		MethodListTables:   m.handleListTables,
+		MethodTableStats:   m.handleTableStats,
+	} {
+		if err := net.Handle(host, method, h); err != nil {
+			return nil, err
+		}
+	}
+	m.sess = zkSrv.NewSession()
+	if ok, _ := m.sess.Exists(zkRoot); !ok {
+		if err := m.sess.Create(zkRoot, nil, false); err != nil {
+			return nil, err
+		}
+		if err := m.sess.Create(zkServers, nil, false); err != nil {
+			return nil, err
+		}
+	}
+	won, err := m.sess.ElectLeader(zkMasterPath, host)
+	if err != nil {
+		return nil, err
+	}
+	if !won {
+		return nil, fmt.Errorf("hbase: another master already leads")
+	}
+	return m, nil
+}
+
+// Host returns the master's host name.
+func (m *Master) Host() string { return m.host }
+
+// Resign simulates a master crash: its coordination session closes (so the
+// ephemeral leader node vanishes and a standby can win the next election).
+// The caller should also mark the host down on the network.
+func (m *Master) Resign() {
+	m.sess.Close()
+}
+
+// RecoverFrom rebuilds the master's meta state after a failover by asking
+// each region server what it hosts — the simulator's stand-in for reading
+// hbase:meta. It also registers the servers with this master.
+func (m *Master) RecoverFrom(servers []*RegionServer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.servers = nil
+	m.tables = make(map[string]*tableState)
+	maxID := 0
+	for _, rs := range servers {
+		m.servers = append(m.servers, rs)
+		if ok, _ := m.sess.Exists(zkServers + "/" + rs.Host()); !ok {
+			if err := m.sess.Create(zkServers+"/"+rs.Host(), nil, false); err != nil {
+				return err
+			}
+		}
+		for _, region := range rs.Regions() {
+			info := region.Info()
+			ts, ok := m.tables[info.Table]
+			if !ok {
+				ts = &tableState{desc: region.Descriptor(), regions: make(map[string]*Region)}
+				m.tables[info.Table] = ts
+			}
+			ts.regions[info.ID] = region
+			if n := regionSeq(info.ID); n > maxID {
+				maxID = n
+			}
+		}
+	}
+	if maxID > m.nextID {
+		m.nextID = maxID
+	}
+	return nil
+}
+
+// regionSeq parses the numeric suffix of a region id ("table-0042" -> 42).
+func regionSeq(id string) int {
+	i := len(id) - 1
+	for i >= 0 && id[i] >= '0' && id[i] <= '9' {
+		i--
+	}
+	n := 0
+	for _, c := range id[i+1:] {
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// AddServer registers a region server with the master and advertises it in
+// ZooKeeper.
+func (m *Master) AddServer(rs *RegionServer) error {
+	m.mu.Lock()
+	m.servers = append(m.servers, rs)
+	m.mu.Unlock()
+	return m.sess.Create(zkServers+"/"+rs.Host(), nil, false)
+}
+
+func (m *Master) auth(token string) error {
+	if m.validate == nil {
+		return nil
+	}
+	return m.validate(token)
+}
+
+// CreateTable creates a table pre-split at splitKeys (sorted, distinct) and
+// assigns its regions across the servers, least-loaded first.
+func (m *Master) CreateTable(desc TableDescriptor, splitKeys [][]byte) error {
+	if err := desc.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.servers) == 0 {
+		return fmt.Errorf("hbase: no region servers available")
+	}
+	if _, ok := m.tables[desc.Name]; ok {
+		return fmt.Errorf("hbase: table %q already exists", desc.Name)
+	}
+	for i := 1; i < len(splitKeys); i++ {
+		if bytes.Compare(splitKeys[i-1], splitKeys[i]) >= 0 {
+			return fmt.Errorf("hbase: split keys must be sorted and distinct")
+		}
+	}
+	ts := &tableState{desc: desc, regions: make(map[string]*Region)}
+	bounds := make([][]byte, 0, len(splitKeys)+2)
+	bounds = append(bounds, nil)
+	bounds = append(bounds, splitKeys...)
+	bounds = append(bounds, nil)
+	for i := 0; i+1 < len(bounds); i++ {
+		m.nextID++
+		info := RegionInfo{
+			Table:    desc.Name,
+			ID:       fmt.Sprintf("%s-%04d", desc.Name, m.nextID),
+			StartKey: cloneKey(bounds[i]),
+			EndKey:   cloneKey(bounds[i+1]),
+		}
+		descCopy := desc
+		region := NewRegion(info, &descCopy, m.cfg, m.meter)
+		m.leastLoadedLocked().AddRegion(region)
+		ts.regions[info.ID] = region
+	}
+	m.tables[desc.Name] = ts
+	return nil
+}
+
+func cloneKey(k []byte) []byte {
+	if k == nil {
+		return nil
+	}
+	return append([]byte(nil), k...)
+}
+
+// locked
+func (m *Master) leastLoadedLocked() *RegionServer {
+	best := m.servers[0]
+	for _, rs := range m.servers[1:] {
+		if rs.RegionCount() < best.RegionCount() {
+			best = rs
+		}
+	}
+	return best
+}
+
+// DeleteTable drops a table and unhosts its regions.
+func (m *Master) DeleteTable(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts, ok := m.tables[name]
+	if !ok {
+		return fmt.Errorf("hbase: table %q does not exist", name)
+	}
+	for id, r := range ts.regions {
+		for _, rs := range m.servers {
+			if rs.Host() == r.Info().Host {
+				rs.RemoveRegion(id)
+			}
+		}
+	}
+	delete(m.tables, name)
+	return nil
+}
+
+// TableRegions lists a table's regions in start-key order.
+func (m *Master) TableRegions(name string) ([]RegionInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts, ok := m.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("hbase: table %q does not exist", name)
+	}
+	out := make([]RegionInfo, 0, len(ts.regions))
+	for _, r := range ts.regions {
+		out = append(out, r.Info())
+	}
+	sortRegions(out)
+	return out, nil
+}
+
+// Tables lists table names sorted.
+func (m *Master) Tables() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.tables))
+	for name := range m.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TableDescriptorFor returns the descriptor of a table.
+func (m *Master) TableDescriptorFor(name string) (TableDescriptor, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts, ok := m.tables[name]
+	if !ok {
+		return TableDescriptor{}, fmt.Errorf("hbase: table %q does not exist", name)
+	}
+	return ts.desc, nil
+}
+
+// TableStatsFor aggregates storage statistics across a table's regions.
+func (m *Master) TableStatsFor(name string) (TableStats, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts, ok := m.tables[name]
+	if !ok {
+		return TableStats{}, fmt.Errorf("hbase: table %q does not exist", name)
+	}
+	var out TableStats
+	for _, r := range ts.regions {
+		out.Bytes += int64(r.Size())
+		out.Cells += r.CellCount()
+		out.Regions++
+	}
+	return out, nil
+}
+
+// SplitRegion splits one region at its computed midpoint, keeping both
+// daughters on the same host (HBase's default before balancing).
+func (m *Master) SplitRegion(table, regionID string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts, ok := m.tables[table]
+	if !ok {
+		return fmt.Errorf("hbase: table %q does not exist", table)
+	}
+	r, ok := ts.regions[regionID]
+	if !ok {
+		return fmt.Errorf("hbase: region %q not in table %q", regionID, table)
+	}
+	point := r.SplitPoint()
+	if point == nil {
+		return fmt.Errorf("hbase: region %q has no viable split point", regionID)
+	}
+	m.nextID++
+	lowID := fmt.Sprintf("%s-%04d", table, m.nextID)
+	m.nextID++
+	highID := fmt.Sprintf("%s-%04d", table, m.nextID)
+	low, high, err := r.SplitInto(lowID, highID, point)
+	if err != nil {
+		return err
+	}
+	var host *RegionServer
+	for _, rs := range m.servers {
+		if rs.Host() == r.Info().Host {
+			host = rs
+			break
+		}
+	}
+	if host == nil {
+		return fmt.Errorf("hbase: host %q of region %q not found", r.Info().Host, regionID)
+	}
+	host.RemoveRegion(regionID)
+	delete(ts.regions, regionID)
+	host.AddRegion(low)
+	host.AddRegion(high)
+	ts.regions[lowID] = low
+	ts.regions[highID] = high
+	return nil
+}
+
+// SplitOvergrownRegions splits every region that reports NeedsSplit, once.
+func (m *Master) SplitOvergrownRegions() (int, error) {
+	type target struct{ table, region string }
+	m.mu.Lock()
+	var targets []target
+	for name, ts := range m.tables {
+		for id, r := range ts.regions {
+			if r.NeedsSplit() {
+				targets = append(targets, target{name, id})
+			}
+		}
+	}
+	m.mu.Unlock()
+	n := 0
+	for _, t := range targets {
+		if err := m.SplitRegion(t.table, t.region); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Balance migrates regions so server loads differ by at most one region.
+// It returns the number of regions moved.
+func (m *Master) Balance() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.servers) < 2 {
+		return 0
+	}
+	moved := 0
+	for {
+		var minS, maxS *RegionServer
+		for _, rs := range m.servers {
+			if minS == nil || rs.RegionCount() < minS.RegionCount() {
+				minS = rs
+			}
+			if maxS == nil || rs.RegionCount() > maxS.RegionCount() {
+				maxS = rs
+			}
+		}
+		if maxS.RegionCount()-minS.RegionCount() <= 1 {
+			return moved
+		}
+		infos := maxS.RegionInfos()
+		r := maxS.RemoveRegion(infos[0].ID)
+		minS.AddRegion(r)
+		moved++
+	}
+}
+
+func (m *Master) handleCreateTable(req rpc.Message) (rpc.Message, error) {
+	r, ok := req.(*CreateTableRequest)
+	if !ok {
+		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodCreateTable, req)
+	}
+	if err := m.auth(r.Token); err != nil {
+		return nil, err
+	}
+	if err := m.CreateTable(r.Desc, r.SplitKeys); err != nil {
+		return nil, err
+	}
+	return Ack{}, nil
+}
+
+func (m *Master) handleDeleteTable(req rpc.Message) (rpc.Message, error) {
+	r, ok := req.(*TableRequest)
+	if !ok {
+		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodDeleteTable, req)
+	}
+	if err := m.auth(r.Token); err != nil {
+		return nil, err
+	}
+	if err := m.DeleteTable(r.Table); err != nil {
+		return nil, err
+	}
+	return Ack{}, nil
+}
+
+func (m *Master) handleTableRegions(req rpc.Message) (rpc.Message, error) {
+	r, ok := req.(*TableRequest)
+	if !ok {
+		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodTableRegions, req)
+	}
+	if err := m.auth(r.Token); err != nil {
+		return nil, err
+	}
+	regions, err := m.TableRegions(r.Table)
+	if err != nil {
+		return nil, err
+	}
+	return &RegionList{Regions: regions}, nil
+}
+
+func (m *Master) handleTableStats(req rpc.Message) (rpc.Message, error) {
+	r, ok := req.(*TableRequest)
+	if !ok {
+		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodTableStats, req)
+	}
+	if err := m.auth(r.Token); err != nil {
+		return nil, err
+	}
+	stats, err := m.TableStatsFor(r.Table)
+	if err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+func (m *Master) handleListTables(req rpc.Message) (rpc.Message, error) {
+	r, ok := req.(*TableRequest)
+	if !ok {
+		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodListTables, req)
+	}
+	if err := m.auth(r.Token); err != nil {
+		return nil, err
+	}
+	return &TableNames{Names: m.Tables()}, nil
+}

@@ -1,0 +1,189 @@
+package hbase
+
+// RPC method names served by region servers and the master.
+const (
+	MethodPut          = "Put"
+	MethodScan         = "Scan"
+	MethodBulkGet      = "BulkGet"
+	MethodFused        = "Fused"
+	MethodCreateTable  = "CreateTable"
+	MethodDeleteTable  = "DeleteTable"
+	MethodTableRegions = "TableRegions"
+	MethodListTables   = "ListTables"
+	MethodTableStats   = "TableStats"
+)
+
+// PutRequest carries a batch of mutations for one region.
+type PutRequest struct {
+	RegionID string
+	Cells    []Cell
+	Token    string
+}
+
+// WireSize implements rpc.Message.
+func (m *PutRequest) WireSize() int {
+	n := len(m.RegionID) + len(m.Token)
+	for i := range m.Cells {
+		n += m.Cells[i].WireSize()
+	}
+	return n
+}
+
+// Ack is an empty success response.
+type Ack struct{}
+
+// WireSize implements rpc.Message.
+func (Ack) WireSize() int { return 1 }
+
+// ScanRequest runs a Scan against one region.
+type ScanRequest struct {
+	RegionID string
+	Scan     *Scan
+	Token    string
+}
+
+// WireSize implements rpc.Message.
+func (m *ScanRequest) WireSize() int {
+	n := len(m.RegionID) + len(m.Token)
+	if m.Scan != nil {
+		n += m.Scan.WireSize()
+	}
+	return n
+}
+
+// ScanResponse returns the matching rows.
+type ScanResponse struct {
+	Results []Result
+}
+
+// WireSize implements rpc.Message.
+func (m *ScanResponse) WireSize() int {
+	n := 0
+	for i := range m.Results {
+		n += m.Results[i].WireSize()
+	}
+	return n
+}
+
+// BulkGetRequest fetches many individual rows from one region in one round
+// trip — HBase's batched Get (paper §V-A).
+type BulkGetRequest struct {
+	RegionID    string
+	Rows        [][]byte
+	Columns     []Column
+	MaxVersions int
+	TimeRange   TimeRange
+	Token       string
+}
+
+// WireSize implements rpc.Message.
+func (m *BulkGetRequest) WireSize() int {
+	n := len(m.RegionID) + len(m.Token) + 20
+	for _, r := range m.Rows {
+		n += len(r)
+	}
+	for _, c := range m.Columns {
+		n += len(c.Family) + len(c.Qualifier)
+	}
+	return n
+}
+
+// ScanOp is one scan or bulk-get bound for a specific region, used inside a
+// fused request.
+type ScanOp struct {
+	RegionID string
+	Scan     *Scan    // nil when Rows is set
+	Rows     [][]byte // bulk get when non-empty
+}
+
+// FusedRequest packs multiple Scan/BulkGet operations for regions hosted on
+// the same server into a single RPC — the operators-fusion optimization
+// (paper §VI-A.4). Options on Scan apply per-op; Columns etc. for Rows ops
+// come from the accompanying Scan template.
+type FusedRequest struct {
+	Ops   []ScanOp
+	Token string
+}
+
+// WireSize implements rpc.Message.
+func (m *FusedRequest) WireSize() int {
+	n := len(m.Token)
+	for _, op := range m.Ops {
+		n += len(op.RegionID)
+		if op.Scan != nil {
+			n += op.Scan.WireSize()
+		}
+		for _, r := range op.Rows {
+			n += len(r)
+		}
+	}
+	return n
+}
+
+// CreateTableRequest creates a table pre-split at the given keys.
+type CreateTableRequest struct {
+	Desc      TableDescriptor
+	SplitKeys [][]byte
+	Token     string
+}
+
+// WireSize implements rpc.Message.
+func (m *CreateTableRequest) WireSize() int {
+	n := len(m.Desc.Name) + len(m.Token)
+	for _, f := range m.Desc.Families {
+		n += len(f)
+	}
+	for _, k := range m.SplitKeys {
+		n += len(k)
+	}
+	return n
+}
+
+// TableRequest names a table for meta operations.
+type TableRequest struct {
+	Table string
+	Token string
+}
+
+// WireSize implements rpc.Message.
+func (m *TableRequest) WireSize() int { return len(m.Table) + len(m.Token) }
+
+// RegionList is the meta response listing a table's regions in key order.
+type RegionList struct {
+	Regions []RegionInfo
+}
+
+// WireSize implements rpc.Message.
+func (m *RegionList) WireSize() int {
+	n := 0
+	for i := range m.Regions {
+		n += m.Regions[i].WireSize()
+	}
+	return n
+}
+
+// TableStats summarizes a table's storage: the master aggregates it from
+// the hosting regions, the way hbase:meta + region metrics feed size-based
+// decisions.
+type TableStats struct {
+	Bytes   int64
+	Cells   int64
+	Regions int
+}
+
+// WireSize implements rpc.Message.
+func (TableStats) WireSize() int { return 20 }
+
+// TableNames lists table names.
+type TableNames struct {
+	Names []string
+}
+
+// WireSize implements rpc.Message.
+func (m *TableNames) WireSize() int {
+	n := 0
+	for _, s := range m.Names {
+		n += len(s)
+	}
+	return n
+}

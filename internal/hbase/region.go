@@ -1,0 +1,417 @@
+package hbase
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"github.com/shc-go/shc/internal/metrics"
+	"github.com/shc-go/shc/internal/wal"
+)
+
+// StoreConfig tunes a region's storage behaviour.
+type StoreConfig struct {
+	// FlushThresholdBytes triggers a MemStore flush; defaults to 256 KiB.
+	FlushThresholdBytes int
+	// CompactThresholdFiles triggers a major compaction when the number of
+	// store files reaches it; defaults to 4.
+	CompactThresholdFiles int
+	// SplitThresholdBytes marks the region as needing a split when its
+	// total size exceeds it; 0 disables automatic splits.
+	SplitThresholdBytes int
+}
+
+func (c StoreConfig) withDefaults() StoreConfig {
+	if c.FlushThresholdBytes <= 0 {
+		c.FlushThresholdBytes = 256 << 10
+	}
+	if c.CompactThresholdFiles <= 0 {
+		c.CompactThresholdFiles = 4
+	}
+	return c
+}
+
+// Region stores the cells of one row-key range of one table. All access is
+// serialized through its mutex; concurrency in the simulator comes from
+// many regions, as it does in HBase.
+type Region struct {
+	info    RegionInfo
+	desc    *TableDescriptor
+	cfg     StoreConfig
+	meter   *metrics.Registry
+	mu      sync.RWMutex
+	mem     memStore
+	files   []*storeFile
+	log     *wal.Log
+	flushed uint64 // WAL sequence below which data is in store files
+}
+
+// NewRegion creates an empty region for the given range.
+func NewRegion(info RegionInfo, desc *TableDescriptor, cfg StoreConfig, meter *metrics.Registry) *Region {
+	return &Region{
+		info:  info,
+		desc:  desc,
+		cfg:   cfg.withDefaults(),
+		meter: meter,
+		log:   wal.New(meter),
+	}
+}
+
+// Info returns a copy of the region's identity.
+func (r *Region) Info() RegionInfo { return r.info }
+
+// Descriptor returns the table descriptor the region serves.
+func (r *Region) Descriptor() TableDescriptor { return *r.desc }
+
+// Put applies one cell mutation: WAL first, then MemStore, then flush if
+// the buffer is over threshold.
+func (r *Region) Put(c Cell) error {
+	if err := r.checkCell(&c); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.append(c)
+	r.maybeFlushLocked()
+	return nil
+}
+
+// PutBatch applies many cells under one lock acquisition, the path bulk
+// writes take.
+func (r *Region) PutBatch(cells []Cell) error {
+	for i := range cells {
+		if err := r.checkCell(&cells[i]); err != nil {
+			return err
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range cells {
+		r.append(cells[i])
+	}
+	r.maybeFlushLocked()
+	return nil
+}
+
+func (r *Region) checkCell(c *Cell) error {
+	if !r.info.ContainsRow(c.Row) {
+		return fmt.Errorf("hbase: row %x outside region %s", c.Row, r.info.ID)
+	}
+	if !r.desc.HasFamily(c.Family) {
+		return fmt.Errorf("hbase: unknown column family %q in table %q", c.Family, r.desc.Name)
+	}
+	if c.Type != TypePut && c.Type != TypeDelete {
+		return fmt.Errorf("hbase: cell has invalid type %d", c.Type)
+	}
+	return nil
+}
+
+// locked
+func (r *Region) append(c Cell) {
+	kind := wal.KindPut
+	if c.Type == TypeDelete {
+		kind = wal.KindDelete
+	}
+	r.log.Append(wal.Entry{
+		Table: r.desc.Name, Region: r.info.ID, Kind: kind,
+		Row: c.Row, Family: c.Family, Qualifier: c.Qualifier,
+		Timestamp: c.Timestamp, Value: c.Value,
+	})
+	r.mem.add(c)
+}
+
+// locked
+func (r *Region) maybeFlushLocked() {
+	if r.mem.bytes < r.cfg.FlushThresholdBytes {
+		return
+	}
+	r.flushLocked()
+}
+
+// locked
+func (r *Region) flushLocked() {
+	if len(r.mem.cells) == 0 {
+		return
+	}
+	r.files = append(r.files, newStoreFile(r.mem.snapshot()))
+	r.mem.reset()
+	r.flushed = r.log.NextSeq()
+	r.log.Truncate(r.flushed)
+	r.meter.Inc(metrics.MemstoreFlushes)
+	if len(r.files) >= r.cfg.CompactThresholdFiles {
+		r.compactLocked()
+	}
+}
+
+// Flush forces the MemStore to a store file.
+func (r *Region) Flush() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flushLocked()
+}
+
+// locked
+func (r *Region) compactLocked() {
+	runs := make([][]Cell, len(r.files))
+	for i, f := range r.files {
+		runs[i] = f.cells
+	}
+	merged := compact(r.desc.maxVersions(), runs...)
+	r.files = []*storeFile{newStoreFile(merged)}
+	r.meter.Inc(metrics.Compactions)
+}
+
+// Compact forces a major compaction.
+func (r *Region) Compact() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flushLocked()
+	r.compactLocked()
+}
+
+// Size reports the region's total stored bytes (MemStore + store files).
+func (r *Region) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := r.mem.bytes
+	for _, f := range r.files {
+		n += f.size
+	}
+	return n
+}
+
+// CellCount reports how many cells (including not-yet-compacted versions
+// and tombstones) the region stores — a cheap cardinality signal.
+func (r *Region) CellCount() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := int64(len(r.mem.cells))
+	for _, f := range r.files {
+		n += int64(len(f.cells))
+	}
+	return n
+}
+
+// StoreFileCount reports how many store files the region currently holds.
+func (r *Region) StoreFileCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.files)
+}
+
+// NeedsSplit reports whether the region has outgrown its split threshold.
+func (r *Region) NeedsSplit() bool {
+	if r.cfg.SplitThresholdBytes <= 0 {
+		return false
+	}
+	return r.Size() > r.cfg.SplitThresholdBytes
+}
+
+// SplitPoint proposes a midpoint row key for splitting, or nil when the
+// region holds too little distinct data to split.
+func (r *Region) SplitPoint() []byte {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	all := r.allCellsLocked(nil, nil)
+	if len(all) == 0 {
+		return nil
+	}
+	mid := all[len(all)/2].Row
+	// The split point must differ from the region start key or the low
+	// daughter would be empty-ranged.
+	if len(r.info.StartKey) > 0 && bytes.Equal(mid, r.info.StartKey) {
+		return nil
+	}
+	if bytes.Equal(mid, all[0].Row) && bytes.Equal(mid, all[len(all)-1].Row) {
+		return nil // single-row region
+	}
+	return append([]byte(nil), mid...)
+}
+
+// SplitInto materializes two daughter regions at splitKey and returns them.
+// The parent should be discarded afterwards.
+func (r *Region) SplitInto(lowID, highID string, splitKey []byte) (*Region, *Region, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(splitKey) == 0 || !r.info.ContainsRow(splitKey) {
+		return nil, nil, fmt.Errorf("hbase: split key %x outside region %s", splitKey, r.info.ID)
+	}
+	all := r.allCellsLocked(nil, nil)
+	lowInfo := RegionInfo{Table: r.info.Table, ID: lowID, StartKey: r.info.StartKey, EndKey: append([]byte(nil), splitKey...), Host: r.info.Host}
+	highInfo := RegionInfo{Table: r.info.Table, ID: highID, StartKey: append([]byte(nil), splitKey...), EndKey: r.info.EndKey, Host: r.info.Host}
+	low := NewRegion(lowInfo, r.desc, r.cfg, r.meter)
+	high := NewRegion(highInfo, r.desc, r.cfg, r.meter)
+	var lowCells, highCells []Cell
+	for _, c := range all {
+		if bytes.Compare(c.Row, splitKey) < 0 {
+			lowCells = append(lowCells, c)
+		} else {
+			highCells = append(highCells, c)
+		}
+	}
+	if len(lowCells) > 0 {
+		low.files = []*storeFile{newStoreFile(lowCells)}
+	}
+	if len(highCells) > 0 {
+		high.files = []*storeFile{newStoreFile(highCells)}
+	}
+	r.meter.Inc(metrics.RegionSplits)
+	return low, high, nil
+}
+
+// locked; merged, sorted cells within [start, stop).
+func (r *Region) allCellsLocked(start, stop []byte) []Cell {
+	runs := make([][]Cell, 0, len(r.files)+1)
+	for _, f := range r.files {
+		runs = append(runs, f.cellsInRange(nil, start, stop))
+	}
+	memCells := r.mem.snapshot()
+	if start != nil || stop != nil {
+		filtered := memCells[:0]
+		for _, c := range memCells {
+			if start != nil && bytes.Compare(c.Row, start) < 0 {
+				continue
+			}
+			if stop != nil && bytes.Compare(c.Row, stop) >= 0 {
+				continue
+			}
+			filtered = append(filtered, c)
+		}
+		memCells = filtered
+	}
+	runs = append(runs, memCells)
+	return mergeSorted(runs...)
+}
+
+// Scan is a region-local range read with server-side projection, version
+// and time-range resolution, filtering, and an optional row limit.
+type Scan struct {
+	StartRow    []byte // inclusive; nil = region start
+	StopRow     []byte // exclusive; nil = region end
+	Columns     []Column
+	Filter      Filter
+	MaxVersions int
+	TimeRange   TimeRange
+	Limit       int // max rows; 0 = unlimited
+}
+
+// WireSize implements rpc.Message for scan requests.
+func (s *Scan) WireSize() int {
+	n := len(s.StartRow) + len(s.StopRow) + 16
+	for _, c := range s.Columns {
+		n += len(c.Family) + len(c.Qualifier)
+	}
+	if s.Filter != nil {
+		n += s.Filter.WireSize()
+	}
+	return n
+}
+
+// RunScan executes the scan against this region, metering rows scanned vs
+// returned so the benchmark harness can attribute pushdown savings.
+func (r *Region) RunScan(s *Scan) []Result {
+	start, stop := s.StartRow, s.StopRow
+	if len(r.info.StartKey) > 0 && (start == nil || bytes.Compare(start, r.info.StartKey) < 0) {
+		start = r.info.StartKey
+	}
+	if len(r.info.EndKey) > 0 && (stop == nil || bytes.Compare(stop, r.info.EndKey) > 0) {
+		stop = r.info.EndKey
+	}
+	r.mu.RLock()
+	cells := r.allCellsLocked(start, stop)
+	r.mu.RUnlock()
+
+	maxV := s.MaxVersions
+	if maxV <= 0 {
+		maxV = 1
+	}
+	if maxV > r.desc.maxVersions() {
+		maxV = r.desc.maxVersions()
+	}
+	visible := resolveVersions(cells, maxV, s.TimeRange)
+
+	var out []Result
+	i := 0
+	for i < len(visible) {
+		j := i
+		for j < len(visible) && bytes.Equal(visible[j].Row, visible[i].Row) {
+			j++
+		}
+		row := visible[i:j]
+		r.meter.Inc(metrics.RowsScanned)
+		r.meter.Add(metrics.CellsScanned, int64(len(row)))
+		res := buildResult(row, s.Columns)
+		if !res.Empty() && (s.Filter == nil || matchWithFullRow(s.Filter, row, &res)) {
+			r.meter.Inc(metrics.RowsReturned)
+			r.meter.Add(metrics.CellsReturned, int64(len(res.Cells)))
+			out = append(out, res)
+			if s.Limit > 0 && len(out) >= s.Limit {
+				break
+			}
+		}
+		i = j
+	}
+	r.meter.Inc(metrics.RegionsScanned)
+	return out
+}
+
+// matchWithFullRow evaluates the filter against the full row (all columns),
+// as HBase does, even when the projection later narrows the returned cells.
+func matchWithFullRow(f Filter, fullRow []Cell, projected *Result) bool {
+	full := Result{Row: projected.Row, Cells: fullRow}
+	return f.Match(&full)
+}
+
+func buildResult(row []Cell, cols []Column) Result {
+	res := Result{Row: row[0].Row}
+	if len(cols) == 0 {
+		res.Cells = append(res.Cells, row...)
+		return res
+	}
+	for i := range row {
+		c := &row[i]
+		for _, want := range cols {
+			if c.Family == want.Family && (want.Qualifier == "" || c.Qualifier == want.Qualifier) {
+				res.Cells = append(res.Cells, *c)
+				break
+			}
+		}
+	}
+	return res
+}
+
+// Get reads one row, honoring the same projection/version/time options as
+// Scan.
+func (r *Region) Get(row []byte, cols []Column, maxVersions int, tr TimeRange) Result {
+	s := &Scan{StartRow: row, StopRow: append(append([]byte(nil), row...), 0), Columns: cols, MaxVersions: maxVersions, TimeRange: tr, Limit: 1}
+	results := r.RunScan(s)
+	if len(results) == 0 {
+		return Result{Row: append([]byte(nil), row...)}
+	}
+	return results[0]
+}
+
+// RecoverFromWAL rebuilds MemStore state by replaying the region's log from
+// the last flushed sequence; used after a simulated crash drops the
+// MemStore.
+func (r *Region) RecoverFromWAL() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mem.reset()
+	return r.log.Replay(r.flushed, func(e wal.Entry) error {
+		typ := TypePut
+		if e.Kind == wal.KindDelete {
+			typ = TypeDelete
+		}
+		r.mem.add(Cell{Row: e.Row, Family: e.Family, Qualifier: e.Qualifier, Timestamp: e.Timestamp, Type: typ, Value: e.Value})
+		return nil
+	})
+}
+
+// DropMemStore simulates a crash that loses buffered writes (for recovery
+// tests): the MemStore is cleared without flushing.
+func (r *Region) DropMemStore() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mem.reset()
+}

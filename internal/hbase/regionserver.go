@@ -1,0 +1,216 @@
+package hbase
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/shc-go/shc/internal/metrics"
+	"github.com/shc-go/shc/internal/rpc"
+)
+
+// ErrNotServing reports a request for a region the server does not host —
+// the client's signal that its meta cache is stale (region split, moved by
+// the balancer, or reassigned after failover).
+var ErrNotServing = errors.New("hbase: region not served here")
+
+// TokenValidator authenticates a request token; nil means the cluster is
+// insecure and every request is accepted.
+type TokenValidator func(token string) error
+
+// RegionServer hosts a set of regions and serves data RPCs for them
+// (paper §III-B). One region server maps to one simulated host.
+type RegionServer struct {
+	host     string
+	meter    *metrics.Registry
+	validate TokenValidator
+
+	mu      sync.RWMutex
+	regions map[string]*Region
+}
+
+// NewRegionServer creates a server on host and registers its RPC handlers.
+func NewRegionServer(host string, net *rpc.Network, meter *metrics.Registry, validate TokenValidator) (*RegionServer, error) {
+	rs := &RegionServer{host: host, meter: meter, validate: validate, regions: make(map[string]*Region)}
+	if err := net.AddHost(host); err != nil {
+		return nil, err
+	}
+	for method, h := range map[string]rpc.Handler{
+		MethodPut:     rs.handlePut,
+		MethodScan:    rs.handleScan,
+		MethodBulkGet: rs.handleBulkGet,
+		MethodFused:   rs.handleFused,
+	} {
+		if err := net.Handle(host, method, h); err != nil {
+			return nil, err
+		}
+	}
+	return rs, nil
+}
+
+// Host returns the server's host name.
+func (rs *RegionServer) Host() string { return rs.host }
+
+// AddRegion places a region on this server.
+func (rs *RegionServer) AddRegion(r *Region) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	r.info.Host = rs.host
+	rs.regions[r.info.ID] = r
+}
+
+// RemoveRegion takes a region off this server and returns it (nil if not
+// hosted here).
+func (rs *RegionServer) RemoveRegion(id string) *Region {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	r := rs.regions[id]
+	delete(rs.regions, id)
+	return r
+}
+
+// Region returns the hosted region with the given id, or nil.
+func (rs *RegionServer) Region(id string) *Region {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	return rs.regions[id]
+}
+
+// RegionCount reports how many regions the server hosts.
+func (rs *RegionServer) RegionCount() int {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	return len(rs.regions)
+}
+
+// Regions lists the hosted region objects (used by a recovering master to
+// rebuild its meta state).
+func (rs *RegionServer) Regions() []*Region {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	out := make([]*Region, 0, len(rs.regions))
+	for _, r := range rs.regions {
+		out = append(out, r)
+	}
+	return out
+}
+
+// RegionInfos lists the hosted regions.
+func (rs *RegionServer) RegionInfos() []RegionInfo {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	out := make([]RegionInfo, 0, len(rs.regions))
+	for _, r := range rs.regions {
+		out = append(out, r.Info())
+	}
+	sortRegions(out)
+	return out
+}
+
+func (rs *RegionServer) auth(token string) error {
+	if rs.validate == nil {
+		return nil
+	}
+	return rs.validate(token)
+}
+
+func (rs *RegionServer) regionFor(id string) (*Region, error) {
+	r := rs.Region(id)
+	if r == nil {
+		return nil, fmt.Errorf("%w: %q on %s", ErrNotServing, id, rs.host)
+	}
+	return r, nil
+}
+
+func (rs *RegionServer) handlePut(req rpc.Message) (rpc.Message, error) {
+	m, ok := req.(*PutRequest)
+	if !ok {
+		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodPut, req)
+	}
+	if err := rs.auth(m.Token); err != nil {
+		return nil, err
+	}
+	r, err := rs.regionFor(m.RegionID)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.PutBatch(m.Cells); err != nil {
+		return nil, err
+	}
+	return Ack{}, nil
+}
+
+func (rs *RegionServer) handleScan(req rpc.Message) (rpc.Message, error) {
+	m, ok := req.(*ScanRequest)
+	if !ok {
+		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodScan, req)
+	}
+	if err := rs.auth(m.Token); err != nil {
+		return nil, err
+	}
+	r, err := rs.regionFor(m.RegionID)
+	if err != nil {
+		return nil, err
+	}
+	if m.Scan == nil {
+		return nil, fmt.Errorf("hbase: %s: nil scan", MethodScan)
+	}
+	return &ScanResponse{Results: r.RunScan(m.Scan)}, nil
+}
+
+func (rs *RegionServer) handleBulkGet(req rpc.Message) (rpc.Message, error) {
+	m, ok := req.(*BulkGetRequest)
+	if !ok {
+		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodBulkGet, req)
+	}
+	if err := rs.auth(m.Token); err != nil {
+		return nil, err
+	}
+	r, err := rs.regionFor(m.RegionID)
+	if err != nil {
+		return nil, err
+	}
+	resp := &ScanResponse{}
+	for _, row := range m.Rows {
+		res := r.Get(row, m.Columns, m.MaxVersions, m.TimeRange)
+		if !res.Empty() {
+			resp.Results = append(resp.Results, res)
+		}
+	}
+	return resp, nil
+}
+
+func (rs *RegionServer) handleFused(req rpc.Message) (rpc.Message, error) {
+	m, ok := req.(*FusedRequest)
+	if !ok {
+		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodFused, req)
+	}
+	if err := rs.auth(m.Token); err != nil {
+		return nil, err
+	}
+	resp := &ScanResponse{}
+	for _, op := range m.Ops {
+		r, err := rs.regionFor(op.RegionID)
+		if err != nil {
+			return nil, err
+		}
+		if len(op.Rows) > 0 {
+			// Point gets inherit the template's projection, filter, and
+			// time options (HBase Gets carry filters too).
+			for _, row := range op.Rows {
+				s := Scan{StartRow: row, StopRow: append(append([]byte(nil), row...), 0), Limit: 1}
+				if op.Scan != nil {
+					s.Columns, s.Filter = op.Scan.Columns, op.Scan.Filter
+					s.MaxVersions, s.TimeRange = op.Scan.MaxVersions, op.Scan.TimeRange
+				}
+				resp.Results = append(resp.Results, r.RunScan(&s)...)
+			}
+			continue
+		}
+		if op.Scan == nil {
+			return nil, fmt.Errorf("hbase: %s: op for region %q has neither scan nor rows", MethodFused, op.RegionID)
+		}
+		resp.Results = append(resp.Results, r.RunScan(op.Scan)...)
+	}
+	return resp, nil
+}

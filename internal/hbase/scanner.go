@@ -1,0 +1,119 @@
+package hbase
+
+import (
+	"bytes"
+)
+
+// Scanner iterates a table scan in pages, the way HBase clients stream
+// large scans with a caching size instead of materializing everything in
+// one response. Each Next() issues at most one RPC per region visited.
+type Scanner struct {
+	client    *Client
+	table     string
+	spec      Scan
+	batchSize int
+
+	regions []RegionInfo
+	region  int    // index of the region currently being scanned
+	cursor  []byte // next start row within the current region
+	done    bool
+	err     error
+}
+
+// OpenScanner starts a paged scan. batchSize bounds the rows per page
+// (default 100). The Scan's Limit, if set, caps the total across pages.
+func (c *Client) OpenScanner(table string, spec *Scan, batchSize int) (*Scanner, error) {
+	if batchSize <= 0 {
+		batchSize = 100
+	}
+	regions, err := c.Regions(table)
+	if err != nil {
+		return nil, err
+	}
+	s := &Scanner{client: c, table: table, spec: *spec, batchSize: batchSize, regions: regions}
+	s.cursor = spec.StartRow
+	s.skipToOverlap()
+	return s, nil
+}
+
+// skipToOverlap advances past regions the scan range does not touch.
+func (s *Scanner) skipToOverlap() {
+	for s.region < len(s.regions) {
+		ri := &s.regions[s.region]
+		if ri.OverlapsRange(s.startFor(), s.spec.StopRow) {
+			return
+		}
+		s.region++
+	}
+	s.done = true
+}
+
+func (s *Scanner) startFor() []byte {
+	if s.cursor != nil {
+		return s.cursor
+	}
+	return s.spec.StartRow
+}
+
+// Next returns the next page of results, or (nil, nil) when the scan is
+// exhausted.
+func (s *Scanner) Next() ([]Result, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	for !s.done {
+		ri := s.regions[s.region]
+		page := s.spec
+		page.StartRow = s.startFor()
+		page.Limit = s.batchSize
+		results, err := s.client.ScanRegion(ri, &page)
+		if err != nil {
+			s.err = err
+			return nil, err
+		}
+		if len(results) == 0 {
+			// Region drained: move on.
+			s.region++
+			s.cursor = nil
+			s.skipToOverlap()
+			continue
+		}
+		last := results[len(results)-1].Row
+		s.cursor = append(append([]byte(nil), last...), 0) // resume after last row
+		if len(results) < s.batchSize {
+			// Short page: this region is done.
+			s.region++
+			s.cursor = nil
+			s.skipToOverlap()
+		}
+		// Clip to the region's end in case the cursor ran past it.
+		if !s.done && s.cursor != nil {
+			ri := s.regions[s.region]
+			if len(ri.EndKey) > 0 && bytes.Compare(s.cursor, ri.EndKey) >= 0 {
+				s.region++
+				s.cursor = nil
+				s.skipToOverlap()
+			}
+		}
+		return results, nil
+	}
+	return nil, nil
+}
+
+// All drains the scanner, honoring the Scan's Limit.
+func (s *Scanner) All() ([]Result, error) {
+	var out []Result
+	for {
+		page, err := s.Next()
+		if err != nil {
+			return nil, err
+		}
+		if page == nil {
+			return out, nil
+		}
+		out = append(out, page...)
+		if s.spec.Limit > 0 && len(out) >= s.spec.Limit {
+			return out[:s.spec.Limit], nil
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package hbase
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/shc-go/shc/internal/metrics"
+)
+
+func scannerFixture(t *testing.T, rows int) (*Cluster, *Client) {
+	t.Helper()
+	c := bootCluster(t, 3)
+	client := c.NewClient()
+	t.Cleanup(client.Close)
+	splits := [][]byte{[]byte("row-030"), []byte("row-060")}
+	if err := client.CreateTable(TableDescriptor{Name: "t", Families: []string{"cf"}}, splits); err != nil {
+		t.Fatal(err)
+	}
+	var cells []Cell
+	for i := 0; i < rows; i++ {
+		cells = append(cells, cell(fmt.Sprintf("row-%03d", i), "cf", "q", 1, fmt.Sprintf("v%d", i)))
+	}
+	if err := client.Put("t", cells); err != nil {
+		t.Fatal(err)
+	}
+	return c, client
+}
+
+func TestScannerPagesThroughAllRegions(t *testing.T) {
+	_, client := scannerFixture(t, 90)
+	sc, err := client.OpenScanner("t", &Scan{}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []Result
+	pages := 0
+	for {
+		page, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if page == nil {
+			break
+		}
+		if len(page) > 25 {
+			t.Fatalf("page size %d exceeds batch", len(page))
+		}
+		pages++
+		all = append(all, page...)
+	}
+	if len(all) != 90 {
+		t.Fatalf("rows = %d", len(all))
+	}
+	if pages < 4 {
+		t.Errorf("pages = %d, want several", pages)
+	}
+	// Rows arrive in global key order.
+	for i := 1; i < len(all); i++ {
+		if string(all[i-1].Row) >= string(all[i].Row) {
+			t.Fatal("scanner must preserve key order")
+		}
+	}
+}
+
+func TestScannerRangeAndAll(t *testing.T) {
+	_, client := scannerFixture(t, 90)
+	sc, err := client.OpenScanner("t", &Scan{StartRow: []byte("row-025"), StopRow: []byte("row-070")}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := sc.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 45 {
+		t.Fatalf("range rows = %d", len(all))
+	}
+	if string(all[0].Row) != "row-025" || string(all[len(all)-1].Row) != "row-069" {
+		t.Errorf("range bounds = %q..%q", all[0].Row, all[len(all)-1].Row)
+	}
+}
+
+func TestScannerHonorsLimit(t *testing.T) {
+	_, client := scannerFixture(t, 90)
+	sc, err := client.OpenScanner("t", &Scan{Limit: 7}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := sc.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 7 {
+		t.Errorf("limited rows = %d", len(all))
+	}
+}
+
+func TestScannerEmptyAndErrors(t *testing.T) {
+	c, client := scannerFixture(t, 90)
+	sc, err := client.OpenScanner("t", &Scan{StartRow: []byte("zzz")}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := sc.Next()
+	if err != nil || page != nil {
+		t.Errorf("empty scan = %v, %v", page, err)
+	}
+	if _, err := client.OpenScanner("missing", &Scan{}, 10); err == nil {
+		t.Error("unknown table must fail")
+	}
+	// Errors propagate and stick.
+	sc2, _ := client.OpenScanner("t", &Scan{}, 10)
+	if err := c.Net.SetDown(c.Servers[0].Host(), true); err != nil {
+		t.Fatal(err)
+	}
+	failed := false
+	for i := 0; i < 20; i++ {
+		if _, err := sc2.Next(); err != nil {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		t.Error("scanner should surface a downed server")
+	}
+	if _, err := sc2.Next(); err == nil {
+		t.Error("scanner error must stick")
+	}
+}
+
+func TestScannerFewerRPCsWithBiggerBatches(t *testing.T) {
+	c, client := scannerFixture(t, 90)
+	count := func(batch int) int64 {
+		before := c.Meter.Get(metrics.RPCCalls)
+		sc, err := client.OpenScanner("t", &Scan{}, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sc.All(); err != nil {
+			t.Fatal(err)
+		}
+		return c.Meter.Get(metrics.RPCCalls) - before
+	}
+	small := count(5)
+	big := count(50)
+	if big >= small {
+		t.Errorf("bigger batches must cost fewer RPCs: %d vs %d", big, small)
+	}
+}

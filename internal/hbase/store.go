@@ -1,0 +1,138 @@
+package hbase
+
+import (
+	"bytes"
+	"sort"
+)
+
+// memStore is the in-memory write buffer of a region. Mutations append in
+// O(1); readers sort a snapshot. It is guarded by the owning region's lock.
+type memStore struct {
+	cells []Cell
+	bytes int
+}
+
+func (m *memStore) add(c Cell) {
+	m.cells = append(m.cells, c)
+	m.bytes += c.WireSize()
+}
+
+func (m *memStore) reset() {
+	m.cells = nil
+	m.bytes = 0
+}
+
+// snapshot returns the cells sorted in store-file order.
+func (m *memStore) snapshot() []Cell {
+	out := make([]Cell, len(m.cells))
+	copy(out, m.cells)
+	sort.SliceStable(out, func(i, j int) bool { return CompareCells(&out[i], &out[j]) < 0 })
+	return out
+}
+
+// storeFile is an immutable run of cells sorted in CompareCells order —
+// the simulator's HFile. Range reads binary-search the start position.
+type storeFile struct {
+	cells []Cell
+	size  int
+}
+
+func newStoreFile(sorted []Cell) *storeFile {
+	size := 0
+	for i := range sorted {
+		size += sorted[i].WireSize()
+	}
+	return &storeFile{cells: sorted, size: size}
+}
+
+// cellsInRange appends to dst every cell with startRow <= row < stopRow
+// (stopRow nil means unbounded) and returns the extended slice.
+func (f *storeFile) cellsInRange(dst []Cell, startRow, stopRow []byte) []Cell {
+	i := sort.Search(len(f.cells), func(i int) bool {
+		return bytes.Compare(f.cells[i].Row, startRow) >= 0
+	})
+	for ; i < len(f.cells); i++ {
+		if stopRow != nil && bytes.Compare(f.cells[i].Row, stopRow) >= 0 {
+			break
+		}
+		dst = append(dst, f.cells[i])
+	}
+	return dst
+}
+
+// mergeSorted merges pre-sorted runs of cells into one sorted slice.
+// Runs earlier in the list win ties only through the stable sort below,
+// which is irrelevant because CompareCells is a total order on the
+// coordinates we care about (duplicates collapse during version resolution).
+func mergeSorted(runs ...[]Cell) []Cell {
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]Cell, 0, total)
+	for _, r := range runs {
+		out = append(out, r...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return CompareCells(&out[i], &out[j]) < 0 })
+	return out
+}
+
+// resolveVersions walks cells sorted in CompareCells order and produces the
+// visible cells under HBase read semantics: delete tombstones mask every
+// version at or below their timestamp for the same column, at most
+// maxVersions live versions are returned per column (newest first), and
+// only versions inside tr are visible. Tombstones themselves are never
+// returned. keepAll=true (compaction) keeps tombstones and every surviving
+// version instead.
+func resolveVersions(sorted []Cell, maxVersions int, tr TimeRange) []Cell {
+	if maxVersions <= 0 {
+		maxVersions = 1
+	}
+	var out []Cell
+	var colStart int
+	for i := 0; i <= len(sorted); i++ {
+		if i < len(sorted) && i > 0 && sameColumn(&sorted[i], &sorted[colStart]) {
+			continue
+		}
+		if i > 0 {
+			out = appendVisible(out, sorted[colStart:i], maxVersions, tr)
+		}
+		colStart = i
+	}
+	return out
+}
+
+func appendVisible(out []Cell, col []Cell, maxVersions int, tr TimeRange) []Cell {
+	var deleteFloor int64 = -1 << 63
+	hasFloor := false
+	taken := 0
+	for i := range col {
+		c := &col[i]
+		if c.Type == TypeDelete {
+			if !hasFloor || c.Timestamp > deleteFloor {
+				deleteFloor = c.Timestamp
+				hasFloor = true
+			}
+			continue
+		}
+		if hasFloor && c.Timestamp <= deleteFloor {
+			continue
+		}
+		if !tr.Contains(c.Timestamp) {
+			continue
+		}
+		if taken >= maxVersions {
+			continue
+		}
+		out = append(out, *c)
+		taken++
+	}
+	return out
+}
+
+// compact merges cells from several sorted runs into one run with deletes
+// applied and versions trimmed to maxVersions, dropping tombstones — a
+// major compaction.
+func compact(maxVersions int, runs ...[]Cell) []Cell {
+	return resolveVersions(mergeSorted(runs...), maxVersions, TimeRange{})
+}

@@ -1,0 +1,112 @@
+package hbase
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// TableDescriptor declares a table: its name, the column families (which
+// HBase requires to be fixed up front, paper §IV-A), and how many versions
+// of each cell to retain.
+type TableDescriptor struct {
+	Name        string
+	Families    []string
+	MaxVersions int // retained per cell; defaults to 1
+}
+
+// Validate checks the descriptor is well formed.
+func (d *TableDescriptor) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("hbase: table name is empty")
+	}
+	if len(d.Families) == 0 {
+		return fmt.Errorf("hbase: table %q declares no column families", d.Name)
+	}
+	seen := make(map[string]bool, len(d.Families))
+	for _, f := range d.Families {
+		if f == "" {
+			return fmt.Errorf("hbase: table %q has an empty column family", d.Name)
+		}
+		if seen[f] {
+			return fmt.Errorf("hbase: table %q repeats column family %q", d.Name, f)
+		}
+		seen[f] = true
+	}
+	return nil
+}
+
+// HasFamily reports whether the descriptor declares family f.
+func (d *TableDescriptor) HasFamily(f string) bool {
+	for _, fam := range d.Families {
+		if fam == f {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *TableDescriptor) maxVersions() int {
+	if d.MaxVersions <= 0 {
+		return 1
+	}
+	return d.MaxVersions
+}
+
+// RegionInfo identifies one region: a half-open row-key range
+// [StartKey, EndKey) of a table, hosted by a region server. A nil StartKey
+// means "from the beginning"; a nil EndKey means "to the end".
+type RegionInfo struct {
+	Table    string
+	ID       string
+	StartKey []byte
+	EndKey   []byte
+	Host     string
+}
+
+// ContainsRow reports whether row falls inside the region's range.
+func (ri *RegionInfo) ContainsRow(row []byte) bool {
+	if len(ri.StartKey) > 0 && bytes.Compare(row, ri.StartKey) < 0 {
+		return false
+	}
+	if len(ri.EndKey) > 0 && bytes.Compare(row, ri.EndKey) >= 0 {
+		return false
+	}
+	return true
+}
+
+// OverlapsRange reports whether the region intersects the half-open scan
+// range [start, stop); nil bounds are unbounded.
+func (ri *RegionInfo) OverlapsRange(start, stop []byte) bool {
+	if len(ri.EndKey) > 0 && start != nil && bytes.Compare(start, ri.EndKey) >= 0 {
+		return false
+	}
+	if len(ri.StartKey) > 0 && stop != nil && bytes.Compare(stop, ri.StartKey) <= 0 {
+		return false
+	}
+	return true
+}
+
+// String renders the region for debugging.
+func (ri *RegionInfo) String() string {
+	return fmt.Sprintf("%s[%x,%x)@%s", ri.ID, ri.StartKey, ri.EndKey, ri.Host)
+}
+
+// WireSize implements rpc.Message for meta responses.
+func (ri *RegionInfo) WireSize() int {
+	return len(ri.Table) + len(ri.ID) + len(ri.StartKey) + len(ri.EndKey) + len(ri.Host)
+}
+
+// sortRegions orders regions by start key, the layout of the meta table.
+func sortRegions(regions []RegionInfo) {
+	sort.Slice(regions, func(i, j int) bool {
+		a, b := regions[i].StartKey, regions[j].StartKey
+		if len(a) == 0 {
+			return len(b) != 0
+		}
+		if len(b) == 0 {
+			return false
+		}
+		return bytes.Compare(a, b) < 0
+	})
+}

@@ -1,0 +1,157 @@
+// Package metrics provides a lightweight registry of named counters shared
+// by every layer of the simulated stack. The benchmark harness resets a
+// registry before each run and reads it afterwards to report the costs the
+// paper measures: bytes moved over the simulated network, shuffle volume,
+// rows scanned inside region servers versus rows returned to the engine,
+// connections created, and memory charged for decoded data.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Well-known counter names used across the stack. Layers may also register
+// ad-hoc counters; these constants just keep call sites consistent.
+const (
+	RPCCalls           = "rpc.calls"
+	RPCBytesSent       = "rpc.bytes_sent"
+	RPCBytesReceived   = "rpc.bytes_received"
+	ShuffleBytes       = "shuffle.bytes"
+	ShuffleRecords     = "shuffle.records"
+	RowsScanned        = "hbase.rows_scanned"
+	RowsReturned       = "hbase.rows_returned"
+	CellsScanned       = "hbase.cells_scanned"
+	CellsReturned      = "hbase.cells_returned"
+	RegionsScanned     = "hbase.regions_scanned"
+	RegionsPruned      = "shc.regions_pruned"
+	FiltersPushed      = "shc.filters_pushed"
+	FiltersUnhandled   = "shc.filters_unhandled"
+	ConnectionsCreated = "conn.created"
+	ConnectionsReused  = "conn.reused"
+	TokensFetched      = "security.tokens_fetched"
+	TokensRenewed      = "security.tokens_renewed"
+	TokensCacheHits    = "security.token_cache_hits"
+	MemoryCharged      = "engine.memory_bytes"
+	TasksLaunched      = "engine.tasks"
+	TasksLocal         = "engine.tasks_local"
+	WALAppends         = "wal.appends"
+	MemstoreFlushes    = "hbase.memstore_flushes"
+	Compactions        = "hbase.compactions"
+	RegionSplits       = "hbase.region_splits"
+)
+
+// Registry is a concurrency-safe set of named monotonic counters.
+// The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*atomic.Int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*atomic.Int64)}
+}
+
+func (r *Registry) counter(name string) *atomic.Int64 {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = new(atomic.Int64)
+	r.counters[name] = c
+	return c
+}
+
+// Add increments the named counter by delta.
+func (r *Registry) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.counter(name).Add(delta)
+}
+
+// Inc increments the named counter by one.
+func (r *Registry) Inc(name string) { r.Add(name, 1) }
+
+// Get returns the current value of the named counter (zero if never written).
+func (r *Registry) Get(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	return c.Load()
+}
+
+// Reset zeroes every counter while keeping them registered.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.counters {
+		c.Store(0)
+	}
+}
+
+// Snapshot returns a point-in-time copy of all counters.
+func (r *Registry) Snapshot() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Load()
+	}
+	return out
+}
+
+// Diff returns after-minus-before for every counter present in either map.
+func Diff(before, after map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(after))
+	for name, v := range after {
+		out[name] = v - before[name]
+	}
+	for name, v := range before {
+		if _, ok := after[name]; !ok {
+			out[name] = -v
+		}
+	}
+	return out
+}
+
+// String renders the registry sorted by counter name, one per line,
+// omitting zero counters.
+func (r *Registry) String() string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name, v := range snap {
+		if v != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-28s %d\n", name, snap[name])
+	}
+	return b.String()
+}

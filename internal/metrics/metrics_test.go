@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddGet(t *testing.T) {
+	r := NewRegistry()
+	if got := r.Get("missing"); got != 0 {
+		t.Errorf("Get(missing) = %d, want 0", got)
+	}
+	r.Add(RPCCalls, 3)
+	r.Inc(RPCCalls)
+	if got := r.Get(RPCCalls); got != 4 {
+		t.Errorf("Get = %d, want 4", got)
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	r.Add("x", 1) // must not panic
+	r.Inc("x")
+	r.Reset()
+	if r.Get("x") != 0 {
+		t.Error("nil registry Get must be 0")
+	}
+	if r.Snapshot() != nil {
+		t.Error("nil registry Snapshot must be nil")
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	r.Add("a", 10)
+	r.Add("b", 20)
+	r.Reset()
+	if r.Get("a") != 0 || r.Get("b") != 0 {
+		t.Error("Reset must zero counters")
+	}
+}
+
+func TestSnapshotAndDiff(t *testing.T) {
+	r := NewRegistry()
+	r.Add("a", 5)
+	before := r.Snapshot()
+	r.Add("a", 2)
+	r.Add("b", 7)
+	d := Diff(before, r.Snapshot())
+	if d["a"] != 2 || d["b"] != 7 {
+		t.Errorf("Diff = %v", d)
+	}
+}
+
+func TestDiffMissingInAfter(t *testing.T) {
+	d := Diff(map[string]int64{"gone": 4}, map[string]int64{})
+	if d["gone"] != -4 {
+		t.Errorf("Diff missing-in-after = %v", d)
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Inc("c")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Get("c"); got != 5000 {
+		t.Errorf("concurrent adds = %d, want 5000", got)
+	}
+}
+
+func TestStringSortedNonZero(t *testing.T) {
+	r := NewRegistry()
+	r.Add("zzz", 1)
+	r.Add("aaa", 2)
+	r.Add("mmm", 0)
+	s := r.String()
+	if strings.Contains(s, "mmm") {
+		t.Error("String must omit zero counters")
+	}
+	if strings.Index(s, "aaa") > strings.Index(s, "zzz") {
+		t.Error("String must sort by name")
+	}
+}

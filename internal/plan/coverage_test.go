@@ -1,0 +1,268 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExprTypesAndStrings sweeps Type(), String(), Children(), and
+// WithChildren() across every expression kind.
+func TestExprTypesAndStrings(t *testing.T) {
+	s := testSchema()
+	exprs := []struct {
+		e       Expr
+		typ     DataType
+		strPart string
+	}{
+		{&Comparison{Op: OpEq, L: Col("age"), R: Lit(1)}, TypeBool, "="},
+		{&And{L: Lit(true), R: Lit(false)}, TypeBool, "AND"},
+		{&Or{L: Lit(true), R: Lit(false)}, TypeBool, "OR"},
+		{&Not{E: Lit(true)}, TypeBool, "NOT"},
+		{&In{E: Col("name"), Values: []Expr{Lit("a")}}, TypeBool, "IN"},
+		{&Like{E: Col("name"), Pattern: "x%"}, TypeBool, "LIKE"},
+		{&IsNull{E: Col("name")}, TypeBool, "IS NULL"},
+		{&IsNull{E: Col("name"), Negate: true}, TypeBool, "IS NOT NULL"},
+		{&Arithmetic{Op: OpAdd, L: Lit(1), R: Lit(2)}, TypeFloat64, "+"},
+		{&CaseWhen{Whens: []WhenClause{{Cond: Lit(true), Then: Lit("x")}}, Else: Lit("y")}, TypeString, "CASE"},
+	}
+	for _, c := range exprs {
+		if err := Resolve(c.e, s); err != nil {
+			t.Fatalf("%T: %v", c.e, err)
+		}
+		if got := c.e.Type(); got != c.typ {
+			t.Errorf("%s: Type = %s, want %s", c.e, got, c.typ)
+		}
+		if !strings.Contains(c.e.String(), c.strPart) {
+			t.Errorf("%T String = %q, want %q inside", c.e, c.e.String(), c.strPart)
+		}
+		// WithChildren with cloned children rebuilds an equivalent node.
+		kids := c.e.Children()
+		cloned := make([]Expr, len(kids))
+		for i, k := range kids {
+			cloned[i] = CloneExpr(k)
+		}
+		rebuilt := c.e.WithChildren(cloned)
+		if rebuilt.String() != c.e.String() {
+			t.Errorf("%T WithChildren changed rendering: %q vs %q", c.e, rebuilt.String(), c.e.String())
+		}
+	}
+}
+
+func TestColumnRefTypeAfterResolve(t *testing.T) {
+	s := testSchema()
+	c := Col("score")
+	if c.Type() != TypeUnknown {
+		t.Error("unresolved type must be unknown")
+	}
+	mustResolve(t, c, s)
+	if c.Type() != TypeFloat64 {
+		t.Errorf("resolved type = %s", c.Type())
+	}
+}
+
+func TestLitKinds(t *testing.T) {
+	cases := map[DataType]any{
+		TypeString:  "x",
+		TypeInt8:    int8(1),
+		TypeInt16:   int16(1),
+		TypeInt32:   int32(1),
+		TypeInt64:   7,
+		TypeFloat32: float32(1),
+		TypeFloat64: 1.5,
+		TypeBool:    true,
+		TypeBinary:  []byte{1},
+		TypeUnknown: nil,
+	}
+	for want, v := range cases {
+		if got := Lit(v).Type(); got != want {
+			t.Errorf("Lit(%T).Type = %s, want %s", v, got, want)
+		}
+	}
+	if Lit(nil).String() != "NULL" {
+		t.Errorf("NULL literal renders %q", Lit(nil).String())
+	}
+}
+
+func TestCmpOpsComplete(t *testing.T) {
+	ops := CmpOps()
+	if len(ops) != 6 {
+		t.Fatalf("ops = %v", ops)
+	}
+	seen := map[string]bool{}
+	for _, op := range ops {
+		seen[op.String()] = true
+	}
+	for _, want := range []string{"=", "!=", "<", "<=", ">", ">="} {
+		if !seen[want] {
+			t.Errorf("missing op %q", want)
+		}
+	}
+}
+
+func TestBooleanErrorPaths(t *testing.T) {
+	s := testSchema()
+	// Non-boolean operand inside AND/OR/NOT errors out.
+	bad := mustResolve(t, &And{L: Col("name"), R: Lit(true)}, s)
+	if _, err := bad.Eval(Row{"x", int32(1), 1.0, true}); err == nil {
+		t.Error("AND over a string must fail")
+	}
+	badNot := mustResolve(t, &Not{E: Col("age")}, s)
+	if _, err := badNot.Eval(Row{"x", int32(1), 1.0, true}); err == nil {
+		t.Error("NOT over an int must fail")
+	}
+	badLike := mustResolve(t, &Like{E: Col("age"), Pattern: "%"}, s)
+	if _, err := badLike.Eval(Row{"x", int32(1), 1.0, true}); err == nil {
+		t.Error("LIKE over an int must fail")
+	}
+	badArith := mustResolve(t, &Arithmetic{Op: OpAdd, L: Col("name"), R: Lit(1)}, s)
+	if _, err := badArith.Eval(Row{"x", int32(1), 1.0, true}); err == nil {
+		t.Error("arithmetic over a string must fail")
+	}
+}
+
+func TestAggExprRendering(t *testing.T) {
+	cases := []struct {
+		agg  AggExpr
+		typ  DataType
+		text string
+	}{
+		{AggExpr{Kind: AggCount, Name: "n"}, TypeInt64, "count(*)"},
+		{AggExpr{Kind: AggCountDistinct, Arg: Col("x"), Name: "d"}, TypeInt64, "count_distinct(x)"},
+		{AggExpr{Kind: AggSum, Arg: Col("x"), Name: "s"}, TypeFloat64, "sum(x)"},
+		{AggExpr{Kind: AggAvg, Arg: Col("x"), Name: "a"}, TypeFloat64, "avg(x)"},
+		{AggExpr{Kind: AggStddevSamp, Arg: Col("x"), Name: "sd"}, TypeFloat64, "stddev_samp(x)"},
+		{AggExpr{Kind: AggMin, Name: "m"}, TypeUnknown, "min(*)"},
+	}
+	for _, c := range cases {
+		if c.agg.Type() != c.typ {
+			t.Errorf("%s: type = %s, want %s", c.agg, c.agg.Type(), c.typ)
+		}
+		if !strings.Contains(c.agg.String(), c.text) {
+			t.Errorf("AggExpr renders %q, want %q inside", c.agg.String(), c.text)
+		}
+	}
+	min := AggExpr{Kind: AggMin, Arg: Col("age"), Name: "m"}
+	mustResolve(t, min.Arg, testSchema())
+	if min.Type() != TypeInt32 {
+		t.Errorf("min type follows its argument, got %s", min.Type())
+	}
+}
+
+func TestNodeStringsAndSchemas(t *testing.T) {
+	rel := usersRel()
+	scan := &ScanNode{Relation: rel}
+	union := &UnionNode{Inputs: []LogicalPlan{scan, &ScanNode{Relation: rel}}}
+	if !strings.Contains(union.String(), "Union (2 inputs)") {
+		t.Errorf("union string = %q", union.String())
+	}
+	if len(union.Schema()) != len(rel.Schema()) || len(union.Children()) != 2 {
+		t.Error("union schema/children wrong")
+	}
+	join := &JoinNode{Left: scan, Right: &ScanNode{Relation: ordersRel()},
+		LeftKeys: []Expr{Col("id")}, RightKeys: []Expr{Col("uid")}, Type: LeftOuterJoin}
+	if !strings.Contains(join.String(), "LeftOuter") {
+		t.Errorf("join string = %q", join.String())
+	}
+	agg := &AggregateNode{GroupBy: []NamedExpr{{Expr: Col("city"), Name: "city"}},
+		Aggs: []AggExpr{{Kind: AggCount, Name: "n"}}, Child: scan}
+	if !strings.Contains(agg.String(), "group=[city]") {
+		t.Errorf("agg string = %q", agg.String())
+	}
+	sortN := &SortNode{Orders: []SortOrder{{Expr: Col("age"), Desc: true}}, Child: scan}
+	if !strings.Contains(sortN.String(), "DESC") {
+		t.Errorf("sort string = %q", sortN.String())
+	}
+	proj := &ProjectNode{Exprs: []NamedExpr{{Expr: Col("id"), Name: "id"}}, Child: scan}
+	if !strings.Contains(proj.String(), "id AS id") {
+		t.Errorf("project string = %q", proj.String())
+	}
+	filter := &FilterNode{Cond: Lit(true), Child: scan}
+	if !strings.Contains(filter.String(), "Filter") {
+		t.Errorf("filter string = %q", filter.String())
+	}
+	if filter.Schema().String() != scan.Schema().String() {
+		t.Error("filter schema must pass through")
+	}
+}
+
+func TestClonePlanCoversEveryNode(t *testing.T) {
+	rel := usersRel()
+	p := &LimitNode{N: 1, Child: &SortNode{
+		Orders: []SortOrder{{Expr: Col("age")}},
+		Child: &UnionNode{Inputs: []LogicalPlan{
+			&AggregateNode{
+				GroupBy: []NamedExpr{{Expr: Col("city"), Name: "city"}},
+				Aggs:    []AggExpr{{Kind: AggSum, Arg: Col("score"), Name: "s"}},
+				Child: &FilterNode{Cond: &Comparison{Op: OpGt, L: Col("age"), R: Lit(1)},
+					Child: &ScanNode{Relation: rel, Pushed: []Expr{&Comparison{Op: OpLt, L: Col("age"), R: Lit(9)}}}},
+			},
+			&ProjectNode{
+				Exprs: []NamedExpr{{Expr: Col("city"), Name: "city"}, {Expr: Lit(1.0), Name: "s"}},
+				Child: &JoinNode{Left: &ScanNode{Relation: rel}, Right: &ScanNode{Relation: ordersRel()},
+					LeftKeys: []Expr{Col("id")}, RightKeys: []Expr{Col("uid")}},
+			},
+		}},
+	}}
+	clone := ClonePlan(p)
+	if Format(clone) != Format(p) {
+		t.Errorf("clone differs:\n%s\nvs\n%s", Format(clone), Format(p))
+	}
+}
+
+func TestDataTypeHelpers(t *testing.T) {
+	for _, n := range []DataType{TypeInt8, TypeInt16, TypeInt32, TypeInt64, TypeFloat32, TypeFloat64, TypeTimestamp} {
+		if !n.Numeric() {
+			t.Errorf("%s should be numeric", n)
+		}
+	}
+	for _, n := range []DataType{TypeString, TypeBool, TypeBinary, TypeUnknown} {
+		if n.Numeric() {
+			t.Errorf("%s should not be numeric", n)
+		}
+	}
+	if TypeUnknown.String() != "unknown" {
+		t.Errorf("unknown renders %q", TypeUnknown.String())
+	}
+}
+
+func TestSchemaHelpers(t *testing.T) {
+	s := testSchema()
+	if _, err := s.Field("missing"); err == nil {
+		t.Error("missing field must error")
+	}
+	if _, err := s.Project([]string{"name", "missing"}); err == nil {
+		t.Error("projecting a missing field must error")
+	}
+	q := s.Qualify("t")
+	if q[0].Name != "t.name" {
+		t.Errorf("qualify = %s", q)
+	}
+	// Re-qualifying strips the old prefix.
+	q2 := q.Qualify("u")
+	if q2[0].Name != "u.name" {
+		t.Errorf("requalify = %s", q2)
+	}
+	if !strings.Contains(s.String(), "name string") {
+		t.Errorf("schema string = %q", s.String())
+	}
+}
+
+func TestToIntAndToFloat(t *testing.T) {
+	for _, v := range []any{int8(1), int16(1), int32(1), int64(1), 1, 1.0} {
+		if i, ok := ToInt(v); !ok || i != 1 {
+			t.Errorf("ToInt(%T) = %d, %v", v, i, ok)
+		}
+	}
+	if _, ok := ToInt(1.5); ok {
+		t.Error("ToInt(1.5) must fail")
+	}
+	if _, ok := ToInt("x"); ok {
+		t.Error("ToInt(string) must fail")
+	}
+	if f, ok := ToFloat(float32(2)); !ok || f != 2 {
+		t.Error("ToFloat(float32) wrong")
+	}
+	if _, ok := ToFloat("x"); ok {
+		t.Error("ToFloat(string) must fail")
+	}
+}

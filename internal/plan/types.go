@@ -1,0 +1,351 @@
+// Package plan defines the relational layer of the engine: data types,
+// schemas, rows, typed expressions, logical operators, and the rule-based
+// optimizer (the Catalyst analogue, paper §III-A). The optimizer's
+// predicate-pushdown and column-pruning rules are what SHC's relation plugs
+// into: they deliver pruned columns and pushable filters to the data source
+// through the seam in package datasource.
+package plan
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// DataType enumerates the column types SHC's catalog supports (paper
+// §IV-A, Code 1: string, tinyint, double, time, ...).
+type DataType int
+
+// Supported data types.
+const (
+	TypeUnknown DataType = iota
+	TypeString
+	TypeInt8  // "tinyint"
+	TypeInt16 // "smallint"
+	TypeInt32 // "int"
+	TypeInt64 // "bigint"
+	TypeFloat32
+	TypeFloat64
+	TypeBool
+	TypeBinary
+	TypeTimestamp // "time": milliseconds since the epoch
+)
+
+// String renders the SQL-ish name of the type.
+func (t DataType) String() string {
+	switch t {
+	case TypeString:
+		return "string"
+	case TypeInt8:
+		return "tinyint"
+	case TypeInt16:
+		return "smallint"
+	case TypeInt32:
+		return "int"
+	case TypeInt64:
+		return "bigint"
+	case TypeFloat32:
+		return "float"
+	case TypeFloat64:
+		return "double"
+	case TypeBool:
+		return "boolean"
+	case TypeBinary:
+		return "binary"
+	case TypeTimestamp:
+		return "time"
+	}
+	return "unknown"
+}
+
+// ParseDataType maps a catalog type name to a DataType.
+func ParseDataType(name string) (DataType, error) {
+	switch strings.ToLower(name) {
+	case "string", "varchar":
+		return TypeString, nil
+	case "tinyint", "byte":
+		return TypeInt8, nil
+	case "smallint", "short":
+		return TypeInt16, nil
+	case "int", "integer":
+		return TypeInt32, nil
+	case "bigint", "long":
+		return TypeInt64, nil
+	case "float":
+		return TypeFloat32, nil
+	case "double":
+		return TypeFloat64, nil
+	case "boolean", "bool":
+		return TypeBool, nil
+	case "binary":
+		return TypeBinary, nil
+	case "time", "timestamp":
+		return TypeTimestamp, nil
+	}
+	return TypeUnknown, fmt.Errorf("plan: unknown data type %q", name)
+}
+
+// Numeric reports whether the type supports arithmetic.
+func (t DataType) Numeric() bool {
+	switch t {
+	case TypeInt8, TypeInt16, TypeInt32, TypeInt64, TypeFloat32, TypeFloat64, TypeTimestamp:
+		return true
+	}
+	return false
+}
+
+// Field is one named, typed column.
+type Field struct {
+	Name string
+	Type DataType
+}
+
+// Schema is an ordered list of fields.
+type Schema []Field
+
+// IndexOf returns the position of the named column, resolving both bare
+// and qualified ("table.col") names; -1 when absent.
+func (s Schema) IndexOf(name string) int {
+	for i, f := range s {
+		if f.Name == name {
+			return i
+		}
+	}
+	// A bare name matches a qualified field when unambiguous.
+	if !strings.Contains(name, ".") {
+		found := -1
+		for i, f := range s {
+			if idx := strings.LastIndex(f.Name, "."); idx >= 0 && f.Name[idx+1:] == name {
+				if found >= 0 {
+					return -1 // ambiguous
+				}
+				found = i
+			}
+		}
+		return found
+	}
+	return -1
+}
+
+// Field returns the field with the given name.
+func (s Schema) Field(name string) (Field, error) {
+	i := s.IndexOf(name)
+	if i < 0 {
+		return Field{}, fmt.Errorf("plan: column %q not found in schema %s", name, s)
+	}
+	return s[i], nil
+}
+
+// Project returns the sub-schema for the named columns, in order.
+func (s Schema) Project(names []string) (Schema, error) {
+	out := make(Schema, 0, len(names))
+	for _, n := range names {
+		f, err := s.Field(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// Qualify returns a copy of the schema with every field name prefixed by
+// alias ("alias.field").
+func (s Schema) Qualify(alias string) Schema {
+	out := make(Schema, len(s))
+	for i, f := range s {
+		name := f.Name
+		if idx := strings.LastIndex(name, "."); idx >= 0 {
+			name = name[idx+1:]
+		}
+		out[i] = Field{Name: alias + "." + name, Type: f.Type}
+	}
+	return out
+}
+
+// String renders the schema.
+func (s Schema) String() string {
+	parts := make([]string, len(s))
+	for i, f := range s {
+		parts[i] = f.Name + " " + f.Type.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Row is one positional record. Values are nil (SQL NULL) or the Go type
+// matching the column's DataType: string, int8..int64, float32/64, bool,
+// []byte, or int64 for timestamps.
+type Row []any
+
+// RowSize estimates the serialized size of a row in bytes; the shuffle
+// meter charges it for every repartitioned record.
+func RowSize(r Row) int {
+	n := 0
+	for _, v := range r {
+		switch x := v.(type) {
+		case nil:
+			n++
+		case string:
+			n += len(x)
+		case []byte:
+			n += len(x)
+		case bool, int8:
+			n++
+		case int16:
+			n += 2
+		case int32, float32:
+			n += 4
+		default:
+			n += 8
+		}
+	}
+	return n
+}
+
+// Compare orders two scalar values of the same kind. It returns an error
+// for incomparable kinds. NULL sorts below everything.
+func Compare(a, b any) (int, error) {
+	if a == nil || b == nil {
+		switch {
+		case a == nil && b == nil:
+			return 0, nil
+		case a == nil:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	af, aIsNum := toFloat(a)
+	bf, bIsNum := toFloat(b)
+	if aIsNum && bIsNum {
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	switch x := a.(type) {
+	case string:
+		y, ok := b.(string)
+		if !ok {
+			return 0, fmt.Errorf("plan: cannot compare string with %T", b)
+		}
+		return strings.Compare(x, y), nil
+	case bool:
+		y, ok := b.(bool)
+		if !ok {
+			return 0, fmt.Errorf("plan: cannot compare bool with %T", b)
+		}
+		switch {
+		case x == y:
+			return 0, nil
+		case !x:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	case []byte:
+		y, ok := b.([]byte)
+		if !ok {
+			return 0, fmt.Errorf("plan: cannot compare binary with %T", b)
+		}
+		return strings.Compare(string(x), string(y)), nil
+	}
+	return 0, fmt.Errorf("plan: cannot compare %T with %T", a, b)
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int8:
+		return float64(x), true
+	case int16:
+		return float64(x), true
+	case int32:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case float32:
+		return float64(x), true
+	case float64:
+		return x, true
+	}
+	return 0, false
+}
+
+// ToFloat converts any numeric value to float64.
+func ToFloat(v any) (float64, bool) { return toFloat(v) }
+
+// ToInt converts any integer-kind value to int64.
+func ToInt(v any) (int64, bool) {
+	switch x := v.(type) {
+	case int8:
+		return int64(x), true
+	case int16:
+		return int64(x), true
+	case int32:
+		return int64(x), true
+	case int64:
+		return x, true
+	case int:
+		return int64(x), true
+	case float64:
+		if x == math.Trunc(x) {
+			return int64(x), true
+		}
+	}
+	return 0, false
+}
+
+// CoerceLiteral converts a parsed literal to the Go representation of the
+// target column type, so catalog-typed comparisons and encodings line up.
+func CoerceLiteral(v any, t DataType) (any, error) {
+	if v == nil {
+		return nil, nil
+	}
+	switch t {
+	case TypeString:
+		if s, ok := v.(string); ok {
+			return s, nil
+		}
+	case TypeBool:
+		if b, ok := v.(bool); ok {
+			return b, nil
+		}
+	case TypeBinary:
+		switch x := v.(type) {
+		case []byte:
+			return x, nil
+		case string:
+			return []byte(x), nil
+		}
+	case TypeInt8:
+		if i, ok := ToInt(v); ok && i >= math.MinInt8 && i <= math.MaxInt8 {
+			return int8(i), nil
+		}
+	case TypeInt16:
+		if i, ok := ToInt(v); ok && i >= math.MinInt16 && i <= math.MaxInt16 {
+			return int16(i), nil
+		}
+	case TypeInt32:
+		if i, ok := ToInt(v); ok && i >= math.MinInt32 && i <= math.MaxInt32 {
+			return int32(i), nil
+		}
+	case TypeInt64, TypeTimestamp:
+		if i, ok := ToInt(v); ok {
+			return i, nil
+		}
+	case TypeFloat32:
+		if f, ok := toFloat(v); ok {
+			return float32(f), nil
+		}
+	case TypeFloat64:
+		if f, ok := toFloat(v); ok {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("plan: cannot coerce %T(%v) to %s", v, v, t)
+}

@@ -1,0 +1,233 @@
+// Package rpc provides the simulated transport that every remote
+// interaction in the stack flows through: HBase client calls, meta lookups,
+// and token requests. Messages are dispatched in-process, but each call is
+// metered (call count, request/response bytes) and optionally charged a
+// configurable latency, so the benchmarks observe the same relative network
+// costs the paper reports — fewer RPCs when connections are cached and
+// operators are fused, fewer bytes when predicates and columns are pushed
+// down.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/shc-go/shc/internal/metrics"
+)
+
+// Errors returned by the transport.
+var (
+	ErrUnknownHost   = errors.New("rpc: unknown host")
+	ErrUnknownMethod = errors.New("rpc: unknown method")
+	ErrHostDown      = errors.New("rpc: host down")
+	ErrConnClosed    = errors.New("rpc: connection closed")
+)
+
+// Message is anything that can cross the simulated wire. WireSize must
+// report how many bytes the message would occupy serialized; the transport
+// meters it but does not actually serialize.
+type Message interface {
+	WireSize() int
+}
+
+// Bytes adapts a raw byte slice to Message.
+type Bytes []byte
+
+// WireSize returns the slice length.
+func (b Bytes) WireSize() int { return len(b) }
+
+// Handler processes one request on the server side of a call.
+type Handler func(req Message) (Message, error)
+
+// Config tunes the simulated cost model. Zero values mean "free", which
+// unit tests use; benchmarks configure small real latencies so connection
+// reuse and call fusion are visible in wall-clock numbers.
+type Config struct {
+	// ConnLatency is charged once per Dial (connection establishment,
+	// including the coordination-service lookup round trip it models).
+	ConnLatency time.Duration
+	// CallLatency is charged once per Call.
+	CallLatency time.Duration
+	// BytesPerSecond, when positive, charges transfer time for payload
+	// bytes on top of CallLatency.
+	BytesPerSecond int64
+}
+
+// Network is a set of named hosts that can call each other.
+type Network struct {
+	cfg   Config
+	meter *metrics.Registry
+
+	mu    sync.RWMutex
+	hosts map[string]*endpoint
+}
+
+type endpoint struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	down     bool
+}
+
+// NewNetwork creates a network with the given cost model. meter may be nil.
+func NewNetwork(cfg Config, meter *metrics.Registry) *Network {
+	return &Network{cfg: cfg, meter: meter, hosts: make(map[string]*endpoint)}
+}
+
+// Meter returns the registry this network charges, possibly nil.
+func (n *Network) Meter() *metrics.Registry { return n.meter }
+
+// AddHost registers a host name. Adding an existing host is an error.
+func (n *Network) AddHost(host string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.hosts[host]; ok {
+		return fmt.Errorf("rpc: host %q already exists", host)
+	}
+	n.hosts[host] = &endpoint{handlers: make(map[string]Handler)}
+	return nil
+}
+
+// Handle installs a handler for method on host.
+func (n *Network) Handle(host, method string, h Handler) error {
+	n.mu.RLock()
+	ep, ok := n.hosts[host]
+	n.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownHost, host)
+	}
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.handlers[method] = h
+	return nil
+}
+
+// SetDown marks a host unreachable (or reachable again), for failure
+// injection in tests.
+func (n *Network) SetDown(host string, down bool) error {
+	n.mu.RLock()
+	ep, ok := n.hosts[host]
+	n.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownHost, host)
+	}
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.down = down
+	return nil
+}
+
+// Hosts lists registered host names (unordered).
+func (n *Network) Hosts() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.hosts))
+	for h := range n.hosts {
+		out = append(out, h)
+	}
+	return out
+}
+
+// Conn is a cached, reusable connection from a client to a host. Creating
+// one is deliberately expensive (ConnLatency) — SHC's connection cache
+// exists to amortize exactly this cost (paper §V-B.1).
+type Conn struct {
+	n      *Network
+	host   string
+	mu     sync.Mutex
+	closed bool
+}
+
+// Dial establishes a connection to host, charging connection latency and
+// incrementing the connections-created counter.
+func (n *Network) Dial(host string) (*Conn, error) {
+	n.mu.RLock()
+	ep, ok := n.hosts[host]
+	n.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownHost, host)
+	}
+	ep.mu.RLock()
+	down := ep.down
+	ep.mu.RUnlock()
+	if down {
+		return nil, fmt.Errorf("%w: %q", ErrHostDown, host)
+	}
+	if n.cfg.ConnLatency > 0 {
+		time.Sleep(n.cfg.ConnLatency)
+	}
+	n.meter.Inc(metrics.ConnectionsCreated)
+	return &Conn{n: n, host: host}, nil
+}
+
+// Host returns the remote host name.
+func (c *Conn) Host() string { return c.host }
+
+// Close marks the connection unusable. Closing twice is harmless.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+// Call invokes method on the connection's host, metering the call and the
+// bytes in both directions.
+func (c *Conn) Call(method string, req Message) (Message, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, ErrConnClosed
+	}
+	return c.n.call(c.host, method, req)
+}
+
+func (n *Network) call(host, method string, req Message) (Message, error) {
+	n.mu.RLock()
+	ep, ok := n.hosts[host]
+	n.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownHost, host)
+	}
+	ep.mu.RLock()
+	h, hok := ep.handlers[method]
+	down := ep.down
+	ep.mu.RUnlock()
+	if down {
+		return nil, fmt.Errorf("%w: %q", ErrHostDown, host)
+	}
+	if !hok {
+		return nil, fmt.Errorf("%w: %s on %q", ErrUnknownMethod, method, host)
+	}
+
+	reqSize := 0
+	if req != nil {
+		reqSize = req.WireSize()
+	}
+	n.meter.Inc(metrics.RPCCalls)
+	n.meter.Add(metrics.RPCBytesSent, int64(reqSize))
+
+	resp, err := h(req)
+	if err != nil {
+		return nil, err
+	}
+	respSize := 0
+	if resp != nil {
+		respSize = resp.WireSize()
+	}
+	n.meter.Add(metrics.RPCBytesReceived, int64(respSize))
+	n.charge(reqSize + respSize)
+	return resp, nil
+}
+
+func (n *Network) charge(bytes int) {
+	d := n.cfg.CallLatency
+	if n.cfg.BytesPerSecond > 0 {
+		d += time.Duration(float64(bytes) / float64(n.cfg.BytesPerSecond) * float64(time.Second))
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}

@@ -1,0 +1,207 @@
+package security
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/shc-go/shc/internal/metrics"
+)
+
+// CredentialsConfig mirrors the paper's configuration surface (Code 6 and
+// §V-B.2): the credential manager is off by default, and its renewal policy
+// is tunable.
+type CredentialsConfig struct {
+	// Enabled corresponds to
+	// spark.hbase.connector.security.credentials.enabled.
+	Enabled bool
+	// Principal and Keytab identify the user to every KDC.
+	Principal string
+	Keytab    string
+	// ExpireTimeFraction of a token's lifetime after which it is treated
+	// as expired locally; defaults to 0.95.
+	ExpireTimeFraction float64
+	// RefreshTimeFraction of a token's lifetime after which the background
+	// refresher renews it; defaults to 0.6.
+	RefreshTimeFraction float64
+	// RefreshDuration is the period of the background refresher; defaults
+	// to one minute.
+	RefreshDuration time.Duration
+	// Now injects a clock for tests.
+	Now Clock
+}
+
+func (c CredentialsConfig) withDefaults() CredentialsConfig {
+	if c.ExpireTimeFraction <= 0 || c.ExpireTimeFraction > 1 {
+		c.ExpireTimeFraction = 0.95
+	}
+	if c.RefreshTimeFraction <= 0 || c.RefreshTimeFraction > 1 {
+		c.RefreshTimeFraction = 0.6
+	}
+	if c.RefreshDuration <= 0 {
+		c.RefreshDuration = time.Minute
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// CredentialsManager is SHCCredentialsManager: it keeps one token per
+// secure cluster, fetching on first use, serving cached tokens while they
+// are fresh, and renewing them before they expire — which is what lets one
+// Spark application join data across multiple secure clusters without a
+// restart (paper §V-B.2).
+type CredentialsManager struct {
+	cfg   CredentialsConfig
+	meter *metrics.Registry
+
+	mu       sync.Mutex
+	services map[string]*TokenService // cluster -> issuer
+	cache    map[string]Token         // cluster -> live token
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewCredentialsManager builds a manager with the given policy.
+func NewCredentialsManager(cfg CredentialsConfig, meter *metrics.Registry) *CredentialsManager {
+	return &CredentialsManager{
+		cfg:      cfg.withDefaults(),
+		meter:    meter,
+		services: make(map[string]*TokenService),
+		cache:    make(map[string]Token),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// RegisterCluster tells the manager how to reach a secure cluster's token
+// service — the pluggable acquisition point SPARK-14743 introduced.
+func (m *CredentialsManager) RegisterCluster(svc *TokenService) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.services[svc.Cluster()] = svc
+}
+
+// Token implements hbase.TokenProvider: it returns an encoded token for
+// cluster, from cache when fresh.
+func (m *CredentialsManager) Token(cluster string) (string, error) {
+	t, err := m.TokenForCluster(cluster)
+	if err != nil {
+		return "", err
+	}
+	return t.Encode(), nil
+}
+
+// TokenForCluster is the paper's getTokenForCluster: cache hit if the
+// cached token is not near expiry, otherwise fetch a fresh one.
+func (m *CredentialsManager) TokenForCluster(cluster string) (Token, error) {
+	if !m.cfg.Enabled {
+		return Token{}, fmt.Errorf("security: credentials manager disabled; set Enabled to use secure clusters")
+	}
+	m.mu.Lock()
+	svc, ok := m.services[cluster]
+	if !ok {
+		m.mu.Unlock()
+		return Token{}, fmt.Errorf("security: no token service registered for cluster %q", cluster)
+	}
+	if t, ok := m.cache[cluster]; ok && !m.nearExpiry(t, m.cfg.ExpireTimeFraction) {
+		m.mu.Unlock()
+		m.meter.Inc(metrics.TokensCacheHits)
+		return t, nil
+	}
+	m.mu.Unlock()
+
+	t, err := svc.Issue(m.cfg.Principal, m.cfg.Keytab)
+	if err != nil {
+		return Token{}, err
+	}
+	m.mu.Lock()
+	m.cache[cluster] = t
+	m.mu.Unlock()
+	return t, nil
+}
+
+// nearExpiry reports whether fraction of the token's lifetime has elapsed.
+func (m *CredentialsManager) nearExpiry(t Token, fraction float64) bool {
+	life := t.ExpiresAt.Sub(t.IssuedAt)
+	cutoff := t.IssuedAt.Add(time.Duration(float64(life) * fraction))
+	return !m.cfg.Now().Before(cutoff)
+}
+
+// RefreshNow renews every cached token past its refresh fraction; the
+// background executor calls this periodically, and tests call it directly.
+// It returns how many tokens were renewed.
+func (m *CredentialsManager) RefreshNow() (int, error) {
+	m.mu.Lock()
+	type job struct {
+		cluster string
+		svc     *TokenService
+		tok     Token
+	}
+	var jobs []job
+	for cluster, tok := range m.cache {
+		if m.nearExpiry(tok, m.cfg.RefreshTimeFraction) {
+			jobs = append(jobs, job{cluster, m.services[cluster], tok})
+		}
+	}
+	m.mu.Unlock()
+
+	renewed := 0
+	var firstErr error
+	for _, j := range jobs {
+		t, err := j.svc.Renew(j.tok)
+		if err != nil {
+			// An unrenewable token (expired while idle) falls back to a
+			// fresh issue on the next TokenForCluster; drop it.
+			m.mu.Lock()
+			delete(m.cache, j.cluster)
+			m.mu.Unlock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		m.mu.Lock()
+		m.cache[j.cluster] = t
+		m.mu.Unlock()
+		renewed++
+	}
+	return renewed, firstErr
+}
+
+// Start launches the token-update executor.
+func (m *CredentialsManager) Start() {
+	go func() {
+		defer close(m.done)
+		ticker := time.NewTicker(m.cfg.RefreshDuration)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				_, _ = m.RefreshNow()
+			case <-m.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop terminates the background refresher (idempotent; safe without Start,
+// in which case it only marks the manager stopped).
+func (m *CredentialsManager) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+}
+
+// CachedClusters lists clusters with a live cached token, for inspection.
+func (m *CredentialsManager) CachedClusters() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.cache))
+	for c := range m.cache {
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+// Package security simulates the Kerberos + delegation-token machinery SHC
+// integrates with (paper §V-B.2): a KDC holding principals and keytabs, a
+// per-cluster token service that issues and validates time-limited
+// delegation tokens, and the CredentialsManager — the paper's
+// SHCCredentialsManager — which fetches tokens on demand, caches them per
+// cluster, renews them before expiry, and serializes them for propagation
+// to executors.
+package security
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/shc-go/shc/internal/metrics"
+)
+
+// Errors returned by the security layer.
+var (
+	ErrAuthFailed   = errors.New("security: authentication failed")
+	ErrTokenExpired = errors.New("security: token expired")
+	ErrTokenInvalid = errors.New("security: token invalid")
+	ErrNoPrincipal  = errors.New("security: unknown principal")
+)
+
+// Clock abstracts time for deterministic tests.
+type Clock func() time.Time
+
+// KDC is the key-distribution center: it knows every principal and the
+// secret its keytab must carry.
+type KDC struct {
+	mu         sync.RWMutex
+	principals map[string]string // principal -> keytab secret
+}
+
+// NewKDC returns an empty KDC.
+func NewKDC() *KDC {
+	return &KDC{principals: make(map[string]string)}
+}
+
+// AddPrincipal registers a principal with its keytab secret.
+func (k *KDC) AddPrincipal(principal, keytab string) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.principals[principal] = keytab
+}
+
+// Authenticate verifies a principal/keytab pair.
+func (k *KDC) Authenticate(principal, keytab string) error {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	want, ok := k.principals[principal]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoPrincipal, principal)
+	}
+	if want != keytab {
+		return fmt.Errorf("%w: bad keytab for %q", ErrAuthFailed, principal)
+	}
+	return nil
+}
+
+// Token is a delegation token scoped to one cluster.
+type Token struct {
+	Cluster   string    `json:"cluster"`
+	Principal string    `json:"principal"`
+	ID        uint64    `json:"id"`
+	IssuedAt  time.Time `json:"issued_at"`
+	ExpiresAt time.Time `json:"expires_at"`
+	Signature string    `json:"signature"`
+}
+
+// Encode serializes the token for propagation (e.g. driver → executors).
+func (t Token) Encode() string {
+	b, err := json.Marshal(t)
+	if err != nil {
+		// Token has no unmarshalable fields; this cannot happen.
+		panic(err)
+	}
+	return base64.StdEncoding.EncodeToString(b)
+}
+
+// DecodeToken parses a token produced by Encode.
+func DecodeToken(s string) (Token, error) {
+	var t Token
+	b, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return t, fmt.Errorf("%w: %v", ErrTokenInvalid, err)
+	}
+	if err := json.Unmarshal(b, &t); err != nil {
+		return t, fmt.Errorf("%w: %v", ErrTokenInvalid, err)
+	}
+	return t, nil
+}
+
+// TokenService issues and validates tokens for one secure cluster. It plays
+// the role HBase's TokenProvider coprocessor plays in the real system.
+type TokenService struct {
+	cluster  string
+	kdc      *KDC
+	secret   []byte
+	lifetime time.Duration
+	now      Clock
+	meter    *metrics.Registry
+
+	mu      sync.Mutex
+	nextID  uint64
+	revoked map[uint64]bool
+}
+
+// NewTokenService creates a token service for cluster backed by kdc.
+// lifetime bounds token validity; now may be nil for wall-clock time.
+func NewTokenService(cluster string, kdc *KDC, lifetime time.Duration, now Clock, meter *metrics.Registry) *TokenService {
+	if now == nil {
+		now = time.Now
+	}
+	return &TokenService{
+		cluster:  cluster,
+		kdc:      kdc,
+		secret:   []byte("svc-secret-" + cluster),
+		lifetime: lifetime,
+		now:      now,
+		meter:    meter,
+		revoked:  make(map[uint64]bool),
+	}
+}
+
+// Cluster returns the cluster this service protects.
+func (s *TokenService) Cluster() string { return s.cluster }
+
+func (s *TokenService) sign(t *Token) string {
+	mac := hmac.New(sha256.New, s.secret)
+	fmt.Fprintf(mac, "%s|%s|%d|%d|%d", t.Cluster, t.Principal, t.ID, t.IssuedAt.UnixNano(), t.ExpiresAt.UnixNano())
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// Issue authenticates the principal against the KDC and returns a fresh
+// token.
+func (s *TokenService) Issue(principal, keytab string) (Token, error) {
+	if err := s.kdc.Authenticate(principal, keytab); err != nil {
+		return Token{}, err
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	s.mu.Unlock()
+	now := s.now()
+	t := Token{
+		Cluster:   s.cluster,
+		Principal: principal,
+		ID:        id,
+		IssuedAt:  now,
+		ExpiresAt: now.Add(s.lifetime),
+	}
+	t.Signature = s.sign(&t)
+	s.meter.Inc(metrics.TokensFetched)
+	return t, nil
+}
+
+// Renew issues a replacement for a still-valid token without re-consulting
+// the KDC.
+func (s *TokenService) Renew(t Token) (Token, error) {
+	if err := s.Validate(t.Encode()); err != nil {
+		return Token{}, err
+	}
+	now := s.now()
+	t.IssuedAt = now
+	t.ExpiresAt = now.Add(s.lifetime)
+	t.Signature = s.sign(&t)
+	s.meter.Inc(metrics.TokensRenewed)
+	return t, nil
+}
+
+// Revoke invalidates a token by ID.
+func (s *TokenService) Revoke(id uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.revoked[id] = true
+}
+
+// Validate checks an encoded token: signature, cluster, expiry, revocation.
+// It satisfies hbase.TokenValidator via closure.
+func (s *TokenService) Validate(encoded string) error {
+	t, err := DecodeToken(encoded)
+	if err != nil {
+		return err
+	}
+	if t.Cluster != s.cluster {
+		return fmt.Errorf("%w: token for cluster %q presented to %q", ErrTokenInvalid, t.Cluster, s.cluster)
+	}
+	sig := t.Signature
+	t.Signature = ""
+	if !hmac.Equal([]byte(sig), []byte(s.sign(&t))) {
+		return fmt.Errorf("%w: bad signature", ErrTokenInvalid)
+	}
+	if !s.now().Before(t.ExpiresAt) {
+		return fmt.Errorf("%w: at %v", ErrTokenExpired, t.ExpiresAt)
+	}
+	s.mu.Lock()
+	revoked := s.revoked[t.ID]
+	s.mu.Unlock()
+	if revoked {
+		return fmt.Errorf("%w: revoked", ErrTokenInvalid)
+	}
+	return nil
+}
+
+// Validator adapts the service to the hbase.TokenValidator shape.
+func (s *TokenService) Validator() func(string) error {
+	return s.Validate
+}

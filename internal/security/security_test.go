@@ -1,0 +1,300 @@
+package security
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/shc-go/shc/internal/metrics"
+)
+
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t = f.t.Add(d)
+}
+
+func TestKDCAuthenticate(t *testing.T) {
+	kdc := NewKDC()
+	kdc.AddPrincipal("ambari-qa@EXAMPLE.COM", "smokeuser.headless.keytab")
+	if err := kdc.Authenticate("ambari-qa@EXAMPLE.COM", "smokeuser.headless.keytab"); err != nil {
+		t.Fatal(err)
+	}
+	if err := kdc.Authenticate("ambari-qa@EXAMPLE.COM", "wrong"); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("bad keytab: %v", err)
+	}
+	if err := kdc.Authenticate("ghost@EXAMPLE.COM", "x"); !errors.Is(err, ErrNoPrincipal) {
+		t.Errorf("unknown principal: %v", err)
+	}
+}
+
+func newTestService(t *testing.T, clock *fakeClock, lifetime time.Duration) *TokenService {
+	t.Helper()
+	kdc := NewKDC()
+	kdc.AddPrincipal("user", "keytab")
+	return NewTokenService("clusterA", kdc, lifetime, clock.Now, metrics.NewRegistry())
+}
+
+func TestIssueAndValidate(t *testing.T) {
+	clock := newFakeClock()
+	svc := newTestService(t, clock, time.Hour)
+	tok, err := svc.Issue("user", "keytab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Validate(tok.Encode()); err != nil {
+		t.Errorf("fresh token must validate: %v", err)
+	}
+	if _, err := svc.Issue("user", "bad"); err == nil {
+		t.Error("issue with bad keytab must fail")
+	}
+}
+
+func TestTokenExpiry(t *testing.T) {
+	clock := newFakeClock()
+	svc := newTestService(t, clock, time.Hour)
+	tok, _ := svc.Issue("user", "keytab")
+	clock.Advance(2 * time.Hour)
+	if err := svc.Validate(tok.Encode()); !errors.Is(err, ErrTokenExpired) {
+		t.Errorf("expired token: %v", err)
+	}
+}
+
+func TestTokenTamperingDetected(t *testing.T) {
+	clock := newFakeClock()
+	svc := newTestService(t, clock, time.Hour)
+	tok, _ := svc.Issue("user", "keytab")
+	tok.Principal = "attacker"
+	if err := svc.Validate(tok.Encode()); !errors.Is(err, ErrTokenInvalid) {
+		t.Errorf("tampered token: %v", err)
+	}
+	if err := svc.Validate("!!!not-base64!!!"); !errors.Is(err, ErrTokenInvalid) {
+		t.Errorf("garbage token: %v", err)
+	}
+}
+
+func TestTokenWrongCluster(t *testing.T) {
+	clock := newFakeClock()
+	kdc := NewKDC()
+	kdc.AddPrincipal("user", "keytab")
+	a := NewTokenService("clusterA", kdc, time.Hour, clock.Now, nil)
+	b := NewTokenService("clusterB", kdc, time.Hour, clock.Now, nil)
+	tok, _ := a.Issue("user", "keytab")
+	if err := b.Validate(tok.Encode()); !errors.Is(err, ErrTokenInvalid) {
+		t.Errorf("cross-cluster token: %v", err)
+	}
+}
+
+func TestTokenRevocation(t *testing.T) {
+	clock := newFakeClock()
+	svc := newTestService(t, clock, time.Hour)
+	tok, _ := svc.Issue("user", "keytab")
+	svc.Revoke(tok.ID)
+	if err := svc.Validate(tok.Encode()); !errors.Is(err, ErrTokenInvalid) {
+		t.Errorf("revoked token: %v", err)
+	}
+}
+
+func TestRenew(t *testing.T) {
+	clock := newFakeClock()
+	svc := newTestService(t, clock, time.Hour)
+	tok, _ := svc.Issue("user", "keytab")
+	clock.Advance(30 * time.Minute)
+	renewed, err := svc.Renew(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !renewed.ExpiresAt.After(tok.ExpiresAt) {
+		t.Error("renewal must extend expiry")
+	}
+	clock.Advance(45 * time.Minute) // original would be dead, renewal lives
+	if err := svc.Validate(renewed.Encode()); err != nil {
+		t.Errorf("renewed token must validate: %v", err)
+	}
+	clock.Advance(2 * time.Hour)
+	if _, err := svc.Renew(renewed); err == nil {
+		t.Error("renewing an expired token must fail")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	clock := newFakeClock()
+	svc := newTestService(t, clock, time.Hour)
+	tok, _ := svc.Issue("user", "keytab")
+	got, err := DecodeToken(tok.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != tok.ID || got.Cluster != tok.Cluster || got.Signature != tok.Signature {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, tok)
+	}
+}
+
+func newManagerWith(t *testing.T, clock *fakeClock, lifetime time.Duration, clusters ...string) (*CredentialsManager, map[string]*TokenService, *metrics.Registry) {
+	t.Helper()
+	kdc := NewKDC()
+	kdc.AddPrincipal("user", "keytab")
+	meter := metrics.NewRegistry()
+	m := NewCredentialsManager(CredentialsConfig{
+		Enabled:   true,
+		Principal: "user",
+		Keytab:    "keytab",
+		Now:       clock.Now,
+	}, meter)
+	svcs := make(map[string]*TokenService)
+	for _, c := range clusters {
+		svc := NewTokenService(c, kdc, lifetime, clock.Now, meter)
+		m.RegisterCluster(svc)
+		svcs[c] = svc
+	}
+	return m, svcs, meter
+}
+
+func TestManagerDisabledByDefault(t *testing.T) {
+	m := NewCredentialsManager(CredentialsConfig{}, nil)
+	if _, err := m.TokenForCluster("a"); err == nil {
+		t.Error("disabled manager must refuse")
+	}
+}
+
+func TestManagerCachesTokens(t *testing.T) {
+	clock := newFakeClock()
+	m, svcs, meter := newManagerWith(t, clock, time.Hour, "a")
+	t1, err := m.TokenForCluster("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := m.TokenForCluster("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.ID != t2.ID {
+		t.Error("second request must hit the cache")
+	}
+	if meter.Get(metrics.TokensCacheHits) != 1 || meter.Get(metrics.TokensFetched) != 1 {
+		t.Errorf("cache metering: hits=%d fetched=%d", meter.Get(metrics.TokensCacheHits), meter.Get(metrics.TokensFetched))
+	}
+	if err := svcs["a"].Validate(t2.Encode()); err != nil {
+		t.Errorf("cached token must be valid: %v", err)
+	}
+}
+
+func TestManagerRefetchesNearExpiry(t *testing.T) {
+	clock := newFakeClock()
+	m, _, _ := newManagerWith(t, clock, time.Hour, "a")
+	t1, _ := m.TokenForCluster("a")
+	clock.Advance(58 * time.Minute) // past 0.95 of lifetime
+	t2, err := m.TokenForCluster("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2.ID == t1.ID {
+		t.Error("near-expiry token must be replaced")
+	}
+}
+
+func TestManagerMultipleClusters(t *testing.T) {
+	clock := newFakeClock()
+	m, svcs, _ := newManagerWith(t, clock, time.Hour, "hbase1", "hbase2")
+	tok1, err := m.Token("hbase1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok2, err := m.Token("hbase2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svcs["hbase1"].Validate(tok1); err != nil {
+		t.Error(err)
+	}
+	if err := svcs["hbase2"].Validate(tok2); err != nil {
+		t.Error(err)
+	}
+	if err := svcs["hbase2"].Validate(tok1); err == nil {
+		t.Error("cluster1 token must not validate on cluster2")
+	}
+	if len(m.CachedClusters()) != 2 {
+		t.Errorf("cached clusters = %v", m.CachedClusters())
+	}
+	if _, err := m.Token("unknown"); err == nil {
+		t.Error("unregistered cluster must fail")
+	}
+}
+
+func TestManagerBackgroundRefresh(t *testing.T) {
+	clock := newFakeClock()
+	m, _, meter := newManagerWith(t, clock, time.Hour, "a")
+	t1, _ := m.TokenForCluster("a")
+	clock.Advance(40 * time.Minute) // past RefreshTimeFraction (0.6)
+	n, err := m.RefreshNow()
+	if err != nil || n != 1 {
+		t.Fatalf("RefreshNow = %d, %v", n, err)
+	}
+	t2, _ := m.TokenForCluster("a")
+	if t2.ID != t1.ID {
+		t.Error("renewal keeps the token ID")
+	}
+	if !t2.ExpiresAt.After(t1.ExpiresAt) {
+		t.Error("renewal must extend expiry")
+	}
+	if meter.Get(metrics.TokensRenewed) != 1 {
+		t.Errorf("renewals metered = %d", meter.Get(metrics.TokensRenewed))
+	}
+	// Fresh token is not refreshed again immediately.
+	if n, _ := m.RefreshNow(); n != 0 {
+		t.Errorf("fresh token refreshed: %d", n)
+	}
+}
+
+func TestManagerRefreshDropsDeadTokens(t *testing.T) {
+	clock := newFakeClock()
+	m, _, _ := newManagerWith(t, clock, time.Hour, "a")
+	t1, _ := m.TokenForCluster("a")
+	clock.Advance(2 * time.Hour) // token fully expired; renew will fail
+	n, err := m.RefreshNow()
+	if n != 0 || err == nil {
+		t.Fatalf("RefreshNow on dead token = %d, %v", n, err)
+	}
+	// Next request falls back to a fresh issue.
+	t2, err := m.TokenForCluster("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2.ID == t1.ID {
+		t.Error("dead token must be replaced by a fresh issue")
+	}
+}
+
+func TestManagerStartStop(t *testing.T) {
+	clock := newFakeClock()
+	m, _, _ := newManagerWith(t, clock, time.Hour, "a")
+	m.cfg.RefreshDuration = time.Millisecond
+	m.Start()
+	if _, err := m.TokenForCluster("a"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	m.Stop()
+	m.Stop() // idempotent
+	select {
+	case <-m.done:
+	case <-time.After(time.Second):
+		t.Fatal("refresher did not stop")
+	}
+}

@@ -1,0 +1,177 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/shc-go/shc/internal/plan"
+)
+
+type fakeRel struct {
+	name   string
+	schema plan.Schema
+}
+
+func (f *fakeRel) Name() string        { return f.name }
+func (f *fakeRel) Schema() plan.Schema { return f.schema }
+
+func testResolver() Resolver {
+	tables := map[string]plan.Schema{
+		"users": {
+			{Name: "id", Type: plan.TypeString},
+			{Name: "age", Type: plan.TypeInt32},
+			{Name: "city", Type: plan.TypeString},
+		},
+		"orders": {
+			{Name: "oid", Type: plan.TypeString},
+			{Name: "uid", Type: plan.TypeString},
+			{Name: "amount", Type: plan.TypeFloat64},
+		},
+	}
+	return func(table string) (plan.LogicalPlan, error) {
+		s, ok := tables[table]
+		if !ok {
+			return nil, fmt.Errorf("no table %q", table)
+		}
+		return &plan.ScanNode{Relation: &fakeRel{name: table, schema: s}}, nil
+	}
+}
+
+func mustBuild(t *testing.T, q string) plan.LogicalPlan {
+	t.Helper()
+	lp, err := Build(q, testResolver())
+	if err != nil {
+		t.Fatalf("Build(%q): %v", q, err)
+	}
+	return lp
+}
+
+func TestBuildSimpleSelect(t *testing.T) {
+	lp := mustBuild(t, "SELECT id, age FROM users WHERE age > 21")
+	out := plan.Format(lp)
+	for _, want := range []string{"Project", "Filter", "Scan users"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan missing %q:\n%s", want, out)
+		}
+	}
+	schema := lp.Schema()
+	if len(schema) != 2 || schema[0].Name != "id" {
+		t.Errorf("schema = %s", schema)
+	}
+}
+
+func TestBuildStarKeepsChild(t *testing.T) {
+	lp := mustBuild(t, "SELECT * FROM users")
+	if len(lp.Schema()) != 3 {
+		t.Errorf("star schema = %s", lp.Schema())
+	}
+	// Star mixed with expressions expands.
+	lp = mustBuild(t, "SELECT *, age + 1 AS next FROM users")
+	if len(lp.Schema()) != 4 || lp.Schema()[3].Name != "next" {
+		t.Errorf("mixed star schema = %s", lp.Schema())
+	}
+}
+
+func TestBuildJoinExtractsKeysAndResidual(t *testing.T) {
+	lp := mustBuild(t, `SELECT u.id FROM users u JOIN orders o ON u.id = o.uid AND o.amount > 5`)
+	out := plan.Format(lp)
+	if !strings.Contains(out, "Join[Inner] u.id = o.uid") {
+		t.Errorf("join keys missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Filter") {
+		t.Errorf("residual predicate missing:\n%s", out)
+	}
+	// Reversed key order still resolves.
+	lp = mustBuild(t, `SELECT u.id FROM users u JOIN orders o ON o.uid = u.id`)
+	if !strings.Contains(plan.Format(lp), "u.id = o.uid") {
+		t.Errorf("reversed keys: %s", plan.Format(lp))
+	}
+}
+
+func TestBuildAggregateRewrites(t *testing.T) {
+	lp := mustBuild(t, `
+		SELECT city, count(*) AS n, sum(age) / count(*) AS mean_age
+		FROM users GROUP BY city HAVING count(*) > 2 ORDER BY n DESC LIMIT 3`)
+	out := plan.Format(lp)
+	for _, want := range []string{"Aggregate", "group=[city]", "count(*)", "sum(age)", "Filter", "Sort", "Limit 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan missing %q:\n%s", want, out)
+		}
+	}
+	schema := lp.Schema()
+	if schema[1].Name != "n" || schema[2].Name != "mean_age" {
+		t.Errorf("schema = %s", schema)
+	}
+}
+
+func TestBuildGroupByExpression(t *testing.T) {
+	lp := mustBuild(t, "SELECT age / 10, count(*) FROM users GROUP BY age / 10")
+	if !strings.Contains(plan.Format(lp), "__grp0") {
+		t.Errorf("synthetic group name missing:\n%s", plan.Format(lp))
+	}
+}
+
+func TestBuildDerivedTable(t *testing.T) {
+	lp := mustBuild(t, `SELECT s.n FROM (SELECT city, count(*) AS n FROM users GROUP BY city) s WHERE s.n > 1`)
+	out := plan.Format(lp)
+	if !strings.Contains(out, "Aggregate") || !strings.Contains(out, "s.n") {
+		t.Errorf("derived plan:\n%s", out)
+	}
+}
+
+func TestBuildDistinct(t *testing.T) {
+	lp := mustBuild(t, "SELECT DISTINCT city FROM users ORDER BY city")
+	out := plan.Format(lp)
+	if !strings.Contains(out, "Aggregate group=[city]") {
+		t.Errorf("distinct must become a group-by:\n%s", out)
+	}
+	if strings.Index(out, "Sort") > strings.Index(out, "Aggregate") {
+		t.Errorf("sort must sit above the dedup:\n%s", out)
+	}
+}
+
+func TestBuildLeftJoinType(t *testing.T) {
+	lp := mustBuild(t, "SELECT u.id FROM users u LEFT JOIN orders o ON u.id = o.uid")
+	if !strings.Contains(plan.Format(lp), "Join[LeftOuter]") {
+		t.Errorf("join type lost:\n%s", plan.Format(lp))
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	for _, q := range []string{
+		"SELECT id FROM missing",
+		"SELECT id FROM users u JOIN orders o ON u.age > o.amount", // no equality
+		"SELECT sum(age) FROM users WHERE sum(age) > 1",            // agg in WHERE
+		"SELECT count(age, id) FROM users",                         // arity
+		"SELECT sum(*) FROM users",                                 // * with non-count
+		"SELECT sum(DISTINCT age) FROM users",                      // distinct non-count
+		"SELECT sum(sum(age)) FROM users",                          // nested agg
+		"SELECT * FROM users GROUP BY city",                        // star + group
+		"SELECT DISTINCT count(*) FROM users",                      // distinct + agg
+		"SELECT u.id FROM users u LEFT JOIN orders o ON u.id = o.uid AND o.amount > 1",
+	} {
+		if _, err := Build(q, testResolver()); err == nil {
+			t.Errorf("Build(%q) should fail", q)
+		}
+	}
+}
+
+func TestBuildCountVariants(t *testing.T) {
+	// COUNT(1) and COUNT(*) both count rows; COUNT(col) counts non-NULLs.
+	lp := mustBuild(t, "SELECT count(1), count(*), count(city) FROM users")
+	out := plan.Format(lp)
+	if !strings.Contains(out, "count(*) AS __agg0, count(*) AS __agg1") {
+		t.Errorf("count(1) should normalize to count(*):\n%s", out)
+	}
+	if !strings.Contains(out, "count(city)") {
+		t.Errorf("count(col) must keep its argument:\n%s", out)
+	}
+}
+
+func TestBuildOrderByAlias(t *testing.T) {
+	lp := mustBuild(t, "SELECT age AS years FROM users ORDER BY years")
+	if _, ok := lp.(*plan.SortNode); !ok {
+		t.Errorf("expected sort on top, got %T", lp)
+	}
+}

@@ -1,0 +1,180 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/shc-go/shc/internal/plan"
+)
+
+func mustParse(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return stmt
+}
+
+func TestParseBasicSelect(t *testing.T) {
+	stmt := mustParse(t, "SELECT a, b AS bee FROM t WHERE a > 1 LIMIT 10")
+	if len(stmt.Items) != 2 || stmt.Items[1].Alias != "bee" {
+		t.Errorf("items = %+v", stmt.Items)
+	}
+	if stmt.From.Name != "t" || stmt.Limit != 10 || stmt.Where == nil {
+		t.Errorf("stmt = %+v", stmt)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	stmt := mustParse(t, "select * from t")
+	if !stmt.Items[0].Star {
+		t.Error("star not parsed")
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM a JOIN b ON a.x = b.y INNER JOIN c ON b.z = c.w")
+	if len(stmt.Joins) != 2 {
+		t.Fatalf("joins = %d", len(stmt.Joins))
+	}
+	if stmt.Joins[0].Table.Name != "b" || stmt.Joins[1].Table.Name != "c" {
+		t.Errorf("join tables = %+v", stmt.Joins)
+	}
+}
+
+func TestParseTableAliases(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM users AS u")
+	if stmt.From.Alias != "u" {
+		t.Errorf("alias = %q", stmt.From.Alias)
+	}
+	stmt = mustParse(t, "SELECT * FROM users u")
+	if stmt.From.Alias != "u" {
+		t.Errorf("implicit alias = %q", stmt.From.Alias)
+	}
+}
+
+func TestParseGroupHavingOrder(t *testing.T) {
+	stmt := mustParse(t, `
+		SELECT city, count(*) FROM t
+		GROUP BY city HAVING count(*) > 3
+		ORDER BY city DESC, count(*) ASC`)
+	if len(stmt.GroupBy) != 1 || stmt.Having == nil {
+		t.Errorf("group/having = %+v", stmt)
+	}
+	if len(stmt.OrderBy) != 2 || !stmt.OrderBy[0].Desc || stmt.OrderBy[1].Desc {
+		t.Errorf("order = %+v", stmt.OrderBy)
+	}
+}
+
+func TestParseSubquery(t *testing.T) {
+	stmt := mustParse(t, "SELECT x FROM (SELECT a AS x FROM t) sub WHERE x > 0")
+	if stmt.From.Sub == nil || stmt.From.Alias != "sub" {
+		t.Errorf("subquery = %+v", stmt.From)
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	stmt := mustParse(t, `SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b IN ('x','y') AND c NOT IN (1) AND d LIKE 'p%' AND e IS NOT NULL AND NOT f = 1`)
+	s := stmt.Where.String()
+	for _, want := range []string{"IN", "NOT IN", "LIKE", "IS NOT NULL", ">= 1", "<= 5", "NOT"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("predicate missing %q in %s", want, s)
+		}
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM t WHERE a + b * 2 > 10 OR c = 1 AND d = 2")
+	// AND binds tighter than OR; * tighter than +.
+	s := stmt.Where.String()
+	if !strings.Contains(s, "((a + (b * 2)) > 10) OR ((c = 1) AND (d = 2))") {
+		t.Errorf("precedence: %s", s)
+	}
+}
+
+func TestParseNegativeNumbersAndStrings(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM t WHERE a = -5 AND b = -1.5 AND c = 'it''s'")
+	s := stmt.Where.String()
+	if !strings.Contains(s, "-5") || !strings.Contains(s, "-1.5") || !strings.Contains(s, `it's`) {
+		t.Errorf("literals: %s", s)
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	stmt := mustParse(t, "SELECT CASE WHEN a > 1 THEN 'hi' ELSE 'lo' END AS x FROM t")
+	if _, ok := stmt.Items[0].Expr.(*plan.CaseWhen); !ok {
+		t.Errorf("case = %T", stmt.Items[0].Expr)
+	}
+}
+
+func TestParseFunctions(t *testing.T) {
+	stmt := mustParse(t, "SELECT count(*), count(DISTINCT a), sum(b), stddev_samp(c / 2) FROM t")
+	f := stmt.Items[1].Expr.(*FuncCall)
+	if !f.Distinct || f.Name != "count" {
+		t.Errorf("distinct = %+v", f)
+	}
+	if stmt.Items[0].Expr.(*FuncCall).Star != true {
+		t.Error("count(*) star lost")
+	}
+}
+
+func TestParseQuotedIdentifiers(t *testing.T) {
+	stmt := mustParse(t, "SELECT `user-id`, t.`stay-time` FROM t WHERE `user-id` > 5")
+	if stmt.Items[0].Expr.(*plan.ColumnRef).Name != "user-id" {
+		t.Errorf("quoted ident = %s", stmt.Items[0].Expr)
+	}
+	if stmt.Items[1].Expr.(*plan.ColumnRef).Name != "t.stay-time" {
+		t.Errorf("qualified quoted ident = %s", stmt.Items[1].Expr)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	mustParse(t, "SELECT a -- trailing comment\nFROM t")
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, q := range []string{
+		"",
+		"SELECT",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t GROUP city",
+		"SELECT a FROM (SELECT b FROM t)",
+		"SELECT a FROM t JOIN u",
+		"SELECT a FROM t WHERE a LIKE 5",
+		"SELECT a FROM t WHERE a = 'unterminated",
+		"SELECT a FROM t WHERE `unterminated",
+		"SELECT a FROM t extra garbage here",
+		"SELECT CASE END FROM t",
+		"SELECT a FROM t WHERE a ! b",
+		"SELECT a FROM t WHERE a = #",
+	} {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestParseIsNull(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM t WHERE a IS NULL")
+	if n, ok := stmt.Where.(*plan.IsNull); !ok || n.Negate {
+		t.Errorf("is null = %s", stmt.Where)
+	}
+}
+
+func TestFuncCallExprInterface(t *testing.T) {
+	f := &FuncCall{Name: "sum", Args: []plan.Expr{plan.Col("x")}}
+	if _, err := f.Eval(nil); err == nil {
+		t.Error("FuncCall.Eval must fail (unrewritten)")
+	}
+	if f.Type() != plan.TypeUnknown {
+		t.Error("FuncCall type must be unknown")
+	}
+	clone := f.WithChildren([]plan.Expr{plan.Col("y")}).(*FuncCall)
+	if clone.Args[0].(*plan.ColumnRef).Name != "y" {
+		t.Error("WithChildren did not replace args")
+	}
+}

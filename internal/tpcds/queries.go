@@ -1,0 +1,75 @@
+package tpcds
+
+import "fmt"
+
+// q39CoV is the coefficient-of-variation expression at the heart of TPC-DS
+// q39: stdev/mean guarded against empty groups.
+const q39CoV = `CASE WHEN avg(inv_quantity_on_hand) = 0 THEN 0
+        ELSE stddev_samp(inv_quantity_on_hand) / avg(inv_quantity_on_hand) END`
+
+// q39Month builds the per-month inventory-variance subquery of q39: the
+// four-way join of inventory, item, warehouse, and date_dim the paper
+// highlights ("TPC-DS query q39a joins four tables").
+func q39Month(year, moy int, minCov float64) string {
+	// The generator keys inventory by date_sk, and month m of 2001 spans
+	// date_sk (m-1)*30+1 .. m*30 — so the query states the month window on
+	// the row key as well as on date_dim. The paper's §VI-A.1 makes
+	// exactly this point: partition pruning only engages when the WHERE
+	// clause is written against the first rowkey dimension.
+	lo, hi := (moy-1)*30+1, moy*30
+	return fmt.Sprintf(`
+    SELECT w_warehouse_sk AS w, i_item_sk AS i,
+           avg(inv_quantity_on_hand) AS qmean,
+           %s AS qcov
+    FROM inventory
+    JOIN item ON inv_item_sk = i_item_sk
+    JOIN warehouse ON inv_warehouse_sk = w_warehouse_sk
+    JOIN date_dim ON inv_date_sk = d_date_sk
+    WHERE inv_date_sk BETWEEN %d AND %d AND d_year = %d AND d_moy = %d
+    GROUP BY w_warehouse_sk, i_item_sk
+    HAVING %s > %g`, q39CoV, lo, hi, year, moy, q39CoV, minCov)
+}
+
+// Q39a is the restatement of TPC-DS q39a over the generated schema: items
+// whose inventory level is unstable (CoV > 1) in two consecutive months.
+func Q39a() string { return q39(1.0) }
+
+// Q39b is q39a with the tighter variance threshold (CoV > 1.5), the second
+// query variant the paper evaluates.
+func Q39b() string { return q39(1.5) }
+
+func q39(minCov float64) string {
+	return fmt.Sprintf(`
+SELECT inv1.w, inv1.i, inv1.qmean, inv1.qcov, inv2.qmean, inv2.qcov
+FROM (%s) inv1
+JOIN (%s) inv2 ON inv1.w = inv2.w AND inv1.i = inv2.i
+ORDER BY inv1.w, inv1.i`, q39Month(2001, 1, minCov), q39Month(2001, 2, minCov))
+}
+
+// Q38 is the restatement of TPC-DS q38 over the generated schema:
+// customers active in BOTH sales channels during a month-sequence window.
+// (The original intersects store, catalog, and web; the generator carries
+// two channels, so the INTERSECT is restated as a join of two DISTINCT
+// customer sets — the same scan-dedup-intersect shape, one channel
+// fewer.) month_seq 1200..1201 = months 1..2 of 2001 = date_sk 1..60; the
+// rowkey restatements let SHC prune both fact tables' regions.
+func Q38() string {
+	return `
+SELECT count(*) AS hot_customers FROM (
+    SELECT DISTINCT ss_customer_sk AS cust
+    FROM store_sales
+    JOIN date_dim ON ss_sold_date_sk = d_date_sk
+    WHERE ss_sold_date_sk BETWEEN 1 AND 60 AND d_month_seq BETWEEN 1200 AND 1201
+) s JOIN (
+    SELECT DISTINCT ws_customer_sk AS cust
+    FROM web_sales
+    JOIN date_dim ON ws_sold_date_sk = d_date_sk
+    WHERE ws_sold_date_sk BETWEEN 1 AND 60 AND d_month_seq BETWEEN 1200 AND 1201
+) w ON s.cust = w.cust`
+}
+
+// PointLookup returns a selective single-row query used by the examples
+// and microbenchmarks.
+func PointLookup(itemSk int) string {
+	return fmt.Sprintf("SELECT i_item_id, i_price FROM item WHERE i_item_sk = %d", itemSk)
+}

@@ -1,0 +1,114 @@
+package tpcds
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/shc-go/shc/internal/core"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Scale: 1, Seed: 7})
+	b := Generate(Config{Scale: 1, Seed: 7})
+	if len(a.Inventory) != len(b.Inventory) || len(a.Inventory) == 0 {
+		t.Fatalf("inventory sizes %d vs %d", len(a.Inventory), len(b.Inventory))
+	}
+	for i := range a.Inventory {
+		for j := range a.Inventory[i] {
+			if a.Inventory[i][j] != b.Inventory[i][j] {
+				t.Fatalf("row %d differs", i)
+			}
+		}
+	}
+	c := Generate(Config{Scale: 1, Seed: 8})
+	same := true
+	for i := range a.Inventory {
+		if a.Inventory[i][3] != c.Inventory[i][3] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGenerateScaling(t *testing.T) {
+	small := Generate(Config{Scale: 1})
+	big := Generate(Config{Scale: 3})
+	if len(big.Inventory) != 3*len(small.Inventory) {
+		t.Errorf("inventory scaling: %d vs %d", len(big.Inventory), len(small.Inventory))
+	}
+	if len(big.StoreSales) != 3*len(small.StoreSales) {
+		t.Errorf("sales scaling: %d vs %d", len(big.StoreSales), len(small.StoreSales))
+	}
+	if len(big.Warehouse) != len(small.Warehouse) {
+		t.Error("warehouse count should not scale")
+	}
+}
+
+func TestInventoryKeysUnique(t *testing.T) {
+	d := Generate(Config{Scale: 2})
+	seen := make(map[[3]int32]bool)
+	for _, r := range d.Inventory {
+		k := [3]int32{r[0].(int32), r[1].(int32), r[2].(int32)}
+		if seen[k] {
+			t.Fatalf("duplicate inventory key %v", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestDateDimCoversQ39Months(t *testing.T) {
+	d := Generate(Config{})
+	months := make(map[int32]int)
+	for _, r := range d.DateDim {
+		if r[4].(int32) == 2001 {
+			months[r[3].(int32)]++
+		}
+	}
+	if months[1] == 0 || months[2] == 0 {
+		t.Errorf("q39 needs months 1 and 2 of 2001: %v", months)
+	}
+}
+
+func TestCatalogsParseAndMatchRows(t *testing.T) {
+	d := Generate(Config{})
+	for _, table := range TableNames {
+		doc, err := Catalog(table, "")
+		if err != nil {
+			t.Fatalf("%s: %v", table, err)
+		}
+		cat, err := core.ParseCatalog(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", table, err)
+		}
+		rows := d.Rows(table)
+		if len(rows) == 0 {
+			t.Fatalf("%s: no rows", table)
+		}
+		if got, want := len(rows[0]), len(cat.Schema()); got != want {
+			t.Errorf("%s: row width %d != schema width %d (%s)", table, got, want, cat.Schema())
+		}
+	}
+	if _, err := Catalog("nope", ""); err == nil {
+		t.Error("unknown table must fail")
+	}
+	for _, coder := range []string{"PrimitiveType", "Phoenix", "Avro"} {
+		doc, err := Catalog("item", coder)
+		if err != nil || !strings.Contains(doc, coder) {
+			t.Errorf("coder %s: %v", coder, err)
+		}
+	}
+}
+
+func TestQueriesWellFormed(t *testing.T) {
+	for name, q := range map[string]string{"q39a": Q39a(), "q39b": Q39b(), "q38": Q38(), "point": PointLookup(5)} {
+		if !strings.Contains(strings.ToUpper(q), "SELECT") {
+			t.Errorf("%s: %q", name, q)
+		}
+	}
+	if Q39a() == Q39b() {
+		t.Error("q39a and q39b must differ (variance threshold)")
+	}
+}

@@ -1,0 +1,196 @@
+// Package wal implements the write-ahead log each region uses for fault
+// tolerance (paper §III-B): every mutation is appended to the log before it
+// is applied to the MemStore, and a crashed region is rebuilt by replaying
+// the log from the last flushed sequence number.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/shc-go/shc/internal/metrics"
+)
+
+// Kind discriminates log entries.
+type Kind uint8
+
+// Entry kinds.
+const (
+	KindPut Kind = iota + 1
+	KindDelete
+)
+
+// Entry is one logged mutation.
+type Entry struct {
+	Seq       uint64
+	Table     string
+	Region    string
+	Kind      Kind
+	Row       []byte
+	Family    string
+	Qualifier string
+	Timestamp int64
+	Value     []byte
+}
+
+// ErrCorrupt is returned when decoding malformed bytes.
+var ErrCorrupt = errors.New("wal: corrupt entry")
+
+// Encode serializes the entry to a self-delimiting binary record.
+func (e Entry) Encode() []byte {
+	buf := make([]byte, 0, 64+len(e.Row)+len(e.Family)+len(e.Qualifier)+len(e.Value))
+	buf = binary.BigEndian.AppendUint64(buf, e.Seq)
+	buf = append(buf, byte(e.Kind))
+	buf = appendBytes(buf, []byte(e.Table))
+	buf = appendBytes(buf, []byte(e.Region))
+	buf = appendBytes(buf, e.Row)
+	buf = appendBytes(buf, []byte(e.Family))
+	buf = appendBytes(buf, []byte(e.Qualifier))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(e.Timestamp))
+	buf = appendBytes(buf, e.Value)
+	return buf
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(b)))
+	return append(buf, b...)
+}
+
+// DecodeEntry parses bytes produced by Encode.
+func DecodeEntry(b []byte) (Entry, error) {
+	var e Entry
+	if len(b) < 9 {
+		return e, fmt.Errorf("%w: too short", ErrCorrupt)
+	}
+	e.Seq = binary.BigEndian.Uint64(b)
+	e.Kind = Kind(b[8])
+	if e.Kind != KindPut && e.Kind != KindDelete {
+		return e, fmt.Errorf("%w: bad kind %d", ErrCorrupt, e.Kind)
+	}
+	b = b[9:]
+	var err error
+	var table, region, fam, qual []byte
+	if table, b, err = takeBytes(b); err != nil {
+		return e, err
+	}
+	if region, b, err = takeBytes(b); err != nil {
+		return e, err
+	}
+	if e.Row, b, err = takeBytes(b); err != nil {
+		return e, err
+	}
+	if fam, b, err = takeBytes(b); err != nil {
+		return e, err
+	}
+	if qual, b, err = takeBytes(b); err != nil {
+		return e, err
+	}
+	if len(b) < 8 {
+		return e, fmt.Errorf("%w: missing timestamp", ErrCorrupt)
+	}
+	e.Timestamp = int64(binary.BigEndian.Uint64(b))
+	b = b[8:]
+	if e.Value, b, err = takeBytes(b); err != nil {
+		return e, err
+	}
+	if len(b) != 0 {
+		return e, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b))
+	}
+	e.Table, e.Region, e.Family, e.Qualifier = string(table), string(region), string(fam), string(qual)
+	return e, nil
+}
+
+func takeBytes(b []byte) (val, rest []byte, err error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("%w: truncated length", ErrCorrupt)
+	}
+	n := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	if uint32(len(b)) < n {
+		return nil, nil, fmt.Errorf("%w: truncated payload", ErrCorrupt)
+	}
+	return b[:n:n], b[n:], nil
+}
+
+// Log is an append-only sequence of entries. It retains encoded records in
+// memory (standing in for an HDFS file) and supports replay from a sequence
+// number and truncation below one.
+type Log struct {
+	mu      sync.Mutex
+	records [][]byte
+	first   uint64 // seq of records[0]
+	nextSeq uint64
+	meter   *metrics.Registry
+}
+
+// New returns an empty log. meter may be nil.
+func New(meter *metrics.Registry) *Log {
+	return &Log{nextSeq: 1, first: 1, meter: meter}
+}
+
+// Append assigns the next sequence number to e, encodes and stores it, and
+// returns the assigned sequence number.
+func (l *Log) Append(e Entry) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.Seq = l.nextSeq
+	l.nextSeq++
+	l.records = append(l.records, e.Encode())
+	l.meter.Inc(metrics.WALAppends)
+	return e.Seq
+}
+
+// Replay invokes fn for every retained entry with Seq >= fromSeq, in order.
+// It stops and returns the first error from fn or from decoding.
+func (l *Log) Replay(fromSeq uint64, fn func(Entry) error) error {
+	l.mu.Lock()
+	records := l.records
+	first := l.first
+	l.mu.Unlock()
+	for i, rec := range records {
+		seq := first + uint64(i)
+		if seq < fromSeq {
+			continue
+		}
+		e, err := DecodeEntry(rec)
+		if err != nil {
+			return err
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Truncate discards entries with Seq < uptoSeq; the region calls this after
+// a MemStore flush makes them durable in a store file.
+func (l *Log) Truncate(uptoSeq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if uptoSeq <= l.first {
+		return
+	}
+	drop := uptoSeq - l.first
+	if drop > uint64(len(l.records)) {
+		drop = uint64(len(l.records))
+	}
+	l.records = l.records[drop:]
+	l.first += drop
+}
+
+// Len reports the number of retained entries.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// NextSeq returns the sequence number the next Append will use.
+func (l *Log) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}

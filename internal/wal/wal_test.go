@@ -1,0 +1,143 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/shc-go/shc/internal/metrics"
+)
+
+func sample(seq uint64) Entry {
+	return Entry{
+		Seq: seq, Table: "t", Region: "r1", Kind: KindPut,
+		Row: []byte("row-1"), Family: "cf", Qualifier: "q",
+		Timestamp: 42, Value: []byte("value"),
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	e := sample(7)
+	got, err := DecodeEntry(e.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, e) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, e)
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	if err := quick.Check(func(table, region, fam, qual string, row, val []byte, ts int64, del bool) bool {
+		kind := KindPut
+		if del {
+			kind = KindDelete
+		}
+		e := Entry{Seq: 1, Table: table, Region: region, Kind: kind,
+			Row: row, Family: fam, Qualifier: qual, Timestamp: ts, Value: val}
+		got, err := DecodeEntry(e.Encode())
+		if err != nil {
+			return false
+		}
+		return got.Table == e.Table && got.Region == e.Region && got.Kind == e.Kind &&
+			bytes.Equal(got.Row, e.Row) && got.Family == e.Family &&
+			got.Qualifier == e.Qualifier && got.Timestamp == e.Timestamp &&
+			bytes.Equal(got.Value, e.Value)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	enc := sample(1).Encode()
+	for _, b := range [][]byte{nil, enc[:5], enc[:len(enc)-1], append(append([]byte{}, enc...), 0xFF)} {
+		if _, err := DecodeEntry(b); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("DecodeEntry(%d bytes): %v, want ErrCorrupt", len(b), err)
+		}
+	}
+	bad := sample(1)
+	badEnc := bad.Encode()
+	badEnc[8] = 99 // invalid kind
+	if _, err := DecodeEntry(badEnc); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad kind: %v", err)
+	}
+}
+
+func TestAppendAssignsSequence(t *testing.T) {
+	l := New(nil)
+	if s := l.Append(sample(0)); s != 1 {
+		t.Errorf("first seq = %d", s)
+	}
+	if s := l.Append(sample(0)); s != 2 {
+		t.Errorf("second seq = %d", s)
+	}
+	if l.NextSeq() != 3 {
+		t.Errorf("NextSeq = %d", l.NextSeq())
+	}
+}
+
+func TestReplayFromSeq(t *testing.T) {
+	l := New(nil)
+	for i := 0; i < 5; i++ {
+		l.Append(sample(0))
+	}
+	var seqs []uint64
+	err := l.Replay(3, func(e Entry) error {
+		seqs = append(seqs, e.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqs, []uint64{3, 4, 5}) {
+		t.Errorf("replayed seqs = %v", seqs)
+	}
+}
+
+func TestReplayStopsOnError(t *testing.T) {
+	l := New(nil)
+	l.Append(sample(0))
+	l.Append(sample(0))
+	boom := errors.New("boom")
+	n := 0
+	err := l.Replay(1, func(Entry) error { n++; return boom })
+	if !errors.Is(err, boom) || n != 1 {
+		t.Errorf("err=%v n=%d", err, n)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	l := New(nil)
+	for i := 0; i < 5; i++ {
+		l.Append(sample(0))
+	}
+	l.Truncate(4) // keep seq 4,5
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	var seqs []uint64
+	_ = l.Replay(0, func(e Entry) error { seqs = append(seqs, e.Seq); return nil })
+	if !reflect.DeepEqual(seqs, []uint64{4, 5}) {
+		t.Errorf("after truncate: %v", seqs)
+	}
+	l.Truncate(2) // no-op below first
+	if l.Len() != 2 {
+		t.Errorf("Len after no-op truncate = %d", l.Len())
+	}
+	l.Truncate(100) // beyond end: drops all
+	if l.Len() != 0 {
+		t.Errorf("Len after full truncate = %d", l.Len())
+	}
+}
+
+func TestMeterCountsAppends(t *testing.T) {
+	m := metrics.NewRegistry()
+	l := New(m)
+	l.Append(sample(0))
+	l.Append(sample(0))
+	if got := m.Get(metrics.WALAppends); got != 2 {
+		t.Errorf("wal appends = %d", got)
+	}
+}

@@ -1,0 +1,166 @@
+// Package shc is the public API of the SHC reproduction: a Spark-SQL-style
+// query engine with an HBase connector, all simulated in-process.
+//
+// The shape follows the paper: define a JSON catalog mapping an HBase table
+// to a relational schema (Code 1), open a relation over a cluster, write
+// DataFrames into it (Code 2), and query it through the DataFrame API or
+// SQL (Codes 3–4) — with SHC's partition pruning, column pruning, predicate
+// pushdown, operator fusion, data locality, connection caching, and
+// multi-cluster credential management all active underneath.
+//
+// Quick start:
+//
+//	cluster, _ := shc.NewCluster(shc.ClusterConfig{NumServers: 3})
+//	client := cluster.NewClient()
+//	cat, _ := shc.ParseCatalog(catalogJSON)
+//	rel, _ := shc.NewHBaseRelation(client, cat, shc.Options{}, cluster.Meter)
+//	sess := shc.NewSession(shc.SessionConfig{Hosts: cluster.Hosts()})
+//	sess.Register(rel)
+//	df, _ := sess.SQL("SELECT col0 FROM actives WHERE col0 <= 'row120'")
+//	rows, _ := df.Collect()
+package shc
+
+import (
+	"github.com/shc-go/shc/internal/conncache"
+	"github.com/shc-go/shc/internal/core"
+	"github.com/shc-go/shc/internal/engine"
+	"github.com/shc-go/shc/internal/hbase"
+	"github.com/shc-go/shc/internal/metrics"
+	"github.com/shc-go/shc/internal/plan"
+	"github.com/shc-go/shc/internal/security"
+)
+
+// Cluster-side types.
+type (
+	// Cluster is a simulated HBase deployment (region servers + master +
+	// coordination service).
+	Cluster = hbase.Cluster
+	// ClusterConfig sizes a cluster.
+	ClusterConfig = hbase.ClusterConfig
+	// Client is the HBase client.
+	Client = hbase.Client
+	// TableDescriptor declares an HBase table.
+	TableDescriptor = hbase.TableDescriptor
+	// StoreConfig tunes region storage (flush/compact/split thresholds).
+	StoreConfig = hbase.StoreConfig
+)
+
+// Connector-side types.
+type (
+	// Catalog maps an HBase table to a relational schema (paper Code 1).
+	Catalog = core.Catalog
+	// Options carries timestamp/version settings and ablation switches.
+	Options = core.Options
+	// HBaseRelation is SHC's relation: pruned, filtered, locality-aware.
+	HBaseRelation = core.HBaseRelation
+	// BaselineRelation models stock Spark SQL reading HBase generically.
+	BaselineRelation = core.BaselineRelation
+	// FieldCoder serializes typed values to HBase byte arrays.
+	FieldCoder = core.FieldCoder
+)
+
+// Engine-side types.
+type (
+	// Session is the query-engine entry point.
+	Session = engine.Session
+	// SessionConfig sizes a session's executors.
+	SessionConfig = engine.Config
+	// DataFrame is a lazy relational computation.
+	DataFrame = engine.DataFrame
+	// Schema describes relational output.
+	Schema = plan.Schema
+	// Row is one positional record.
+	Row = plan.Row
+	// Expr is a typed expression (for the DataFrame API).
+	Expr = plan.Expr
+	// Metrics is the counter registry every layer reports into.
+	Metrics = metrics.Registry
+)
+
+// Security types.
+type (
+	// KDC simulates the Kerberos key-distribution center.
+	KDC = security.KDC
+	// TokenService issues delegation tokens for one secure cluster.
+	TokenService = security.TokenService
+	// CredentialsManager is SHCCredentialsManager: per-cluster token
+	// fetch, cache, and renewal.
+	CredentialsManager = security.CredentialsManager
+	// CredentialsConfig configures the manager (paper Code 6).
+	CredentialsConfig = security.CredentialsConfig
+)
+
+// NewCluster boots a simulated HBase cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return hbase.NewCluster(cfg) }
+
+// NewSession builds a query-engine session.
+func NewSession(cfg SessionConfig) *Session { return engine.NewSession(cfg) }
+
+// ParseCatalog parses the JSON table catalog of the paper's Code 1.
+func ParseCatalog(doc string) (*Catalog, error) { return core.ParseCatalog(doc) }
+
+// NewHBaseRelation opens SHC over a client and catalog.
+func NewHBaseRelation(client *Client, cat *Catalog, opts Options, meter *Metrics) (*HBaseRelation, error) {
+	return core.NewHBaseRelation(client, cat, opts, meter)
+}
+
+// NewBaselineRelation opens the generic Spark-SQL-style relation used as
+// the experimental baseline.
+func NewBaselineRelation(client *Client, cat *Catalog, opts Options, meter *Metrics) *BaselineRelation {
+	return core.NewBaselineRelation(client, cat, opts, meter)
+}
+
+// NewConnCache builds SHC's reference-counted connection cache for a
+// cluster; pass it to the client with WithConnPool.
+func NewConnCache(cluster *Cluster) *conncache.Cache {
+	return conncache.New(cluster.Net, conncache.Config{}, cluster.Meter)
+}
+
+// WithConnPool makes a client acquire connections through a pool.
+func WithConnPool(p hbase.ConnPool) hbase.ClientOption { return hbase.WithConnPool(p) }
+
+// WithTokenProvider makes a client authenticate through a credential
+// source (e.g. a CredentialsManager).
+func WithTokenProvider(tp hbase.TokenProvider) hbase.ClientOption {
+	return hbase.WithTokenProvider(tp)
+}
+
+// NewCredentialsManager builds the SHCCredentialsManager.
+func NewCredentialsManager(cfg CredentialsConfig, meter *Metrics) *CredentialsManager {
+	return security.NewCredentialsManager(cfg, meter)
+}
+
+// NewMetrics returns a fresh counter registry.
+func NewMetrics() *Metrics { return metrics.NewRegistry() }
+
+// Expression helpers for the DataFrame API (Code 3's $"col0" <= "row120").
+
+// Col references a column.
+func Col(name string) Expr { return plan.Col(name) }
+
+// Lit wraps a constant.
+func Lit(v any) Expr { return plan.Lit(v) }
+
+// Eq builds l = r.
+func Eq(l, r Expr) Expr { return &plan.Comparison{Op: plan.OpEq, L: l, R: r} }
+
+// Ne builds l != r.
+func Ne(l, r Expr) Expr { return &plan.Comparison{Op: plan.OpNe, L: l, R: r} }
+
+// Lt builds l < r.
+func Lt(l, r Expr) Expr { return &plan.Comparison{Op: plan.OpLt, L: l, R: r} }
+
+// Le builds l <= r.
+func Le(l, r Expr) Expr { return &plan.Comparison{Op: plan.OpLe, L: l, R: r} }
+
+// Gt builds l > r.
+func Gt(l, r Expr) Expr { return &plan.Comparison{Op: plan.OpGt, L: l, R: r} }
+
+// Ge builds l >= r.
+func Ge(l, r Expr) Expr { return &plan.Comparison{Op: plan.OpGe, L: l, R: r} }
+
+// And builds l AND r.
+func And(l, r Expr) Expr { return &plan.And{L: l, R: r} }
+
+// Or builds l OR r.
+func Or(l, r Expr) Expr { return &plan.Or{L: l, R: r} }
