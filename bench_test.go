@@ -128,6 +128,26 @@ func BenchmarkAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamingVsMaterialized compares the fused batch pipeline with
+// the materialize-everything path on the same SHC rig shape, reporting
+// rows/sec and the peak decoded-row memory each mode holds.
+func BenchmarkStreamingVsMaterialized(b *testing.B) {
+	p := benchParams()
+	var rows []bench.StreamingRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = bench.StreamingComparison(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		tag := sanitize(r.Query + "_" + r.Mode)
+		b.ReportMetric(r.RowsPerSec, tag+"_rows_per_sec")
+		b.ReportMetric(r.PeakMemMB*1024, tag+"_peak_kb")
+	}
+}
+
 // BenchmarkQ39aSHC and BenchmarkQ39aSparkSQL time just the query on a
 // pre-loaded rig, for profiling individual systems.
 func BenchmarkQ39aSHC(b *testing.B)      { benchQuery(b, harness.SHC, tpcds.Q39a()) }

@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|table2|ablation")
+	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|table2|ablation|streaming")
 	scales := flag.String("scales", "1,2,3,4,5,6", "comma-separated scale factors (the 5..30 GB axis)")
 	servers := flag.Int("servers", 5, "region servers / executor hosts")
 	runs := flag.Int("runs", 1, "average each measurement over N runs")
@@ -56,9 +56,10 @@ func main() {
 	run("fig7", func() error { _, err := bench.Fig7(p); return err })
 	run("table2", func() error { _, err := bench.Table2(p); return err })
 	run("ablation", func() error { _, err := bench.Ablation(p); return err })
+	run("streaming", func() error { _, err := bench.StreamingComparison(p); return err })
 
 	switch *exp {
-	case "all", "table1", "fig4", "fig5", "fig6", "fig7", "table2", "ablation":
+	case "all", "table1", "fig4", "fig5", "fig6", "fig7", "table2", "ablation", "streaming":
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}

@@ -428,6 +428,81 @@ func Ablation(p Params) ([]AblationRow, error) {
 	return rows, nil
 }
 
+// StreamingRow is one measurement of the streaming-vs-materialized
+// comparison: the same query executed through the fused batch pipeline and
+// through the Volcano-style materialized operators.
+type StreamingRow struct {
+	Query           string
+	Mode            string // "streamed" or "materialized"
+	QuerySec        float64
+	Rows            int
+	RowsPerSec      float64
+	PeakMemMB       float64 // high-water decoded-row memory (MemoryPeak)
+	Batches         int64   // batches streamed through pipelines
+	PagesPrefetched int64   // fused pages fetched while a prior page decoded
+	ShortCircuited  int64   // rows dropped unprocessed once LIMIT was met
+	RowsScanned     int64   // rows the region servers walked for the query
+}
+
+// StreamingComparison measures the batch-pipeline execution path against the
+// materialized one on an SHC rig: a LIMIT query that should short-circuit
+// the scan, and a residual-filter scan that streams the whole table but
+// releases batches as it goes. The materialized rows keep the same counters
+// for contrast (their pipeline counters stay zero).
+func StreamingComparison(p Params) ([]StreamingRow, error) {
+	p = p.withDefaults()
+	scale := p.Scales[len(p.Scales)/2]
+	queries := []struct{ name, sql string }{
+		{"limit", "SELECT inv_item_sk, inv_quantity_on_hand FROM inventory LIMIT 50"},
+		{"filter-scan", "SELECT ss_item_sk FROM store_sales WHERE ss_quantity > 10"},
+	}
+	var rows []StreamingRow
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"streamed", false}, {"materialized", true}} {
+		for _, q := range queries {
+			rig, err := harness.NewRig(harness.Config{
+				System: harness.SHC, Servers: p.Servers, Scale: scale,
+				ExecutorsPerHost: p.ExecutorsPerHost, RPC: p.RPC,
+				DisablePipelining: mode.disable,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: streaming %s/%s: %w", mode.name, q.name, err)
+			}
+			res, err := rig.Run(q.sql)
+			rig.Close()
+			if err != nil {
+				return nil, fmt.Errorf("bench: streaming %s/%s: %w", mode.name, q.name, err)
+			}
+			d, delta, n := res.Elapsed, res.Delta, len(res.Rows)
+			row := StreamingRow{
+				Query:           q.name,
+				Mode:            mode.name,
+				QuerySec:        d.Seconds(),
+				Rows:            n,
+				PeakMemMB:       float64(delta[metrics.MemoryPeak]) / (1 << 20),
+				Batches:         delta[metrics.BatchesStreamed],
+				PagesPrefetched: delta[metrics.PagesPrefetched],
+				ShortCircuited:  delta[metrics.RowsShortCircuited],
+				RowsScanned:     delta[metrics.RowsScanned],
+			}
+			if d > 0 {
+				row.RowsPerSec = float64(n) / d.Seconds()
+			}
+			rows = append(rows, row)
+		}
+	}
+	fmt.Fprintf(p.Out, "\nStreaming vs materialized execution (scale %d)\n", scale)
+	fmt.Fprintf(p.Out, "%-12s %-13s %10s %8s %12s %10s %8s %10s %8s %9s\n",
+		"Query", "Mode", "Query(s)", "Rows", "Rows/s", "PeakMB", "Batches", "Prefetch", "ShortCkt", "Scanned")
+	for _, r := range rows {
+		fmt.Fprintf(p.Out, "%-12s %-13s %10.4f %8d %12.0f %10.3f %8d %10d %8d %9d\n",
+			r.Query, r.Mode, r.QuerySec, r.Rows, r.RowsPerSec, r.PeakMemMB, r.Batches, r.PagesPrefetched, r.ShortCircuited, r.RowsScanned)
+	}
+	return rows, nil
+}
+
 // Table1 prints the static feature-comparison matrix of the paper's
 // Table I.
 func Table1(w io.Writer) {

@@ -134,3 +134,43 @@ func TestTable1Prints(t *testing.T) {
 		}
 	}
 }
+
+// TestStreamingComparisonShape pins the experiment's headline: both modes
+// return identical row counts, the streamed LIMIT short-circuits rows the
+// materialized path scans in full, and streamed peak memory is lower.
+func TestStreamingComparisonShape(t *testing.T) {
+	rows, err := StreamingComparison(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 2 queries x 2 modes", len(rows))
+	}
+	byKey := map[string]StreamingRow{}
+	for _, r := range rows {
+		byKey[r.Query+"/"+r.Mode] = r
+	}
+	for _, q := range []string{"limit", "filter-scan"} {
+		s, m := byKey[q+"/streamed"], byKey[q+"/materialized"]
+		if s.Rows == 0 || s.Rows != m.Rows {
+			t.Errorf("%s: row counts differ or empty: streamed=%d materialized=%d", q, s.Rows, m.Rows)
+		}
+		if s.PeakMemMB >= m.PeakMemMB {
+			t.Errorf("%s: streamed peak %.4fMB should be below materialized %.4fMB", q, s.PeakMemMB, m.PeakMemMB)
+		}
+		if s.Batches == 0 {
+			t.Errorf("%s: streamed mode must report batches", q)
+		}
+		if m.Batches != 0 || m.ShortCircuited != 0 {
+			t.Errorf("%s: materialized mode must keep pipeline counters zero", q)
+		}
+	}
+	ls, lm := byKey["limit/streamed"], byKey["limit/materialized"]
+	if ls.RowsScanned == 0 || ls.RowsScanned >= lm.RowsScanned {
+		t.Errorf("streamed LIMIT scanned %d rows, materialized %d; pushdown must scan fewer",
+			ls.RowsScanned, lm.RowsScanned)
+	}
+	if byKey["filter-scan/streamed"].PagesPrefetched == 0 {
+		t.Error("streamed multi-page scan must prefetch pages")
+	}
+}

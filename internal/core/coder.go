@@ -351,8 +351,20 @@ func fixedWidth(t plan.DataType, coder FieldCoder) int {
 
 // decodeRowkey splits an encoded key back into dimension values.
 func (rc rowkeyCodec) decodeRowkey(key []byte) ([]any, error) {
+	return rc.decodeRowkeyInto(nil, key)
+}
+
+// decodeRowkeyInto is decodeRowkey with a reusable destination: when dst has
+// capacity for every dimension it is reused, so a tight decode loop pays for
+// one scratch slice instead of one allocation per row.
+func (rc rowkeyCodec) decodeRowkeyInto(dst []any, key []byte) ([]any, error) {
 	fields := rc.cat.RowkeyFields()
-	out := make([]any, len(fields))
+	var out []any
+	if cap(dst) >= len(fields) {
+		out = dst[:len(fields)]
+	} else {
+		out = make([]any, len(fields))
+	}
 	rest := key
 	for i, f := range fields {
 		t := rc.cat.fieldType(f)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -575,42 +576,152 @@ func (p *hbasePartition) Index() int { return p.index }
 func (p *hbasePartition) PreferredHost() string { return p.host }
 
 // Compute implements datasource.Partition: fetch and decode this
-// partition's rows.
+// partition's rows in a single fused RPC.
 func (p *hbasePartition) Compute() ([]plan.Row, error) {
 	results, err := p.rel.client.FusedExec(p.host, p.ops)
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]plan.Row, 0, len(results))
-	for i := range results {
-		row, err := p.rel.decodeResult(&results[i], p.required)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+	rows, _, err := p.rel.decodeResults(results, p.required, make([]plan.Row, 0, len(results)), nil)
+	return rows, err
+}
+
+// defaultFusedBatch is the per-page row budget when the caller does not pick
+// one.
+const defaultFusedBatch = 256
+
+// ComputeBatches implements datasource.BatchScan: the partition's fused RPC
+// is paged with a continuation cursor, each page decoded and yielded as one
+// batch. While the caller consumes a page, the next page's RPC is already in
+// flight (double buffering), so decode and network time overlap. A LimitHint
+// shrinks each op's server-side Scan.Limit and stops paging once enough rows
+// streamed — the fused-LIMIT short circuit.
+func (p *hbasePartition) ComputeBatches(opts datasource.BatchOptions, yield func([]plan.Row) error) error {
+	batchSize := opts.BatchSize
+	if batchSize <= 0 {
+		batchSize = defaultFusedBatch
 	}
-	return rows, nil
+	ops := p.ops
+	if opts.LimitHint > 0 {
+		ops = make([]hbase.ScanOp, len(p.ops))
+		for i, op := range p.ops {
+			if op.Scan != nil && len(op.Rows) == 0 {
+				s := *op.Scan
+				if s.Limit == 0 || s.Limit > opts.LimitHint {
+					s.Limit = opts.LimitHint
+				}
+				op.Scan = &s
+			}
+			ops[i] = op
+		}
+	}
+
+	type fusedPage struct {
+		resp *hbase.ScanResponse
+		err  error
+	}
+	fetch := func(cur hbase.FusedCursor) chan fusedPage {
+		ch := make(chan fusedPage, 1)
+		go func() {
+			resp, err := p.rel.client.FusedExecPage(p.host, ops, batchSize, cur)
+			ch <- fusedPage{resp: resp, err: err}
+		}()
+		return ch
+	}
+
+	meter := p.rel.meter
+	pending := fetch(hbase.FusedCursor{})
+	emitted := 0
+	var batch []plan.Row
+	var keyScratch []any
+	for pending != nil {
+		pg := <-pending
+		pending = nil
+		if pg.err != nil {
+			return pg.err
+		}
+		meter.Inc(metrics.FusedPages)
+		results := pg.resp.Results
+		if pg.resp.More && (opts.LimitHint <= 0 || emitted+len(results) < opts.LimitHint) {
+			// Launch the next page before decoding this one; the buffered
+			// channel keeps the goroutine from leaking if we stop early.
+			pending = fetch(pg.resp.Next)
+			meter.Inc(metrics.PagesPrefetched)
+		}
+		if opts.LimitHint > 0 && emitted+len(results) > opts.LimitHint {
+			results = results[:opts.LimitHint-emitted]
+		}
+		if len(results) == 0 {
+			continue
+		}
+		var err error
+		batch, keyScratch, err = p.rel.decodeResults(results, p.required, batch[:0], keyScratch)
+		if err != nil {
+			return err
+		}
+		emitted += len(batch)
+		if err := yield(batch); err != nil {
+			if errors.Is(err, datasource.ErrStopBatches) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeResults decodes a page of HBase results into rows appended to dst,
+// amortizing allocations: one values slab backs every row in the batch, and
+// keyScratch is reused across rows for composite-rowkey decoding. It returns
+// the grown dst and scratch. Rows stay valid after dst is reused — they
+// alias the slab, not dst.
+func (r *HBaseRelation) decodeResults(results []hbase.Result, required []string, dst []plan.Row, keyScratch []any) ([]plan.Row, []any, error) {
+	w := len(required)
+	slab := make([]any, len(results)*w)
+	for i := range results {
+		row := plan.Row(slab[i*w : (i+1)*w : (i+1)*w])
+		var err error
+		keyScratch, err = r.decodeResultInto(row, keyScratch, &results[i], required)
+		if err != nil {
+			return nil, keyScratch, err
+		}
+		dst = append(dst, row)
+	}
+	return dst, keyScratch, nil
 }
 
 // decodeResult projects one HBase result onto the required columns.
 func (r *HBaseRelation) decodeResult(res *hbase.Result, required []string) (plan.Row, error) {
-	var keyVals []any
 	row := make(plan.Row, len(required))
+	_, err := r.decodeResultInto(row, nil, res, required)
+	if err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// decodeResultInto decodes res into row (which must have len(required)),
+// reusing keyScratch for rowkey dimension values; it returns the (possibly
+// grown) scratch. Values are copied out of the scratch, so callers may hand
+// the same scratch to the next row.
+func (r *HBaseRelation) decodeResultInto(row plan.Row, keyScratch []any, res *hbase.Result, required []string) ([]any, error) {
+	keyDecoded := false
 	for i, col := range required {
 		if dim, ok := r.cat.IsRowkeyField(col); ok {
-			if keyVals == nil {
-				vals, err := r.codec.decodeRowkey(res.Row)
+			if !keyDecoded {
+				vals, err := r.codec.decodeRowkeyInto(keyScratch, res.Row)
 				if err != nil {
-					return nil, err
+					return keyScratch, err
 				}
-				keyVals = vals
+				keyScratch = vals
+				keyDecoded = true
 			}
-			row[i] = keyVals[dim]
+			row[i] = keyScratch[dim]
 			continue
 		}
 		spec, err := r.cat.Column(col)
 		if err != nil {
-			return nil, err
+			return keyScratch, err
 		}
 		raw, ok := res.Value(spec.CF, spec.Col)
 		if !ok {
@@ -619,9 +730,9 @@ func (r *HBaseRelation) decodeResult(res *hbase.Result, required []string) (plan
 		}
 		v, err := r.coder.Decode(raw, r.cat.fieldType(col))
 		if err != nil {
-			return nil, fmt.Errorf("core: decode %s: %w", col, err)
+			return keyScratch, fmt.Errorf("core: decode %s: %w", col, err)
 		}
 		row[i] = v
 	}
-	return row, nil
+	return keyScratch, nil
 }

@@ -10,6 +10,7 @@
 package datasource
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -185,6 +186,58 @@ type Partition interface {
 	// Compute materializes the partition's rows in the scan's projected
 	// column order.
 	Compute() ([]plan.Row, error)
+}
+
+// ErrStopBatches is the sentinel a ComputeBatches yield callback returns to
+// end the stream early without error — how a fused LIMIT tells the source to
+// stop fetching once enough rows arrived.
+var ErrStopBatches = errors.New("datasource: stop batch stream")
+
+// BatchOptions tunes a streaming partition read.
+type BatchOptions struct {
+	// BatchSize bounds the rows per yielded batch; 0 lets the source pick.
+	BatchSize int
+	// LimitHint caps the rows the consumer will take from this partition
+	// (0 = unlimited). Callers may only set it when every remaining
+	// predicate is already evaluated inside the source, so that the first
+	// LimitHint rows are exactly the rows the query keeps.
+	LimitHint int
+}
+
+// BatchScan is an optional Partition capability: compute the partition's
+// rows as a stream of bounded batches instead of one materialized slice.
+// yield is called with consecutive batches in row order; if it returns
+// ErrStopBatches the stream ends and ComputeBatches returns nil, and any
+// other error aborts the stream and is returned as-is. The batch slice is
+// only valid for the duration of the yield call (sources may reuse its
+// backing array); the rows it holds stay valid, so consumers keep rows by
+// copying them out of the slice, never by retaining the slice itself.
+type BatchScan interface {
+	ComputeBatches(opts BatchOptions, yield func([]plan.Row) error) error
+}
+
+// StreamPartition streams p's rows through yield, using the BatchScan fast
+// path when the partition implements it and falling back to a single
+// materialized batch otherwise — the compatibility shim that lets the
+// pipelined executor run over any Partition.
+func StreamPartition(p Partition, opts BatchOptions, yield func([]plan.Row) error) error {
+	if bs, ok := p.(BatchScan); ok {
+		return bs.ComputeBatches(opts, yield)
+	}
+	rows, err := p.Compute()
+	if err != nil {
+		return err
+	}
+	if opts.LimitHint > 0 && len(rows) > opts.LimitHint {
+		rows = rows[:opts.LimitHint]
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	if err := yield(rows); err != nil && !errors.Is(err, ErrStopBatches) {
+		return err
+	}
+	return nil
 }
 
 // Relation is a table provided by an external source.

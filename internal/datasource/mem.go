@@ -1,6 +1,7 @@
 package datasource
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -119,12 +120,40 @@ func (p *memPartition) PreferredHost() string { return "" }
 // Compute implements Partition.
 func (p *memPartition) Compute() ([]plan.Row, error) {
 	var out []plan.Row
+	err := p.ComputeBatches(BatchOptions{}, func(batch []plan.Row) error {
+		out = append(out, batch...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ComputeBatches implements BatchScan: filter and project row-at-a-time,
+// yielding bounded batches, so the engine's pipeline never holds more than
+// one batch of this partition at once.
+func (p *memPartition) ComputeBatches(opts BatchOptions, yield func([]plan.Row) error) error {
+	batchSize := opts.BatchSize
+	if batchSize <= 0 {
+		batchSize = 256
+	}
+	emitted := 0
+	batch := make([]plan.Row, 0, batchSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := yield(batch)
+		batch = batch[:0]
+		return err
+	}
 	for _, r := range p.rows {
 		keep := true
 		for _, f := range p.filters {
 			ok, err := EvalFilter(f, p.rel.schema, r)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if !ok {
 				keep = false
@@ -138,7 +167,22 @@ func (p *memPartition) Compute() ([]plan.Row, error) {
 		for i, j := range p.colIdx {
 			nr[i] = r[j]
 		}
-		out = append(out, nr)
+		batch = append(batch, nr)
+		emitted++
+		if opts.LimitHint > 0 && emitted >= opts.LimitHint {
+			break
+		}
+		if len(batch) >= batchSize {
+			if err := flush(); err != nil {
+				if errors.Is(err, ErrStopBatches) {
+					return nil
+				}
+				return err
+			}
+		}
 	}
-	return out, nil
+	if err := flush(); err != nil && !errors.Is(err, ErrStopBatches) {
+		return err
+	}
+	return nil
 }

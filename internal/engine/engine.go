@@ -29,6 +29,10 @@ type Config struct {
 	// UseSortMergeJoin compiles equi-joins to sort-merge instead of hash
 	// joins (Spark's default strategy for large inputs).
 	UseSortMergeJoin bool
+	// DisablePipelining materializes every operator Volcano-style instead of
+	// fusing scan→filter→project→limit chains into streaming batch
+	// pipelines (ablation switch).
+	DisablePipelining bool
 	// Meter receives execution counters; a fresh registry when nil.
 	Meter *metrics.Registry
 }
@@ -118,7 +122,10 @@ func (s *Session) SQL(query string) (*DataFrame, error) {
 
 // compileConfig selects physical strategies for this session.
 func (s *Session) compileConfig() exec.CompileConfig {
-	return exec.CompileConfig{SortMergeJoin: s.cfg.UseSortMergeJoin}
+	return exec.CompileConfig{
+		SortMergeJoin:     s.cfg.UseSortMergeJoin,
+		DisablePipelining: s.cfg.DisablePipelining,
+	}
 }
 
 // context builds the execution context for one query run.

@@ -13,6 +13,11 @@ type CompileConfig struct {
 	// SortMergeJoin compiles equi-joins to sort-merge instead of hash
 	// (Spark's default for large inputs).
 	SortMergeJoin bool
+	// DisablePipelining keeps the Volcano-style materialized operators
+	// instead of fusing scan→filter→project→limit chains into streaming
+	// pipelines (ablation switch, and the baseline side of the
+	// streaming-vs-materialized benchmark).
+	DisablePipelining bool
 }
 
 // Compile lowers an optimized logical plan to a physical one with default
@@ -24,13 +29,25 @@ func Compile(p plan.LogicalPlan) (PhysicalPlan, error) {
 // CompileWith lowers an optimized logical plan to a physical one, resolving
 // every expression against its input schema, translating pushed predicates
 // to source filters, and consulting each relation's UnhandledFilters to
-// decide what the engine must re-apply (paper §VI-A.3).
+// decide what the engine must re-apply (paper §VI-A.3). Unless disabled,
+// scan-rooted operator chains are then fused into streaming pipelines.
 func CompileWith(p plan.LogicalPlan, cfg CompileConfig) (PhysicalPlan, error) {
+	phys, err := compileNode(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.DisablePipelining {
+		phys = FusePipelines(phys)
+	}
+	return phys, nil
+}
+
+func compileNode(p plan.LogicalPlan, cfg CompileConfig) (PhysicalPlan, error) {
 	switch n := p.(type) {
 	case *plan.ScanNode:
 		return compileScan(n)
 	case *plan.FilterNode:
-		child, err := CompileWith(n.Child, cfg)
+		child, err := compileNode(n.Child, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -40,7 +57,7 @@ func CompileWith(p plan.LogicalPlan, cfg CompileConfig) (PhysicalPlan, error) {
 		}
 		return &FilterExec{Cond: cond, Child: child}, nil
 	case *plan.ProjectNode:
-		child, err := CompileWith(n.Child, cfg)
+		child, err := compileNode(n.Child, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -56,11 +73,11 @@ func CompileWith(p plan.LogicalPlan, cfg CompileConfig) (PhysicalPlan, error) {
 		}
 		return &ProjectExec{Exprs: exprs, OutSchema: schema, Child: child}, nil
 	case *plan.JoinNode:
-		left, err := CompileWith(n.Left, cfg)
+		left, err := compileNode(n.Left, cfg)
 		if err != nil {
 			return nil, err
 		}
-		right, err := CompileWith(n.Right, cfg)
+		right, err := compileNode(n.Right, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -78,7 +95,7 @@ func CompileWith(p plan.LogicalPlan, cfg CompileConfig) (PhysicalPlan, error) {
 		}
 		return &HashJoinExec{Left: left, Right: right, LeftKeys: lk, RightKeys: rk, Type: n.Type, OutSchema: out}, nil
 	case *plan.AggregateNode:
-		child, err := CompileWith(n.Child, cfg)
+		child, err := compileNode(n.Child, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -106,7 +123,7 @@ func CompileWith(p plan.LogicalPlan, cfg CompileConfig) (PhysicalPlan, error) {
 		}
 		return &HashAggExec{GroupBy: groups, Aggs: aggs, OutSchema: schema, Child: child}, nil
 	case *plan.SortNode:
-		child, err := CompileWith(n.Child, cfg)
+		child, err := compileNode(n.Child, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +137,7 @@ func CompileWith(p plan.LogicalPlan, cfg CompileConfig) (PhysicalPlan, error) {
 		}
 		return &SortExec{Orders: orders, Child: child}, nil
 	case *plan.LimitNode:
-		child, err := CompileWith(n.Child, cfg)
+		child, err := compileNode(n.Child, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -128,7 +145,7 @@ func CompileWith(p plan.LogicalPlan, cfg CompileConfig) (PhysicalPlan, error) {
 	case *plan.UnionNode:
 		inputs := make([]PhysicalPlan, len(n.Inputs))
 		for i, c := range n.Inputs {
-			in, err := CompileWith(c, cfg)
+			in, err := compileNode(c, cfg)
 			if err != nil {
 				return nil, err
 			}

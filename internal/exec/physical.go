@@ -91,6 +91,10 @@ func (s *ScanExec) Execute(ctx *Context) ([]plan.Row, error) {
 					bytes += int64(plan.RowSize(r))
 				}
 				ctx.Meter.Add(metrics.MemoryCharged, bytes)
+				// Materialized scans hold every decoded row until the query
+				// finishes; the streamed pipeline releases per batch, and the
+				// (MemoryHeld, MemoryPeak) pair makes that difference visible.
+				ctx.Meter.AddPeak(metrics.MemoryHeld, metrics.MemoryPeak, bytes)
 				results[i] = rows
 				return nil
 			},

@@ -84,9 +84,15 @@ func (s *Scheduler) Run(tasks []Task) error {
 		if len(queue) == 0 {
 			continue
 		}
-		// Each host drains its queue with `slots` executor goroutines.
+		// Each host drains its queue with up to `slots` executor goroutines —
+		// never more goroutines than tasks, so short queues don't pay for
+		// idle workers.
+		workers := s.slots
+		if len(queue) < workers {
+			workers = len(queue)
+		}
 		work := make(chan Task)
-		for w := 0; w < s.slots; w++ {
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()

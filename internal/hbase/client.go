@@ -403,17 +403,34 @@ func (c *Client) ScanRegion(ri RegionInfo, scan *Scan) ([]Result, error) {
 }
 
 // FusedExec sends multiple scan/get operations for regions hosted on the
-// same server in a single RPC (operators fusion).
+// same server in a single RPC (operators fusion). The whole fused result
+// comes back in one response; callers that want bounded pages use
+// FusedExecPage.
 func (c *Client) FusedExec(host string, ops []ScanOp) ([]Result, error) {
+	resp, err := c.FusedExecPage(host, ops, 0, FusedCursor{})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// FusedExecPage sends one page of a fused execution: the server returns at
+// most batchLimit rows (0 = everything) starting at cursor, plus — via
+// More/Next on the response — the cursor for the following page. Paging the
+// fused RPC keeps the per-response memory on both sides bounded by the
+// batch size instead of the partition's full result set.
+func (c *Client) FusedExecPage(host string, ops []ScanOp, batchLimit int, cursor FusedCursor) (*ScanResponse, error) {
 	tok, err := c.token()
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.call(host, MethodFused, &FusedRequest{Ops: ops, Token: tok})
+	resp, err := c.call(host, MethodFused, &FusedRequest{
+		Ops: ops, BatchLimit: batchLimit, Cursor: cursor, Token: tok,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return resp.(*ScanResponse).Results, nil
+	return resp.(*ScanResponse), nil
 }
 
 // SplitRowRange clips the half-open range [start, stop) against a region

@@ -51,9 +51,14 @@ func (m *ScanRequest) WireSize() int {
 	return n
 }
 
-// ScanResponse returns the matching rows.
+// ScanResponse returns the matching rows. For paged fused requests it also
+// carries the continuation state: More reports that the server stopped at
+// the request's BatchLimit with work remaining, and Next is the cursor the
+// client echoes back to resume exactly where this page ended.
 type ScanResponse struct {
 	Results []Result
+	More    bool
+	Next    FusedCursor
 }
 
 // WireSize implements rpc.Message.
@@ -61,6 +66,9 @@ func (m *ScanResponse) WireSize() int {
 	n := 0
 	for i := range m.Results {
 		n += m.Results[i].WireSize()
+	}
+	if m.More {
+		n += m.Next.WireSize() + 1
 	}
 	return n
 }
@@ -96,18 +104,46 @@ type ScanOp struct {
 	Rows     [][]byte // bulk get when non-empty
 }
 
+// FusedCursor marks a resume position inside a fused request's op list, so
+// a bounded response can continue exactly where the previous page stopped.
+// The zero value means "start from the beginning".
+type FusedCursor struct {
+	// Op is the index into FusedRequest.Ops to resume at.
+	Op int
+	// Row resumes a scan op at this start row (nil = the op's own StartRow).
+	Row []byte
+	// RowIdx resumes a bulk-get op at this index into its Rows list.
+	RowIdx int
+	// Sent counts rows already returned from the current scan op, so a
+	// per-op Scan.Limit keeps its meaning across pages.
+	Sent int
+}
+
+// WireSize implements rpc.Message sizing for embedded cursors.
+func (c *FusedCursor) WireSize() int { return 12 + len(c.Row) }
+
 // FusedRequest packs multiple Scan/BulkGet operations for regions hosted on
 // the same server into a single RPC — the operators-fusion optimization
 // (paper §VI-A.4). Options on Scan apply per-op; Columns etc. for Rows ops
 // come from the accompanying Scan template.
+//
+// A positive BatchLimit turns the call into one page of a paged execution:
+// the server returns at most BatchLimit rows plus a continuation cursor
+// instead of materializing the whole fused result in one response. Cursor
+// resumes a previous page (zero value = start).
 type FusedRequest struct {
-	Ops   []ScanOp
-	Token string
+	Ops        []ScanOp
+	BatchLimit int
+	Cursor     FusedCursor
+	Token      string
 }
 
 // WireSize implements rpc.Message.
 func (m *FusedRequest) WireSize() int {
 	n := len(m.Token)
+	if m.BatchLimit > 0 {
+		n += 4 + m.Cursor.WireSize()
+	}
 	for _, op := range m.Ops {
 		n += len(op.RegionID)
 		if op.Scan != nil {

@@ -3,6 +3,7 @@ package hbase
 import (
 	"bytes"
 	"fmt"
+	"sort"
 	"sync"
 
 	"github.com/shc-go/shc/internal/metrics"
@@ -44,16 +45,26 @@ type Region struct {
 	files   []*storeFile
 	log     *wal.Log
 	flushed uint64 // WAL sequence below which data is in store files
+
+	// gen counts mutations; view caches the resolved default read
+	// (maxVersions=1, unbounded time range) so paged scans clip a shared
+	// sorted run instead of re-merging the region per page. viewGen
+	// records the generation the view was built at; -1 = never built,
+	// which also covers regions assembled directly (splits).
+	gen     int64
+	view    []Cell
+	viewGen int64
 }
 
 // NewRegion creates an empty region for the given range.
 func NewRegion(info RegionInfo, desc *TableDescriptor, cfg StoreConfig, meter *metrics.Registry) *Region {
 	return &Region{
-		info:  info,
-		desc:  desc,
-		cfg:   cfg.withDefaults(),
-		meter: meter,
-		log:   wal.New(meter),
+		info:    info,
+		desc:    desc,
+		cfg:     cfg.withDefaults(),
+		meter:   meter,
+		log:     wal.New(meter),
+		viewGen: -1,
 	}
 }
 
@@ -118,6 +129,7 @@ func (r *Region) append(c Cell) {
 		Timestamp: c.Timestamp, Value: c.Value,
 	})
 	r.mem.add(c)
+	r.gen++
 }
 
 // locked
@@ -135,6 +147,7 @@ func (r *Region) flushLocked() {
 	}
 	r.files = append(r.files, newStoreFile(r.mem.snapshot()))
 	r.mem.reset()
+	r.gen++
 	r.flushed = r.log.NextSeq()
 	r.log.Truncate(r.flushed)
 	r.meter.Inc(metrics.MemstoreFlushes)
@@ -158,6 +171,7 @@ func (r *Region) compactLocked() {
 	}
 	merged := compact(r.desc.maxVersions(), runs...)
 	r.files = []*storeFile{newStoreFile(merged)}
+	r.gen++
 	r.meter.Inc(metrics.Compactions)
 }
 
@@ -265,19 +279,20 @@ func (r *Region) allCellsLocked(start, stop []byte) []Cell {
 	for _, f := range r.files {
 		runs = append(runs, f.cellsInRange(nil, start, stop))
 	}
+	// The snapshot is cached and shared, so clip it by subslicing (it is
+	// sorted by row first) rather than filtering in place.
 	memCells := r.mem.snapshot()
 	if start != nil || stop != nil {
-		filtered := memCells[:0]
-		for _, c := range memCells {
-			if start != nil && bytes.Compare(c.Row, start) < 0 {
-				continue
-			}
-			if stop != nil && bytes.Compare(c.Row, stop) >= 0 {
-				continue
-			}
-			filtered = append(filtered, c)
+		lo := sort.Search(len(memCells), func(i int) bool {
+			return bytes.Compare(memCells[i].Row, start) >= 0
+		})
+		hi := len(memCells)
+		if stop != nil {
+			hi = lo + sort.Search(len(memCells)-lo, func(i int) bool {
+				return bytes.Compare(memCells[lo+i].Row, stop) >= 0
+			})
 		}
-		memCells = filtered
+		memCells = memCells[lo:hi]
 	}
 	runs = append(runs, memCells)
 	return mergeSorted(runs...)
@@ -317,10 +332,6 @@ func (r *Region) RunScan(s *Scan) []Result {
 	if len(r.info.EndKey) > 0 && (stop == nil || bytes.Compare(stop, r.info.EndKey) > 0) {
 		stop = r.info.EndKey
 	}
-	r.mu.RLock()
-	cells := r.allCellsLocked(start, stop)
-	r.mu.RUnlock()
-
 	maxV := s.MaxVersions
 	if maxV <= 0 {
 		maxV = 1
@@ -328,7 +339,15 @@ func (r *Region) RunScan(s *Scan) []Result {
 	if maxV > r.desc.maxVersions() {
 		maxV = r.desc.maxVersions()
 	}
-	visible := resolveVersions(cells, maxV, s.TimeRange)
+	var visible []Cell
+	if maxV == 1 && s.TimeRange.Unbounded() {
+		visible = clipRows(r.defaultView(), start, stop)
+	} else {
+		r.mu.RLock()
+		cells := r.allCellsLocked(start, stop)
+		r.mu.RUnlock()
+		visible = resolveVersions(cells, maxV, s.TimeRange)
+	}
 
 	var out []Result
 	i := 0
@@ -353,6 +372,41 @@ func (r *Region) RunScan(s *Scan) []Result {
 	}
 	r.meter.Inc(metrics.RegionsScanned)
 	return out
+}
+
+// defaultView returns (building if stale) the region's resolved default
+// read: every visible cell under maxVersions=1 and an unbounded time range,
+// sorted in store order. The slice is shared — callers must not mutate it.
+func (r *Region) defaultView() []Cell {
+	r.mu.RLock()
+	if r.viewGen == r.gen {
+		v := r.view
+		r.mu.RUnlock()
+		return v
+	}
+	r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.viewGen != r.gen {
+		r.view = resolveVersions(r.allCellsLocked(nil, nil), 1, TimeRange{})
+		r.viewGen = r.gen
+	}
+	return r.view
+}
+
+// clipRows subslices a row-sorted cell run to startRow <= row < stopRow
+// without copying (nil bounds are open).
+func clipRows(cells []Cell, startRow, stopRow []byte) []Cell {
+	lo := sort.Search(len(cells), func(i int) bool {
+		return bytes.Compare(cells[i].Row, startRow) >= 0
+	})
+	hi := len(cells)
+	if stopRow != nil {
+		hi = lo + sort.Search(len(cells)-lo, func(i int) bool {
+			return bytes.Compare(cells[lo+i].Row, stopRow) >= 0
+		})
+	}
+	return cells[lo:hi]
 }
 
 // matchWithFullRow evaluates the filter against the full row (all columns),
@@ -398,12 +452,14 @@ func (r *Region) RecoverFromWAL() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.mem.reset()
+	r.gen++
 	return r.log.Replay(r.flushed, func(e wal.Entry) error {
 		typ := TypePut
 		if e.Kind == wal.KindDelete {
 			typ = TypeDelete
 		}
 		r.mem.add(Cell{Row: e.Row, Family: e.Family, Qualifier: e.Qualifier, Timestamp: e.Timestamp, Type: typ, Value: e.Value})
+		r.gen++
 		return nil
 	})
 }
@@ -414,4 +470,5 @@ func (r *Region) DropMemStore() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.mem.reset()
+	r.gen++
 }

@@ -188,8 +188,24 @@ func (rs *RegionServer) handleFused(req rpc.Message) (rpc.Message, error) {
 	if err := rs.auth(m.Token); err != nil {
 		return nil, err
 	}
+	if m.Cursor.Op < 0 || m.Cursor.Op > len(m.Ops) {
+		return nil, fmt.Errorf("hbase: %s: cursor op %d out of range", MethodFused, m.Cursor.Op)
+	}
 	resp := &ScanResponse{}
-	for _, op := range m.Ops {
+	// room reports how many more rows fit in this page; -1 = unbounded.
+	room := func() int {
+		if m.BatchLimit <= 0 {
+			return -1
+		}
+		return m.BatchLimit - len(resp.Results)
+	}
+	for opIdx := m.Cursor.Op; opIdx < len(m.Ops); opIdx++ {
+		op := m.Ops[opIdx]
+		// Within-op resume state applies only to the cursor's own op.
+		cur := FusedCursor{}
+		if opIdx == m.Cursor.Op {
+			cur = m.Cursor
+		}
 		r, err := rs.regionFor(op.RegionID)
 		if err != nil {
 			return nil, err
@@ -197,7 +213,13 @@ func (rs *RegionServer) handleFused(req rpc.Message) (rpc.Message, error) {
 		if len(op.Rows) > 0 {
 			// Point gets inherit the template's projection, filter, and
 			// time options (HBase Gets carry filters too).
-			for _, row := range op.Rows {
+			for ri := cur.RowIdx; ri < len(op.Rows); ri++ {
+				if room() == 0 {
+					resp.More = true
+					resp.Next = FusedCursor{Op: opIdx, RowIdx: ri}
+					return resp, nil
+				}
+				row := op.Rows[ri]
 				s := Scan{StartRow: row, StopRow: append(append([]byte(nil), row...), 0), Limit: 1}
 				if op.Scan != nil {
 					s.Columns, s.Filter = op.Scan.Columns, op.Scan.Filter
@@ -210,7 +232,43 @@ func (rs *RegionServer) handleFused(req rpc.Message) (rpc.Message, error) {
 		if op.Scan == nil {
 			return nil, fmt.Errorf("hbase: %s: op for region %q has neither scan nor rows", MethodFused, op.RegionID)
 		}
-		resp.Results = append(resp.Results, r.RunScan(op.Scan)...)
+		if room() == 0 {
+			resp.More = true
+			resp.Next = FusedCursor{Op: opIdx, Row: cur.Row, Sent: cur.Sent}
+			return resp, nil
+		}
+		s := *op.Scan
+		if cur.Row != nil {
+			s.StartRow = cur.Row
+		}
+		// Remaining per-op limit after rows already sent in earlier pages.
+		if op.Scan.Limit > 0 {
+			left := op.Scan.Limit - cur.Sent
+			if left <= 0 {
+				continue
+			}
+			s.Limit = left
+		}
+		// Clip to the page budget when it is tighter than the op's limit.
+		pageBounded := false
+		if rm := room(); rm > 0 && (s.Limit == 0 || s.Limit > rm) {
+			s.Limit = rm
+			pageBounded = true
+		}
+		results := r.RunScan(&s)
+		resp.Results = append(resp.Results, results...)
+		if pageBounded && len(results) == s.Limit {
+			// The op may hold more rows: stop here and hand back a cursor
+			// resuming just past the last row returned.
+			last := results[len(results)-1].Row
+			resp.More = true
+			resp.Next = FusedCursor{
+				Op:   opIdx,
+				Row:  append(append([]byte(nil), last...), 0),
+				Sent: cur.Sent + len(results),
+			}
+			return resp, nil
+		}
 	}
 	return resp, nil
 }

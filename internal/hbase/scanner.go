@@ -2,35 +2,69 @@ package hbase
 
 import (
 	"bytes"
+
+	"github.com/shc-go/shc/internal/metrics"
 )
 
 // Scanner iterates a table scan in pages, the way HBase clients stream
 // large scans with a caching size instead of materializing everything in
-// one response. Each Next() issues at most one RPC per region visited.
+// one response. Each page is at most one RPC per region visited, and with
+// Prefetch enabled the next page's RPC is issued while the caller consumes
+// the current one (double buffering).
 type Scanner struct {
 	client    *Client
 	table     string
 	spec      Scan
 	batchSize int
+	prefetch  bool
+	meter     *metrics.Registry
 
-	regions []RegionInfo
-	region  int    // index of the region currently being scanned
-	cursor  []byte // next start row within the current region
-	done    bool
+	regions  []RegionInfo
+	region   int    // index of the region currently being scanned
+	cursor   []byte // next start row within the current region
+	returned int    // rows handed out so far (for spec.Limit page sizing)
+	done     bool
+	err      error
+
+	pending chan pageResult // in-flight prefetched page, nil when none
+}
+
+type pageResult struct {
+	results []Result
 	err     error
+}
+
+// ScannerConfig tunes a paged scan.
+type ScannerConfig struct {
+	// BatchSize bounds the rows per page (default 100).
+	BatchSize int
+	// Prefetch keeps the next page's RPC in flight while the current page
+	// is being consumed.
+	Prefetch bool
+	// Meter receives client-side scanner counters (PagesPrefetched); may be
+	// nil.
+	Meter *metrics.Registry
 }
 
 // OpenScanner starts a paged scan. batchSize bounds the rows per page
 // (default 100). The Scan's Limit, if set, caps the total across pages.
 func (c *Client) OpenScanner(table string, spec *Scan, batchSize int) (*Scanner, error) {
-	if batchSize <= 0 {
-		batchSize = 100
+	return c.OpenScannerWith(table, spec, ScannerConfig{BatchSize: batchSize})
+}
+
+// OpenScannerWith starts a paged scan with full configuration.
+func (c *Client) OpenScannerWith(table string, spec *Scan, cfg ScannerConfig) (*Scanner, error) {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 100
 	}
 	regions, err := c.Regions(table)
 	if err != nil {
 		return nil, err
 	}
-	s := &Scanner{client: c, table: table, spec: *spec, batchSize: batchSize, regions: regions}
+	s := &Scanner{
+		client: c, table: table, spec: *spec, batchSize: cfg.BatchSize,
+		prefetch: cfg.Prefetch, meter: cfg.Meter, regions: regions,
+	}
 	s.cursor = spec.StartRow
 	s.skipToOverlap()
 	return s, nil
@@ -55,20 +89,34 @@ func (s *Scanner) startFor() []byte {
 	return s.spec.StartRow
 }
 
-// Next returns the next page of results, or (nil, nil) when the scan is
-// exhausted.
-func (s *Scanner) Next() ([]Result, error) {
-	if s.err != nil {
-		return nil, s.err
+// pageLimit sizes the next page: the batch size, shrunk to the rows still
+// owed under the Scan's Limit so the final page never over-fetches.
+func (s *Scanner) pageLimit() int {
+	if s.spec.Limit <= 0 {
+		return s.batchSize
 	}
+	remaining := s.spec.Limit - s.returned
+	if remaining < s.batchSize {
+		return remaining
+	}
+	return s.batchSize
+}
+
+// fetchPage issues RPCs until one page of results arrives or the scan is
+// exhausted. It owns all scanner position state; callers serialize access.
+func (s *Scanner) fetchPage() ([]Result, error) {
 	for !s.done {
+		limit := s.pageLimit()
+		if limit <= 0 {
+			s.done = true
+			return nil, nil
+		}
 		ri := s.regions[s.region]
 		page := s.spec
 		page.StartRow = s.startFor()
-		page.Limit = s.batchSize
+		page.Limit = limit
 		results, err := s.client.ScanRegion(ri, &page)
 		if err != nil {
-			s.err = err
 			return nil, err
 		}
 		if len(results) == 0 {
@@ -78,13 +126,17 @@ func (s *Scanner) Next() ([]Result, error) {
 			s.skipToOverlap()
 			continue
 		}
+		s.returned += len(results)
 		last := results[len(results)-1].Row
 		s.cursor = append(append([]byte(nil), last...), 0) // resume after last row
-		if len(results) < s.batchSize {
+		if len(results) < limit {
 			// Short page: this region is done.
 			s.region++
 			s.cursor = nil
 			s.skipToOverlap()
+		}
+		if s.spec.Limit > 0 && s.returned >= s.spec.Limit {
+			s.done = true
 		}
 		// Clip to the region's end in case the cursor ran past it.
 		if !s.done && s.cursor != nil {
@@ -98,6 +150,42 @@ func (s *Scanner) Next() ([]Result, error) {
 		return results, nil
 	}
 	return nil, nil
+}
+
+// Next returns the next page of results, or (nil, nil) when the scan is
+// exhausted. With Prefetch, the page was usually fetched while the caller
+// processed the previous one, and the fetch after it is kicked off before
+// Next returns.
+func (s *Scanner) Next() ([]Result, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	var results []Result
+	var err error
+	if s.pending != nil {
+		pr := <-s.pending
+		s.pending = nil
+		results, err = pr.results, pr.err
+	} else {
+		results, err = s.fetchPage()
+	}
+	if err != nil {
+		s.err = err
+		return nil, err
+	}
+	if s.prefetch && results != nil && !s.done {
+		// Double buffering: the next page's RPC goes out now; the state
+		// mutation in fetchPage happens-before the channel send, and the
+		// next launch happens-after the receive, so access stays serial.
+		ch := make(chan pageResult, 1)
+		s.pending = ch
+		s.meter.Inc(metrics.PagesPrefetched)
+		go func() {
+			r, e := s.fetchPage()
+			ch <- pageResult{results: r, err: e}
+		}()
+	}
+	return results, nil
 }
 
 // All drains the scanner, honoring the Scan's Limit.

@@ -6,28 +6,36 @@ import (
 )
 
 // memStore is the in-memory write buffer of a region. Mutations append in
-// O(1); readers sort a snapshot. It is guarded by the owning region's lock.
+// O(1); readers sort a snapshot, cached until the next mutation so paged
+// scans don't re-sort per page. It is guarded by the owning region's lock.
 type memStore struct {
-	cells []Cell
-	bytes int
+	cells  []Cell
+	bytes  int
+	sorted []Cell // cached snapshot; callers must not mutate it
 }
 
 func (m *memStore) add(c Cell) {
 	m.cells = append(m.cells, c)
 	m.bytes += c.WireSize()
+	m.sorted = nil
 }
 
 func (m *memStore) reset() {
 	m.cells = nil
 	m.bytes = 0
+	m.sorted = nil
 }
 
-// snapshot returns the cells sorted in store-file order.
+// snapshot returns the cells sorted in store-file order. The slice is
+// shared across calls until the next mutation: read-only to callers.
 func (m *memStore) snapshot() []Cell {
-	out := make([]Cell, len(m.cells))
-	copy(out, m.cells)
-	sort.SliceStable(out, func(i, j int) bool { return CompareCells(&out[i], &out[j]) < 0 })
-	return out
+	if m.sorted == nil && len(m.cells) > 0 {
+		out := make([]Cell, len(m.cells))
+		copy(out, m.cells)
+		sort.SliceStable(out, func(i, j int) bool { return CompareCells(&out[i], &out[j]) < 0 })
+		m.sorted = out
+	}
+	return m.sorted
 }
 
 // storeFile is an immutable run of cells sorted in CompareCells order —

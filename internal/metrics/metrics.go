@@ -36,6 +36,12 @@ const (
 	TokensRenewed      = "security.tokens_renewed"
 	TokensCacheHits    = "security.token_cache_hits"
 	MemoryCharged      = "engine.memory_bytes"
+	MemoryHeld         = "engine.memory_held_bytes"
+	MemoryPeak         = "engine.memory_peak_bytes"
+	BatchesStreamed    = "exec.batches_streamed"
+	RowsShortCircuited = "exec.rows_short_circuited"
+	PagesPrefetched    = "hbase.pages_prefetched"
+	FusedPages         = "hbase.fused_pages"
 	TasksLaunched      = "engine.tasks"
 	TasksLocal         = "engine.tasks_local"
 	WALAppends         = "wal.appends"
@@ -83,6 +89,40 @@ func (r *Registry) Add(name string, delta int64) {
 
 // Inc increments the named counter by one.
 func (r *Registry) Inc(name string) { r.Add(name, 1) }
+
+// SetMax raises the named counter to v if v exceeds its current value —
+// a high-water mark rather than an accumulator.
+func (r *Registry) SetMax(name string, v int64) {
+	if r == nil {
+		return
+	}
+	c := r.counter(name)
+	for {
+		old := c.Load()
+		if v <= old {
+			return
+		}
+		if c.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// AddPeak adjusts a current-usage counter by delta and, when growing,
+// records its new value as the peak counter's high-water mark. The pair
+// (MemoryHeld, MemoryPeak) tracks live vs. peak decoded-row memory: the
+// streamed pipeline releases batches after processing them, so its peak
+// stays near one batch while the materialized path's peak is the full
+// result set.
+func (r *Registry) AddPeak(cur, peak string, delta int64) {
+	if r == nil {
+		return
+	}
+	v := r.counter(cur).Add(delta)
+	if delta > 0 {
+		r.SetMax(peak, v)
+	}
+}
 
 // Get returns the current value of the named counter (zero if never written).
 func (r *Registry) Get(name string) int64 {
