@@ -24,11 +24,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|table2|ablation|streaming")
+	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|table2|ablation|streaming|chaos")
 	scales := flag.String("scales", "1,2,3,4,5,6", "comma-separated scale factors (the 5..30 GB axis)")
 	servers := flag.Int("servers", 5, "region servers / executor hosts")
 	runs := flag.Int("runs", 1, "average each measurement over N runs")
 	executors := flag.String("executors", "5,10,15,20,25", "total executor counts for fig6")
+	seed := flag.Int64("seed", 1, "fault-injection seed for the chaos experiment")
 	flag.Parse()
 
 	p := bench.Params{
@@ -36,6 +37,7 @@ func main() {
 		Servers:   *servers,
 		Runs:      *runs,
 		Executors: parseInts(*executors),
+		Seed:      *seed,
 		Out:       os.Stdout,
 	}
 
@@ -57,9 +59,10 @@ func main() {
 	run("table2", func() error { _, err := bench.Table2(p); return err })
 	run("ablation", func() error { _, err := bench.Ablation(p); return err })
 	run("streaming", func() error { _, err := bench.StreamingComparison(p); return err })
+	run("chaos", func() error { _, err := bench.Chaos(p); return err })
 
 	switch *exp {
-	case "all", "table1", "fig4", "fig5", "fig6", "fig7", "table2", "ablation", "streaming":
+	case "all", "table1", "fig4", "fig5", "fig6", "fig7", "table2", "ablation", "streaming", "chaos":
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}

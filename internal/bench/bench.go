@@ -31,6 +31,8 @@ type Params struct {
 	Runs int
 	// RPC is the simulated network cost model; DefaultRPC() unless set.
 	RPC rpc.Config
+	// Seed drives the chaos experiment's fault injection; default 1.
+	Seed int64
 	// Out receives the printed tables (io.Discard when nil).
 	Out io.Writer
 }
@@ -53,6 +55,9 @@ func (p Params) withDefaults() Params {
 	}
 	if p.RPC == (rpc.Config{}) {
 		p.RPC = DefaultRPC()
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
 	}
 	if p.Out == nil {
 		p.Out = io.Discard

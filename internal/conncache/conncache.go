@@ -128,6 +128,25 @@ func (c *Cache) releaser(host string) func() {
 	}
 }
 
+// Invalidate drops the cached connection to host (if any) so the next
+// Acquire re-dials. The client calls it when an RPC on a pooled connection
+// fails with a transport error (host down, connection killed): without the
+// eviction the cache would keep handing out the dead connection even after
+// the host recovers, because nothing else ever re-dials a cached host.
+func (c *Cache) Invalidate(host string) {
+	c.mu.Lock()
+	e, ok := c.entries[host]
+	if ok {
+		delete(c.entries, host)
+	}
+	c.mu.Unlock()
+	if ok {
+		// In-flight holders see ErrConnClosed on their next call and retry
+		// through a fresh checkout, exactly as if the peer had reset them.
+		_ = e.conn.Close()
+	}
+}
+
 // Sweep evicts connections idle longer than CloseDelay and returns how many
 // it closed. The housekeeper calls this periodically; tests call it
 // directly with a fake clock.

@@ -207,3 +207,69 @@ func TestCloseShutsEverything(t *testing.T) {
 		t.Fatal("housekeeper did not stop")
 	}
 }
+
+func TestInvalidateEvictsAndClosesConnection(t *testing.T) {
+	cache, _, _ := newTestCache(t)
+	conn, rel, err := cache.Acquire("rs1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	cache.Invalidate("rs1")
+	if cache.Len() != 0 {
+		t.Errorf("Len after Invalidate = %d", cache.Len())
+	}
+	// The evicted connection is dead even for holders that acquired it
+	// before the eviction.
+	if _, err := conn.Call("ping", nil); err == nil {
+		t.Error("invalidated connection must be closed")
+	}
+	// The next Acquire re-dials and works.
+	conn2, rel2, err := cache.Acquire("rs1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel2()
+	if conn2 == conn {
+		t.Error("Acquire after Invalidate must dial a fresh connection")
+	}
+	if _, err := conn2.Call("ping", nil); err != nil {
+		t.Errorf("fresh connection: %v", err)
+	}
+	// Invalidating an unknown host is a no-op.
+	cache.Invalidate("ghost")
+}
+
+func TestInvalidateOnDownHostStopsServingStaleConn(t *testing.T) {
+	cache, m, _ := newTestCache(t)
+	net := cache.net
+	conn, rel, err := cache.Acquire("rs1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	if err := net.SetDown("rs1", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Call("ping", nil); err == nil {
+		t.Fatal("call to down host must fail")
+	}
+	// This is the bug the eviction fixes: without Invalidate, the cache
+	// keeps returning the stale connection forever.
+	cache.Invalidate("rs1")
+	if err := net.SetDown("rs1", false); err != nil {
+		t.Fatal(err)
+	}
+	reusedBefore := m.Get(metrics.ConnectionsReused)
+	conn2, rel2, err := cache.Acquire("rs1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel2()
+	if _, err := conn2.Call("ping", nil); err != nil {
+		t.Errorf("recovered host: %v", err)
+	}
+	if m.Get(metrics.ConnectionsReused) != reusedBefore {
+		t.Error("Acquire after Invalidate must not count as reuse")
+	}
+}

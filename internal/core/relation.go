@@ -576,14 +576,118 @@ func (p *hbasePartition) Index() int { return p.index }
 func (p *hbasePartition) PreferredHost() string { return p.host }
 
 // Compute implements datasource.Partition: fetch and decode this
-// partition's rows in a single fused RPC.
+// partition's rows in a fused RPC, failing over to reassigned region
+// servers if the host dies mid-query.
 func (p *hbasePartition) Compute() ([]plan.Row, error) {
-	results, err := p.rel.client.FusedExec(p.host, p.ops)
-	if err != nil {
-		return nil, err
+	pager := newFusedPager(p, p.ops, 0)
+	var rows []plan.Row
+	var keyScratch []any
+	for {
+		resp, err := pager.next()
+		if err != nil {
+			return nil, err
+		}
+		if resp == nil {
+			return rows, nil
+		}
+		rows, keyScratch, err = p.rel.decodeResults(resp.Results, p.required, rows, keyScratch)
+		if err != nil {
+			return nil, err
+		}
 	}
-	rows, _, err := p.rel.decodeResults(results, p.required, make([]plan.Row, 0, len(results)), nil)
-	return rows, err
+}
+
+// fusedPager drives a partition's paged fused execution with failover. The
+// partition bakes in the host that served its regions at plan time; when
+// that host dies mid-scan, the pager re-resolves region locations, regroups
+// the not-yet-streamed ops into contiguous same-host runs, and resumes each
+// run from the continuation cursor — so a query started before a crash
+// finishes with exactly the rows it would have produced without one.
+type fusedPager struct {
+	p        *hbasePartition
+	ops      []hbase.ScanOp // ops not yet fully streamed, in original order
+	host     string         // host serving ops[:prefix]
+	prefix   int            // length of the contiguous same-host run being paged
+	cursor   hbase.FusedCursor
+	batch    int
+	failures int
+	done     bool
+}
+
+func newFusedPager(p *hbasePartition, ops []hbase.ScanOp, batch int) *fusedPager {
+	// At plan time every op in the partition lives on p.host, so the first
+	// run is the whole list; runs only fragment after a failover.
+	return &fusedPager{p: p, ops: ops, host: p.host, prefix: len(ops), batch: batch}
+}
+
+// next returns the next page, or (nil, nil) once every op has streamed.
+func (g *fusedPager) next() (*hbase.ScanResponse, error) {
+	client := g.p.rel.client
+	for !g.done {
+		resp, err := client.FusedExecPage(g.host, g.ops[:g.prefix], g.batch, g.cursor)
+		if err != nil {
+			if !hbase.IsRetryable(err) {
+				return nil, err
+			}
+			g.failures++
+			if g.failures >= client.RetryPolicy().MaxAttempts {
+				return nil, err
+			}
+			g.p.rel.meter.Inc(metrics.ClientRetries)
+			// Ops before cursor.Op have fully streamed; the cursor's own op
+			// resumes mid-scan via Row/RowIdx/Sent, which survive the rebase
+			// because the server walks ops from Cursor.Op.
+			g.ops = g.ops[g.cursor.Op:]
+			g.cursor.Op = 0
+			client.InvalidateRegions(g.p.rel.cat.Table.Name)
+			client.RetryPause(g.failures)
+			if rerr := g.replace(); rerr != nil {
+				return nil, rerr
+			}
+			continue
+		}
+		g.failures = 0
+		if resp.More {
+			g.cursor = resp.Next
+			return resp, nil
+		}
+		// This same-host run is exhausted; advance to the next one (only
+		// present after a failover scattered the partition's regions).
+		g.ops = g.ops[g.prefix:]
+		g.cursor = hbase.FusedCursor{}
+		if len(g.ops) == 0 {
+			g.done = true
+		} else if rerr := g.replace(); rerr != nil {
+			return nil, rerr
+		}
+		return resp, nil
+	}
+	return nil, nil
+}
+
+// replace re-resolves where the remaining ops now live and sets host/prefix
+// to the leading contiguous run served by one host. Op order is preserved,
+// so the rows stream in exactly the order the unbroken fused RPC would have
+// produced them.
+func (g *fusedPager) replace() error {
+	regions, err := g.p.rel.client.Regions(g.p.rel.cat.Table.Name)
+	if err != nil {
+		return err
+	}
+	hostOf := make(map[string]string, len(regions))
+	for _, ri := range regions {
+		hostOf[ri.ID] = ri.Host
+	}
+	h, ok := hostOf[g.ops[0].RegionID]
+	if !ok {
+		return fmt.Errorf("core: region %q vanished from table %q", g.ops[0].RegionID, g.p.rel.cat.Table.Name)
+	}
+	g.host = h
+	g.prefix = 1
+	for g.prefix < len(g.ops) && hostOf[g.ops[g.prefix].RegionID] == h {
+		g.prefix++
+	}
+	return nil
 }
 
 // defaultFusedBatch is the per-page row budget when the caller does not pick
@@ -616,21 +720,22 @@ func (p *hbasePartition) ComputeBatches(opts datasource.BatchOptions, yield func
 		}
 	}
 
+	pager := newFusedPager(p, ops, batchSize)
 	type fusedPage struct {
 		resp *hbase.ScanResponse
 		err  error
 	}
-	fetch := func(cur hbase.FusedCursor) chan fusedPage {
+	fetch := func() chan fusedPage {
 		ch := make(chan fusedPage, 1)
 		go func() {
-			resp, err := p.rel.client.FusedExecPage(p.host, ops, batchSize, cur)
+			resp, err := pager.next()
 			ch <- fusedPage{resp: resp, err: err}
 		}()
 		return ch
 	}
 
 	meter := p.rel.meter
-	pending := fetch(hbase.FusedCursor{})
+	pending := fetch()
 	emitted := 0
 	var batch []plan.Row
 	var keyScratch []any
@@ -640,12 +745,17 @@ func (p *hbasePartition) ComputeBatches(opts datasource.BatchOptions, yield func
 		if pg.err != nil {
 			return pg.err
 		}
+		if pg.resp == nil {
+			break
+		}
 		meter.Inc(metrics.FusedPages)
 		results := pg.resp.Results
-		if pg.resp.More && (opts.LimitHint <= 0 || emitted+len(results) < opts.LimitHint) {
+		// Pager state mutates only inside fetch goroutines; the channel
+		// receive above happens-before this launch, so access stays serial.
+		if !pager.done && (opts.LimitHint <= 0 || emitted+len(results) < opts.LimitHint) {
 			// Launch the next page before decoding this one; the buffered
 			// channel keeps the goroutine from leaking if we stop early.
-			pending = fetch(pg.resp.Next)
+			pending = fetch()
 			meter.Inc(metrics.PagesPrefetched)
 		}
 		if opts.LimitHint > 0 && emitted+len(results) > opts.LimitHint {

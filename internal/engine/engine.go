@@ -33,6 +33,9 @@ type Config struct {
 	// fusing scan→filter→project→limit chains into streaming batch
 	// pipelines (ablation switch).
 	DisablePipelining bool
+	// TaskRetries is the per-task attempt cap for transport failures
+	// (default 3); set negative to disable re-execution.
+	TaskRetries int
 	// Meter receives execution counters; a fresh registry when nil.
 	Meter *metrics.Registry
 }
@@ -59,8 +62,15 @@ func NewSession(cfg Config) *Session {
 	if cfg.Meter == nil {
 		cfg.Meter = metrics.NewRegistry()
 	}
+	if cfg.TaskRetries == 0 {
+		cfg.TaskRetries = 3
+	}
+	sched := exec.NewScheduler(cfg.Hosts, cfg.ExecutorsPerHost, cfg.Meter)
+	if cfg.TaskRetries > 0 {
+		sched.SetTaskRetry(cfg.TaskRetries, exec.RetryableTransport)
+	}
 	return &Session{
-		sched:  exec.NewScheduler(cfg.Hosts, cfg.ExecutorsPerHost, cfg.Meter),
+		sched:  sched,
 		meter:  cfg.Meter,
 		cfg:    cfg,
 		tables: make(map[string]plan.Relation),

@@ -7,10 +7,12 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"github.com/shc-go/shc/internal/metrics"
+	"github.com/shc-go/shc/internal/rpc"
 )
 
 // Task is one schedulable unit of work.
@@ -19,6 +21,14 @@ type Task struct {
 	PreferredHost string
 	// Run does the work.
 	Run func() error
+}
+
+// RetryableTransport classifies the transport-level failures worth
+// re-executing a task for: the host it talked to died or dropped the
+// connection. Anything else (bad plans, decode errors, server-side logic
+// errors) is deterministic and would fail identically elsewhere.
+func RetryableTransport(err error) bool {
+	return errors.Is(err, rpc.ErrHostDown) || errors.Is(err, rpc.ErrConnClosed) || errors.Is(err, rpc.ErrUnknownHost)
 }
 
 // Scheduler distributes tasks over a set of hosts, each with a fixed
@@ -32,6 +42,12 @@ type Scheduler struct {
 	hostIdx  map[string]int
 	rrCursor int
 	mu       sync.Mutex
+
+	// maxAttempts is the per-task attempt cap (1 = never re-execute);
+	// retryable classifies which errors are worth another attempt. Both are
+	// fixed before the scheduler runs queries (SetTaskRetry).
+	maxAttempts int
+	retryable   func(error) bool
 }
 
 // NewScheduler creates a scheduler over hosts with slots executors each.
@@ -43,7 +59,19 @@ func NewScheduler(hosts []string, slotsPerHost int, meter *metrics.Registry) *Sc
 	for i, h := range hosts {
 		idx[h] = i
 	}
-	return &Scheduler{hosts: hosts, slots: slotsPerHost, meter: meter, hostIdx: idx}
+	return &Scheduler{hosts: hosts, slots: slotsPerHost, meter: meter, hostIdx: idx, maxAttempts: 1}
+}
+
+// SetTaskRetry configures task re-execution, the lineage-based recovery
+// contract of Spark-style engines: a task failing with an error recognized
+// by retryable is re-queued on a different host, up to maxAttempts total
+// attempts, before its error surfaces.
+func (s *Scheduler) SetTaskRetry(maxAttempts int, retryable func(error) bool) {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	s.maxAttempts = maxAttempts
+	s.retryable = retryable
 }
 
 // Hosts returns the scheduler's host list.
@@ -55,14 +83,42 @@ func (s *Scheduler) SlotsPerHost() int { return s.slots }
 // TotalSlots returns the cluster-wide executor count.
 func (s *Scheduler) TotalSlots() int { return s.slots * len(s.hosts) }
 
+// runTask is one task's mutable scheduling state within a Run call.
+type runTask struct {
+	task     Task
+	attempts int // attempts started
+}
+
+// runState coordinates one Run call: per-host queues fed to workers, a
+// remaining-task count, and the abort flag that stops dispatch after a
+// permanent failure.
+type runState struct {
+	s *Scheduler
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queues    [][]*runTask
+	remaining int // tasks not yet finished (succeeded, failed, or dropped)
+	aborted   bool
+	errs      []error
+	done      bool
+}
+
 // Run executes all tasks, placing each on its preferred host when that
-// host has executors and falling back to round-robin otherwise. It blocks
-// until every task finishes and returns the first error.
+// host has executors and falling back to round-robin otherwise. A task
+// failing with a retryable transport error is re-executed on a different
+// host (up to the configured attempt cap). On a permanent failure the
+// scheduler stops dispatching queued tasks — in-flight ones finish — and
+// returns every permanent error joined.
 func (s *Scheduler) Run(tasks []Task) error {
 	if len(s.hosts) == 0 {
 		return fmt.Errorf("exec: scheduler has no hosts")
 	}
-	queues := make([][]Task, len(s.hosts))
+	if len(tasks) == 0 {
+		return nil
+	}
+	r := &runState{s: s, queues: make([][]*runTask, len(s.hosts)), remaining: len(tasks)}
+	r.cond = sync.NewCond(&r.mu)
 	for _, t := range tasks {
 		i, local := s.hostIdx[t.PreferredHost]
 		if !local {
@@ -74,45 +130,86 @@ func (s *Scheduler) Run(tasks []Task) error {
 			s.meter.Inc(metrics.TasksLocal)
 		}
 		s.meter.Inc(metrics.TasksLaunched)
-		queues[i] = append(queues[i], t)
+		r.queues[i] = append(r.queues[i], &runTask{task: t, attempts: 1})
 	}
 
-	errCh := make(chan error, len(tasks))
+	// Every host gets workers even when its initial queue is empty: a retry
+	// may land there. Workers block on the condition variable, so idle ones
+	// cost nothing.
+	workers := s.slots
+	if len(tasks) < workers {
+		workers = len(tasks)
+	}
 	var wg sync.WaitGroup
-	for i := range queues {
-		queue := queues[i]
-		if len(queue) == 0 {
-			continue
-		}
-		// Each host drains its queue with up to `slots` executor goroutines —
-		// never more goroutines than tasks, so short queues don't pay for
-		// idle workers.
-		workers := s.slots
-		if len(queue) < workers {
-			workers = len(queue)
-		}
-		work := make(chan Task)
+	for h := range s.hosts {
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(host int) {
 				defer wg.Done()
-				for t := range work {
-					if err := t.Run(); err != nil {
-						errCh <- err
-					}
-				}
-			}()
+				r.work(host)
+			}(h)
 		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for _, t := range queue {
-				work <- t
-			}
-			close(work)
-		}()
 	}
 	wg.Wait()
-	close(errCh)
-	return <-errCh
+	return errors.Join(r.errs...)
+}
+
+// work drains one host's queue until the run completes.
+func (r *runState) work(host int) {
+	for {
+		t := r.take(host)
+		if t == nil {
+			return
+		}
+		r.finish(host, t, t.task.Run())
+	}
+}
+
+// take pops the next task queued on host, blocking until one arrives or the
+// run is done.
+func (r *runState) take(host int) *runTask {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.queues[host]) == 0 && !r.done {
+		r.cond.Wait()
+	}
+	if len(r.queues[host]) == 0 {
+		return nil
+	}
+	t := r.queues[host][0]
+	r.queues[host] = r.queues[host][1:]
+	return t
+}
+
+// finish records a task attempt's outcome: success retires the task, a
+// retryable failure re-queues it on the next host, and a permanent failure
+// aborts the run — queued-but-unstarted tasks are dropped so a failed query
+// stops consuming the cluster.
+func (r *runState) finish(host int, t *runTask, err error) {
+	s := r.s
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err != nil && !r.aborted && s.retryable != nil && s.retryable(err) && t.attempts < s.maxAttempts {
+		t.attempts++
+		target := (host + 1) % len(r.queues) // a different host when one exists
+		r.queues[target] = append(r.queues[target], t)
+		s.meter.Inc(metrics.TasksRetried)
+		r.cond.Broadcast()
+		return
+	}
+	if err != nil {
+		r.errs = append(r.errs, err)
+		if !r.aborted {
+			r.aborted = true
+			for i := range r.queues {
+				r.remaining -= len(r.queues[i])
+				r.queues[i] = nil
+			}
+		}
+	}
+	r.remaining--
+	if r.remaining == 0 {
+		r.done = true
+	}
+	r.cond.Broadcast()
 }

@@ -1,0 +1,165 @@
+package harness
+
+import (
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"github.com/shc-go/shc/internal/hbase"
+	"github.com/shc-go/shc/internal/metrics"
+	"github.com/shc-go/shc/internal/rpc"
+)
+
+// chaosSeed seeds every injector in this file. CI sweeps it via the
+// CHAOS_SEED environment variable; any fixed value gives a reproducible
+// failure schedule.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	s := os.Getenv("CHAOS_SEED")
+	if s == "" {
+		return 1
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("bad CHAOS_SEED %q: %v", s, err)
+	}
+	return n
+}
+
+// TestStreamingSelectSurvivesServerCrash is the tentpole end-to-end chaos
+// scenario: a multi-region streaming SELECT is underway when the region
+// server it is reading from crashes (injected at an exact fused page, so the
+// schedule is deterministic). The master detects the death, replays WALs,
+// and reassigns the regions; the in-flight query must resume on the new
+// hosts and return results byte-identical to an undisturbed run.
+func TestStreamingSelectSurvivesServerCrash(t *testing.T) {
+	const q = `SELECT ss_item_sk, ss_quantity FROM store_sales WHERE ss_quantity > 10`
+
+	// Fault-free baseline on an identically-configured rig.
+	base, err := NewRig(Config{System: SHC, Scale: 1, Servers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	want, err := base.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Rows) == 0 {
+		t.Fatal("baseline returned no rows; the chaos run would be vacuous")
+	}
+
+	rig, err := NewRig(Config{System: SHC, Scale: 1, Servers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rig.Close()
+	regions, err := rig.Client.Regions("store_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := regions[0].Host
+
+	// Rule 1 crashes the victim at its third fused page: the server drops
+	// off the network mid-stream and the master's heartbeat round reassigns
+	// its regions before the failing call even returns to the client. Rule 2
+	// layers seeded random connection kills on every fused call, so
+	// different CHAOS_SEED values exercise different transient schedules.
+	inj := rpc.NewFaultInjector(chaosSeed(t),
+		&rpc.FaultRule{
+			Host: victim, Method: hbase.MethodFused, SkipFirst: 2, FailNext: 1,
+			OnFire: func() {
+				if err := rig.Cluster.CrashServer(victim); err != nil {
+					t.Errorf("crash %s: %v", victim, err)
+				}
+				if _, err := rig.Cluster.Master.CheckServers(); err != nil {
+					t.Errorf("heartbeat round: %v", err)
+				}
+			},
+		},
+		&rpc.FaultRule{Method: hbase.MethodFused, SkipFirst: 3, FailProb: 0.03, Err: rpc.ErrConnClosed},
+	)
+	rig.Cluster.Net.SetFaultInjector(inj)
+
+	got, err := rig.Run(q)
+	if err != nil {
+		t.Fatalf("query through crash: %v", err)
+	}
+	if !reflect.DeepEqual(want.Rows, got.Rows) {
+		t.Fatalf("chaos run differs from baseline: %d rows vs %d", len(got.Rows), len(want.Rows))
+	}
+	if inj.Fired() == 0 {
+		t.Fatal("no faults fired; the scenario did not exercise recovery")
+	}
+	if got.Delta[metrics.RegionsReassigned] == 0 {
+		t.Error("crash did not reassign any regions")
+	}
+	if got.Delta[metrics.WALEntriesReplayed] == 0 {
+		t.Error("reassignment did not replay WAL entries")
+	}
+	if got.Delta[metrics.ClientRetries]+got.Delta[metrics.TasksRetried] == 0 {
+		t.Error("recovery metered neither client retries nor task re-executions")
+	}
+	// The dead server is gone from the cluster's view; its regions live on
+	// the survivors.
+	total := 0
+	for _, rs := range rig.Cluster.Servers {
+		if rs.Host() != victim {
+			total += rs.RegionCount()
+		}
+	}
+	if got := rig.Cluster.Server(victim).RegionCount(); got != 0 {
+		t.Errorf("dead server still hosts %d regions", got)
+	}
+	if total == 0 {
+		t.Error("survivors host no regions")
+	}
+}
+
+// TestChaosScheduleIsDeterministic runs the same seeded chaos query twice on
+// fresh rigs and demands identical fault schedules and identical results —
+// the property that makes chaos failures replayable from just a seed.
+func TestChaosScheduleIsDeterministic(t *testing.T) {
+	run := func() ([]int, int) {
+		rig, err := NewRig(Config{System: SHC, Scale: 1, Servers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rig.Close()
+		inj := rpc.NewFaultInjector(chaosSeed(t),
+			&rpc.FaultRule{Method: hbase.MethodFused, FailProb: 0.05, Err: rpc.ErrConnClosed},
+		)
+		rig.Cluster.Net.SetFaultInjector(inj)
+		res, err := rig.Run(`SELECT ss_item_sk, ss_quantity FROM store_sales WHERE ss_quantity > 10`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shape := []int{len(res.Rows), int(res.Delta[metrics.FaultsInjected])}
+		return shape, inj.Fired()
+	}
+	shapeA, firedA := run()
+	shapeB, firedB := run()
+	if !reflect.DeepEqual(shapeA, shapeB) || firedA != firedB {
+		t.Fatalf("seeded chaos diverged: %v/%d vs %v/%d", shapeA, firedA, shapeB, firedB)
+	}
+}
+
+// TestQueryAgainstDeadClusterStillFails: fault tolerance must not turn into
+// infinite retry — with every region server down and nothing to reassign to,
+// a query errors out after the bounded retry budget.
+func TestQueryAgainstDeadClusterStillFails(t *testing.T) {
+	rig, err := NewRig(Config{System: SHC, Scale: 1, Servers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rig.Close()
+	for _, h := range rig.Cluster.Hosts() {
+		if err := rig.Cluster.Net.SetDown(h, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rig.Run(`SELECT ss_item_sk FROM store_sales`); err == nil {
+		t.Fatal("query against a fully dead cluster must fail, not hang")
+	}
+}

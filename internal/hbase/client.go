@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
+	"time"
 
+	"github.com/shc-go/shc/internal/metrics"
 	"github.com/shc-go/shc/internal/rpc"
 	"github.com/shc-go/shc/internal/zk"
 )
@@ -48,6 +51,10 @@ type Client struct {
 	zkSess      *zk.Session
 	pool        ConnPool
 	tokens      TokenProvider
+	retry       RetryPolicy
+
+	retryMu  sync.Mutex
+	retryRng *rand.Rand // jitter source, guarded by retryMu
 
 	mu         sync.Mutex
 	masterHost string
@@ -63,6 +70,15 @@ func WithConnPool(p ConnPool) ClientOption { return func(c *Client) { c.pool = p
 // WithTokenProvider sets the credential source for secure clusters.
 func WithTokenProvider(tp TokenProvider) ClientOption { return func(c *Client) { c.tokens = tp } }
 
+// WithRetryPolicy overrides the client's retry behaviour (zero fields fall
+// back to defaults).
+func WithRetryPolicy(p RetryPolicy) ClientOption {
+	return func(c *Client) {
+		c.retry = p.withDefaults()
+		c.retryRng = rand.New(rand.NewSource(c.retry.JitterSeed))
+	}
+}
+
 // NewClient opens a client against a cluster's network and ZooKeeper.
 func NewClient(clusterName string, net *rpc.Network, zkSrv *zk.Server, opts ...ClientOption) *Client {
 	c := &Client{
@@ -70,7 +86,9 @@ func NewClient(clusterName string, net *rpc.Network, zkSrv *zk.Server, opts ...C
 		net:         net,
 		zkSess:      zkSrv.NewSession(),
 		regions:     make(map[string][]RegionInfo),
+		retry:       RetryPolicy{}.withDefaults(),
 	}
+	c.retryRng = rand.New(rand.NewSource(c.retry.JitterSeed))
 	c.pool = NewDialPool(net)
 	for _, o := range opts {
 		o(c)
@@ -112,13 +130,28 @@ func (c *Client) master() (string, error) {
 	return leader, nil
 }
 
+// connInvalidator is implemented by pools (conncache.Cache) that can evict
+// a cached connection after a transport failure.
+type connInvalidator interface {
+	Invalidate(host string)
+}
+
 func (c *Client) call(host, method string, req rpc.Message) (rpc.Message, error) {
 	conn, release, err := c.pool.Acquire(host)
 	if err != nil {
 		return nil, err
 	}
-	defer release()
-	return conn.Call(method, req)
+	resp, err := conn.Call(method, req)
+	release()
+	if err != nil && (errors.Is(err, rpc.ErrHostDown) || errors.Is(err, rpc.ErrConnClosed)) {
+		// A caching pool would otherwise keep handing out this connection
+		// even after the host recovers; drop it so the next checkout
+		// re-dials.
+		if inv, ok := c.pool.(connInvalidator); ok {
+			inv.Invalidate(host)
+		}
+	}
+	return resp, err
 }
 
 // callMaster sends a meta request to the current master. If the cached
@@ -250,17 +283,48 @@ func (c *Client) regionForRow(table string, row []byte) (RegionInfo, error) {
 	return RegionInfo{}, fmt.Errorf("hbase: no region for row %x in table %q", row, table)
 }
 
-// withMetaRetry runs op and, when it fails because the client's region
-// cache went stale (split, balancer move, reassignment), refreshes the
-// cache and retries once — the NotServingRegionException dance of the real
-// HBase client.
-func (c *Client) withMetaRetry(table string, op func() error) error {
-	err := op()
-	if err == nil || !errors.Is(err, ErrNotServing) {
-		return err
+// RetryPolicy returns the client's effective (defaulted) retry policy.
+func (c *Client) RetryPolicy() RetryPolicy { return c.retry }
+
+// RetryPause sleeps the policy's jittered backoff before retry attempt n
+// (1-based). Layers that implement their own resume logic on top of the
+// policy — the paged Scanner, SHC's partition failover — share the client's
+// seeded jitter source through it.
+func (c *Client) RetryPause(attempt int) {
+	c.retryMu.Lock()
+	jitter := 0.5 + 0.5*c.retryRng.Float64()
+	c.retryMu.Unlock()
+	c.retry.Sleep(time.Duration(float64(c.retry.backoff(attempt)) * jitter))
+}
+
+// withRetry runs op under the client's retry policy. A recoverable failure
+// — the region cache went stale (ErrNotServing after a split, balancer
+// move, or reassignment) or the hosting server stopped answering
+// (ErrHostDown/ErrConnClosed during a failover) — invalidates the cache,
+// backs off, and retries with fresh locations, up to the policy's attempt
+// and deadline caps. This is the NotServingRegionException dance of the
+// real HBase client, extended to server death.
+func (c *Client) withRetry(table string, op func() error) error {
+	var start time.Time
+	if c.retry.Deadline > 0 {
+		start = time.Now()
 	}
-	c.InvalidateRegions(table)
-	return op()
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = op()
+		if err == nil || !IsRetryable(err) {
+			return err
+		}
+		if attempt >= c.retry.MaxAttempts {
+			return err
+		}
+		if c.retry.Deadline > 0 && time.Since(start) >= c.retry.Deadline {
+			return err
+		}
+		c.net.Meter().Inc(metrics.ClientRetries)
+		c.InvalidateRegions(table)
+		c.RetryPause(attempt)
+	}
 }
 
 // Put writes cells, batching them per region. Stale region locations are
@@ -273,7 +337,7 @@ func (c *Client) Put(table string, cells []Cell) error {
 	if err != nil {
 		return err
 	}
-	return c.withMetaRetry(table, func() error {
+	return c.withRetry(table, func() error {
 		batches := make(map[string]*PutRequest)
 		hosts := make(map[string]string)
 		for _, cell := range cells {
@@ -318,7 +382,7 @@ func (c *Client) BulkGet(table string, rows [][]byte, cols []Column, maxVersions
 		return nil, err
 	}
 	var out []Result
-	err = c.withMetaRetry(table, func() error {
+	err = c.withRetry(table, func() error {
 		out = nil
 		byRegion := make(map[string]*BulkGetRequest)
 		hosts := make(map[string]string)
@@ -359,7 +423,7 @@ func (c *Client) ScanTable(table string, scan *Scan) ([]Result, error) {
 		return nil, err
 	}
 	var out []Result
-	err = c.withMetaRetry(table, func() error {
+	err = c.withRetry(table, func() error {
 		out = nil
 		regions, err := c.Regions(table)
 		if err != nil {

@@ -84,3 +84,32 @@ func (c *Cluster) Hosts() []string {
 func (c *Cluster) NewClient(opts ...ClientOption) *Client {
 	return NewClient(c.Name, c.Net, c.ZK, opts...)
 }
+
+// Server returns the region server running on host, or nil.
+func (c *Cluster) Server(host string) *RegionServer {
+	for _, rs := range c.Servers {
+		if rs.Host() == host {
+			return rs
+		}
+	}
+	return nil
+}
+
+// CrashServer simulates a region-server process death: the host drops off
+// the network and every hosted region loses its MemStore (the WAL, standing
+// in for HDFS, survives the crash). Recovery happens when the master's next
+// heartbeat round (CheckServers) detects the death and reassigns the
+// regions.
+func (c *Cluster) CrashServer(host string) error {
+	rs := c.Server(host)
+	if rs == nil {
+		return fmt.Errorf("hbase: no region server on host %q", host)
+	}
+	if err := c.Net.SetDown(host, true); err != nil {
+		return err
+	}
+	for _, r := range rs.Regions() {
+		r.DropMemStore()
+	}
+	return nil
+}

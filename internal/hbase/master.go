@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/shc-go/shc/internal/metrics"
 	"github.com/shc-go/shc/internal/rpc"
@@ -23,6 +24,7 @@ const (
 // regions, and balancing load. It never touches the data path.
 type Master struct {
 	host     string
+	net      *rpc.Network
 	meter    *metrics.Registry
 	cfg      StoreConfig
 	sess     *zk.Session
@@ -32,6 +34,11 @@ type Master struct {
 	servers []*RegionServer
 	tables  map[string]*tableState
 	nextID  int
+	// missed counts consecutive failed heartbeats per server host; a server
+	// whose count reaches deathThreshold is declared dead and its regions
+	// are reassigned.
+	missed         map[string]int
+	deathThreshold int
 }
 
 type tableState struct {
@@ -42,7 +49,11 @@ type tableState struct {
 // NewMaster creates the master on host, registers its RPC handlers, elects
 // itself leader in ZooKeeper, and publishes its address for clients.
 func NewMaster(host string, net *rpc.Network, zkSrv *zk.Server, cfg StoreConfig, meter *metrics.Registry, validate TokenValidator) (*Master, error) {
-	m := &Master{host: host, meter: meter, cfg: cfg, validate: validate, tables: make(map[string]*tableState)}
+	m := &Master{
+		host: host, net: net, meter: meter, cfg: cfg, validate: validate,
+		tables: make(map[string]*tableState), missed: make(map[string]int),
+		deathThreshold: 1,
+	}
 	if err := net.AddHost(host); err != nil {
 		return nil, err
 	}
@@ -94,6 +105,7 @@ func (m *Master) RecoverFrom(servers []*RegionServer) error {
 	defer m.mu.Unlock()
 	m.servers = nil
 	m.tables = make(map[string]*tableState)
+	m.missed = make(map[string]int)
 	maxID := 0
 	for _, rs := range servers {
 		m.servers = append(m.servers, rs)
@@ -139,8 +151,135 @@ func regionSeq(id string) int {
 func (m *Master) AddServer(rs *RegionServer) error {
 	m.mu.Lock()
 	m.servers = append(m.servers, rs)
+	delete(m.missed, rs.Host())
 	m.mu.Unlock()
 	return m.sess.Create(zkServers+"/"+rs.Host(), nil, false)
+}
+
+// SetDeathThreshold sets how many consecutive missed heartbeats declare a
+// region server dead (default 1 — the lease expires on the first missed
+// round, as with a short ZooKeeper session timeout).
+func (m *Master) SetDeathThreshold(n int) {
+	if n < 1 {
+		n = 1
+	}
+	m.mu.Lock()
+	m.deathThreshold = n
+	m.mu.Unlock()
+}
+
+// pingServer probes one region server over the network, so SetDown hosts
+// and injected faults are observed exactly as a real heartbeat would.
+func (m *Master) pingServer(host string) error {
+	conn, err := m.net.Dial(host)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_, err = conn.Call(MethodPing, Ping{})
+	return err
+}
+
+// CheckServers runs one heartbeat round: every registered region server is
+// pinged; a server that has missed deathThreshold consecutive rounds is
+// declared dead, removed from the cluster (and from ZooKeeper), and its
+// regions are recovered from their WALs and reassigned to the surviving
+// servers. It returns the hosts declared dead this round.
+//
+// Tests call this directly after scripting a failure, which keeps recovery
+// deterministic; long-running deployments drive it from StartHeartbeats.
+func (m *Master) CheckServers() ([]string, error) {
+	m.mu.Lock()
+	hosts := make([]string, len(m.servers))
+	for i, rs := range m.servers {
+		hosts[i] = rs.Host()
+	}
+	m.mu.Unlock()
+
+	alive := make(map[string]bool, len(hosts))
+	for _, h := range hosts {
+		alive[h] = m.pingServer(h) == nil
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var dead []string
+	survivors := m.servers[:0:0]
+	var victims []*RegionServer
+	for _, rs := range m.servers {
+		h := rs.Host()
+		if alive[h] {
+			delete(m.missed, h)
+			survivors = append(survivors, rs)
+			continue
+		}
+		m.missed[h]++
+		if m.missed[h] < m.deathThreshold {
+			survivors = append(survivors, rs)
+			continue
+		}
+		delete(m.missed, h)
+		dead = append(dead, h)
+		victims = append(victims, rs)
+	}
+	if len(victims) == 0 {
+		return nil, nil
+	}
+	m.servers = survivors
+	for _, rs := range victims {
+		m.meter.Inc(metrics.ServersDeclaredDead)
+		_ = m.sess.Delete(zkServers + "/" + rs.Host())
+		if err := m.reassignLocked(rs); err != nil {
+			return dead, err
+		}
+	}
+	return dead, nil
+}
+
+// reassignLocked moves every region off a dead server: each region's
+// MemStore is rebuilt by WAL replay (the paper's §VI-B recovery path — the
+// log, standing in for HDFS, outlives the server), then the region is placed
+// on the least-loaded survivor, which rebinds its meta host so refreshed
+// client caches route to the new location.
+func (m *Master) reassignLocked(dead *RegionServer) error {
+	if len(m.servers) == 0 {
+		return fmt.Errorf("hbase: no surviving region servers to reassign %s's regions", dead.Host())
+	}
+	infos := dead.RegionInfos() // sorted: deterministic reassignment order
+	for _, info := range infos {
+		r := dead.RemoveRegion(info.ID)
+		if r == nil {
+			continue
+		}
+		if err := r.RecoverFromWAL(); err != nil {
+			return fmt.Errorf("hbase: replay WAL of %s: %w", info.ID, err)
+		}
+		m.leastLoadedLocked().AddRegion(r)
+		m.meter.Inc(metrics.RegionsReassigned)
+	}
+	return nil
+}
+
+// StartHeartbeats drives CheckServers on a fixed interval and returns a
+// stop function. Tests prefer calling CheckServers directly (no timers to
+// race against); the chaos benchmark and long-lived deployments use the
+// loop.
+func (m *Master) StartHeartbeats(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				_, _ = m.CheckServers()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
 }
 
 func (m *Master) auth(token string) error {

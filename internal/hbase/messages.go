@@ -6,6 +6,7 @@ const (
 	MethodScan         = "Scan"
 	MethodBulkGet      = "BulkGet"
 	MethodFused        = "Fused"
+	MethodPing         = "Ping"
 	MethodCreateTable  = "CreateTable"
 	MethodDeleteTable  = "DeleteTable"
 	MethodTableRegions = "TableRegions"
@@ -34,6 +35,12 @@ type Ack struct{}
 
 // WireSize implements rpc.Message.
 func (Ack) WireSize() int { return 1 }
+
+// Ping is the master's heartbeat probe to a region server.
+type Ping struct{}
+
+// WireSize implements rpc.Message.
+func (Ping) WireSize() int { return 1 }
 
 // ScanRequest runs a Scan against one region.
 type ScanRequest struct {

@@ -68,8 +68,22 @@ func NewRegion(info RegionInfo, desc *TableDescriptor, cfg StoreConfig, meter *m
 	}
 }
 
-// Info returns a copy of the region's identity.
-func (r *Region) Info() RegionInfo { return r.info }
+// Info returns a copy of the region's identity. It takes the region lock
+// because Host is rebound when the region moves (balance, failover
+// reassignment) while readers may be concurrently locating it.
+func (r *Region) Info() RegionInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.info
+}
+
+// setHost rebinds the region's hosting server and returns the region ID.
+func (r *Region) setHost(host string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.info.Host = host
+	return r.info.ID
+}
 
 // Descriptor returns the table descriptor the region serves.
 func (r *Region) Descriptor() TableDescriptor { return *r.desc }
@@ -460,6 +474,7 @@ func (r *Region) RecoverFromWAL() error {
 		}
 		r.mem.add(Cell{Row: e.Row, Family: e.Family, Qualifier: e.Qualifier, Timestamp: e.Timestamp, Type: typ, Value: e.Value})
 		r.gen++
+		r.meter.Inc(metrics.WALEntriesReplayed)
 		return nil
 	})
 }

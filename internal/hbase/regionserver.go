@@ -40,6 +40,7 @@ func NewRegionServer(host string, net *rpc.Network, meter *metrics.Registry, val
 		MethodScan:    rs.handleScan,
 		MethodBulkGet: rs.handleBulkGet,
 		MethodFused:   rs.handleFused,
+		MethodPing:    rs.handlePing,
 	} {
 		if err := net.Handle(host, method, h); err != nil {
 			return nil, err
@@ -51,12 +52,14 @@ func NewRegionServer(host string, net *rpc.Network, meter *metrics.Registry, val
 // Host returns the server's host name.
 func (rs *RegionServer) Host() string { return rs.host }
 
-// AddRegion places a region on this server.
+// AddRegion places a region on this server, rebinding its meta host — the
+// hbase:meta update clients observe after a balance or a failover
+// reassignment.
 func (rs *RegionServer) AddRegion(r *Region) {
+	id := r.setHost(rs.host)
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
-	r.info.Host = rs.host
-	rs.regions[r.info.ID] = r
+	rs.regions[id] = r
 }
 
 // RemoveRegion takes a region off this server and returns it (nil if not
@@ -81,6 +84,18 @@ func (rs *RegionServer) RegionCount() int {
 	rs.mu.RLock()
 	defer rs.mu.RUnlock()
 	return len(rs.regions)
+}
+
+// OnlineRegions lists the IDs of the regions this server currently serves,
+// sorted — the set a failover rebuilds when reassigning a dead server's
+// load.
+func (rs *RegionServer) OnlineRegions() []string {
+	infos := rs.RegionInfos()
+	out := make([]string, len(infos))
+	for i := range infos {
+		out[i] = infos[i].ID
+	}
+	return out
 }
 
 // Regions lists the hosted region objects (used by a recovering master to
@@ -120,6 +135,17 @@ func (rs *RegionServer) regionFor(id string) (*Region, error) {
 		return nil, fmt.Errorf("%w: %q on %s", ErrNotServing, id, rs.host)
 	}
 	return r, nil
+}
+
+// handlePing answers the master's heartbeat. Heartbeats are cluster-internal
+// liveness traffic, not client requests, so they bypass token auth the way
+// HBase's own server-to-server RPCs use a separate trust path.
+func (rs *RegionServer) handlePing(req rpc.Message) (rpc.Message, error) {
+	if _, ok := req.(Ping); !ok {
+		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodPing, req)
+	}
+	rs.meter.Inc(metrics.Heartbeats)
+	return Ack{}, nil
 }
 
 func (rs *RegionServer) handlePut(req rpc.Message) (rpc.Message, error) {

@@ -1,0 +1,73 @@
+package hbase
+
+import (
+	"errors"
+	"time"
+)
+
+// RetryPolicy governs how the client retries operations that fail
+// recoverably: stale region locations (ErrNotServing) and unreachable or
+// killed hosts (rpc.ErrHostDown, rpc.ErrConnClosed). Each retry first
+// invalidates the relevant meta cache, then backs off exponentially with
+// jitter. The zero value means "use defaults".
+type RetryPolicy struct {
+	// MaxAttempts is the total tries per operation, first included
+	// (default 4). Retries stop — and the last error surfaces — once it is
+	// reached, so operations against a permanently dead cluster still fail.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry (default 2ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 50ms).
+	MaxBackoff time.Duration
+	// Deadline bounds the overall time an operation may spend across
+	// attempts; 0 means attempts alone bound it.
+	Deadline time.Duration
+	// JitterSeed seeds the deterministic jitter RNG (default 1), so a fixed
+	// policy, seed, and failure schedule back off identically across runs.
+	JitterSeed int64
+	// Sleep performs the backoff; tests inject a recorder. Default
+	// time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 2 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 50 * time.Millisecond
+	}
+	if p.JitterSeed == 0 {
+		p.JitterSeed = 1
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// backoff computes the pre-jitter delay before retry attempt n (1-based):
+// BaseBackoff doubling per attempt, capped at MaxBackoff.
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.BaseBackoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// IsRetryable reports whether err is worth retrying against refreshed meta:
+// the region is served elsewhere (split, balance, failover reassignment) or
+// its host stopped answering and the master may be reassigning it.
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrNotServing) || isUnreachable(err)
+}

@@ -23,6 +23,7 @@ type Scanner struct {
 	region   int    // index of the region currently being scanned
 	cursor   []byte // next start row within the current region
 	returned int    // rows handed out so far (for spec.Limit page sizing)
+	failures int    // consecutive failed page fetches (for retry capping)
 	done     bool
 	err      error
 
@@ -117,8 +118,21 @@ func (s *Scanner) fetchPage() ([]Result, error) {
 		page.Limit = limit
 		results, err := s.client.ScanRegion(ri, &page)
 		if err != nil {
-			return nil, err
+			if !IsRetryable(err) {
+				return nil, err
+			}
+			s.failures++
+			if s.failures >= s.client.retry.MaxAttempts {
+				return nil, err
+			}
+			s.client.net.Meter().Inc(metrics.ClientRetries)
+			if rerr := s.relocate(); rerr != nil {
+				return nil, rerr
+			}
+			s.client.RetryPause(s.failures)
+			continue
 		}
+		s.failures = 0
 		if len(results) == 0 {
 			// Region drained: move on.
 			s.region++
@@ -150,6 +164,23 @@ func (s *Scanner) fetchPage() ([]Result, error) {
 		return results, nil
 	}
 	return nil, nil
+}
+
+// relocate refreshes the region list after a failed page fetch and
+// repositions the scanner at the region now containing its cursor. The
+// cursor marks the first row not yet returned, so when the master has
+// reassigned the dead server's regions the next page resumes on the new
+// host with no rows duplicated or dropped.
+func (s *Scanner) relocate() error {
+	s.client.InvalidateRegions(s.table)
+	regions, err := s.client.Regions(s.table)
+	if err != nil {
+		return err
+	}
+	s.regions = regions
+	s.region = 0
+	s.skipToOverlap()
+	return nil
 }
 
 // Next returns the next page of results, or (nil, nil) when the scan is

@@ -17,37 +17,44 @@ import (
 // Well-known counter names used across the stack. Layers may also register
 // ad-hoc counters; these constants just keep call sites consistent.
 const (
-	RPCCalls           = "rpc.calls"
-	RPCBytesSent       = "rpc.bytes_sent"
-	RPCBytesReceived   = "rpc.bytes_received"
-	ShuffleBytes       = "shuffle.bytes"
-	ShuffleRecords     = "shuffle.records"
-	RowsScanned        = "hbase.rows_scanned"
-	RowsReturned       = "hbase.rows_returned"
-	CellsScanned       = "hbase.cells_scanned"
-	CellsReturned      = "hbase.cells_returned"
-	RegionsScanned     = "hbase.regions_scanned"
-	RegionsPruned      = "shc.regions_pruned"
-	FiltersPushed      = "shc.filters_pushed"
-	FiltersUnhandled   = "shc.filters_unhandled"
-	ConnectionsCreated = "conn.created"
-	ConnectionsReused  = "conn.reused"
-	TokensFetched      = "security.tokens_fetched"
-	TokensRenewed      = "security.tokens_renewed"
-	TokensCacheHits    = "security.token_cache_hits"
-	MemoryCharged      = "engine.memory_bytes"
-	MemoryHeld         = "engine.memory_held_bytes"
-	MemoryPeak         = "engine.memory_peak_bytes"
-	BatchesStreamed    = "exec.batches_streamed"
-	RowsShortCircuited = "exec.rows_short_circuited"
-	PagesPrefetched    = "hbase.pages_prefetched"
-	FusedPages         = "hbase.fused_pages"
-	TasksLaunched      = "engine.tasks"
-	TasksLocal         = "engine.tasks_local"
-	WALAppends         = "wal.appends"
-	MemstoreFlushes    = "hbase.memstore_flushes"
-	Compactions        = "hbase.compactions"
-	RegionSplits       = "hbase.region_splits"
+	RPCCalls            = "rpc.calls"
+	RPCBytesSent        = "rpc.bytes_sent"
+	RPCBytesReceived    = "rpc.bytes_received"
+	ShuffleBytes        = "shuffle.bytes"
+	ShuffleRecords      = "shuffle.records"
+	RowsScanned         = "hbase.rows_scanned"
+	RowsReturned        = "hbase.rows_returned"
+	CellsScanned        = "hbase.cells_scanned"
+	CellsReturned       = "hbase.cells_returned"
+	RegionsScanned      = "hbase.regions_scanned"
+	RegionsPruned       = "shc.regions_pruned"
+	FiltersPushed       = "shc.filters_pushed"
+	FiltersUnhandled    = "shc.filters_unhandled"
+	ConnectionsCreated  = "conn.created"
+	ConnectionsReused   = "conn.reused"
+	TokensFetched       = "security.tokens_fetched"
+	TokensRenewed       = "security.tokens_renewed"
+	TokensCacheHits     = "security.token_cache_hits"
+	MemoryCharged       = "engine.memory_bytes"
+	MemoryHeld          = "engine.memory_held_bytes"
+	MemoryPeak          = "engine.memory_peak_bytes"
+	BatchesStreamed     = "exec.batches_streamed"
+	RowsShortCircuited  = "exec.rows_short_circuited"
+	PagesPrefetched     = "hbase.pages_prefetched"
+	FusedPages          = "hbase.fused_pages"
+	TasksLaunched       = "engine.tasks"
+	TasksLocal          = "engine.tasks_local"
+	WALAppends          = "wal.appends"
+	MemstoreFlushes     = "hbase.memstore_flushes"
+	Compactions         = "hbase.compactions"
+	RegionSplits        = "hbase.region_splits"
+	RegionsReassigned   = "hbase.regions_reassigned"
+	Heartbeats          = "hbase.heartbeats"
+	ServersDeclaredDead = "hbase.servers_dead"
+	WALEntriesReplayed  = "wal.entries_replayed"
+	ClientRetries       = "client.retries"
+	TasksRetried        = "exec.tasks_retried"
+	FaultsInjected      = "rpc.faults_injected"
 )
 
 // Registry is a concurrency-safe set of named monotonic counters.

@@ -1,0 +1,164 @@
+package rpc
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/shc-go/shc/internal/metrics"
+)
+
+// MethodDial is the pseudo-method name fault rules use to match connection
+// establishment (Network.Dial) instead of a specific RPC method.
+const MethodDial = "@dial"
+
+// FaultRule scripts failures for the calls it matches. A rule with both
+// Host and Method empty matches every call; either field narrows the match.
+// Matching calls are counted in order, so the deterministic knobs
+// (SkipFirst, FailNext) script exact failure sequences: "let the first two
+// fused pages through, then fail the next one". FailProb adds seeded random
+// failures on top for soak-style chaos runs.
+type FaultRule struct {
+	// Host restricts the rule to one host; "" matches any.
+	Host string
+	// Method restricts the rule to one RPC method (MethodDial for dials);
+	// "" matches any.
+	Method string
+	// SkipFirst lets this many matching calls through untouched before the
+	// failure logic applies.
+	SkipFirst int
+	// FailNext fails this many matching calls (after SkipFirst)
+	// deterministically; 0 disables the deterministic window.
+	FailNext int
+	// FailProb independently fails each matching call (after SkipFirst and
+	// outside the FailNext window) with this probability, drawn from the
+	// injector's seeded RNG.
+	FailProb float64
+	// Err is the error injected; nil injects ErrHostDown. Use ErrConnClosed
+	// to simulate a killed connection rather than an unreachable host.
+	Err error
+	// ExtraLatency is added to every matching call, failed or not.
+	ExtraLatency time.Duration
+	// OnFire runs (outside the injector's lock) each time this rule injects
+	// a failure — the hook chaos tests use to crash a server at exactly the
+	// K-th matching call.
+	OnFire func()
+
+	seen  int // matching calls observed
+	fired int // failures injected
+}
+
+// FaultInjector evaluates an ordered rule list against every call on a
+// Network. All randomness comes from one seeded RNG, so a given rule set,
+// seed, and call sequence always produces the same failure schedule.
+type FaultInjector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []*FaultRule
+	meter *metrics.Registry
+}
+
+// NewFaultInjector builds an injector with the given seed and initial rules.
+func NewFaultInjector(seed int64, rules ...*FaultRule) *FaultInjector {
+	f := &FaultInjector{rng: rand.New(rand.NewSource(seed))}
+	f.rules = append(f.rules, rules...)
+	return f
+}
+
+// Add appends a rule.
+func (f *FaultInjector) Add(r *FaultRule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, r)
+}
+
+// Fired reports how many failures the injector has injected in total.
+func (f *FaultInjector) Fired() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, r := range f.rules {
+		n += r.fired
+	}
+	return n
+}
+
+// apply evaluates the rules for one call, sleeping any injected latency and
+// returning the injected error (nil = let the call through). OnFire hooks
+// run outside the lock so they can safely mutate the network (SetDown) or
+// drive recovery (master failover) without deadlocking.
+func (f *FaultInjector) apply(host, method string) error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	var extra time.Duration
+	var err error
+	var hooks []func()
+	for _, r := range f.rules {
+		if r.Host != "" && r.Host != host {
+			continue
+		}
+		if r.Method != "" && r.Method != method {
+			continue
+		}
+		r.seen++
+		extra += r.ExtraLatency
+		if err != nil {
+			continue // one injected failure per call is enough
+		}
+		after := r.seen - r.SkipFirst
+		if after < 1 {
+			continue
+		}
+		inject := r.FailNext > 0 && after <= r.FailNext
+		if !inject && r.FailProb > 0 && f.rng.Float64() < r.FailProb {
+			inject = true
+		}
+		if !inject {
+			continue
+		}
+		base := r.Err
+		if base == nil {
+			base = ErrHostDown
+		}
+		err = fmt.Errorf("%w: %q (injected)", base, host)
+		r.fired++
+		if r.OnFire != nil {
+			hooks = append(hooks, r.OnFire)
+		}
+	}
+	meter := f.meter
+	f.mu.Unlock()
+	if extra > 0 {
+		time.Sleep(extra)
+	}
+	if err != nil {
+		meter.Inc(metrics.FaultsInjected)
+		for _, h := range hooks {
+			h()
+		}
+	}
+	return err
+}
+
+// SetFaultInjector installs (or, with nil, removes) a fault injector on the
+// network. Injected failures compose with SetDown: a host marked down fails
+// before any rule is consulted.
+func (n *Network) SetFaultInjector(f *FaultInjector) {
+	if f != nil {
+		f.mu.Lock()
+		f.meter = n.meter
+		f.mu.Unlock()
+	}
+	n.mu.Lock()
+	n.faults = f
+	n.mu.Unlock()
+}
+
+func (n *Network) injector() *FaultInjector {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.faults
+}

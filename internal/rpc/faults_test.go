@@ -1,0 +1,146 @@
+package rpc
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/shc-go/shc/internal/metrics"
+)
+
+func callOK(t *testing.T, n *Network) error {
+	t.Helper()
+	conn, err := n.Dial("rs1")
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_, err = conn.Call("m", nil)
+	return err
+}
+
+func newFaultNet(t *testing.T) (*Network, *metrics.Registry) {
+	t.Helper()
+	n, m := newTestNet(t)
+	if err := n.Handle("rs1", "m", func(Message) (Message, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	return n, m
+}
+
+func TestFaultSkipFirstThenFailNext(t *testing.T) {
+	n, m := newFaultNet(t)
+	n.SetFaultInjector(NewFaultInjector(1, &FaultRule{
+		Host: "rs1", Method: "m", SkipFirst: 2, FailNext: 3,
+	}))
+	var schedule []bool
+	for i := 0; i < 8; i++ {
+		schedule = append(schedule, callOK(t, n) == nil)
+	}
+	want := []bool{true, true, false, false, false, true, true, true}
+	for i := range want {
+		if schedule[i] != want[i] {
+			t.Fatalf("call %d ok=%v, want %v (schedule %v)", i, schedule[i], want[i], schedule)
+		}
+	}
+	if got := m.Get(metrics.FaultsInjected); got != 3 {
+		t.Errorf("faults injected = %d, want 3", got)
+	}
+}
+
+func TestFaultInjectedErrorUnwraps(t *testing.T) {
+	n, _ := newFaultNet(t)
+	n.SetFaultInjector(NewFaultInjector(1,
+		&FaultRule{Method: "m", FailNext: 1},
+		&FaultRule{Method: "m", SkipFirst: 1, FailNext: 1, Err: ErrConnClosed},
+	))
+	if err := callOK(t, n); !errors.Is(err, ErrHostDown) {
+		t.Errorf("default injected error = %v, want ErrHostDown", err)
+	}
+	if err := callOK(t, n); !errors.Is(err, ErrConnClosed) {
+		t.Errorf("custom injected error = %v, want ErrConnClosed", err)
+	}
+	if err := callOK(t, n); err != nil {
+		t.Errorf("call after windows = %v", err)
+	}
+}
+
+func TestFaultProbDeterministicUnderSeed(t *testing.T) {
+	run := func(seed int64) []bool {
+		n, _ := newTestNet(t)
+		_ = n.Handle("rs1", "m", func(Message) (Message, error) { return nil, nil })
+		n.SetFaultInjector(NewFaultInjector(seed, &FaultRule{Method: "m", FailProb: 0.4}))
+		var out []bool
+		for i := 0; i < 50; i++ {
+			out = append(out, callOK(t, n) == nil)
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+		if !a[i] {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Errorf("FailProb 0.4 produced %d/%d failures", fails, len(a))
+	}
+}
+
+func TestFaultDialRule(t *testing.T) {
+	n, _ := newFaultNet(t)
+	n.SetFaultInjector(NewFaultInjector(1, &FaultRule{Host: "rs1", Method: MethodDial, FailNext: 1}))
+	if _, err := n.Dial("rs1"); !errors.Is(err, ErrHostDown) {
+		t.Errorf("first dial = %v, want injected ErrHostDown", err)
+	}
+	if err := callOK(t, n); err != nil {
+		t.Errorf("second dial/call = %v", err)
+	}
+}
+
+func TestFaultExtraLatency(t *testing.T) {
+	n, _ := newFaultNet(t)
+	n.SetFaultInjector(NewFaultInjector(1, &FaultRule{Method: "m", ExtraLatency: 5 * time.Millisecond}))
+	start := time.Now()
+	if err := callOK(t, n); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took < 5*time.Millisecond {
+		t.Errorf("call took %v, extra latency not applied", took)
+	}
+}
+
+func TestFaultOnFireHookMayMutateNetwork(t *testing.T) {
+	n, _ := newFaultNet(t)
+	inj := NewFaultInjector(1, &FaultRule{Host: "rs1", FailNext: 1, OnFire: func() {
+		// A deadlock here (hook under the injector lock) would hang the test.
+		_ = n.SetDown("rs1", true)
+	}})
+	n.SetFaultInjector(inj)
+	if err := callOK(t, n); err == nil {
+		t.Fatal("first call must fail")
+	}
+	// The hook marked the host down, which now fails before rules apply.
+	if err := callOK(t, n); !errors.Is(err, ErrHostDown) {
+		t.Errorf("call after hook = %v, want ErrHostDown", err)
+	}
+	if inj.Fired() != 1 {
+		t.Errorf("fired = %d, want 1 (SetDown failures are not injections)", inj.Fired())
+	}
+}
+
+func TestFaultInjectorRemoval(t *testing.T) {
+	n, _ := newFaultNet(t)
+	n.SetFaultInjector(NewFaultInjector(1, &FaultRule{FailNext: 100}))
+	if err := callOK(t, n); err == nil {
+		t.Fatal("injector must fail the call")
+	}
+	n.SetFaultInjector(nil)
+	if err := callOK(t, n); err != nil {
+		t.Errorf("call after removal = %v", err)
+	}
+}

@@ -60,8 +60,9 @@ type Network struct {
 	cfg   Config
 	meter *metrics.Registry
 
-	mu    sync.RWMutex
-	hosts map[string]*endpoint
+	mu     sync.RWMutex
+	hosts  map[string]*endpoint
+	faults *FaultInjector
 }
 
 type endpoint struct {
@@ -154,6 +155,9 @@ func (n *Network) Dial(host string) (*Conn, error) {
 	if down {
 		return nil, fmt.Errorf("%w: %q", ErrHostDown, host)
 	}
+	if err := n.injector().apply(host, MethodDial); err != nil {
+		return nil, err
+	}
 	if n.cfg.ConnLatency > 0 {
 		time.Sleep(n.cfg.ConnLatency)
 	}
@@ -200,6 +204,9 @@ func (n *Network) call(host, method string, req Message) (Message, error) {
 	}
 	if !hok {
 		return nil, fmt.Errorf("%w: %s on %q", ErrUnknownMethod, method, host)
+	}
+	if err := n.injector().apply(host, method); err != nil {
+		return nil, err
 	}
 
 	reqSize := 0
