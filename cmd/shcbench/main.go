@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|table2|ablation|streaming|chaos")
+	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|table2|ablation|streaming|chaos|overload")
 	scales := flag.String("scales", "1,2,3,4,5,6", "comma-separated scale factors (the 5..30 GB axis)")
 	servers := flag.Int("servers", 5, "region servers / executor hosts")
 	runs := flag.Int("runs", 1, "average each measurement over N runs")
@@ -60,9 +60,10 @@ func main() {
 	run("ablation", func() error { _, err := bench.Ablation(p); return err })
 	run("streaming", func() error { _, err := bench.StreamingComparison(p); return err })
 	run("chaos", func() error { _, err := bench.Chaos(p); return err })
+	run("overload", func() error { _, err := bench.Overload(p); return err })
 
 	switch *exp {
-	case "all", "table1", "fig4", "fig5", "fig6", "fig7", "table2", "ablation", "streaming", "chaos":
+	case "all", "table1", "fig4", "fig5", "fig6", "fig7", "table2", "ablation", "streaming", "chaos", "overload":
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}

@@ -58,7 +58,10 @@ func main() {
 	fmt.Printf("wrote %d rows into %q across pre-split regions\n", len(rows), cat.Table.Name)
 
 	// Read path (Code 3): df.filter($"col0" <= "row120").select("col0","col1").
-	sess := shc.NewSession(shc.SessionConfig{Hosts: cluster.Hosts(), Meter: cluster.Meter})
+	sess, err := shc.NewSession(shc.SessionConfig{Hosts: cluster.Hosts(), Meter: cluster.Meter})
+	if err != nil {
+		log.Fatal(err)
+	}
 	sess.Register(rel)
 	df, err := sess.Table("actives")
 	if err != nil {

@@ -48,10 +48,13 @@ func main() {
 		log.Fatal(err)
 	}
 	client := cluster.NewClient(shc.WithConnPool(shc.NewConnCache(cluster)))
-	sess := shc.NewSession(shc.SessionConfig{
+	sess, err := shc.NewSession(shc.SessionConfig{
 		Hosts: cluster.Hosts(), Meter: cluster.Meter,
 		UseSortMergeJoin: true, // Spark's default join strategy
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	load := func(catalog string, rows []shc.Row) {
 		cat, err := shc.ParseCatalog(catalog)

@@ -118,7 +118,10 @@ func main() {
 
 	// One session sees all three sources; tokens flow per cluster.
 	hosts := append(clusterA.Hosts(), clusterB.Hosts()...)
-	sess := shc.NewSession(shc.SessionConfig{Hosts: hosts, Meter: meter})
+	sess, err := shc.NewSession(shc.SessionConfig{Hosts: hosts, Meter: meter})
+	if err != nil {
+		log.Fatal(err)
+	}
 	sess.Register(relA)
 	sess.Register(relB)
 	sess.Register(profiles)

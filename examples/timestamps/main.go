@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -69,7 +70,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		sess := shc.NewSession(shc.SessionConfig{Hosts: cluster.Hosts(), Meter: cluster.Meter})
+		sess, err := shc.NewSession(shc.SessionConfig{Hosts: cluster.Hosts(), Meter: cluster.Meter})
+	if err != nil {
+		log.Fatal(err)
+	}
 		sess.Register(rel)
 		df, err := sess.SQL("SELECT id, temp, status FROM sensors WHERE id <= 'sensor-2' ORDER BY id")
 		if err != nil {
@@ -102,7 +106,7 @@ func main() {
 	}
 	versions := 0
 	for _, p := range parts {
-		rows, err := p.Compute()
+		rows, err := p.Compute(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}

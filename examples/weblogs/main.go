@@ -63,7 +63,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sess := shc.NewSession(shc.SessionConfig{Hosts: cluster.Hosts(), Meter: cluster.Meter})
+	sess, err := shc.NewSession(shc.SessionConfig{Hosts: cluster.Hosts(), Meter: cluster.Meter})
+	if err != nil {
+		log.Fatal(err)
+	}
 	sess.Register(rel)
 
 	run := func(title, query string) {

@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+
+	"github.com/shc-go/shc/internal/harness"
+	"github.com/shc-go/shc/internal/hbase"
+	"github.com/shc-go/shc/internal/metrics"
+	"github.com/shc-go/shc/internal/rpc"
+)
+
+// OverloadRow is one scenario of the tail-latency / overload experiment:
+// the same streaming query under a straggler or saturation schedule,
+// checked for result fidelity and annotated with the mitigation counters.
+type OverloadRow struct {
+	Scenario  string
+	QuerySec  float64
+	Rows      int
+	Identical bool // results byte-identical to the undisturbed run
+	Hedges    int64
+	HedgeWins int64
+	Shed      int64
+	QueuePeak int64
+	Retries   int64
+}
+
+// Overload measures the workload-management layer this reproduction adds on
+// top of the paper's fault tolerance: deadline-aware hedged reads against a
+// straggling region server, and admission control on a saturated one. Every
+// scenario reruns one multi-region streaming SELECT:
+//
+//   - undisturbed: the control run whose results define correctness;
+//   - straggler: one server stalls every other fused page 100ms; no
+//     mitigation, so the stalls serialize into the query time;
+//   - straggler+hedge: same stall schedule, but the client hedges reads
+//     after 2ms — the speculative duplicate lands on a fast slot and wins,
+//     collapsing tail latency;
+//   - saturated: every server bounded to one in-flight RPC (1ms service
+//     time) with a short queue, under concurrent queries; shed requests
+//     back off and resend, and every query still completes.
+//
+// The straggler schedule is deterministic (LatencyEvery), so the comparison
+// is reproducible run to run.
+func Overload(p Params) ([]OverloadRow, error) {
+	p = p.withDefaults()
+	scale := p.Scales[len(p.Scales)/2]
+	const q = "SELECT ss_item_sk, ss_quantity FROM store_sales WHERE ss_quantity > 10"
+	const stall = 100 * time.Millisecond
+
+	boot := func(cfg harness.Config) (*harness.Rig, error) {
+		cfg.System = harness.SHC
+		cfg.Servers = p.Servers
+		cfg.Scale = scale
+		cfg.ExecutorsPerHost = p.ExecutorsPerHost
+		cfg.RPC = p.RPC
+		return harness.NewRig(cfg)
+	}
+
+	control, err := boot(harness.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("bench: overload control: %w", err)
+	}
+	want, err := control.Run(q)
+	control.Close()
+	if err != nil {
+		return nil, fmt.Errorf("bench: overload control: %w", err)
+	}
+	rows := []OverloadRow{{
+		Scenario: "undisturbed", QuerySec: want.Elapsed.Seconds(),
+		Rows: len(want.Rows), Identical: true,
+	}}
+
+	// Straggler, with and without hedging: identical fault schedule, so the
+	// delta in query time is attributable to the hedged reads alone.
+	for _, hedged := range []bool{false, true} {
+		cfg := harness.Config{}
+		name := "straggler"
+		if hedged {
+			cfg.HedgeDelay = 2 * time.Millisecond
+			name = "straggler+hedge"
+		}
+		rig, err := boot(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: overload %s: %w", name, err)
+		}
+		victim := ""
+		if regions, err := rig.Client.Regions("store_sales"); err == nil && len(regions) > 0 {
+			victim = regions[0].Host
+		}
+		rig.Cluster.Net.SetFaultInjector(rpc.NewFaultInjector(p.Seed, &rpc.FaultRule{
+			Host: victim, Method: hbase.MethodFused, ExtraLatency: stall, LatencyEvery: 2,
+		}))
+		res, err := rig.Run(q)
+		rig.Close()
+		if err != nil {
+			return nil, fmt.Errorf("bench: overload %s: %w", name, err)
+		}
+		rows = append(rows, OverloadRow{
+			Scenario:  name,
+			QuerySec:  res.Elapsed.Seconds(),
+			Rows:      len(res.Rows),
+			Identical: reflect.DeepEqual(want.Rows, res.Rows),
+			Hedges:    res.Delta[metrics.RPCHedges],
+			HedgeWins: res.Delta[metrics.RPCHedgeWins],
+			Retries:   res.Delta[metrics.ClientRetries],
+		})
+	}
+
+	// Saturation: concurrent queries against admission-controlled servers.
+	rig, err := boot(harness.Config{
+		ServerLimits: hbase.ServerLimits{MaxInFlight: 1, MaxQueue: 2, ServiceTime: time.Millisecond},
+		Retry:        hbase.RetryPolicy{MaxAttempts: 15, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 50 * time.Millisecond},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: overload saturated: %w", err)
+	}
+	const concurrent = 4
+	results := make([]harness.Result, concurrent)
+	errs := make([]error, concurrent)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = rig.Run(q)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			rig.Close()
+			return nil, fmt.Errorf("bench: overload saturated query %d: %w", i, err)
+		}
+	}
+	identical := true
+	for i := range results {
+		identical = identical && reflect.DeepEqual(want.Rows, results[i].Rows)
+	}
+	rows = append(rows, OverloadRow{
+		Scenario:  fmt.Sprintf("saturated(x%d)", concurrent),
+		QuerySec:  elapsed.Seconds(),
+		Rows:      len(results[0].Rows),
+		Identical: identical,
+		Shed:      rig.Meter.Get(metrics.ServerShed),
+		QueuePeak: rig.Meter.Get(metrics.ServerQueuePeak),
+		Retries:   rig.Meter.Get(metrics.ClientRetries),
+	})
+	rig.Close()
+
+	fmt.Fprintf(p.Out, "\nOverload: stragglers and saturation under workload management (scale %d, seed %d)\n", scale, p.Seed)
+	fmt.Fprintf(p.Out, "%-16s %10s %8s %10s %7s %9s %6s %9s %8s\n",
+		"Scenario", "Query(s)", "Rows", "Identical", "Hedges", "HedgeWin", "Shed", "QueuePk", "CliRetry")
+	for _, r := range rows {
+		fmt.Fprintf(p.Out, "%-16s %10.4f %8d %10v %7d %9d %6d %9d %8d\n",
+			r.Scenario, r.QuerySec, r.Rows, r.Identical, r.Hedges, r.HedgeWins, r.Shed, r.QueuePeak, r.Retries)
+	}
+	return rows, nil
+}

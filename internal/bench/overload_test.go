@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"testing"
+)
+
+func TestOverloadShape(t *testing.T) {
+	rows, err := Overload(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 scenarios", len(rows))
+	}
+	byName := map[string]OverloadRow{}
+	for _, r := range rows {
+		byName[r.Scenario] = r
+		if !r.Identical {
+			t.Errorf("%s: results differ from the undisturbed run", r.Scenario)
+		}
+		if r.Rows != rows[0].Rows {
+			t.Errorf("%s: %d rows, want %d", r.Scenario, r.Rows, rows[0].Rows)
+		}
+	}
+	hedge := byName["straggler+hedge"]
+	if hedge.Hedges == 0 || hedge.HedgeWins == 0 {
+		t.Errorf("straggler+hedge fired %d hedges, %d wins; want both > 0", hedge.Hedges, hedge.HedgeWins)
+	}
+	// The whole point: hedging beats riding out the stalls.
+	if plain := byName["straggler"]; hedge.QuerySec >= plain.QuerySec {
+		t.Errorf("hedged straggler run (%.3fs) not faster than unhedged (%.3fs)", hedge.QuerySec, plain.QuerySec)
+	}
+}

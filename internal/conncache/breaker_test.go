@@ -1,0 +1,142 @@
+package conncache
+
+import (
+	"testing"
+	"time"
+
+	"github.com/shc-go/shc/internal/metrics"
+)
+
+// testClock is a manual clock for driving the breaker's cooldown.
+type testClock struct{ now time.Time }
+
+func (c *testClock) Now() time.Time          { return c.now }
+func (c *testClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *testClock, *metrics.Registry) {
+	clk := &testClock{now: time.Unix(1000, 0)}
+	m := metrics.NewRegistry()
+	b := NewBreaker(BreakerConfig{Threshold: threshold, Cooldown: cooldown, Now: clk.Now}, m)
+	return b, clk, m
+}
+
+func TestBreakerOpensAfterConsecutiveTransportFailures(t *testing.T) {
+	b, _, m := newTestBreaker(3, 50*time.Millisecond)
+	for i := 0; i < 2; i++ {
+		if !b.Allow("rs1") {
+			t.Fatalf("call %d rejected before threshold", i)
+		}
+		b.Record("rs1", true)
+	}
+	if got := b.State("rs1"); got != "closed" {
+		t.Fatalf("state after 2 failures = %s, want closed", got)
+	}
+	b.Record("rs1", true) // third consecutive failure trips it
+	if got := b.State("rs1"); got != "open" {
+		t.Fatalf("state after threshold = %s, want open", got)
+	}
+	if b.Allow("rs1") {
+		t.Fatal("open circuit must fail fast")
+	}
+	if got := m.Get(metrics.BreakerOpens); got != 1 {
+		t.Errorf("breaker.opens = %d, want 1", got)
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b, _, _ := newTestBreaker(3, 50*time.Millisecond)
+	b.Record("rs1", true)
+	b.Record("rs1", true)
+	b.Record("rs1", false) // success wipes the streak
+	b.Record("rs1", true)
+	b.Record("rs1", true)
+	if got := b.State("rs1"); got != "closed" {
+		t.Fatalf("state = %s; non-consecutive failures must not trip the circuit", got)
+	}
+}
+
+func TestBreakerIgnoresApplicationErrors(t *testing.T) {
+	b, _, _ := newTestBreaker(2, 50*time.Millisecond)
+	// Application-level outcomes (stale region, shed request) are reported as
+	// non-transport; they must never open the circuit.
+	for i := 0; i < 10; i++ {
+		b.Record("rs1", false)
+	}
+	if got := b.State("rs1"); got != "closed" {
+		t.Fatalf("state = %s after app errors, want closed", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeCloses(t *testing.T) {
+	b, clk, _ := newTestBreaker(2, 50*time.Millisecond)
+	b.Record("rs1", true)
+	b.Record("rs1", true)
+	if b.Allow("rs1") {
+		t.Fatal("circuit should be open")
+	}
+	clk.Advance(60 * time.Millisecond)
+	if !b.Allow("rs1") {
+		t.Fatal("cooldown elapsed: one probe must be admitted")
+	}
+	if got := b.State("rs1"); got != "half-open" {
+		t.Fatalf("state during probe = %s, want half-open", got)
+	}
+	// Concurrent callers are still rejected while the probe is in flight.
+	if b.Allow("rs1") {
+		t.Fatal("second caller admitted during half-open probe")
+	}
+	b.Record("rs1", false) // probe succeeded
+	if got := b.State("rs1"); got != "closed" {
+		t.Fatalf("state after successful probe = %s, want closed", got)
+	}
+	if !b.Allow("rs1") {
+		t.Fatal("closed circuit must admit calls")
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	b, clk, m := newTestBreaker(2, 50*time.Millisecond)
+	b.Record("rs1", true)
+	b.Record("rs1", true)
+	clk.Advance(60 * time.Millisecond)
+	if !b.Allow("rs1") {
+		t.Fatal("probe not admitted")
+	}
+	b.Record("rs1", true) // probe failed
+	if got := b.State("rs1"); got != "open" {
+		t.Fatalf("state after failed probe = %s, want open", got)
+	}
+	if b.Allow("rs1") {
+		t.Fatal("re-opened circuit must fail fast for another cooldown")
+	}
+	clk.Advance(60 * time.Millisecond)
+	if !b.Allow("rs1") {
+		t.Fatal("second cooldown elapsed: another probe must be admitted")
+	}
+	if got := m.Get(metrics.BreakerOpens); got != 2 {
+		t.Errorf("breaker.opens = %d, want 2 (initial trip + failed probe)", got)
+	}
+}
+
+func TestBreakerTracksHostsIndependently(t *testing.T) {
+	b, _, _ := newTestBreaker(2, 50*time.Millisecond)
+	b.Record("rs1", true)
+	b.Record("rs1", true)
+	if b.Allow("rs1") {
+		t.Fatal("rs1 should be open")
+	}
+	if !b.Allow("rs2") {
+		t.Fatal("rs2 must be unaffected by rs1's circuit")
+	}
+}
+
+func TestBreakerNilReceiverIsNoop(t *testing.T) {
+	var b *Breaker
+	if !b.Allow("rs1") {
+		t.Fatal("nil breaker must admit everything")
+	}
+	b.Record("rs1", true) // must not panic
+	if got := b.State("rs1"); got != "closed" {
+		t.Fatalf("nil breaker state = %s", got)
+	}
+}

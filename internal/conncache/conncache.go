@@ -7,6 +7,7 @@
 package conncache
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -77,8 +78,9 @@ func New(net *rpc.Network, cfg Config, meter *metrics.Registry) *Cache {
 
 // Acquire returns a pooled connection to host, dialing only on a miss. The
 // release function decrements the reference count; the connection stays
-// open for reuse until the housekeeper evicts it.
-func (c *Cache) Acquire(host string) (*rpc.Conn, func(), error) {
+// open for reuse until the housekeeper evicts it. ctx bounds only the dial
+// on a miss — a cache hit never blocks.
+func (c *Cache) Acquire(ctx context.Context, host string) (*rpc.Conn, func(), error) {
 	c.mu.Lock()
 	if e, ok := c.entries[host]; ok {
 		e.refs++
@@ -89,7 +91,7 @@ func (c *Cache) Acquire(host string) (*rpc.Conn, func(), error) {
 	c.mu.Unlock()
 
 	// Dial outside the lock; connection setup is the expensive part.
-	conn, err := c.net.Dial(host)
+	conn, err := c.net.DialContext(ctx, host)
 	if err != nil {
 		return nil, nil, err
 	}

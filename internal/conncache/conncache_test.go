@@ -1,6 +1,7 @@
 package conncache
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -34,7 +35,7 @@ func newTestCache(t *testing.T) (*Cache, *metrics.Registry, *fakeClock) {
 		if err := net.AddHost(h); err != nil {
 			t.Fatal(err)
 		}
-		if err := net.Handle(h, "ping", func(rpc.Message) (rpc.Message, error) { return rpc.Bytes("pong"), nil }); err != nil {
+		if err := net.Handle(h, "ping", func(context.Context, rpc.Message) (rpc.Message, error) { return rpc.Bytes("pong"), nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -45,11 +46,11 @@ func newTestCache(t *testing.T) (*Cache, *metrics.Registry, *fakeClock) {
 
 func TestAcquireReuses(t *testing.T) {
 	cache, m, _ := newTestCache(t)
-	conn1, rel1, err := cache.Acquire("rs1")
+	conn1, rel1, err := cache.Acquire(context.Background(), "rs1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	conn2, rel2, err := cache.Acquire("rs1")
+	conn2, rel2, err := cache.Acquire(context.Background(), "rs1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,8 +73,8 @@ func TestAcquireReuses(t *testing.T) {
 
 func TestDistinctHostsDistinctConns(t *testing.T) {
 	cache, m, _ := newTestCache(t)
-	_, rel1, _ := cache.Acquire("rs1")
-	_, rel2, _ := cache.Acquire("rs2")
+	_, rel1, _ := cache.Acquire(context.Background(), "rs1")
+	_, rel2, _ := cache.Acquire(context.Background(), "rs2")
 	rel1()
 	rel2()
 	if m.Get(metrics.ConnectionsCreated) != 2 {
@@ -86,14 +87,14 @@ func TestDistinctHostsDistinctConns(t *testing.T) {
 
 func TestAcquireUnknownHost(t *testing.T) {
 	cache, _, _ := newTestCache(t)
-	if _, _, err := cache.Acquire("ghost"); err == nil {
+	if _, _, err := cache.Acquire(context.Background(), "ghost"); err == nil {
 		t.Error("unknown host must fail")
 	}
 }
 
 func TestSweepEvictsIdleAfterDelay(t *testing.T) {
 	cache, _, clock := newTestCache(t)
-	conn, rel, _ := cache.Acquire("rs1")
+	conn, rel, _ := cache.Acquire(context.Background(), "rs1")
 	rel()
 	// Not yet idle long enough.
 	clock.Advance(5 * time.Minute)
@@ -114,7 +115,7 @@ func TestSweepEvictsIdleAfterDelay(t *testing.T) {
 
 func TestSweepSparesHeldConnections(t *testing.T) {
 	cache, _, clock := newTestCache(t)
-	_, rel, _ := cache.Acquire("rs1")
+	_, rel, _ := cache.Acquire(context.Background(), "rs1")
 	clock.Advance(time.Hour)
 	if n := cache.Sweep(); n != 0 {
 		t.Errorf("sweep evicted a held connection (%d)", n)
@@ -128,10 +129,10 @@ func TestSweepSparesHeldConnections(t *testing.T) {
 
 func TestReacquireResetsIdleness(t *testing.T) {
 	cache, _, clock := newTestCache(t)
-	_, rel, _ := cache.Acquire("rs1")
+	_, rel, _ := cache.Acquire(context.Background(), "rs1")
 	rel()
 	clock.Advance(9 * time.Minute)
-	_, rel2, _ := cache.Acquire("rs1") // back in use
+	_, rel2, _ := cache.Acquire(context.Background(), "rs1") // back in use
 	clock.Advance(9 * time.Minute)
 	if n := cache.Sweep(); n != 0 {
 		t.Error("in-use connection must survive sweep")
@@ -145,8 +146,8 @@ func TestReacquireResetsIdleness(t *testing.T) {
 
 func TestReleaseIdempotent(t *testing.T) {
 	cache, _, clock := newTestCache(t)
-	_, rel, _ := cache.Acquire("rs1")
-	_, rel2, _ := cache.Acquire("rs1")
+	_, rel, _ := cache.Acquire(context.Background(), "rs1")
+	_, rel2, _ := cache.Acquire(context.Background(), "rs1")
 	rel()
 	rel() // double release must not underflow the refcount
 	clock.Advance(time.Hour)
@@ -167,7 +168,7 @@ func TestConcurrentAcquire(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			conn, rel, err := cache.Acquire("rs1")
+			conn, rel, err := cache.Acquire(context.Background(), "rs1")
 			if err != nil {
 				t.Error(err)
 				return
@@ -191,7 +192,7 @@ func TestConcurrentAcquire(t *testing.T) {
 
 func TestCloseShutsEverything(t *testing.T) {
 	cache, _, _ := newTestCache(t)
-	conn, rel, _ := cache.Acquire("rs1")
+	conn, rel, _ := cache.Acquire(context.Background(), "rs1")
 	rel()
 	cache.StartHousekeeper()
 	cache.Close()
@@ -210,7 +211,7 @@ func TestCloseShutsEverything(t *testing.T) {
 
 func TestInvalidateEvictsAndClosesConnection(t *testing.T) {
 	cache, _, _ := newTestCache(t)
-	conn, rel, err := cache.Acquire("rs1")
+	conn, rel, err := cache.Acquire(context.Background(), "rs1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestInvalidateEvictsAndClosesConnection(t *testing.T) {
 		t.Error("invalidated connection must be closed")
 	}
 	// The next Acquire re-dials and works.
-	conn2, rel2, err := cache.Acquire("rs1")
+	conn2, rel2, err := cache.Acquire(context.Background(), "rs1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestInvalidateEvictsAndClosesConnection(t *testing.T) {
 func TestInvalidateOnDownHostStopsServingStaleConn(t *testing.T) {
 	cache, m, _ := newTestCache(t)
 	net := cache.net
-	conn, rel, err := cache.Acquire("rs1")
+	conn, rel, err := cache.Acquire(context.Background(), "rs1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +262,7 @@ func TestInvalidateOnDownHostStopsServingStaleConn(t *testing.T) {
 		t.Fatal(err)
 	}
 	reusedBefore := m.Get(metrics.ConnectionsReused)
-	conn2, rel2, err := cache.Acquire("rs1")
+	conn2, rel2, err := cache.Acquire(context.Background(), "rs1")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -145,12 +146,12 @@ func (p *baselinePartition) PreferredHost() string { return "" }
 
 // Compute implements datasource.Partition: full region scan, all columns,
 // then decode everything and project.
-func (p *baselinePartition) Compute() ([]plan.Row, error) {
+func (p *baselinePartition) Compute(ctx context.Context) ([]plan.Row, error) {
 	scan := &hbase.Scan{
 		MaxVersions: p.rel.opts.maxVersions(),
 		TimeRange:   p.rel.opts.timeRange(),
 	}
-	results, err := p.rel.client.ScanRegion(p.region, scan)
+	results, err := p.rel.client.ScanRegionContext(ctx, p.region, scan)
 	if err != nil {
 		return nil, err
 	}

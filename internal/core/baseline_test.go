@@ -126,11 +126,11 @@ func TestSHCAndBaselineAgreeThroughEngine(t *testing.T) {
 	shcRig := newRig(t, Options{}, n)
 	baseRel, baseMeter := newBaselineRig(t, n)
 
-	shcSess := engine.NewSession(engine.Config{
+	shcSess, _ := engine.NewSession(engine.Config{
 		Hosts: shcRig.cluster.Hosts(), ExecutorsPerHost: 2, Meter: shcRig.meter,
 	})
 	shcSess.RegisterAs("users", shcRig.rel)
-	baseSess := engine.NewSession(engine.Config{
+	baseSess, _ := engine.NewSession(engine.Config{
 		Hosts: []string{"w1", "w2", "w3"}, ExecutorsPerHost: 2, Meter: baseMeter,
 	})
 	baseSess.RegisterAs("users", baseRel)

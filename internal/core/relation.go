@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -578,12 +579,12 @@ func (p *hbasePartition) PreferredHost() string { return p.host }
 // Compute implements datasource.Partition: fetch and decode this
 // partition's rows in a fused RPC, failing over to reassigned region
 // servers if the host dies mid-query.
-func (p *hbasePartition) Compute() ([]plan.Row, error) {
+func (p *hbasePartition) Compute(ctx context.Context) ([]plan.Row, error) {
 	pager := newFusedPager(p, p.ops, 0)
 	var rows []plan.Row
 	var keyScratch []any
 	for {
-		resp, err := pager.next()
+		resp, err := pager.next(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -620,29 +621,51 @@ func newFusedPager(p *hbasePartition, ops []hbase.ScanOp, batch int) *fusedPager
 	return &fusedPager{p: p, ops: ops, host: p.host, prefix: len(ops), batch: batch}
 }
 
+// wrapErr annotates a terminal paging error with where the fused stream
+// stood — table, the region the cursor was walking, and the resume row — so
+// a failure inside a multi-region fused scan reports its position.
+func (g *fusedPager) wrapErr(err error) error {
+	region := "?"
+	if g.cursor.Op >= 0 && g.cursor.Op < g.prefix && g.cursor.Op < len(g.ops) {
+		region = g.ops[g.cursor.Op].RegionID
+	}
+	return fmt.Errorf("core: fused scan table=%q region=%s after-row=%x: %w",
+		g.p.rel.cat.Table.Name, region, g.cursor.Row, err)
+}
+
 // next returns the next page, or (nil, nil) once every op has streamed.
-func (g *fusedPager) next() (*hbase.ScanResponse, error) {
+func (g *fusedPager) next(ctx context.Context) (*hbase.ScanResponse, error) {
 	client := g.p.rel.client
 	for !g.done {
-		resp, err := client.FusedExecPage(g.host, g.ops[:g.prefix], g.batch, g.cursor)
+		resp, err := client.FusedExecPageContext(ctx, g.host, g.ops[:g.prefix], g.batch, g.cursor)
 		if err != nil {
 			if !hbase.IsRetryable(err) {
-				return nil, err
+				return nil, g.wrapErr(err)
 			}
 			g.failures++
 			if g.failures >= client.RetryPolicy().MaxAttempts {
-				return nil, err
+				return nil, g.wrapErr(err)
 			}
 			g.p.rel.meter.Inc(metrics.ClientRetries)
+			if errors.Is(err, hbase.ErrServerBusy) {
+				// The server shed us under load: locations are still right,
+				// so keep the op layout and just back off before resending.
+				if perr := client.RetryPause(ctx, g.failures); perr != nil {
+					return nil, g.wrapErr(perr)
+				}
+				continue
+			}
 			// Ops before cursor.Op have fully streamed; the cursor's own op
 			// resumes mid-scan via Row/RowIdx/Sent, which survive the rebase
 			// because the server walks ops from Cursor.Op.
 			g.ops = g.ops[g.cursor.Op:]
 			g.cursor.Op = 0
 			client.InvalidateRegions(g.p.rel.cat.Table.Name)
-			client.RetryPause(g.failures)
-			if rerr := g.replace(); rerr != nil {
-				return nil, rerr
+			if perr := client.RetryPause(ctx, g.failures); perr != nil {
+				return nil, g.wrapErr(perr)
+			}
+			if rerr := g.replace(ctx); rerr != nil {
+				return nil, g.wrapErr(rerr)
 			}
 			continue
 		}
@@ -657,8 +680,8 @@ func (g *fusedPager) next() (*hbase.ScanResponse, error) {
 		g.cursor = hbase.FusedCursor{}
 		if len(g.ops) == 0 {
 			g.done = true
-		} else if rerr := g.replace(); rerr != nil {
-			return nil, rerr
+		} else if rerr := g.replace(ctx); rerr != nil {
+			return nil, g.wrapErr(rerr)
 		}
 		return resp, nil
 	}
@@ -669,8 +692,8 @@ func (g *fusedPager) next() (*hbase.ScanResponse, error) {
 // to the leading contiguous run served by one host. Op order is preserved,
 // so the rows stream in exactly the order the unbroken fused RPC would have
 // produced them.
-func (g *fusedPager) replace() error {
-	regions, err := g.p.rel.client.Regions(g.p.rel.cat.Table.Name)
+func (g *fusedPager) replace(ctx context.Context) error {
+	regions, err := g.p.rel.client.RegionsContext(ctx, g.p.rel.cat.Table.Name)
 	if err != nil {
 		return err
 	}
@@ -700,7 +723,7 @@ const defaultFusedBatch = 256
 // flight (double buffering), so decode and network time overlap. A LimitHint
 // shrinks each op's server-side Scan.Limit and stops paging once enough rows
 // streamed — the fused-LIMIT short circuit.
-func (p *hbasePartition) ComputeBatches(opts datasource.BatchOptions, yield func([]plan.Row) error) error {
+func (p *hbasePartition) ComputeBatches(ctx context.Context, opts datasource.BatchOptions, yield func([]plan.Row) error) error {
 	batchSize := opts.BatchSize
 	if batchSize <= 0 {
 		batchSize = defaultFusedBatch
@@ -728,7 +751,7 @@ func (p *hbasePartition) ComputeBatches(opts datasource.BatchOptions, yield func
 	fetch := func() chan fusedPage {
 		ch := make(chan fusedPage, 1)
 		go func() {
-			resp, err := pager.next()
+			resp, err := pager.next(ctx)
 			ch <- fusedPage{resp: resp, err: err}
 		}()
 		return ch

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"testing"
@@ -73,7 +74,7 @@ func scanAll(t *testing.T, parts []datasource.Partition) []plan.Row {
 	t.Helper()
 	var out []plan.Row
 	for _, p := range parts {
-		rows, err := p.Compute()
+		rows, err := p.Compute(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -10,6 +10,7 @@
 package datasource
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -184,8 +185,10 @@ type Partition interface {
 	// will do.
 	PreferredHost() string
 	// Compute materializes the partition's rows in the scan's projected
-	// column order.
-	Compute() ([]plan.Row, error)
+	// column order. ctx bounds the read: sources abandon RPCs, retries, and
+	// backoff sleeps as soon as it is done, so a cancelled query releases
+	// its executor slots promptly.
+	Compute(ctx context.Context) ([]plan.Row, error)
 }
 
 // ErrStopBatches is the sentinel a ComputeBatches yield callback returns to
@@ -213,18 +216,18 @@ type BatchOptions struct {
 // backing array); the rows it holds stay valid, so consumers keep rows by
 // copying them out of the slice, never by retaining the slice itself.
 type BatchScan interface {
-	ComputeBatches(opts BatchOptions, yield func([]plan.Row) error) error
+	ComputeBatches(ctx context.Context, opts BatchOptions, yield func([]plan.Row) error) error
 }
 
 // StreamPartition streams p's rows through yield, using the BatchScan fast
 // path when the partition implements it and falling back to a single
 // materialized batch otherwise — the compatibility shim that lets the
 // pipelined executor run over any Partition.
-func StreamPartition(p Partition, opts BatchOptions, yield func([]plan.Row) error) error {
+func StreamPartition(ctx context.Context, p Partition, opts BatchOptions, yield func([]plan.Row) error) error {
 	if bs, ok := p.(BatchScan); ok {
-		return bs.ComputeBatches(opts, yield)
+		return bs.ComputeBatches(ctx, opts, yield)
 	}
-	rows, err := p.Compute()
+	rows, err := p.Compute(ctx)
 	if err != nil {
 		return err
 	}

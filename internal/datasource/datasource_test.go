@@ -1,6 +1,7 @@
 package datasource
 
 import (
+	"context"
 	"testing"
 
 	"github.com/shc-go/shc/internal/plan"
@@ -117,7 +118,7 @@ func TestMemRelationScanProjectionAndFilter(t *testing.T) {
 	}
 	var got []string
 	for _, p := range parts {
-		rs, err := p.Compute()
+		rs, err := p.Compute(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -159,7 +160,7 @@ func TestMemRelationEmptyScan(t *testing.T) {
 	if len(parts) != 1 {
 		t.Errorf("empty relation partitions = %d", len(parts))
 	}
-	rows, err := parts[0].Compute()
+	rows, err := parts[0].Compute(context.Background())
 	if err != nil || len(rows) != 0 {
 		t.Errorf("empty scan = %v, %v", rows, err)
 	}

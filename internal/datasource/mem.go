@@ -1,6 +1,7 @@
 package datasource
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -118,9 +119,9 @@ func (p *memPartition) Index() int { return p.index }
 func (p *memPartition) PreferredHost() string { return "" }
 
 // Compute implements Partition.
-func (p *memPartition) Compute() ([]plan.Row, error) {
+func (p *memPartition) Compute(ctx context.Context) ([]plan.Row, error) {
 	var out []plan.Row
-	err := p.ComputeBatches(BatchOptions{}, func(batch []plan.Row) error {
+	err := p.ComputeBatches(ctx, BatchOptions{}, func(batch []plan.Row) error {
 		out = append(out, batch...)
 		return nil
 	})
@@ -133,7 +134,10 @@ func (p *memPartition) Compute() ([]plan.Row, error) {
 // ComputeBatches implements BatchScan: filter and project row-at-a-time,
 // yielding bounded batches, so the engine's pipeline never holds more than
 // one batch of this partition at once.
-func (p *memPartition) ComputeBatches(opts BatchOptions, yield func([]plan.Row) error) error {
+func (p *memPartition) ComputeBatches(ctx context.Context, opts BatchOptions, yield func([]plan.Row) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	batchSize := opts.BatchSize
 	if batchSize <= 0 {
 		batchSize = 256

@@ -1,11 +1,14 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
 	"github.com/shc-go/shc/internal/datasource"
 	"github.com/shc-go/shc/internal/exec"
+	"github.com/shc-go/shc/internal/metrics"
 	"github.com/shc-go/shc/internal/plan"
 )
 
@@ -119,21 +122,51 @@ func (df *DataFrame) CreateOrReplaceTempView(name string) {
 
 // Collect optimizes, compiles, and executes the plan, returning all rows.
 func (df *DataFrame) Collect() ([]plan.Row, error) {
+	return df.CollectContext(context.Background())
+}
+
+// CollectContext is Collect bounded by ctx: cancelling ctx (or exceeding its
+// deadline, or the session's QueryTimeout) aborts the query — queued tasks
+// drop, in-flight RPCs and backoff sleeps stop early — and the context's
+// error comes back. Cancelled or timed-out queries count in
+// queries.cancelled.
+func (df *DataFrame) CollectContext(ctx context.Context) ([]plan.Row, error) {
 	phys, err := df.compile()
 	if err != nil {
 		return nil, err
 	}
-	return phys.Execute(df.sess.context())
+	return df.runPhysical(ctx, phys)
+}
+
+// runPhysical executes a compiled plan under ctx plus the session's
+// QueryTimeout, tallying cancellations.
+func (df *DataFrame) runPhysical(ctx context.Context, phys exec.PhysicalPlan) ([]plan.Row, error) {
+	sess := df.sess
+	if sess.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, sess.cfg.QueryTimeout)
+		defer cancel()
+	}
+	rows, err := phys.Execute(sess.execContext(ctx))
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		sess.meter.Inc(metrics.QueriesCancelled)
+	}
+	return rows, err
 }
 
 // Count executes the plan and returns the number of rows.
 func (df *DataFrame) Count() (int64, error) {
+	return df.CountContext(context.Background())
+}
+
+// CountContext is Count bounded by ctx (see CollectContext).
+func (df *DataFrame) CountContext(ctx context.Context) (int64, error) {
 	agg := &plan.AggregateNode{Aggs: []plan.AggExpr{{Kind: plan.AggCount, Name: "count"}}, Child: df.lp}
 	phys, err := exec.CompileWith(plan.Optimize(agg), df.sess.compileConfig())
 	if err != nil {
 		return 0, err
 	}
-	rows, err := phys.Execute(df.sess.context())
+	rows, err := df.runPhysical(ctx, phys)
 	if err != nil {
 		return 0, err
 	}

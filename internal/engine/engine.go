@@ -6,8 +6,10 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/shc-go/shc/internal/exec"
 	"github.com/shc-go/shc/internal/metrics"
@@ -19,12 +21,15 @@ import (
 type Config struct {
 	// Hosts are the executor hosts; default is one local host.
 	Hosts []string
-	// ExecutorsPerHost is per-host task parallelism; default 2.
+	// ExecutorsPerHost is per-host task parallelism; default 2. Negative is
+	// rejected by NewSession.
 	ExecutorsPerHost int
 	// ShufflePartitions overrides reduce-side parallelism; 0 = auto.
+	// Negative is rejected by NewSession.
 	ShufflePartitions int
 	// BroadcastThreshold enables broadcast joins when the build side has
-	// at most this many rows; 0 disables them.
+	// at most this many rows; 0 disables them. Negative is rejected by
+	// NewSession.
 	BroadcastThreshold int
 	// UseSortMergeJoin compiles equi-joins to sort-merge instead of hash
 	// joins (Spark's default strategy for large inputs).
@@ -36,8 +41,54 @@ type Config struct {
 	// TaskRetries is the per-task attempt cap for transport failures
 	// (default 3); set negative to disable re-execution.
 	TaskRetries int
+	// QueryTimeout bounds each action (Collect/Count/Write/Show) when the
+	// caller does not pass its own context deadline: the query's context is
+	// derived with this timeout and a query that exceeds it fails with
+	// context.DeadlineExceeded. 0 means no per-query deadline. Negative is
+	// rejected by NewSession.
+	QueryTimeout time.Duration
+	// HedgeDelay is advisory for integrators wiring hedged reads into the
+	// storage client backing this session's relations (see
+	// hbase.WithHedgedReads): how long a read may go unanswered before a
+	// speculative duplicate fires. The engine itself only validates it;
+	// negative values are clamped to 0 (disabled).
+	HedgeDelay time.Duration
 	// Meter receives execution counters; a fresh registry when nil.
 	Meter *metrics.Registry
+}
+
+// Validate normalizes cfg in place (defaults, clamps) and reports
+// out-of-range settings. NewSession calls it; it is exported so harnesses
+// can surface configuration errors before building a cluster.
+func (cfg *Config) Validate() error {
+	if cfg.ExecutorsPerHost < 0 {
+		return fmt.Errorf("engine: ExecutorsPerHost must not be negative, got %d", cfg.ExecutorsPerHost)
+	}
+	if cfg.ShufflePartitions < 0 {
+		return fmt.Errorf("engine: ShufflePartitions must not be negative, got %d", cfg.ShufflePartitions)
+	}
+	if cfg.BroadcastThreshold < 0 {
+		return fmt.Errorf("engine: BroadcastThreshold must not be negative, got %d", cfg.BroadcastThreshold)
+	}
+	if cfg.QueryTimeout < 0 {
+		return fmt.Errorf("engine: QueryTimeout must not be negative, got %v", cfg.QueryTimeout)
+	}
+	if cfg.HedgeDelay < 0 {
+		cfg.HedgeDelay = 0
+	}
+	if len(cfg.Hosts) == 0 {
+		cfg.Hosts = []string{"local"}
+	}
+	if cfg.ExecutorsPerHost == 0 {
+		cfg.ExecutorsPerHost = 2
+	}
+	if cfg.Meter == nil {
+		cfg.Meter = metrics.NewRegistry()
+	}
+	if cfg.TaskRetries == 0 {
+		cfg.TaskRetries = 3
+	}
+	return nil
 }
 
 // Session is the engine entry point (the SparkSession/sqlContext analogue).
@@ -51,19 +102,10 @@ type Session struct {
 	views  map[string]plan.LogicalPlan
 }
 
-// NewSession builds a session.
-func NewSession(cfg Config) *Session {
-	if len(cfg.Hosts) == 0 {
-		cfg.Hosts = []string{"local"}
-	}
-	if cfg.ExecutorsPerHost <= 0 {
-		cfg.ExecutorsPerHost = 2
-	}
-	if cfg.Meter == nil {
-		cfg.Meter = metrics.NewRegistry()
-	}
-	if cfg.TaskRetries == 0 {
-		cfg.TaskRetries = 3
+// NewSession builds a session, validating the configuration first.
+func NewSession(cfg Config) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	sched := exec.NewScheduler(cfg.Hosts, cfg.ExecutorsPerHost, cfg.Meter)
 	if cfg.TaskRetries > 0 {
@@ -75,8 +117,12 @@ func NewSession(cfg Config) *Session {
 		cfg:    cfg,
 		tables: make(map[string]plan.Relation),
 		views:  make(map[string]plan.LogicalPlan),
-	}
+	}, nil
 }
+
+// Config returns the session's effective (validated, defaulted)
+// configuration.
+func (s *Session) Config() Config { return s.cfg }
 
 // Meter exposes the session's counters.
 func (s *Session) Meter() *metrics.Registry { return s.meter }
@@ -138,9 +184,10 @@ func (s *Session) compileConfig() exec.CompileConfig {
 	}
 }
 
-// context builds the execution context for one query run.
-func (s *Session) context() *exec.Context {
+// execContext builds the execution context for one query run under ctx.
+func (s *Session) execContext(ctx context.Context) *exec.Context {
 	return &exec.Context{
+		Ctx:                ctx,
 		Scheduler:          s.sched,
 		Meter:              s.meter,
 		ShufflePartitions:  s.cfg.ShufflePartitions,

@@ -128,7 +128,7 @@ func TestBroadcastJoinMatchesShuffleJoin(t *testing.T) {
 // custom config.
 func joinSessionWith(t *testing.T, cfg Config) *Session {
 	t.Helper()
-	s := NewSession(cfg)
+	s, _ := NewSession(cfg)
 	old := joinSession(t)
 	for _, name := range []string{"users", "orders"} {
 		lp, err := old.resolve(name)

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -277,10 +278,10 @@ func TestSchedulerLocality(t *testing.T) {
 	s := NewScheduler([]string{"h1", "h2"}, 2, m)
 	ran := make([]bool, 4)
 	tasks := []Task{
-		{PreferredHost: "h1", Run: func() error { ran[0] = true; return nil }},
-		{PreferredHost: "h2", Run: func() error { ran[1] = true; return nil }},
-		{PreferredHost: "elsewhere", Run: func() error { ran[2] = true; return nil }},
-		{Run: func() error { ran[3] = true; return nil }},
+		{PreferredHost: "h1", Run: func(context.Context) error { ran[0] = true; return nil }},
+		{PreferredHost: "h2", Run: func(context.Context) error { ran[1] = true; return nil }},
+		{PreferredHost: "elsewhere", Run: func(context.Context) error { ran[2] = true; return nil }},
+		{Run: func(context.Context) error { ran[3] = true; return nil }},
 	}
 	if err := s.Run(tasks); err != nil {
 		t.Fatal(err)
@@ -302,8 +303,8 @@ func TestSchedulerErrorPropagation(t *testing.T) {
 	m := metrics.NewRegistry()
 	s := NewScheduler([]string{"h1"}, 1, m)
 	err := s.Run([]Task{
-		{Run: func() error { return nil }},
-		{Run: func() error { return fmt.Errorf("task boom") }},
+		{Run: func(context.Context) error { return nil }},
+		{Run: func(context.Context) error { return fmt.Errorf("task boom") }},
 	})
 	if err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Errorf("err = %v", err)

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -14,6 +15,10 @@ import (
 
 // Context carries execution-wide machinery.
 type Context struct {
+	// Ctx bounds the whole query: every task, RPC, retry backoff, and
+	// latency sleep under this execution derives from it. nil means no
+	// deadline (context.Background()).
+	Ctx       context.Context
 	Scheduler *Scheduler
 	Meter     *metrics.Registry
 	// ShufflePartitions is the reduce-side parallelism for joins and
@@ -23,6 +28,14 @@ type Context struct {
 	// (build) side has at most this many rows — neither side shuffles.
 	// 0 disables broadcasting.
 	BroadcastThreshold int
+}
+
+// ctx returns the query context, defaulting to context.Background().
+func (c *Context) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 func (c *Context) shufflePartitions() int {
@@ -81,8 +94,8 @@ func (s *ScanExec) Execute(ctx *Context) ([]plan.Row, error) {
 		i, p := i, p
 		tasks[i] = Task{
 			PreferredHost: p.PreferredHost(),
-			Run: func() error {
-				rows, err := p.Compute()
+			Run: func(tctx context.Context) error {
+				rows, err := p.Compute(tctx)
 				if err != nil {
 					return err
 				}
@@ -100,7 +113,7 @@ func (s *ScanExec) Execute(ctx *Context) ([]plan.Row, error) {
 			},
 		}
 	}
-	if err := ctx.Scheduler.Run(tasks); err != nil {
+	if err := ctx.Scheduler.RunContext(ctx.ctx(), tasks); err != nil {
 		return nil, err
 	}
 	var out []plan.Row
@@ -290,7 +303,7 @@ func (j *HashJoinExec) joinMaterialized(ctx *Context, left, right []plan.Row, lK
 	tasks := make([]Task, 0, n)
 	for b := 0; b < n; b++ {
 		b := b
-		tasks = append(tasks, Task{Run: func() error {
+		tasks = append(tasks, Task{Run: func(_ context.Context) error {
 			// Build on the right so left-outer can track unmatched left
 			// rows while streaming the (usually larger) left side.
 			build := make(map[string][]plan.Row)
@@ -330,7 +343,7 @@ func (j *HashJoinExec) joinMaterialized(ctx *Context, left, right []plan.Row, lK
 			return nil
 		}})
 	}
-	if err := ctx.Scheduler.Run(tasks); err != nil {
+	if err := ctx.Scheduler.RunContext(ctx.ctx(), tasks); err != nil {
 		return nil, err
 	}
 	var out []plan.Row
@@ -366,7 +379,7 @@ func (j *HashJoinExec) broadcast(ctx *Context, left, right []plan.Row, lKey, rKe
 		idx := len(results)
 		results = append(results, nil)
 		part := left[lo:hi]
-		tasks = append(tasks, Task{Run: func() error {
+		tasks = append(tasks, Task{Run: func(_ context.Context) error {
 			var out []plan.Row
 			for _, l := range part {
 				var matches []plan.Row
@@ -392,7 +405,7 @@ func (j *HashJoinExec) broadcast(ctx *Context, left, right []plan.Row, lKey, rKe
 			return nil
 		}})
 	}
-	if err := ctx.Scheduler.Run(tasks); err != nil {
+	if err := ctx.Scheduler.RunContext(ctx.ctx(), tasks); err != nil {
 		return nil, err
 	}
 	var out []plan.Row
@@ -752,7 +765,7 @@ func (a *HashAggExec) Execute(ctx *Context) ([]plan.Row, error) {
 	tasks := make([]Task, 0, n)
 	for b := 0; b < n; b++ {
 		b := b
-		tasks = append(tasks, Task{Run: func() error {
+		tasks = append(tasks, Task{Run: func(_ context.Context) error {
 			var out []plan.Row
 			for _, acc := range buckets[b] {
 				row := make(plan.Row, 0, len(a.GroupBy)+len(a.Aggs))
@@ -766,7 +779,7 @@ func (a *HashAggExec) Execute(ctx *Context) ([]plan.Row, error) {
 			return nil
 		}})
 	}
-	if err := ctx.Scheduler.Run(tasks); err != nil {
+	if err := ctx.Scheduler.RunContext(ctx.ctx(), tasks); err != nil {
 		return nil, err
 	}
 	var out []plan.Row

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -124,14 +125,14 @@ func (p *PipelineExec) Execute(ctx *Context) ([]plan.Row, error) {
 		i, part := i, part
 		tasks[i] = Task{
 			PreferredHost: part.PreferredHost(),
-			Run: func() error {
+			Run: func(tctx context.Context) error {
 				if tracker != nil && tracker.satisfied() {
 					// Earlier partitions already hold the first Limit rows;
 					// this partition's output cannot survive the truncate.
 					tracker.complete(i, 0)
 					return nil
 				}
-				out, kept, err := p.runPartition(ctx, part, tracker)
+				out, kept, err := p.runPartition(tctx, ctx, part, tracker)
 				if err != nil {
 					return err
 				}
@@ -143,7 +144,7 @@ func (p *PipelineExec) Execute(ctx *Context) ([]plan.Row, error) {
 			},
 		}
 	}
-	if err := ctx.Scheduler.Run(tasks); err != nil {
+	if err := ctx.Scheduler.RunContext(ctx.ctx(), tasks); err != nil {
 		return nil, err
 	}
 	var out []plan.Row
@@ -157,7 +158,7 @@ func (p *PipelineExec) Execute(ctx *Context) ([]plan.Row, error) {
 }
 
 // runPartition streams one partition through the fused operators.
-func (p *PipelineExec) runPartition(ctx *Context, part datasource.Partition, tracker *limitTracker) ([]plan.Row, int, error) {
+func (p *PipelineExec) runPartition(tctx context.Context, ctx *Context, part datasource.Partition, tracker *limitTracker) ([]plan.Row, int, error) {
 	opts := datasource.BatchOptions{BatchSize: p.BatchSize}
 	// The limit only pushes into the source when the source evaluates every
 	// remaining predicate itself; a residual filter means the first N
@@ -167,7 +168,7 @@ func (p *PipelineExec) runPartition(ctx *Context, part datasource.Partition, tra
 	}
 	var out []plan.Row
 	kept := 0
-	err := datasource.StreamPartition(part, opts, func(batch []plan.Row) error {
+	err := datasource.StreamPartition(tctx, part, opts, func(batch []plan.Row) error {
 		ctx.Meter.Inc(metrics.BatchesStreamed)
 		var batchBytes int64
 		for _, r := range batch {

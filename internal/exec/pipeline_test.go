@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -230,7 +231,7 @@ func TestSchedulerSpawnsAtMostQueueWorkers(t *testing.T) {
 	m := metrics.NewRegistry()
 	s := NewScheduler([]string{"h1"}, 64, m)
 	ran := 0
-	if err := s.Run([]Task{{Run: func() error { ran++; return nil }}}); err != nil {
+	if err := s.Run([]Task{{Run: func(context.Context) error { ran++; return nil }}}); err != nil {
 		t.Fatal(err)
 	}
 	if ran != 1 {

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -148,7 +149,7 @@ func scanParts(t *testing.T, parts []datasource.Partition) []plan.Row {
 	t.Helper()
 	var out []plan.Row
 	for _, p := range parts {
-		rows, err := p.Compute()
+		rows, err := p.Compute(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

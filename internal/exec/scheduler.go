@@ -7,6 +7,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -19,15 +20,22 @@ import (
 type Task struct {
 	// PreferredHost names where the task's data lives; "" means anywhere.
 	PreferredHost string
-	// Run does the work.
-	Run func() error
+	// Run does the work. The context is cancelled when the run aborts —
+	// the caller gave up or another task failed permanently — so tasks
+	// should pass it down to their RPCs and stop early when it is done.
+	Run func(ctx context.Context) error
 }
 
 // RetryableTransport classifies the transport-level failures worth
 // re-executing a task for: the host it talked to died or dropped the
 // connection. Anything else (bad plans, decode errors, server-side logic
-// errors) is deterministic and would fail identically elsewhere.
+// errors) is deterministic and would fail identically elsewhere. Context
+// errors are never retryable — a cancelled or timed-out task would only be
+// cancelled again.
 func RetryableTransport(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
 	return errors.Is(err, rpc.ErrHostDown) || errors.Is(err, rpc.ErrConnClosed) || errors.Is(err, rpc.ErrUnknownHost)
 }
 
@@ -91,9 +99,11 @@ type runTask struct {
 
 // runState coordinates one Run call: per-host queues fed to workers, a
 // remaining-task count, and the abort flag that stops dispatch after a
-// permanent failure.
+// permanent failure or caller cancellation.
 type runState struct {
-	s *Scheduler
+	s      *Scheduler
+	ctx    context.Context    // the run's derived context, handed to tasks
+	cancel context.CancelFunc // cancels in-flight tasks when the run aborts
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -104,20 +114,32 @@ type runState struct {
 	done      bool
 }
 
-// Run executes all tasks, placing each on its preferred host when that
-// host has executors and falling back to round-robin otherwise. A task
-// failing with a retryable transport error is re-executed on a different
-// host (up to the configured attempt cap). On a permanent failure the
-// scheduler stops dispatching queued tasks — in-flight ones finish — and
-// returns every permanent error joined.
+// Run executes all tasks with no caller deadline.
 func (s *Scheduler) Run(tasks []Task) error {
+	return s.RunContext(context.Background(), tasks)
+}
+
+// RunContext executes all tasks, placing each on its preferred host when
+// that host has executors and falling back to round-robin otherwise. A task
+// failing with a retryable transport error is re-executed on a different
+// host (up to the configured attempt cap).
+//
+// The run stops early two ways, both counted in tasks.cancelled for every
+// queued task dropped unstarted. A permanent task failure aborts the run:
+// queued tasks are dropped, in-flight ones see their context cancelled, and
+// every permanent error comes back joined. Cancelling ctx does the same
+// from the outside, and the run returns ctx's error — the uniform signal a
+// caller that gave up expects, regardless of which task noticed first.
+func (s *Scheduler) RunContext(ctx context.Context, tasks []Task) error {
 	if len(s.hosts) == 0 {
 		return fmt.Errorf("exec: scheduler has no hosts")
 	}
 	if len(tasks) == 0 {
-		return nil
+		return ctx.Err()
 	}
-	r := &runState{s: s, queues: make([][]*runTask, len(s.hosts)), remaining: len(tasks)}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	r := &runState{s: s, ctx: runCtx, cancel: cancel, queues: make([][]*runTask, len(s.hosts)), remaining: len(tasks)}
 	r.cond = sync.NewCond(&r.mu)
 	for _, t := range tasks {
 		i, local := s.hostIdx[t.PreferredHost]
@@ -131,6 +153,25 @@ func (s *Scheduler) Run(tasks []Task) error {
 		}
 		s.meter.Inc(metrics.TasksLaunched)
 		r.queues[i] = append(r.queues[i], &runTask{task: t, attempts: 1})
+	}
+
+	// The watcher turns caller cancellation into an abort: queued tasks
+	// drop, parked workers wake and exit. In-flight tasks see runCtx
+	// cancelled directly.
+	watcherStop := make(chan struct{})
+	var watcherWG sync.WaitGroup
+	if ctx.Done() != nil {
+		watcherWG.Add(1)
+		go func() {
+			defer watcherWG.Done()
+			select {
+			case <-ctx.Done():
+				r.mu.Lock()
+				r.abortLocked()
+				r.mu.Unlock()
+			case <-watcherStop:
+			}
+		}()
 	}
 
 	// Every host gets workers even when its initial queue is empty: a retry
@@ -151,6 +192,13 @@ func (s *Scheduler) Run(tasks []Task) error {
 		}
 	}
 	wg.Wait()
+	close(watcherStop)
+	watcherWG.Wait()
+	if cerr := ctx.Err(); cerr != nil {
+		// The caller cancelled; its context error is the story, not the
+		// pile of per-task cancellation errors it caused.
+		return cerr
+	}
 	return errors.Join(r.errs...)
 }
 
@@ -161,7 +209,7 @@ func (r *runState) work(host int) {
 		if t == nil {
 			return
 		}
-		r.finish(host, t, t.task.Run())
+		r.finish(host, t, t.task.Run(r.ctx))
 	}
 }
 
@@ -181,10 +229,34 @@ func (r *runState) take(host int) *runTask {
 	return t
 }
 
+// abortLocked (r.mu held) stops dispatch: queued-but-unstarted tasks are
+// dropped and counted as cancelled, in-flight tasks get their context
+// cancelled, and parked workers wake. Idempotent.
+func (r *runState) abortLocked() {
+	if r.aborted {
+		return
+	}
+	r.aborted = true
+	dropped := 0
+	for i := range r.queues {
+		dropped += len(r.queues[i])
+		r.queues[i] = nil
+	}
+	if dropped > 0 {
+		r.s.meter.Add(metrics.TasksCancelled, int64(dropped))
+		r.remaining -= dropped
+	}
+	if r.remaining == 0 {
+		r.done = true
+	}
+	r.cancel()
+	r.cond.Broadcast()
+}
+
 // finish records a task attempt's outcome: success retires the task, a
 // retryable failure re-queues it on the next host, and a permanent failure
-// aborts the run — queued-but-unstarted tasks are dropped so a failed query
-// stops consuming the cluster.
+// aborts the run — queued-but-unstarted tasks are dropped and in-flight
+// ones cancelled, so a failed query stops consuming the cluster.
 func (r *runState) finish(host int, t *runTask, err error) {
 	s := r.s
 	r.mu.Lock()
@@ -199,13 +271,7 @@ func (r *runState) finish(host int, t *runTask, err error) {
 	}
 	if err != nil {
 		r.errs = append(r.errs, err)
-		if !r.aborted {
-			r.aborted = true
-			for i := range r.queues {
-				r.remaining -= len(r.queues[i])
-				r.queues[i] = nil
-			}
-		}
+		r.abortLocked()
 	}
 	r.remaining--
 	if r.remaining == 0 {

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -20,8 +21,8 @@ func TestRunAggregatesEveryPermanentError(t *testing.T) {
 	// permanent outcomes and both must surface.
 	var barrier sync.WaitGroup
 	barrier.Add(2)
-	fail := func(err error) func() error {
-		return func() error {
+	fail := func(err error) func(context.Context) error {
+		return func(context.Context) error {
 			barrier.Done()
 			barrier.Wait()
 			return err
@@ -44,10 +45,10 @@ func TestRunStopsDispatchAfterFailure(t *testing.T) {
 	var ran int32
 	boom := errors.New("boom")
 	tasks := []Task{
-		{PreferredHost: "h1", Run: func() error { return boom }},
+		{PreferredHost: "h1", Run: func(context.Context) error { return boom }},
 	}
 	for i := 0; i < 10; i++ {
-		tasks = append(tasks, Task{PreferredHost: "h1", Run: func() error {
+		tasks = append(tasks, Task{PreferredHost: "h1", Run: func(context.Context) error {
 			atomic.AddInt32(&ran, 1)
 			return nil
 		}})
@@ -73,7 +74,7 @@ func TestRunRetriesTransportFailureOnDifferentHost(t *testing.T) {
 		i := i
 		tasks = append(tasks, Task{
 			PreferredHost: fmt.Sprintf("h%d", i%3+1),
-			Run: func() error {
+			Run: func(context.Context) error {
 				mu.Lock()
 				attempts[i] = append(attempts[i], "run")
 				n := len(attempts[i])
@@ -103,7 +104,7 @@ func TestRunRetryExhaustionSurfacesError(t *testing.T) {
 	s := NewScheduler([]string{"h1", "h2"}, 1, m)
 	s.SetTaskRetry(3, RetryableTransport)
 	var runs int32
-	err := s.Run([]Task{{Run: func() error {
+	err := s.Run([]Task{{Run: func(context.Context) error {
 		atomic.AddInt32(&runs, 1)
 		return rpc.ErrHostDown
 	}}})
@@ -124,7 +125,7 @@ func TestRunDoesNotRetryDeterministicErrors(t *testing.T) {
 	s.SetTaskRetry(3, RetryableTransport)
 	var runs int32
 	logic := errors.New("decode failed")
-	if err := s.Run([]Task{{Run: func() error {
+	if err := s.Run([]Task{{Run: func(context.Context) error {
 		atomic.AddInt32(&runs, 1)
 		return logic
 	}}}); !errors.Is(err, logic) {
@@ -161,7 +162,7 @@ func TestRunManyTasksWithRetriesCompletes(t *testing.T) {
 		var once sync.Once
 		tasks = append(tasks, Task{
 			PreferredHost: fmt.Sprintf("h%d", i%4+1),
-			Run: func() error {
+			Run: func(context.Context) error {
 				if i%7 == 0 {
 					var fresh bool
 					once.Do(func() { fresh = true })

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -58,7 +59,7 @@ func (j *SortMergeJoinExec) Execute(ctx *Context) ([]plan.Row, error) {
 	tasks := make([]Task, 0, n)
 	for b := 0; b < n; b++ {
 		b := b
-		tasks = append(tasks, Task{Run: func() error {
+		tasks = append(tasks, Task{Run: func(_ context.Context) error {
 			out, err := mergeJoin(lb[b], rb[b], lKey, rKey, j.Type, rightWidth)
 			if err != nil {
 				return err
@@ -67,7 +68,7 @@ func (j *SortMergeJoinExec) Execute(ctx *Context) ([]plan.Row, error) {
 			return nil
 		}})
 	}
-	if err := ctx.Scheduler.Run(tasks); err != nil {
+	if err := ctx.Scheduler.RunContext(ctx.ctx(), tasks); err != nil {
 		return nil, err
 	}
 	var out []plan.Row

@@ -2,6 +2,7 @@ package hbase
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -19,8 +20,19 @@ import (
 // conncache package provides the caching implementation.
 type ConnPool interface {
 	// Acquire returns a connection to host and a release function the
-	// caller must invoke when done with it.
-	Acquire(host string) (*rpc.Conn, func(), error)
+	// caller must invoke when done with it. ctx bounds connection
+	// establishment; pooled implementations may ignore it on a cache hit.
+	Acquire(ctx context.Context, host string) (*rpc.Conn, func(), error)
+}
+
+// HostBreaker is the per-host circuit breaker the client consults before
+// each call (conncache.Breaker implements it). Allow gates the call; Record
+// reports its outcome, where transportFailure is true only for
+// transport-level errors — application errors (stale region, shed request)
+// say nothing about host health.
+type HostBreaker interface {
+	Allow(host string) bool
+	Record(host string, transportFailure bool)
 }
 
 // TokenProvider supplies the security token attached to every request sent
@@ -32,8 +44,8 @@ type TokenProvider interface {
 // dialPool is the no-cache ConnPool.
 type dialPool struct{ net *rpc.Network }
 
-func (p dialPool) Acquire(host string) (*rpc.Conn, func(), error) {
-	conn, err := p.net.Dial(host)
+func (p dialPool) Acquire(ctx context.Context, host string) (*rpc.Conn, func(), error) {
+	conn, err := p.net.DialContext(ctx, host)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -52,6 +64,8 @@ type Client struct {
 	pool        ConnPool
 	tokens      TokenProvider
 	retry       RetryPolicy
+	breaker     HostBreaker
+	hedgeDelay  time.Duration
 
 	retryMu  sync.Mutex
 	retryRng *rand.Rand // jitter source, guarded by retryMu
@@ -77,6 +91,20 @@ func WithRetryPolicy(p RetryPolicy) ClientOption {
 		c.retry = p.withDefaults()
 		c.retryRng = rand.New(rand.NewSource(c.retry.JitterSeed))
 	}
+}
+
+// WithBreaker installs a per-host circuit breaker in front of every call.
+// While a host's circuit is open, calls to it fail fast with an error
+// wrapping rpc.ErrHostDown, so the existing retry/failover machinery treats
+// the host as unreachable without spending a connection or an RPC on it.
+func WithBreaker(b HostBreaker) ClientOption { return func(c *Client) { c.breaker = b } }
+
+// WithHedgedReads makes read-only region RPCs (scans, gets, fused pages)
+// fire a speculative duplicate when the first try is still unanswered after
+// delay. The first response wins; the loser's context is cancelled. Writes
+// never hedge. delay <= 0 disables hedging.
+func WithHedgedReads(delay time.Duration) ClientOption {
+	return func(c *Client) { c.hedgeDelay = delay }
 }
 
 // NewClient opens a client against a cluster's network and ZooKeeper.
@@ -136,12 +164,34 @@ type connInvalidator interface {
 	Invalidate(host string)
 }
 
-func (c *Client) call(host, method string, req rpc.Message) (rpc.Message, error) {
-	conn, release, err := c.pool.Acquire(host)
+// recordBreaker reports a call outcome to the breaker. Context errors are
+// skipped entirely: a cancelled caller (deadline, hedged-read loser) says
+// nothing about the host, and counting it either way would both poison the
+// failure count and mask real streaks.
+func (c *Client) recordBreaker(host string, err error) {
+	if c.breaker == nil {
+		return
+	}
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return
+	}
+	transport := err != nil && (errors.Is(err, rpc.ErrHostDown) || errors.Is(err, rpc.ErrConnClosed))
+	c.breaker.Record(host, transport)
+}
+
+func (c *Client) call(ctx context.Context, host, method string, req rpc.Message) (rpc.Message, error) {
+	if c.breaker != nil && !c.breaker.Allow(host) {
+		// Fail fast without touching the wire. Wrapping ErrHostDown routes
+		// the error through the same retry/failover paths a real outage
+		// takes; the breaker's cooldown governs when probes resume.
+		return nil, fmt.Errorf("%w: %q (circuit open)", rpc.ErrHostDown, host)
+	}
+	conn, release, err := c.pool.Acquire(ctx, host)
 	if err != nil {
+		c.recordBreaker(host, err)
 		return nil, err
 	}
-	resp, err := conn.Call(method, req)
+	resp, err := conn.CallContext(ctx, method, req)
 	release()
 	if err != nil && (errors.Is(err, rpc.ErrHostDown) || errors.Is(err, rpc.ErrConnClosed)) {
 		// A caching pool would otherwise keep handing out this connection
@@ -151,19 +201,81 @@ func (c *Client) call(host, method string, req rpc.Message) (rpc.Message, error)
 			inv.Invalidate(host)
 		}
 	}
+	c.recordBreaker(host, err)
 	return resp, err
+}
+
+// callRead issues a read-only region RPC with optional hedging: when the
+// first try is still unanswered after the hedge delay, a speculative
+// duplicate fires and the first response wins; the loser's context is
+// cancelled so it abandons queues, latency sleeps, and fused scans
+// promptly. Reads are idempotent, so the duplicate is safe — writes go
+// through call directly.
+func (c *Client) callRead(ctx context.Context, host, method string, req rpc.Message) (rpc.Message, error) {
+	if c.hedgeDelay <= 0 {
+		return c.call(ctx, host, method, req)
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		resp   rpc.Message
+		err    error
+		hedged bool
+	}
+	// Buffered to both launches: the loser's send never blocks, so its
+	// goroutine exits even though nobody reads the second result.
+	ch := make(chan result, 2)
+	launch := func(hedged bool) {
+		go func() {
+			resp, err := c.call(hctx, host, method, req)
+			ch <- result{resp: resp, err: err, hedged: hedged}
+		}()
+	}
+	launch(false)
+	timer := time.NewTimer(c.hedgeDelay)
+	defer timer.Stop()
+	outstanding, hedgeFired := 1, false
+	var firstErr error
+	for {
+		select {
+		case <-timer.C:
+			if !hedgeFired {
+				hedgeFired = true
+				outstanding++
+				c.net.Meter().Inc(metrics.RPCHedges)
+				launch(true)
+			}
+		case r := <-ch:
+			outstanding--
+			if r.err == nil {
+				if r.hedged {
+					c.net.Meter().Inc(metrics.RPCHedgeWins)
+				}
+				return r.resp, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if outstanding == 0 {
+				// Primary failed before the hedge fired (errors return
+				// immediately — a failure is not a straggler), or both
+				// attempts failed.
+				return nil, firstErr
+			}
+		}
+	}
 }
 
 // callMaster sends a meta request to the current master. If the cached
 // master is unreachable (failover), it re-reads the leader from the
 // coordination service once and retries — how clients survive the
 // master-failover mechanism of the paper's §VI-B.
-func (c *Client) callMaster(method string, req rpc.Message) (rpc.Message, error) {
+func (c *Client) callMaster(ctx context.Context, method string, req rpc.Message) (rpc.Message, error) {
 	host, err := c.master()
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.call(host, method, req)
+	resp, err := c.call(ctx, host, method, req)
 	if err == nil || !isUnreachable(err) {
 		return resp, err
 	}
@@ -174,7 +286,7 @@ func (c *Client) callMaster(method string, req rpc.Message) (rpc.Message, error)
 	if rerr != nil {
 		return nil, err
 	}
-	return c.call(host, method, req)
+	return c.call(ctx, host, method, req)
 }
 
 func isUnreachable(err error) bool {
@@ -187,7 +299,7 @@ func (c *Client) CreateTable(desc TableDescriptor, splitKeys [][]byte) error {
 	if err != nil {
 		return err
 	}
-	_, err = c.callMaster(MethodCreateTable, &CreateTableRequest{Desc: desc, SplitKeys: splitKeys, Token: tok})
+	_, err = c.callMaster(context.Background(), MethodCreateTable, &CreateTableRequest{Desc: desc, SplitKeys: splitKeys, Token: tok})
 	return err
 }
 
@@ -197,7 +309,7 @@ func (c *Client) DeleteTable(name string) error {
 	if err != nil {
 		return err
 	}
-	if _, err = c.callMaster(MethodDeleteTable, &TableRequest{Table: name, Token: tok}); err != nil {
+	if _, err = c.callMaster(context.Background(), MethodDeleteTable, &TableRequest{Table: name, Token: tok}); err != nil {
 		return err
 	}
 	c.mu.Lock()
@@ -212,7 +324,7 @@ func (c *Client) ListTables() ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.callMaster(MethodListTables, &TableRequest{Token: tok})
+	resp, err := c.callMaster(context.Background(), MethodListTables, &TableRequest{Token: tok})
 	if err != nil {
 		return nil, err
 	}
@@ -226,7 +338,7 @@ func (c *Client) TableStats(table string) (TableStats, error) {
 	if err != nil {
 		return TableStats{}, err
 	}
-	resp, err := c.callMaster(MethodTableStats, &TableRequest{Table: table, Token: tok})
+	resp, err := c.callMaster(context.Background(), MethodTableStats, &TableRequest{Table: table, Token: tok})
 	if err != nil {
 		return TableStats{}, err
 	}
@@ -236,21 +348,27 @@ func (c *Client) TableStats(table string) (TableStats, error) {
 // Regions returns the table's regions in key order, from the client's meta
 // cache when warm.
 func (c *Client) Regions(table string) ([]RegionInfo, error) {
+	return c.RegionsContext(context.Background(), table)
+}
+
+// RegionsContext is Regions bounded by ctx (which governs the meta RPC on a
+// cache miss).
+func (c *Client) RegionsContext(ctx context.Context, table string) ([]RegionInfo, error) {
 	c.mu.Lock()
 	cached, ok := c.regions[table]
 	c.mu.Unlock()
 	if ok {
 		return cached, nil
 	}
-	return c.refreshRegions(table)
+	return c.refreshRegions(ctx, table)
 }
 
-func (c *Client) refreshRegions(table string) ([]RegionInfo, error) {
+func (c *Client) refreshRegions(ctx context.Context, table string) ([]RegionInfo, error) {
 	tok, err := c.token()
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.callMaster(MethodTableRegions, &TableRequest{Table: table, Token: tok})
+	resp, err := c.callMaster(ctx, MethodTableRegions, &TableRequest{Table: table, Token: tok})
 	if err != nil {
 		return nil, err
 	}
@@ -270,8 +388,8 @@ func (c *Client) InvalidateRegions(table string) {
 }
 
 // regionForRow locates the region containing row.
-func (c *Client) regionForRow(table string, row []byte) (RegionInfo, error) {
-	regions, err := c.Regions(table)
+func (c *Client) regionForRow(ctx context.Context, table string, row []byte) (RegionInfo, error) {
+	regions, err := c.RegionsContext(ctx, table)
 	if err != nil {
 		return RegionInfo{}, err
 	}
@@ -287,30 +405,39 @@ func (c *Client) regionForRow(table string, row []byte) (RegionInfo, error) {
 func (c *Client) RetryPolicy() RetryPolicy { return c.retry }
 
 // RetryPause sleeps the policy's jittered backoff before retry attempt n
-// (1-based). Layers that implement their own resume logic on top of the
+// (1-based), stopping early — and returning the context's error — if ctx is
+// done first. Layers that implement their own resume logic on top of the
 // policy — the paged Scanner, SHC's partition failover — share the client's
 // seeded jitter source through it.
-func (c *Client) RetryPause(attempt int) {
+func (c *Client) RetryPause(ctx context.Context, attempt int) error {
 	c.retryMu.Lock()
 	jitter := 0.5 + 0.5*c.retryRng.Float64()
 	c.retryMu.Unlock()
-	c.retry.Sleep(time.Duration(float64(c.retry.backoff(attempt)) * jitter))
+	return c.retry.pause(ctx, time.Duration(float64(c.retry.backoff(attempt))*jitter))
 }
 
 // withRetry runs op under the client's retry policy. A recoverable failure
 // — the region cache went stale (ErrNotServing after a split, balancer
-// move, or reassignment) or the hosting server stopped answering
-// (ErrHostDown/ErrConnClosed during a failover) — invalidates the cache,
-// backs off, and retries with fresh locations, up to the policy's attempt
-// and deadline caps. This is the NotServingRegionException dance of the
-// real HBase client, extended to server death.
-func (c *Client) withRetry(table string, op func() error) error {
+// move, or reassignment), the hosting server stopped answering
+// (ErrHostDown/ErrConnClosed during a failover), or the server shed the
+// request under load (ErrServerBusy) — backs off and retries, up to the
+// policy's attempt and deadline caps. Stale-location and dead-host failures
+// additionally invalidate the region cache first; a shed request does not,
+// because the locations are still correct — the server is alive, just
+// saturated. Context errors are never retried: once the caller's deadline
+// passed or it cancelled, further attempts only waste a saturated cluster's
+// capacity. This is the NotServingRegionException dance of the real HBase
+// client, extended to server death and overload.
+func (c *Client) withRetry(ctx context.Context, table string, op func() error) error {
 	var start time.Time
 	if c.retry.Deadline > 0 {
 		start = time.Now()
 	}
 	var err error
 	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		err = op()
 		if err == nil || !IsRetryable(err) {
 			return err
@@ -322,14 +449,24 @@ func (c *Client) withRetry(table string, op func() error) error {
 			return err
 		}
 		c.net.Meter().Inc(metrics.ClientRetries)
-		c.InvalidateRegions(table)
-		c.RetryPause(attempt)
+		if !errors.Is(err, ErrServerBusy) {
+			c.InvalidateRegions(table)
+		}
+		if perr := c.RetryPause(ctx, attempt); perr != nil {
+			return perr
+		}
 	}
 }
 
 // Put writes cells, batching them per region. Stale region locations are
 // refreshed and retried once.
 func (c *Client) Put(table string, cells []Cell) error {
+	return c.PutContext(context.Background(), table, cells)
+}
+
+// PutContext is Put bounded by ctx. Writes never hedge: a duplicated put is
+// not idempotent against versioned cells.
+func (c *Client) PutContext(ctx context.Context, table string, cells []Cell) error {
 	if len(cells) == 0 {
 		return nil
 	}
@@ -337,11 +474,11 @@ func (c *Client) Put(table string, cells []Cell) error {
 	if err != nil {
 		return err
 	}
-	return c.withRetry(table, func() error {
+	return c.withRetry(ctx, table, func() error {
 		batches := make(map[string]*PutRequest)
 		hosts := make(map[string]string)
 		for _, cell := range cells {
-			ri, err := c.regionForRow(table, cell.Row)
+			ri, err := c.regionForRow(ctx, table, cell.Row)
 			if err != nil {
 				return err
 			}
@@ -354,7 +491,7 @@ func (c *Client) Put(table string, cells []Cell) error {
 			b.Cells = append(b.Cells, cell)
 		}
 		for id, b := range batches {
-			if _, err := c.call(hosts[id], MethodPut, b); err != nil {
+			if _, err := c.call(ctx, hosts[id], MethodPut, b); err != nil {
 				return err
 			}
 		}
@@ -364,7 +501,12 @@ func (c *Client) Put(table string, cells []Cell) error {
 
 // Get reads one row.
 func (c *Client) Get(table string, row []byte, cols []Column, maxVersions int, tr TimeRange) (Result, error) {
-	results, err := c.BulkGet(table, [][]byte{row}, cols, maxVersions, tr)
+	return c.GetContext(context.Background(), table, row, cols, maxVersions, tr)
+}
+
+// GetContext is Get bounded by ctx.
+func (c *Client) GetContext(ctx context.Context, table string, row []byte, cols []Column, maxVersions int, tr TimeRange) (Result, error) {
+	results, err := c.BulkGetContext(ctx, table, [][]byte{row}, cols, maxVersions, tr)
 	if err != nil {
 		return Result{}, err
 	}
@@ -377,17 +519,23 @@ func (c *Client) Get(table string, row []byte, cols []Column, maxVersions int, t
 // BulkGet fetches many rows, one batched RPC per region. Stale region
 // locations are refreshed and retried once.
 func (c *Client) BulkGet(table string, rows [][]byte, cols []Column, maxVersions int, tr TimeRange) ([]Result, error) {
+	return c.BulkGetContext(context.Background(), table, rows, cols, maxVersions, tr)
+}
+
+// BulkGetContext is BulkGet bounded by ctx; the per-region read RPCs hedge
+// when hedged reads are enabled.
+func (c *Client) BulkGetContext(ctx context.Context, table string, rows [][]byte, cols []Column, maxVersions int, tr TimeRange) ([]Result, error) {
 	tok, err := c.token()
 	if err != nil {
 		return nil, err
 	}
 	var out []Result
-	err = c.withRetry(table, func() error {
+	err = c.withRetry(ctx, table, func() error {
 		out = nil
 		byRegion := make(map[string]*BulkGetRequest)
 		hosts := make(map[string]string)
 		for _, row := range rows {
-			ri, err := c.regionForRow(table, row)
+			ri, err := c.regionForRow(ctx, table, row)
 			if err != nil {
 				return err
 			}
@@ -400,7 +548,7 @@ func (c *Client) BulkGet(table string, rows [][]byte, cols []Column, maxVersions
 			b.Rows = append(b.Rows, row)
 		}
 		for id, b := range byRegion {
-			resp, err := c.call(hosts[id], MethodBulkGet, b)
+			resp, err := c.callRead(ctx, hosts[id], MethodBulkGet, b)
 			if err != nil {
 				return err
 			}
@@ -418,14 +566,19 @@ func (c *Client) BulkGet(table string, rows [][]byte, cols []Column, maxVersions
 // visiting every overlapping region in key order and concatenating results.
 // A stale region map restarts the scan once with fresh locations.
 func (c *Client) ScanTable(table string, scan *Scan) ([]Result, error) {
+	return c.ScanTableContext(context.Background(), table, scan)
+}
+
+// ScanTableContext is ScanTable bounded by ctx.
+func (c *Client) ScanTableContext(ctx context.Context, table string, scan *Scan) ([]Result, error) {
 	tok, err := c.token()
 	if err != nil {
 		return nil, err
 	}
 	var out []Result
-	err = c.withRetry(table, func() error {
+	err = c.withRetry(ctx, table, func() error {
 		out = nil
-		regions, err := c.Regions(table)
+		regions, err := c.RegionsContext(ctx, table)
 		if err != nil {
 			return err
 		}
@@ -434,7 +587,7 @@ func (c *Client) ScanTable(table string, scan *Scan) ([]Result, error) {
 			if !ri.OverlapsRange(scan.StartRow, scan.StopRow) {
 				continue
 			}
-			resp, err := c.call(ri.Host, MethodScan, &ScanRequest{RegionID: ri.ID, Scan: scan, Token: tok})
+			resp, err := c.callRead(ctx, ri.Host, MethodScan, &ScanRequest{RegionID: ri.ID, Scan: scan, Token: tok})
 			if err != nil {
 				return err
 			}
@@ -455,11 +608,16 @@ func (c *Client) ScanTable(table string, scan *Scan) ([]Result, error) {
 // ScanRegion scans exactly one region — the per-partition read path SHC's
 // table-scan RDD uses.
 func (c *Client) ScanRegion(ri RegionInfo, scan *Scan) ([]Result, error) {
+	return c.ScanRegionContext(context.Background(), ri, scan)
+}
+
+// ScanRegionContext is ScanRegion bounded by ctx.
+func (c *Client) ScanRegionContext(ctx context.Context, ri RegionInfo, scan *Scan) ([]Result, error) {
 	tok, err := c.token()
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.call(ri.Host, MethodScan, &ScanRequest{RegionID: ri.ID, Scan: scan, Token: tok})
+	resp, err := c.callRead(ctx, ri.Host, MethodScan, &ScanRequest{RegionID: ri.ID, Scan: scan, Token: tok})
 	if err != nil {
 		return nil, err
 	}
@@ -484,11 +642,16 @@ func (c *Client) FusedExec(host string, ops []ScanOp) ([]Result, error) {
 // fused RPC keeps the per-response memory on both sides bounded by the
 // batch size instead of the partition's full result set.
 func (c *Client) FusedExecPage(host string, ops []ScanOp, batchLimit int, cursor FusedCursor) (*ScanResponse, error) {
+	return c.FusedExecPageContext(context.Background(), host, ops, batchLimit, cursor)
+}
+
+// FusedExecPageContext is FusedExecPage bounded by ctx.
+func (c *Client) FusedExecPageContext(ctx context.Context, host string, ops []ScanOp, batchLimit int, cursor FusedCursor) (*ScanResponse, error) {
 	tok, err := c.token()
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.call(host, MethodFused, &FusedRequest{
+	resp, err := c.callRead(ctx, host, MethodFused, &FusedRequest{
 		Ops: ops, BatchLimit: batchLimit, Cursor: cursor, Token: tok,
 	})
 	if err != nil {

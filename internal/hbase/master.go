@@ -2,6 +2,7 @@ package hbase
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -519,7 +520,7 @@ func (m *Master) Balance() int {
 	}
 }
 
-func (m *Master) handleCreateTable(req rpc.Message) (rpc.Message, error) {
+func (m *Master) handleCreateTable(_ context.Context, req rpc.Message) (rpc.Message, error) {
 	r, ok := req.(*CreateTableRequest)
 	if !ok {
 		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodCreateTable, req)
@@ -533,7 +534,7 @@ func (m *Master) handleCreateTable(req rpc.Message) (rpc.Message, error) {
 	return Ack{}, nil
 }
 
-func (m *Master) handleDeleteTable(req rpc.Message) (rpc.Message, error) {
+func (m *Master) handleDeleteTable(_ context.Context, req rpc.Message) (rpc.Message, error) {
 	r, ok := req.(*TableRequest)
 	if !ok {
 		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodDeleteTable, req)
@@ -547,7 +548,7 @@ func (m *Master) handleDeleteTable(req rpc.Message) (rpc.Message, error) {
 	return Ack{}, nil
 }
 
-func (m *Master) handleTableRegions(req rpc.Message) (rpc.Message, error) {
+func (m *Master) handleTableRegions(_ context.Context, req rpc.Message) (rpc.Message, error) {
 	r, ok := req.(*TableRequest)
 	if !ok {
 		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodTableRegions, req)
@@ -562,7 +563,7 @@ func (m *Master) handleTableRegions(req rpc.Message) (rpc.Message, error) {
 	return &RegionList{Regions: regions}, nil
 }
 
-func (m *Master) handleTableStats(req rpc.Message) (rpc.Message, error) {
+func (m *Master) handleTableStats(_ context.Context, req rpc.Message) (rpc.Message, error) {
 	r, ok := req.(*TableRequest)
 	if !ok {
 		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodTableStats, req)
@@ -577,7 +578,7 @@ func (m *Master) handleTableStats(req rpc.Message) (rpc.Message, error) {
 	return stats, nil
 }
 
-func (m *Master) handleListTables(req rpc.Message) (rpc.Message, error) {
+func (m *Master) handleListTables(_ context.Context, req rpc.Message) (rpc.Message, error) {
 	r, ok := req.(*TableRequest)
 	if !ok {
 		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodListTables, req)

@@ -1,6 +1,7 @@
 package hbase
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -25,6 +26,9 @@ type RegionServer struct {
 	meter    *metrics.Registry
 	validate TokenValidator
 
+	admMu sync.RWMutex
+	adm   *admission
+
 	mu      sync.RWMutex
 	regions map[string]*Region
 }
@@ -35,11 +39,12 @@ func NewRegionServer(host string, net *rpc.Network, meter *metrics.Registry, val
 	if err := net.AddHost(host); err != nil {
 		return nil, err
 	}
+	// Data RPCs pass the admission gate; Ping does not (see handlePing).
 	for method, h := range map[string]rpc.Handler{
-		MethodPut:     rs.handlePut,
-		MethodScan:    rs.handleScan,
-		MethodBulkGet: rs.handleBulkGet,
-		MethodFused:   rs.handleFused,
+		MethodPut:     rs.admitted(rs.handlePut),
+		MethodScan:    rs.admitted(rs.handleScan),
+		MethodBulkGet: rs.admitted(rs.handleBulkGet),
+		MethodFused:   rs.admitted(rs.handleFused),
 		MethodPing:    rs.handlePing,
 	} {
 		if err := net.Handle(host, method, h); err != nil {
@@ -47,6 +52,44 @@ func NewRegionServer(host string, net *rpc.Network, meter *metrics.Registry, val
 		}
 	}
 	return rs, nil
+}
+
+// SetLimits installs (or, with the zero value, removes) admission control on
+// this server's data RPCs.
+func (rs *RegionServer) SetLimits(limits ServerLimits) {
+	rs.admMu.Lock()
+	defer rs.admMu.Unlock()
+	if limits.MaxInFlight <= 0 {
+		rs.adm = nil
+		return
+	}
+	rs.adm = newAdmission(limits, rs.meter)
+}
+
+func (rs *RegionServer) admissionGate() *admission {
+	rs.admMu.RLock()
+	defer rs.admMu.RUnlock()
+	return rs.adm
+}
+
+// admitted wraps a data handler with the admission gate: bounded in-flight
+// RPCs, a bounded wait queue, and ErrServerBusy shedding beyond both.
+func (rs *RegionServer) admitted(h rpc.Handler) rpc.Handler {
+	return func(ctx context.Context, req rpc.Message) (rpc.Message, error) {
+		adm := rs.admissionGate()
+		if err := adm.enter(ctx); err != nil {
+			return nil, err
+		}
+		defer adm.leave()
+		if adm != nil {
+			// Simulated service time is spent holding the slot — that is
+			// what lets concurrent load saturate a bounded server.
+			if err := rpc.SleepContext(ctx, adm.limits.ServiceTime); err != nil {
+				return nil, err
+			}
+		}
+		return h(ctx, req)
+	}
 }
 
 // Host returns the server's host name.
@@ -140,7 +183,7 @@ func (rs *RegionServer) regionFor(id string) (*Region, error) {
 // handlePing answers the master's heartbeat. Heartbeats are cluster-internal
 // liveness traffic, not client requests, so they bypass token auth the way
 // HBase's own server-to-server RPCs use a separate trust path.
-func (rs *RegionServer) handlePing(req rpc.Message) (rpc.Message, error) {
+func (rs *RegionServer) handlePing(_ context.Context, req rpc.Message) (rpc.Message, error) {
 	if _, ok := req.(Ping); !ok {
 		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodPing, req)
 	}
@@ -148,7 +191,7 @@ func (rs *RegionServer) handlePing(req rpc.Message) (rpc.Message, error) {
 	return Ack{}, nil
 }
 
-func (rs *RegionServer) handlePut(req rpc.Message) (rpc.Message, error) {
+func (rs *RegionServer) handlePut(_ context.Context, req rpc.Message) (rpc.Message, error) {
 	m, ok := req.(*PutRequest)
 	if !ok {
 		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodPut, req)
@@ -166,7 +209,7 @@ func (rs *RegionServer) handlePut(req rpc.Message) (rpc.Message, error) {
 	return Ack{}, nil
 }
 
-func (rs *RegionServer) handleScan(req rpc.Message) (rpc.Message, error) {
+func (rs *RegionServer) handleScan(_ context.Context, req rpc.Message) (rpc.Message, error) {
 	m, ok := req.(*ScanRequest)
 	if !ok {
 		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodScan, req)
@@ -184,7 +227,7 @@ func (rs *RegionServer) handleScan(req rpc.Message) (rpc.Message, error) {
 	return &ScanResponse{Results: r.RunScan(m.Scan)}, nil
 }
 
-func (rs *RegionServer) handleBulkGet(req rpc.Message) (rpc.Message, error) {
+func (rs *RegionServer) handleBulkGet(_ context.Context, req rpc.Message) (rpc.Message, error) {
 	m, ok := req.(*BulkGetRequest)
 	if !ok {
 		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodBulkGet, req)
@@ -206,7 +249,7 @@ func (rs *RegionServer) handleBulkGet(req rpc.Message) (rpc.Message, error) {
 	return resp, nil
 }
 
-func (rs *RegionServer) handleFused(req rpc.Message) (rpc.Message, error) {
+func (rs *RegionServer) handleFused(ctx context.Context, req rpc.Message) (rpc.Message, error) {
 	m, ok := req.(*FusedRequest)
 	if !ok {
 		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodFused, req)
@@ -226,6 +269,11 @@ func (rs *RegionServer) handleFused(req rpc.Message) (rpc.Message, error) {
 		return m.BatchLimit - len(resp.Results)
 	}
 	for opIdx := m.Cursor.Op; opIdx < len(m.Ops); opIdx++ {
+		// A cancelled caller (deadline, hedged-read loser) stops the fused
+		// walk between ops instead of scanning regions nobody will read.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		op := m.Ops[opIdx]
 		// Within-op resume state applies only to the cursor's own op.
 		cur := FusedCursor{}

@@ -1,14 +1,19 @@
 package hbase
 
 import (
+	"context"
 	"errors"
 	"time"
+
+	"github.com/shc-go/shc/internal/rpc"
 )
 
 // RetryPolicy governs how the client retries operations that fail
-// recoverably: stale region locations (ErrNotServing) and unreachable or
-// killed hosts (rpc.ErrHostDown, rpc.ErrConnClosed). Each retry first
-// invalidates the relevant meta cache, then backs off exponentially with
+// recoverably: stale region locations (ErrNotServing), unreachable or
+// killed hosts (rpc.ErrHostDown, rpc.ErrConnClosed), and saturated servers
+// shedding load (ErrServerBusy). Each retry first invalidates the relevant
+// meta cache (except for ErrServerBusy — the locations are still right,
+// the server is just overloaded), then backs off exponentially with
 // jitter. The zero value means "use defaults".
 type RetryPolicy struct {
 	// MaxAttempts is the total tries per operation, first included
@@ -25,8 +30,9 @@ type RetryPolicy struct {
 	// JitterSeed seeds the deterministic jitter RNG (default 1), so a fixed
 	// policy, seed, and failure schedule back off identically across runs.
 	JitterSeed int64
-	// Sleep performs the backoff; tests inject a recorder. Default
-	// time.Sleep.
+	// Sleep performs the backoff; tests inject a recorder. When nil the
+	// policy sleeps with a context-aware timer, so a cancelled caller never
+	// waits out a backoff.
 	Sleep func(time.Duration)
 }
 
@@ -43,10 +49,18 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	if p.JitterSeed == 0 {
 		p.JitterSeed = 1
 	}
-	if p.Sleep == nil {
-		p.Sleep = time.Sleep
-	}
 	return p
+}
+
+// pause sleeps d under ctx: an injected Sleep (test recorder) runs as-is,
+// the default path aborts as soon as ctx is done. Returns ctx's error when
+// the wait was cut short.
+func (p RetryPolicy) pause(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return ctx.Err()
+	}
+	return rpc.SleepContext(ctx, d)
 }
 
 // backoff computes the pre-jitter delay before retry attempt n (1-based):
@@ -66,8 +80,16 @@ func (p RetryPolicy) backoff(attempt int) time.Duration {
 }
 
 // IsRetryable reports whether err is worth retrying against refreshed meta:
-// the region is served elsewhere (split, balance, failover reassignment) or
-// its host stopped answering and the master may be reassigning it.
+// the region is served elsewhere (split, balance, failover reassignment),
+// its host stopped answering and the master may be reassigning it, or the
+// server shed the request under load and will accept it after a backoff.
+//
+// Context errors are permanent by definition: a deadline that already
+// passed or a caller that cancelled cannot be helped by another attempt,
+// so they surface immediately instead of burning the remaining attempts.
 func IsRetryable(err error) bool {
-	return errors.Is(err, ErrNotServing) || isUnreachable(err)
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return false
+	}
+	return errors.Is(err, ErrNotServing) || errors.Is(err, ErrServerBusy) || isUnreachable(err)
 }

@@ -2,6 +2,9 @@ package hbase
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"fmt"
 
 	"github.com/shc-go/shc/internal/metrics"
 )
@@ -13,6 +16,7 @@ import (
 // the current one (double buffering).
 type Scanner struct {
 	client    *Client
+	ctx       context.Context
 	table     string
 	spec      Scan
 	batchSize int
@@ -22,6 +26,7 @@ type Scanner struct {
 	regions  []RegionInfo
 	region   int    // index of the region currently being scanned
 	cursor   []byte // next start row within the current region
+	lastRow  []byte // last row actually returned (for error context)
 	returned int    // rows handed out so far (for spec.Limit page sizing)
 	failures int    // consecutive failed page fetches (for retry capping)
 	done     bool
@@ -55,15 +60,23 @@ func (c *Client) OpenScanner(table string, spec *Scan, batchSize int) (*Scanner,
 
 // OpenScannerWith starts a paged scan with full configuration.
 func (c *Client) OpenScannerWith(table string, spec *Scan, cfg ScannerConfig) (*Scanner, error) {
+	return c.OpenScannerContext(context.Background(), table, spec, cfg)
+}
+
+// OpenScannerContext starts a paged scan whose page fetches — including
+// prefetched ones — are bounded by ctx. Cancelling ctx makes the next (or
+// in-flight) page fail with the context's error instead of finishing the
+// scan.
+func (c *Client) OpenScannerContext(ctx context.Context, table string, spec *Scan, cfg ScannerConfig) (*Scanner, error) {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 100
 	}
-	regions, err := c.Regions(table)
+	regions, err := c.RegionsContext(ctx, table)
 	if err != nil {
 		return nil, err
 	}
 	s := &Scanner{
-		client: c, table: table, spec: *spec, batchSize: cfg.BatchSize,
+		client: c, ctx: ctx, table: table, spec: *spec, batchSize: cfg.BatchSize,
 		prefetch: cfg.Prefetch, meter: cfg.Meter, regions: regions,
 	}
 	s.cursor = spec.StartRow
@@ -103,6 +116,13 @@ func (s *Scanner) pageLimit() int {
 	return s.batchSize
 }
 
+// wrapErr annotates a terminal page-fetch error with where the scan stood —
+// table, region, and the last row already returned — so a failure deep in a
+// multi-region scan reports its position, not just the transport error.
+func (s *Scanner) wrapErr(err error, regionID string) error {
+	return fmt.Errorf("hbase: scan table=%q region=%s after-row=%x: %w", s.table, regionID, s.lastRow, err)
+}
+
 // fetchPage issues RPCs until one page of results arrives or the scan is
 // exhausted. It owns all scanner position state; callers serialize access.
 func (s *Scanner) fetchPage() ([]Result, error) {
@@ -116,20 +136,27 @@ func (s *Scanner) fetchPage() ([]Result, error) {
 		page := s.spec
 		page.StartRow = s.startFor()
 		page.Limit = limit
-		results, err := s.client.ScanRegion(ri, &page)
+		results, err := s.client.ScanRegionContext(s.ctx, ri, &page)
 		if err != nil {
 			if !IsRetryable(err) {
-				return nil, err
+				return nil, s.wrapErr(err, ri.ID)
 			}
 			s.failures++
 			if s.failures >= s.client.retry.MaxAttempts {
-				return nil, err
+				return nil, s.wrapErr(err, ri.ID)
 			}
 			s.client.net.Meter().Inc(metrics.ClientRetries)
-			if rerr := s.relocate(); rerr != nil {
-				return nil, rerr
+			// A shed request means the server is saturated, not gone: the
+			// region map is still right, so skip the relocate and just back
+			// off before resending the same page.
+			if !errors.Is(err, ErrServerBusy) {
+				if rerr := s.relocate(); rerr != nil {
+					return nil, s.wrapErr(rerr, ri.ID)
+				}
 			}
-			s.client.RetryPause(s.failures)
+			if perr := s.client.RetryPause(s.ctx, s.failures); perr != nil {
+				return nil, s.wrapErr(perr, ri.ID)
+			}
 			continue
 		}
 		s.failures = 0
@@ -142,6 +169,7 @@ func (s *Scanner) fetchPage() ([]Result, error) {
 		}
 		s.returned += len(results)
 		last := results[len(results)-1].Row
+		s.lastRow = append([]byte(nil), last...)
 		s.cursor = append(append([]byte(nil), last...), 0) // resume after last row
 		if len(results) < limit {
 			// Short page: this region is done.
@@ -173,7 +201,7 @@ func (s *Scanner) fetchPage() ([]Result, error) {
 // host with no rows duplicated or dropped.
 func (s *Scanner) relocate() error {
 	s.client.InvalidateRegions(s.table)
-	regions, err := s.client.Regions(s.table)
+	regions, err := s.client.RegionsContext(s.ctx, s.table)
 	if err != nil {
 		return err
 	}

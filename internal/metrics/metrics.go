@@ -55,6 +55,13 @@ const (
 	ClientRetries       = "client.retries"
 	TasksRetried        = "exec.tasks_retried"
 	FaultsInjected      = "rpc.faults_injected"
+	RPCHedges           = "rpc.hedges"
+	RPCHedgeWins        = "rpc.hedge_wins"
+	ServerShed          = "server.shed"
+	ServerQueuePeak     = "server.queue_depth_peak"
+	BreakerOpens        = "breaker.opens"
+	QueriesCancelled    = "queries.cancelled"
+	TasksCancelled      = "tasks.cancelled"
 )
 
 // Registry is a concurrency-safe set of named monotonic counters.

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -38,8 +39,17 @@ type FaultRule struct {
 	// Err is the error injected; nil injects ErrHostDown. Use ErrConnClosed
 	// to simulate a killed connection rather than an unreachable host.
 	Err error
-	// ExtraLatency is added to every matching call, failed or not.
+	// ExtraLatency is added to every matching call, failed or not. The
+	// sleep respects the call's context: a cancelled or timed-out caller
+	// stops waiting immediately instead of serving out the injected delay.
 	ExtraLatency time.Duration
+	// LatencyEvery, when positive, turns ExtraLatency into a straggler
+	// schedule: only the 1st, (1+LatencyEvery)th, (1+2·LatencyEvery)th …
+	// matching calls after SkipFirst are slowed. 0 keeps the old behaviour
+	// (every matching call pays ExtraLatency). LatencyEvery=2 models the
+	// host where every other request stalls — the schedule hedged reads
+	// beat, because the speculative duplicate lands on a fast slot.
+	LatencyEvery int
 	// OnFire runs (outside the injector's lock) each time this rule injects
 	// a failure — the hook chaos tests use to crash a server at exactly the
 	// K-th matching call.
@@ -87,8 +97,10 @@ func (f *FaultInjector) Fired() int {
 // apply evaluates the rules for one call, sleeping any injected latency and
 // returning the injected error (nil = let the call through). OnFire hooks
 // run outside the lock so they can safely mutate the network (SetDown) or
-// drive recovery (master failover) without deadlocking.
-func (f *FaultInjector) apply(host, method string) error {
+// drive recovery (master failover) without deadlocking. Injected latency is
+// cancellable: when ctx is done mid-sleep the call returns the context's
+// error immediately, so deadline tests never wall-clock-wait for the delay.
+func (f *FaultInjector) apply(ctx context.Context, host, method string) error {
 	if f == nil {
 		return nil
 	}
@@ -104,11 +116,15 @@ func (f *FaultInjector) apply(host, method string) error {
 			continue
 		}
 		r.seen++
-		extra += r.ExtraLatency
+		after := r.seen - r.SkipFirst
+		if r.LatencyEvery <= 0 {
+			extra += r.ExtraLatency
+		} else if after >= 1 && (after-1)%r.LatencyEvery == 0 {
+			extra += r.ExtraLatency
+		}
 		if err != nil {
 			continue // one injected failure per call is enough
 		}
-		after := r.seen - r.SkipFirst
 		if after < 1 {
 			continue
 		}
@@ -132,7 +148,9 @@ func (f *FaultInjector) apply(host, method string) error {
 	meter := f.meter
 	f.mu.Unlock()
 	if extra > 0 {
-		time.Sleep(extra)
+		if serr := SleepContext(ctx, extra); serr != nil {
+			return serr
+		}
 	}
 	if err != nil {
 		meter.Inc(metrics.FaultsInjected)

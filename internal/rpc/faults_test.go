@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -22,7 +23,7 @@ func callOK(t *testing.T, n *Network) error {
 func newFaultNet(t *testing.T) (*Network, *metrics.Registry) {
 	t.Helper()
 	n, m := newTestNet(t)
-	if err := n.Handle("rs1", "m", func(Message) (Message, error) { return nil, nil }); err != nil {
+	if err := n.Handle("rs1", "m", func(context.Context, Message) (Message, error) { return nil, nil }); err != nil {
 		t.Fatal(err)
 	}
 	return n, m
@@ -68,7 +69,7 @@ func TestFaultInjectedErrorUnwraps(t *testing.T) {
 func TestFaultProbDeterministicUnderSeed(t *testing.T) {
 	run := func(seed int64) []bool {
 		n, _ := newTestNet(t)
-		_ = n.Handle("rs1", "m", func(Message) (Message, error) { return nil, nil })
+		_ = n.Handle("rs1", "m", func(context.Context, Message) (Message, error) { return nil, nil })
 		n.SetFaultInjector(NewFaultInjector(seed, &FaultRule{Method: "m", FailProb: 0.4}))
 		var out []bool
 		for i := 0; i < 50; i++ {

@@ -6,9 +6,16 @@
 // costs the paper reports — fewer RPCs when connections are cached and
 // operators are fused, fewer bytes when predicates and columns are pushed
 // down.
+//
+// Every call carries a context.Context end-to-end: simulated latency
+// (connection setup, call cost, injected fault latency) aborts as soon as
+// the context is cancelled or its deadline passes, and the context reaches
+// the server-side handler so admission queues and long scans can abandon
+// work for callers that no longer want it.
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -38,8 +45,11 @@ type Bytes []byte
 // WireSize returns the slice length.
 func (b Bytes) WireSize() int { return len(b) }
 
-// Handler processes one request on the server side of a call.
-type Handler func(req Message) (Message, error)
+// Handler processes one request on the server side of a call. The context
+// is the caller's: it is cancelled when the caller gives up (deadline,
+// hedged-read loser, aborted query), so handlers that queue or loop should
+// watch it.
+type Handler func(ctx context.Context, req Message) (Message, error)
 
 // Config tunes the simulated cost model. Zero values mean "free", which
 // unit tests use; benchmarks configure small real latencies so connection
@@ -130,6 +140,27 @@ func (n *Network) Hosts() []string {
 	return out
 }
 
+// SleepContext sleeps d, returning early with the context's error if it is
+// cancelled first. It is the cancellable form of time.Sleep every simulated
+// latency in the stack goes through.
+func SleepContext(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // Conn is a cached, reusable connection from a client to a host. Creating
 // one is deliberately expensive (ConnLatency) — SHC's connection cache
 // exists to amortize exactly this cost (paper §V-B.1).
@@ -140,9 +171,18 @@ type Conn struct {
 	closed bool
 }
 
-// Dial establishes a connection to host, charging connection latency and
-// incrementing the connections-created counter.
+// Dial establishes a connection to host with no deadline.
 func (n *Network) Dial(host string) (*Conn, error) {
+	return n.DialContext(context.Background(), host)
+}
+
+// DialContext establishes a connection to host, charging connection latency
+// (abandoned early if ctx is done) and incrementing the connections-created
+// counter.
+func (n *Network) DialContext(ctx context.Context, host string) (*Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n.mu.RLock()
 	ep, ok := n.hosts[host]
 	n.mu.RUnlock()
@@ -155,11 +195,11 @@ func (n *Network) Dial(host string) (*Conn, error) {
 	if down {
 		return nil, fmt.Errorf("%w: %q", ErrHostDown, host)
 	}
-	if err := n.injector().apply(host, MethodDial); err != nil {
+	if err := n.injector().apply(ctx, host, MethodDial); err != nil {
 		return nil, err
 	}
-	if n.cfg.ConnLatency > 0 {
-		time.Sleep(n.cfg.ConnLatency)
+	if err := SleepContext(ctx, n.cfg.ConnLatency); err != nil {
+		return nil, err
 	}
 	n.meter.Inc(metrics.ConnectionsCreated)
 	return &Conn{n: n, host: host}, nil
@@ -176,19 +216,28 @@ func (c *Conn) Close() error {
 	return nil
 }
 
-// Call invokes method on the connection's host, metering the call and the
-// bytes in both directions.
+// Call invokes method on the connection's host with no deadline.
 func (c *Conn) Call(method string, req Message) (Message, error) {
+	return c.CallContext(context.Background(), method, req)
+}
+
+// CallContext invokes method on the connection's host, metering the call
+// and the bytes in both directions. Simulated latency respects ctx; the
+// handler receives ctx so server-side queues honor it too.
+func (c *Conn) CallContext(ctx context.Context, method string, req Message) (Message, error) {
 	c.mu.Lock()
 	closed := c.closed
 	c.mu.Unlock()
 	if closed {
 		return nil, ErrConnClosed
 	}
-	return c.n.call(c.host, method, req)
+	return c.n.call(ctx, c.host, method, req)
 }
 
-func (n *Network) call(host, method string, req Message) (Message, error) {
+func (n *Network) call(ctx context.Context, host, method string, req Message) (Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n.mu.RLock()
 	ep, ok := n.hosts[host]
 	n.mu.RUnlock()
@@ -205,7 +254,7 @@ func (n *Network) call(host, method string, req Message) (Message, error) {
 	if !hok {
 		return nil, fmt.Errorf("%w: %s on %q", ErrUnknownMethod, method, host)
 	}
-	if err := n.injector().apply(host, method); err != nil {
+	if err := n.injector().apply(ctx, host, method); err != nil {
 		return nil, err
 	}
 
@@ -216,7 +265,7 @@ func (n *Network) call(host, method string, req Message) (Message, error) {
 	n.meter.Inc(metrics.RPCCalls)
 	n.meter.Add(metrics.RPCBytesSent, int64(reqSize))
 
-	resp, err := h(req)
+	resp, err := h(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -225,16 +274,16 @@ func (n *Network) call(host, method string, req Message) (Message, error) {
 		respSize = resp.WireSize()
 	}
 	n.meter.Add(metrics.RPCBytesReceived, int64(respSize))
-	n.charge(reqSize + respSize)
+	if err := n.charge(ctx, reqSize+respSize); err != nil {
+		return nil, err
+	}
 	return resp, nil
 }
 
-func (n *Network) charge(bytes int) {
+func (n *Network) charge(ctx context.Context, bytes int) error {
 	d := n.cfg.CallLatency
 	if n.cfg.BytesPerSecond > 0 {
 		d += time.Duration(float64(bytes) / float64(n.cfg.BytesPerSecond) * float64(time.Second))
 	}
-	if d > 0 {
-		time.Sleep(d)
-	}
+	return SleepContext(ctx, d)
 }

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -19,7 +20,7 @@ func newTestNet(t *testing.T) (*Network, *metrics.Registry) {
 
 func TestCallDispatchAndMetering(t *testing.T) {
 	n, m := newTestNet(t)
-	err := n.Handle("rs1", "echo", func(req Message) (Message, error) {
+	err := n.Handle("rs1", "echo", func(_ context.Context, req Message) (Message, error) {
 		return req, nil
 	})
 	if err != nil {
@@ -75,7 +76,7 @@ func TestDuplicateHost(t *testing.T) {
 
 func TestHostDown(t *testing.T) {
 	n, _ := newTestNet(t)
-	if err := n.Handle("rs1", "m", func(Message) (Message, error) { return nil, nil }); err != nil {
+	if err := n.Handle("rs1", "m", func(context.Context, Message) (Message, error) { return nil, nil }); err != nil {
 		t.Fatal(err)
 	}
 	conn, err := n.Dial("rs1")
@@ -119,7 +120,7 @@ func TestClosedConn(t *testing.T) {
 func TestHandlerError(t *testing.T) {
 	n, _ := newTestNet(t)
 	boom := errors.New("boom")
-	_ = n.Handle("rs1", "fail", func(Message) (Message, error) { return nil, boom })
+	_ = n.Handle("rs1", "fail", func(context.Context, Message) (Message, error) { return nil, boom })
 	conn, _ := n.Dial("rs1")
 	if _, err := conn.Call("fail", nil); !errors.Is(err, boom) {
 		t.Errorf("handler error: %v", err)
@@ -137,7 +138,7 @@ func TestHosts(t *testing.T) {
 
 func TestNilMessagesMeterZero(t *testing.T) {
 	n, m := newTestNet(t)
-	_ = n.Handle("rs1", "void", func(Message) (Message, error) { return nil, nil })
+	_ = n.Handle("rs1", "void", func(context.Context, Message) (Message, error) { return nil, nil })
 	conn, _ := n.Dial("rs1")
 	if _, err := conn.Call("void", nil); err != nil {
 		t.Fatal(err)

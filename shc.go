@@ -14,13 +14,15 @@
 //	client := cluster.NewClient()
 //	cat, _ := shc.ParseCatalog(catalogJSON)
 //	rel, _ := shc.NewHBaseRelation(client, cat, shc.Options{}, cluster.Meter)
-//	sess := shc.NewSession(shc.SessionConfig{Hosts: cluster.Hosts()})
+//	sess, _ := shc.NewSession(shc.SessionConfig{Hosts: cluster.Hosts()})
 //	sess.Register(rel)
 //	df, _ := sess.SQL("SELECT col0 FROM actives WHERE col0 <= 'row120'")
 //	rows, _ := df.Collect()
 package shc
 
 import (
+	"time"
+
 	"github.com/shc-go/shc/internal/conncache"
 	"github.com/shc-go/shc/internal/core"
 	"github.com/shc-go/shc/internal/engine"
@@ -93,8 +95,10 @@ type (
 // NewCluster boots a simulated HBase cluster.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) { return hbase.NewCluster(cfg) }
 
-// NewSession builds a query-engine session.
-func NewSession(cfg SessionConfig) *Session { return engine.NewSession(cfg) }
+// NewSession builds a query-engine session, rejecting out-of-range
+// configuration (negative executor counts, partitions, thresholds, or
+// timeouts).
+func NewSession(cfg SessionConfig) (*Session, error) { return engine.NewSession(cfg) }
 
 // ParseCatalog parses the JSON table catalog of the paper's Code 1.
 func ParseCatalog(doc string) (*Catalog, error) { return core.ParseCatalog(doc) }
@@ -123,6 +127,24 @@ func WithConnPool(p hbase.ConnPool) hbase.ClientOption { return hbase.WithConnPo
 // source (e.g. a CredentialsManager).
 func WithTokenProvider(tp hbase.TokenProvider) hbase.ClientOption {
 	return hbase.WithTokenProvider(tp)
+}
+
+// WithHedgedReads makes a client's read-only region RPCs fire a speculative
+// duplicate after delay; the first response wins and the loser is
+// cancelled. Use it to keep tail latency bounded when one server straggles.
+func WithHedgedReads(delay time.Duration) hbase.ClientOption {
+	return hbase.WithHedgedReads(delay)
+}
+
+// WithBreaker installs a per-host circuit breaker (NewBreaker) in front of
+// a client's calls: hosts that fail repeatedly are failed fast until a
+// cooldown probe succeeds.
+func WithBreaker(b hbase.HostBreaker) hbase.ClientOption { return hbase.WithBreaker(b) }
+
+// NewBreaker builds the per-host circuit breaker with default thresholds,
+// reporting breaker.opens into meter.
+func NewBreaker(meter *Metrics) *conncache.Breaker {
+	return conncache.NewBreaker(conncache.BreakerConfig{}, meter)
 }
 
 // NewCredentialsManager builds the SHCCredentialsManager.

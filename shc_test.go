@@ -41,7 +41,7 @@ func bootFacade(t *testing.T) (*shc.Cluster, *shc.Session, *shc.HBaseRelation) {
 	if err := rel.Insert(rows); err != nil {
 		t.Fatal(err)
 	}
-	sess := shc.NewSession(shc.SessionConfig{Hosts: cluster.Hosts(), Meter: cluster.Meter})
+	sess, _ := shc.NewSession(shc.SessionConfig{Hosts: cluster.Hosts(), Meter: cluster.Meter})
 	sess.Register(rel)
 	return cluster, sess, rel
 }
@@ -104,7 +104,7 @@ func TestFacadeBaselineRelation(t *testing.T) {
 	if err := rel.Insert([]shc.Row{{"a", int32(1), "sf"}}); err != nil {
 		t.Fatal(err)
 	}
-	sess := shc.NewSession(shc.SessionConfig{Hosts: cluster.Hosts()})
+	sess, _ := shc.NewSession(shc.SessionConfig{Hosts: cluster.Hosts()})
 	sess.Register(rel)
 	df, err := sess.SQL("SELECT count(1) FROM people")
 	if err != nil {
