@@ -35,6 +35,9 @@ type Params struct {
 	Seed int64
 	// Out receives the printed tables (io.Discard when nil).
 	Out io.Writer
+	// MetricsOut, when set, receives a Prometheus-style exposition dump of
+	// the experiment rig's metrics after the run (shcbench -metrics).
+	MetricsOut io.Writer
 }
 
 func (p Params) withDefaults() Params {

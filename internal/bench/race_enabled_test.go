@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether this binary was built with -race, which
+// multiplies every synchronization operation's cost and makes wall-clock
+// performance gates meaningless.
+const raceEnabled = true

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTraceOverheadGate is the CI gate for zero-ish-cost observability:
+// with the simulated network dominating wall time, tracing every RPC,
+// task, and operator must cost under 5% on the streaming benchmark.
+func TestTraceOverheadGate(t *testing.T) {
+	if raceEnabled {
+		// The race detector multiplies the cost of exactly the operations
+		// tracing adds (mutexes, atomics), so a wall-clock percentage gate
+		// measured under it reflects the detector, not the tracer. CI runs
+		// this gate in its own non-race step.
+		t.Skip("trace-overhead gate is meaningless under -race")
+	}
+	// Perf gates on shared hardware need a retry: a GC pause or a noisy
+	// neighbor can inflate even the best-of-N minimum. One clean attempt
+	// proves tracing is cheap; noise can only add time, never hide cost
+	// across every attempt.
+	const attempts = 3
+	var metricsBuf bytes.Buffer
+	var rows []TraceOverheadRow
+	for attempt := 1; attempt <= attempts; attempt++ {
+		metricsBuf.Reset()
+		var err error
+		rows, err = TraceOverhead(Params{
+			Scales: []int{2}, Servers: 2, Runs: 9,
+			Out: io.Discard, MetricsOut: &metricsBuf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 2 {
+			t.Fatalf("rows = %d, want 2 queries", len(rows))
+		}
+		gated, breached := 0, false
+		for _, r := range rows {
+			if r.Spans == 0 {
+				t.Errorf("%s: traced runs produced no spans", r.Query)
+			}
+			if r.UntracedMedian <= 0 || r.TracedMedian <= 0 {
+				t.Errorf("%s: non-positive medians %+v", r.Query, r)
+			}
+			// Sub-millisecond queries sit at the scheduler/timer noise
+			// floor, where 5% is single-digit microseconds — not
+			// measurable. The gate applies to queries long enough for a
+			// percentage to mean anything; the streamed full-table scan
+			// below always qualifies.
+			if r.UntracedMedian < time.Millisecond {
+				continue
+			}
+			gated++
+			if r.OverheadPct >= 5 {
+				breached = true
+				if attempt == attempts {
+					t.Errorf("%s: tracing overhead %.2f%% breaches the 5%% gate on all %d attempts (untraced %s, traced %s)",
+						r.Query, r.OverheadPct, attempts, r.UntracedMedian, r.TracedMedian)
+				} else {
+					t.Logf("%s: attempt %d measured %.2f%% overhead; retrying", r.Query, attempt, r.OverheadPct)
+				}
+			}
+		}
+		if gated == 0 {
+			t.Fatal("no query ran long enough to gate; grow the scale so the scan exceeds 1ms")
+		}
+		if !breached {
+			break
+		}
+	}
+
+	// The -metrics hook emits a Prometheus-style exposition of the rig.
+	exp := metricsBuf.String()
+	for _, want := range []string{
+		"# TYPE shc_rpc_calls counter",
+		"# TYPE shc_rpc_latency_",
+		"_bucket{le=",
+		"shc_engine_query_latency_count",
+	} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("exposition missing %q:\n%.800s", want, exp)
+		}
+	}
+}

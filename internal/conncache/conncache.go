@@ -85,7 +85,7 @@ func (c *Cache) Acquire(ctx context.Context, host string) (*rpc.Conn, func(), er
 	if e, ok := c.entries[host]; ok {
 		e.refs++
 		c.mu.Unlock()
-		c.meter.Inc(metrics.ConnectionsReused)
+		metrics.Scoped(ctx, c.meter).Inc(metrics.ConnectionsReused)
 		return e.conn, c.releaser(host), nil
 	}
 	c.mu.Unlock()
@@ -103,7 +103,7 @@ func (c *Cache) Acquire(ctx context.Context, host string) (*rpc.Conn, func(), er
 		c.mu.Lock()
 		e.refs++
 		c.mu.Unlock()
-		c.meter.Inc(metrics.ConnectionsReused)
+		metrics.Scoped(ctx, c.meter).Inc(metrics.ConnectionsReused)
 		return e.conn, c.releaser(host), nil
 	}
 	c.entries[host] = &entry{conn: conn, refs: 1}

@@ -646,7 +646,7 @@ func (g *fusedPager) next(ctx context.Context) (*hbase.ScanResponse, error) {
 			if g.failures >= client.RetryPolicy().MaxAttempts {
 				return nil, g.wrapErr(err)
 			}
-			g.p.rel.meter.Inc(metrics.ClientRetries)
+			metrics.Scoped(ctx, g.p.rel.meter).Inc(metrics.ClientRetries)
 			if errors.Is(err, hbase.ErrServerBusy) {
 				// The server shed us under load: locations are still right,
 				// so keep the op layout and just back off before resending.
@@ -757,7 +757,7 @@ func (p *hbasePartition) ComputeBatches(ctx context.Context, opts datasource.Bat
 		return ch
 	}
 
-	meter := p.rel.meter
+	meter := metrics.Scoped(ctx, p.rel.meter)
 	pending := fetch()
 	emitted := 0
 	var batch []plan.Row

@@ -2,13 +2,12 @@ package engine
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"github.com/shc-go/shc/internal/datasource"
 	"github.com/shc-go/shc/internal/exec"
-	"github.com/shc-go/shc/internal/metrics"
 	"github.com/shc-go/shc/internal/plan"
 )
 
@@ -18,6 +17,9 @@ import (
 type DataFrame struct {
 	sess *Session
 	lp   plan.LogicalPlan
+	// parseDur is the SQL front-end time when this frame came from
+	// Session.SQL; traced actions back-date a parse span from it.
+	parseDur time.Duration
 }
 
 // Schema describes the DataFrame's output columns.
@@ -131,26 +133,7 @@ func (df *DataFrame) Collect() ([]plan.Row, error) {
 // error comes back. Cancelled or timed-out queries count in
 // queries.cancelled.
 func (df *DataFrame) CollectContext(ctx context.Context) ([]plan.Row, error) {
-	phys, err := df.compile()
-	if err != nil {
-		return nil, err
-	}
-	return df.runPhysical(ctx, phys)
-}
-
-// runPhysical executes a compiled plan under ctx plus the session's
-// QueryTimeout, tallying cancellations.
-func (df *DataFrame) runPhysical(ctx context.Context, phys exec.PhysicalPlan) ([]plan.Row, error) {
-	sess := df.sess
-	if sess.cfg.QueryTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, sess.cfg.QueryTimeout)
-		defer cancel()
-	}
-	rows, err := phys.Execute(sess.execContext(ctx))
-	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
-		sess.meter.Inc(metrics.QueriesCancelled)
-	}
+	rows, _, err := df.run(ctx, false)
 	return rows, err
 }
 
@@ -162,11 +145,8 @@ func (df *DataFrame) Count() (int64, error) {
 // CountContext is Count bounded by ctx (see CollectContext).
 func (df *DataFrame) CountContext(ctx context.Context) (int64, error) {
 	agg := &plan.AggregateNode{Aggs: []plan.AggExpr{{Kind: plan.AggCount, Name: "count"}}, Child: df.lp}
-	phys, err := exec.CompileWith(plan.Optimize(agg), df.sess.compileConfig())
-	if err != nil {
-		return 0, err
-	}
-	rows, err := df.runPhysical(ctx, phys)
+	cdf := &DataFrame{sess: df.sess, lp: agg, parseDur: df.parseDur}
+	rows, _, err := cdf.run(ctx, false)
 	if err != nil {
 		return 0, err
 	}

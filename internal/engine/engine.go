@@ -8,6 +8,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -55,6 +56,12 @@ type Config struct {
 	HedgeDelay time.Duration
 	// Meter receives execution counters; a fresh registry when nil.
 	Meter *metrics.Registry
+	// SlowQueryThreshold turns on the slow-query log: any action whose
+	// wall time exceeds it emits one structured line to SlowQueryLog.
+	// 0 disables the log. Negative is rejected by NewSession.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives slow-query records; os.Stderr when nil.
+	SlowQueryLog io.Writer
 }
 
 // Validate normalizes cfg in place (defaults, clamps) and reports
@@ -72,6 +79,9 @@ func (cfg *Config) Validate() error {
 	}
 	if cfg.QueryTimeout < 0 {
 		return fmt.Errorf("engine: QueryTimeout must not be negative, got %v", cfg.QueryTimeout)
+	}
+	if cfg.SlowQueryThreshold < 0 {
+		return fmt.Errorf("engine: SlowQueryThreshold must not be negative, got %v", cfg.SlowQueryThreshold)
 	}
 	if cfg.HedgeDelay < 0 {
 		cfg.HedgeDelay = 0
@@ -168,12 +178,14 @@ func (s *Session) resolve(name string) (plan.LogicalPlan, error) {
 }
 
 // SQL parses a query against the catalog and returns its (lazy) DataFrame.
+// Parse time is remembered so a traced action can back-date a parse span.
 func (s *Session) SQL(query string) (*DataFrame, error) {
+	start := time.Now()
 	lp, err := sql.Build(query, s.resolve)
 	if err != nil {
 		return nil, err
 	}
-	return &DataFrame{sess: s, lp: lp}, nil
+	return &DataFrame{sess: s, lp: lp, parseDur: time.Since(start)}, nil
 }
 
 // compileConfig selects physical strategies for this session.

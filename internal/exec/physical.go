@@ -38,6 +38,12 @@ func (c *Context) ctx() context.Context {
 	return context.Background()
 }
 
+// meter returns the dual-sink meter for this execution: the session
+// registry plus any per-query scoped registry carried by Ctx.
+func (c *Context) meter() metrics.Meter {
+	return metrics.Scoped(c.ctx(), c.Meter)
+}
+
 func (c *Context) shufflePartitions() int {
 	if c.ShufflePartitions > 0 {
 		return c.ShufflePartitions
@@ -103,11 +109,12 @@ func (s *ScanExec) Execute(ctx *Context) ([]plan.Row, error) {
 				for _, r := range rows {
 					bytes += int64(plan.RowSize(r))
 				}
-				ctx.Meter.Add(metrics.MemoryCharged, bytes)
+				m := metrics.Scoped(tctx, ctx.Meter)
+				m.Add(metrics.MemoryCharged, bytes)
 				// Materialized scans hold every decoded row until the query
 				// finishes; the streamed pipeline releases per batch, and the
 				// (MemoryHeld, MemoryPeak) pair makes that difference visible.
-				ctx.Meter.AddPeak(metrics.MemoryHeld, metrics.MemoryPeak, bytes)
+				m.AddPeak(metrics.MemoryHeld, metrics.MemoryPeak, bytes)
 				results[i] = rows
 				return nil
 			},
@@ -216,14 +223,17 @@ func keyString(r plan.Row, idx []int) string {
 // moved record as shuffle traffic.
 func exchange(ctx *Context, rows []plan.Row, keyIdx []int, n int) [][]plan.Row {
 	buckets := make([][]plan.Row, n)
+	var bytes int64
 	for _, r := range rows {
 		h := fnv.New64a()
 		h.Write([]byte(keyString(r, keyIdx)))
 		b := int(h.Sum64() % uint64(n))
 		buckets[b] = append(buckets[b], r)
-		ctx.Meter.Add(metrics.ShuffleBytes, int64(plan.RowSize(r)))
-		ctx.Meter.Inc(metrics.ShuffleRecords)
+		bytes += int64(plan.RowSize(r))
 	}
+	m := ctx.meter()
+	m.Add(metrics.ShuffleBytes, bytes)
+	m.Add(metrics.ShuffleRecords, int64(len(rows)))
 	return buckets
 }
 
@@ -752,14 +762,17 @@ func (a *HashAggExec) Execute(ctx *Context) ([]plan.Row, error) {
 	for i := range buckets {
 		buckets[i] = make(map[string]*accumulator)
 	}
+	var shuffleBytes int64
 	for key, acc := range partials {
 		h := fnv.New64a()
 		h.Write([]byte(key))
 		b := int(h.Sum64() % uint64(n))
 		buckets[b][key] = acc
-		ctx.Meter.Add(metrics.ShuffleBytes, int64(acc.stateSize()))
-		ctx.Meter.Inc(metrics.ShuffleRecords)
+		shuffleBytes += int64(acc.stateSize())
 	}
+	m := ctx.meter()
+	m.Add(metrics.ShuffleBytes, shuffleBytes)
+	m.Add(metrics.ShuffleRecords, int64(len(partials)))
 	// Phase 3: finalize per bucket in parallel.
 	results := make([][]plan.Row, n)
 	tasks := make([]Task, 0, n)

@@ -168,8 +168,9 @@ func (p *PipelineExec) runPartition(tctx context.Context, ctx *Context, part dat
 	}
 	var out []plan.Row
 	kept := 0
+	m := metrics.Scoped(tctx, ctx.Meter)
 	err := datasource.StreamPartition(tctx, part, opts, func(batch []plan.Row) error {
-		ctx.Meter.Inc(metrics.BatchesStreamed)
+		m.Inc(metrics.BatchesStreamed)
 		var batchBytes int64
 		for _, r := range batch {
 			batchBytes += int64(plan.RowSize(r))
@@ -177,15 +178,15 @@ func (p *PipelineExec) runPartition(tctx context.Context, ctx *Context, part dat
 		// Every decoded row is charged (same meaning as the materialized
 		// path); the held/peak pair additionally tracks that batch memory is
 		// released once the batch is processed.
-		ctx.Meter.Add(metrics.MemoryCharged, batchBytes)
-		ctx.Meter.AddPeak(metrics.MemoryHeld, metrics.MemoryPeak, batchBytes)
+		m.Add(metrics.MemoryCharged, batchBytes)
+		m.AddPeak(metrics.MemoryHeld, metrics.MemoryPeak, batchBytes)
 
 		stop := false
 		var keptBytes int64
 		for bi, r := range batch {
 			if p.Limit > 0 && kept >= p.Limit {
 				// Rows past the per-partition cap are dropped unprocessed.
-				ctx.Meter.Add(metrics.RowsShortCircuited, int64(len(batch)-bi))
+				m.Add(metrics.RowsShortCircuited, int64(len(batch)-bi))
 				stop = true
 				break
 			}
@@ -214,8 +215,8 @@ func (p *PipelineExec) runPartition(tctx context.Context, ctx *Context, part dat
 			kept++
 		}
 		// The batch is consumed: release its bytes, keep only the output's.
-		ctx.Meter.AddPeak(metrics.MemoryHeld, metrics.MemoryPeak, keptBytes)
-		ctx.Meter.Add(metrics.MemoryHeld, -batchBytes)
+		m.AddPeak(metrics.MemoryHeld, metrics.MemoryPeak, keptBytes)
+		m.Add(metrics.MemoryHeld, -batchBytes)
 		if stop || (p.Limit > 0 && kept >= p.Limit) {
 			return datasource.ErrStopBatches
 		}

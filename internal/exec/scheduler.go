@@ -11,9 +11,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/shc-go/shc/internal/metrics"
 	"github.com/shc-go/shc/internal/rpc"
+	"github.com/shc-go/shc/internal/trace"
 )
 
 // Task is one schedulable unit of work.
@@ -94,7 +96,8 @@ func (s *Scheduler) TotalSlots() int { return s.slots * len(s.hosts) }
 // runTask is one task's mutable scheduling state within a Run call.
 type runTask struct {
 	task     Task
-	attempts int // attempts started
+	attempts int       // attempts started
+	enqueued time.Time // when the task last entered a queue (for queue-wait)
 }
 
 // runState coordinates one Run call: per-host queues fed to workers, a
@@ -104,6 +107,7 @@ type runState struct {
 	s      *Scheduler
 	ctx    context.Context    // the run's derived context, handed to tasks
 	cancel context.CancelFunc // cancels in-flight tasks when the run aborts
+	meter  metrics.Meter      // scheduler registry + the query's scope
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -139,8 +143,9 @@ func (s *Scheduler) RunContext(ctx context.Context, tasks []Task) error {
 	}
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	r := &runState{s: s, ctx: runCtx, cancel: cancel, queues: make([][]*runTask, len(s.hosts)), remaining: len(tasks)}
+	r := &runState{s: s, ctx: runCtx, cancel: cancel, meter: metrics.Scoped(ctx, s.meter), queues: make([][]*runTask, len(s.hosts)), remaining: len(tasks)}
 	r.cond = sync.NewCond(&r.mu)
+	now := time.Now()
 	for _, t := range tasks {
 		i, local := s.hostIdx[t.PreferredHost]
 		if !local {
@@ -149,10 +154,10 @@ func (s *Scheduler) RunContext(ctx context.Context, tasks []Task) error {
 			s.rrCursor++
 			s.mu.Unlock()
 		} else {
-			s.meter.Inc(metrics.TasksLocal)
+			r.meter.Inc(metrics.TasksLocal)
 		}
-		s.meter.Inc(metrics.TasksLaunched)
-		r.queues[i] = append(r.queues[i], &runTask{task: t, attempts: 1})
+		r.meter.Inc(metrics.TasksLaunched)
+		r.queues[i] = append(r.queues[i], &runTask{task: t, attempts: 1, enqueued: now})
 	}
 
 	// The watcher turns caller cancellation into an abort: queued tasks
@@ -202,14 +207,27 @@ func (s *Scheduler) RunContext(ctx context.Context, tasks []Task) error {
 	return errors.Join(r.errs...)
 }
 
-// work drains one host's queue until the run completes.
+// work drains one host's queue until the run completes. Each attempt runs
+// under its own "task" span (host, attempt, outcome) with its queue wait
+// and runtime recorded in the scheduler histograms; the span's context is
+// what the task passes to its RPCs, so per-call and server-side spans nest
+// under the attempt that issued them.
 func (r *runState) work(host int) {
 	for {
 		t := r.take(host)
 		if t == nil {
 			return
 		}
-		r.finish(host, t, t.task.Run(r.ctx))
+		r.meter.Observe(metrics.HistQueueWait, time.Since(t.enqueued))
+		tctx, sp := trace.StartSpan(r.ctx, "task")
+		sp.SetTag("host", r.s.hosts[host])
+		sp.SetAttr("attempt", int64(t.attempts))
+		start := time.Now()
+		err := t.task.Run(tctx)
+		r.meter.Observe(metrics.HistTaskRun, time.Since(start))
+		sp.SetError(err)
+		r.finish(host, t, err, sp)
+		sp.End()
 	}
 }
 
@@ -243,7 +261,7 @@ func (r *runState) abortLocked() {
 		r.queues[i] = nil
 	}
 	if dropped > 0 {
-		r.s.meter.Add(metrics.TasksCancelled, int64(dropped))
+		r.meter.Add(metrics.TasksCancelled, int64(dropped))
 		r.remaining -= dropped
 	}
 	if r.remaining == 0 {
@@ -257,15 +275,17 @@ func (r *runState) abortLocked() {
 // retryable failure re-queues it on the next host, and a permanent failure
 // aborts the run — queued-but-unstarted tasks are dropped and in-flight
 // ones cancelled, so a failed query stops consuming the cluster.
-func (r *runState) finish(host int, t *runTask, err error) {
+func (r *runState) finish(host int, t *runTask, err error, sp *trace.Span) {
 	s := r.s
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err != nil && !r.aborted && s.retryable != nil && s.retryable(err) && t.attempts < s.maxAttempts {
 		t.attempts++
+		t.enqueued = time.Now()
 		target := (host + 1) % len(r.queues) // a different host when one exists
 		r.queues[target] = append(r.queues[target], t)
-		s.meter.Inc(metrics.TasksRetried)
+		r.meter.Inc(metrics.TasksRetried)
+		sp.SetTag("outcome", "retried")
 		r.cond.Broadcast()
 		return
 	}

@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/shc-go/shc/internal/exec"
+	"github.com/shc-go/shc/internal/metrics"
+)
+
+// TestExplainAnalyzeOnPrunedMultiRegionScan is the acceptance test for the
+// observability stack as a whole: a rowkey-range query over the inventory
+// table (keyed on inv_date_sk) prunes some regions and fans out over the
+// survivors, and EXPLAIN ANALYZE must report per-operator actual rows,
+// bytes, and wall time plus a per-region breakdown — with the span-annotated
+// row counts agreeing exactly with the metrics counters for the same query.
+func TestExplainAnalyzeOnPrunedMultiRegionScan(t *testing.T) {
+	rig, err := NewRig(Config{System: SHC, Servers: 3, Scale: 2, ExecutorsPerHost: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rig.Close()
+
+	// Dates span 1..360; the middle third keeps several regions in play
+	// while pruning the rest of the 9-region key space.
+	const q = "SELECT inv_item_sk, inv_quantity_on_hand FROM inventory WHERE inv_date_sk BETWEEN 100 AND 220"
+
+	prunedBefore := rig.Meter.Get(metrics.RegionsPruned)
+	df, err := rig.Session.SQL(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, tr, scope, phys, err := df.AnalyzeContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("query returned no rows; the range predicate is too tight to exercise anything")
+	}
+	if rig.Meter.Get(metrics.RegionsPruned) == prunedBefore {
+		t.Error("rowkey range on inv_date_sk should have pruned regions")
+	}
+
+	// Per-operator actuals on the instrumented physical plan.
+	st, ok := exec.OpStatsOf(phys)
+	if !ok {
+		t.Fatalf("physical plan root is not instrumented: %T", phys)
+	}
+	if int(st.Rows) != len(rows) {
+		t.Errorf("root operator actual rows = %d, query returned %d", st.Rows, len(rows))
+	}
+	if st.Bytes <= 0 || st.Wall <= 0 {
+		t.Errorf("root operator actuals missing: bytes=%d wall=%s", st.Bytes, st.Wall)
+	}
+
+	// The server-side span annotations must agree with the metrics counters:
+	// every region.scan/region.get span carries a rows attr, and the same
+	// scans bumped RowsReturned through the query-scoped registry.
+	regionSpans := append(tr.Find("region.scan"), tr.Find("region.get")...)
+	if len(regionSpans) == 0 {
+		t.Fatalf("no server-side region spans in trace:\n%s", tr.Render())
+	}
+	var spanRows int64
+	regions := map[string]bool{}
+	for _, sp := range regionSpans {
+		spanRows += sp.Attr("rows")
+		if sp.Tag("region") == "" || sp.Tag("host") == "" {
+			t.Fatalf("region span missing region/host tags:\n%s", tr.Render())
+		}
+		regions[sp.Tag("region")] = true
+	}
+	if len(regions) < 2 {
+		t.Errorf("scan touched %d region(s); want a multi-region fan-out", len(regions))
+	}
+	if got := scope.Get(metrics.RowsReturned); got != spanRows {
+		t.Errorf("span-annotated rows %d != scoped %s counter %d", spanRows, metrics.RowsReturned, got)
+	}
+	if scope.Histogram(metrics.HistQueryLatency) == nil || scope.Histogram(metrics.HistQueryLatency).Count() != 1 {
+		t.Error("query latency histogram should hold exactly this query's one observation")
+	}
+
+	// The rendered report carries all three surfaces: actual-annotated plan,
+	// per-region breakdown, and the trace waterfall.
+	df2, err := rig.Session.SQL(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := df2.ExplainAnalyze(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"== Physical Plan (actual) ==",
+		"(actual rows=",
+		"== Per-Region Breakdown ==",
+		"== Query Trace ==",
+		"region.scan",
+		"rows=",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("ExplainAnalyze report missing %q:\n%s", want, rep)
+		}
+	}
+}

@@ -66,13 +66,14 @@ func (a *admission) enter(ctx context.Context) error {
 	}
 	if a.waiting >= a.limits.MaxQueue {
 		a.mu.Unlock()
-		a.meter.Inc(metrics.ServerShed)
+		metrics.Scoped(ctx, a.meter).Inc(metrics.ServerShed)
 		return fmt.Errorf("%w: %d in flight, %d queued", ErrServerBusy, a.limits.MaxInFlight, a.limits.MaxQueue)
 	}
 	ch := make(chan struct{})
 	a.waiters = append(a.waiters, ch)
 	a.waiting++
 	a.meter.SetMax(metrics.ServerQueuePeak, int64(a.waiting))
+	metrics.ScopeFrom(ctx).SetMax(metrics.ServerQueuePeak, int64(a.waiting))
 	a.mu.Unlock()
 
 	select {

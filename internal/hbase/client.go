@@ -11,6 +11,7 @@ import (
 
 	"github.com/shc-go/shc/internal/metrics"
 	"github.com/shc-go/shc/internal/rpc"
+	"github.com/shc-go/shc/internal/trace"
 	"github.com/shc-go/shc/internal/zk"
 )
 
@@ -222,16 +223,29 @@ func (c *Client) callRead(ctx context.Context, host, method string, req rpc.Mess
 		err    error
 		hedged bool
 	}
+	meter := metrics.Scoped(ctx, c.net.Meter())
 	// Buffered to both launches: the loser's send never blocks, so its
 	// goroutine exits even though nobody reads the second result.
 	ch := make(chan result, 2)
-	launch := func(hedged bool) {
+	// Each attempt gets its own span so the waterfall shows the race: the
+	// winner is tagged, the loser is marked cancelled — a lost hedge is an
+	// abandoned duplicate, not a failure and never a win.
+	launch := func(hedged bool) *trace.Span {
+		name := "hedge.primary"
+		if hedged {
+			name = "hedge.speculative"
+		}
+		lctx, sp := trace.StartSpan(hctx, name)
 		go func() {
-			resp, err := c.call(hctx, host, method, req)
+			resp, err := c.call(lctx, host, method, req)
+			sp.SetError(err)
+			sp.End()
 			ch <- result{resp: resp, err: err, hedged: hedged}
 		}()
+		return sp
 	}
-	launch(false)
+	primarySp := launch(false)
+	var hedgeSp *trace.Span
 	timer := time.NewTimer(c.hedgeDelay)
 	defer timer.Stop()
 	outstanding, hedgeFired := 1, false
@@ -242,14 +256,22 @@ func (c *Client) callRead(ctx context.Context, host, method string, req rpc.Mess
 			if !hedgeFired {
 				hedgeFired = true
 				outstanding++
-				c.net.Meter().Inc(metrics.RPCHedges)
-				launch(true)
+				meter.Inc(metrics.RPCHedges)
+				hedgeSp = launch(true)
 			}
 		case r := <-ch:
 			outstanding--
 			if r.err == nil {
+				if hedgeFired {
+					winner, loser := primarySp, hedgeSp
+					if r.hedged {
+						winner, loser = hedgeSp, primarySp
+					}
+					winner.SetTag("hedge", "won")
+					loser.MarkCancelled()
+				}
 				if r.hedged {
-					c.net.Meter().Inc(metrics.RPCHedgeWins)
+					meter.Inc(metrics.RPCHedgeWins)
 				}
 				return r.resp, nil
 			}
@@ -448,7 +470,8 @@ func (c *Client) withRetry(ctx context.Context, table string, op func() error) e
 		if c.retry.Deadline > 0 && time.Since(start) >= c.retry.Deadline {
 			return err
 		}
-		c.net.Meter().Inc(metrics.ClientRetries)
+		metrics.Scoped(ctx, c.net.Meter()).Inc(metrics.ClientRetries)
+		trace.SpanFromContext(ctx).Annotate("retry %d: %v", attempt, err)
 		if !errors.Is(err, ErrServerBusy) {
 			c.InvalidateRegions(table)
 		}

@@ -339,6 +339,15 @@ func (s *Scan) WireSize() int {
 // RunScan executes the scan against this region, metering rows scanned vs
 // returned so the benchmark harness can attribute pushdown savings.
 func (r *Region) RunScan(s *Scan) []Result {
+	return r.RunScanWith(s, metrics.Direct(r.meter))
+}
+
+// RunScanWith is RunScan writing its counters through m, which lets the
+// RPC handlers attribute rows to the calling query's scoped registry as
+// well as the cluster's. Counters are accumulated locally and written once
+// per scan rather than per row, so metering stays off the row loop's hot
+// path.
+func (r *Region) RunScanWith(s *Scan, m metrics.Meter) []Result {
 	start, stop := s.StartRow, s.StopRow
 	if len(r.info.StartKey) > 0 && (start == nil || bytes.Compare(start, r.info.StartKey) < 0) {
 		start = r.info.StartKey
@@ -364,6 +373,7 @@ func (r *Region) RunScan(s *Scan) []Result {
 	}
 
 	var out []Result
+	var rowsScanned, cellsScanned, rowsReturned, cellsReturned int64
 	i := 0
 	for i < len(visible) {
 		j := i
@@ -371,12 +381,12 @@ func (r *Region) RunScan(s *Scan) []Result {
 			j++
 		}
 		row := visible[i:j]
-		r.meter.Inc(metrics.RowsScanned)
-		r.meter.Add(metrics.CellsScanned, int64(len(row)))
+		rowsScanned++
+		cellsScanned += int64(len(row))
 		res := buildResult(row, s.Columns)
 		if !res.Empty() && (s.Filter == nil || matchWithFullRow(s.Filter, row, &res)) {
-			r.meter.Inc(metrics.RowsReturned)
-			r.meter.Add(metrics.CellsReturned, int64(len(res.Cells)))
+			rowsReturned++
+			cellsReturned += int64(len(res.Cells))
 			out = append(out, res)
 			if s.Limit > 0 && len(out) >= s.Limit {
 				break
@@ -384,7 +394,11 @@ func (r *Region) RunScan(s *Scan) []Result {
 		}
 		i = j
 	}
-	r.meter.Inc(metrics.RegionsScanned)
+	m.Add(metrics.RowsScanned, rowsScanned)
+	m.Add(metrics.CellsScanned, cellsScanned)
+	m.Add(metrics.RowsReturned, rowsReturned)
+	m.Add(metrics.CellsReturned, cellsReturned)
+	m.Inc(metrics.RegionsScanned)
 	return out
 }
 
@@ -451,8 +465,13 @@ func buildResult(row []Cell, cols []Column) Result {
 // Get reads one row, honoring the same projection/version/time options as
 // Scan.
 func (r *Region) Get(row []byte, cols []Column, maxVersions int, tr TimeRange) Result {
+	return r.GetWith(row, cols, maxVersions, tr, metrics.Direct(r.meter))
+}
+
+// GetWith is Get writing its counters through m (see RunScanWith).
+func (r *Region) GetWith(row []byte, cols []Column, maxVersions int, tr TimeRange, m metrics.Meter) Result {
 	s := &Scan{StartRow: row, StopRow: append(append([]byte(nil), row...), 0), Columns: cols, MaxVersions: maxVersions, TimeRange: tr, Limit: 1}
-	results := r.RunScan(s)
+	results := r.RunScanWith(s, m)
 	if len(results) == 0 {
 		return Result{Row: append([]byte(nil), row...)}
 	}

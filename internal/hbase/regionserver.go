@@ -8,6 +8,7 @@ import (
 
 	"github.com/shc-go/shc/internal/metrics"
 	"github.com/shc-go/shc/internal/rpc"
+	"github.com/shc-go/shc/internal/trace"
 )
 
 // ErrNotServing reports a request for a region the server does not host —
@@ -209,7 +210,20 @@ func (rs *RegionServer) handlePut(_ context.Context, req rpc.Message) (rpc.Messa
 	return Ack{}, nil
 }
 
-func (rs *RegionServer) handleScan(_ context.Context, req rpc.Message) (rpc.Message, error) {
+// runScanTraced executes a region scan under a "region.scan" span tagged
+// with the region and host, metering through the caller's scoped registry
+// when the context carries one.
+func (rs *RegionServer) runScanTraced(ctx context.Context, r *Region, s *Scan) []Result {
+	_, sp := trace.StartSpan(ctx, "region.scan")
+	sp.SetTag("region", r.Info().ID)
+	sp.SetTag("host", rs.host)
+	results := r.RunScanWith(s, metrics.Scoped(ctx, rs.meter))
+	sp.SetAttr("rows", int64(len(results)))
+	sp.End()
+	return results
+}
+
+func (rs *RegionServer) handleScan(ctx context.Context, req rpc.Message) (rpc.Message, error) {
 	m, ok := req.(*ScanRequest)
 	if !ok {
 		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodScan, req)
@@ -224,10 +238,10 @@ func (rs *RegionServer) handleScan(_ context.Context, req rpc.Message) (rpc.Mess
 	if m.Scan == nil {
 		return nil, fmt.Errorf("hbase: %s: nil scan", MethodScan)
 	}
-	return &ScanResponse{Results: r.RunScan(m.Scan)}, nil
+	return &ScanResponse{Results: rs.runScanTraced(ctx, r, m.Scan)}, nil
 }
 
-func (rs *RegionServer) handleBulkGet(_ context.Context, req rpc.Message) (rpc.Message, error) {
+func (rs *RegionServer) handleBulkGet(ctx context.Context, req rpc.Message) (rpc.Message, error) {
 	m, ok := req.(*BulkGetRequest)
 	if !ok {
 		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodBulkGet, req)
@@ -239,13 +253,19 @@ func (rs *RegionServer) handleBulkGet(_ context.Context, req rpc.Message) (rpc.M
 	if err != nil {
 		return nil, err
 	}
+	_, sp := trace.StartSpan(ctx, "region.get")
+	sp.SetTag("region", r.Info().ID)
+	sp.SetTag("host", rs.host)
+	meter := metrics.Scoped(ctx, rs.meter)
 	resp := &ScanResponse{}
 	for _, row := range m.Rows {
-		res := r.Get(row, m.Columns, m.MaxVersions, m.TimeRange)
+		res := r.GetWith(row, m.Columns, m.MaxVersions, m.TimeRange, meter)
 		if !res.Empty() {
 			resp.Results = append(resp.Results, res)
 		}
 	}
+	sp.SetAttr("rows", int64(len(resp.Results)))
+	sp.End()
 	return resp, nil
 }
 
@@ -260,6 +280,7 @@ func (rs *RegionServer) handleFused(ctx context.Context, req rpc.Message) (rpc.M
 	if m.Cursor.Op < 0 || m.Cursor.Op > len(m.Ops) {
 		return nil, fmt.Errorf("hbase: %s: cursor op %d out of range", MethodFused, m.Cursor.Op)
 	}
+	meter := metrics.Scoped(ctx, rs.meter)
 	resp := &ScanResponse{}
 	// room reports how many more rows fit in this page; -1 = unbounded.
 	room := func() int {
@@ -286,11 +307,18 @@ func (rs *RegionServer) handleFused(ctx context.Context, req rpc.Message) (rpc.M
 		}
 		if len(op.Rows) > 0 {
 			// Point gets inherit the template's projection, filter, and
-			// time options (HBase Gets carry filters too).
+			// time options (HBase Gets carry filters too). One span covers
+			// the whole op — a span per row would dwarf the work it times.
+			_, sp := trace.StartSpan(ctx, "region.get")
+			sp.SetTag("region", r.Info().ID)
+			sp.SetTag("host", rs.host)
+			var got int64
 			for ri := cur.RowIdx; ri < len(op.Rows); ri++ {
 				if room() == 0 {
 					resp.More = true
 					resp.Next = FusedCursor{Op: opIdx, RowIdx: ri}
+					sp.SetAttr("rows", got)
+					sp.End()
 					return resp, nil
 				}
 				row := op.Rows[ri]
@@ -299,8 +327,12 @@ func (rs *RegionServer) handleFused(ctx context.Context, req rpc.Message) (rpc.M
 					s.Columns, s.Filter = op.Scan.Columns, op.Scan.Filter
 					s.MaxVersions, s.TimeRange = op.Scan.MaxVersions, op.Scan.TimeRange
 				}
-				resp.Results = append(resp.Results, r.RunScan(&s)...)
+				results := r.RunScanWith(&s, meter)
+				got += int64(len(results))
+				resp.Results = append(resp.Results, results...)
 			}
+			sp.SetAttr("rows", got)
+			sp.End()
 			continue
 		}
 		if op.Scan == nil {
@@ -329,7 +361,7 @@ func (rs *RegionServer) handleFused(ctx context.Context, req rpc.Message) (rpc.M
 			s.Limit = rm
 			pageBounded = true
 		}
-		results := r.RunScan(&s)
+		results := rs.runScanTraced(ctx, r, &s)
 		resp.Results = append(resp.Results, results...)
 		if pageBounded && len(results) == s.Limit {
 			// The op may hold more rows: stop here and hand back a cursor

@@ -145,7 +145,7 @@ func (s *Scanner) fetchPage() ([]Result, error) {
 			if s.failures >= s.client.retry.MaxAttempts {
 				return nil, s.wrapErr(err, ri.ID)
 			}
-			s.client.net.Meter().Inc(metrics.ClientRetries)
+			metrics.Scoped(s.ctx, s.client.net.Meter()).Inc(metrics.ClientRetries)
 			// A shed request means the server is saturated, not gone: the
 			// region map is still right, so skip the relocate and just back
 			// off before resending the same page.
@@ -238,7 +238,7 @@ func (s *Scanner) Next() ([]Result, error) {
 		// next launch happens-after the receive, so access stays serial.
 		ch := make(chan pageResult, 1)
 		s.pending = ch
-		s.meter.Inc(metrics.PagesPrefetched)
+		metrics.Scoped(s.ctx, s.meter).Inc(metrics.PagesPrefetched)
 		go func() {
 			r, e := s.fetchPage()
 			ch <- pageResult{results: r, err: e}

@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// WriteExposition dumps every counter, gauge, and histogram in the
+// Prometheus text exposition format, sorted by name. Counter names are
+// sanitized (dots → underscores) and prefixed with "shc_"; histogram
+// bucket bounds are rendered in seconds with cumulative counts, per the
+// format's conventions. Names written through SetMax/AddPeak are typed
+// `gauge`, everything else `counter`.
+func (r *Registry) WriteExposition(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		kind := "counter"
+		if r.IsGauge(name) {
+			kind = "gauge"
+		}
+		m := sanitize(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", m, kind, m, snap[name]); err != nil {
+			return err
+		}
+	}
+
+	hists := r.Histograms()
+	hnames := make([]string, 0, len(hists))
+	for name := range hists {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := hists[name]
+		m := sanitize(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", m); err != nil {
+			return err
+		}
+		bounds, counts := h.Buckets()
+		// Collapse the empty head and saturated tail of the fixed bucket
+		// array: print from the first non-empty cumulative count through
+		// the bucket that reaches the total, then jump to +Inf.
+		total := h.Count()
+		started := false
+		for i, b := range bounds {
+			isInf := b < 0
+			if !started && counts[i] == 0 && !isInf {
+				continue
+			}
+			started = true
+			le := "+Inf"
+			if !isInf {
+				le = strconv.FormatFloat(b.Seconds(), 'g', -1, 64)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", m, le, counts[i]); err != nil {
+				return err
+			}
+			if isInf {
+				break
+			}
+			if counts[i] == total {
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m, total); err != nil {
+					return err
+				}
+				break
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+			m, strconv.FormatFloat(h.Sum().Seconds(), 'g', -1, 64), m, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SummaryString renders every histogram's p50/p95/p99/max on one line
+// each — the human-readable companion to WriteExposition.
+func (r *Registry) SummaryString() string {
+	if r == nil {
+		return ""
+	}
+	hists := r.Histograms()
+	names := make([]string, 0, len(hists))
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := ""
+	for _, name := range names {
+		h := hists[name]
+		if h.Count() == 0 {
+			continue
+		}
+		out += fmt.Sprintf("%-24s n=%-6d p50=%-10s p95=%-10s p99=%-10s max=%s\n",
+			name, h.Count(),
+			roundDur(h.Quantile(0.50)), roundDur(h.Quantile(0.95)),
+			roundDur(h.Quantile(0.99)), roundDur(h.Max()))
+	}
+	return out
+}
+
+func roundDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Microsecond).String()
+	}
+}
+
+// sanitize maps a dotted counter name onto the exposition charset.
+func sanitize(name string) string {
+	b := make([]byte, 0, len(name)+4)
+	b = append(b, "shc_"...)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}

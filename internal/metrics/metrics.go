@@ -64,16 +64,23 @@ const (
 	TasksCancelled      = "tasks.cancelled"
 )
 
-// Registry is a concurrency-safe set of named monotonic counters.
+// Registry is a concurrency-safe set of named monotonic counters, gauges
+// (SetMax/AddPeak high-water marks), and latency histograms.
 // The zero value is not usable; call NewRegistry.
 type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*atomic.Int64
+	hists    map[string]*Histogram
+	gauges   map[string]struct{}
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: make(map[string]*atomic.Int64)}
+	return &Registry{
+		counters: make(map[string]*atomic.Int64),
+		hists:    make(map[string]*Histogram),
+		gauges:   make(map[string]struct{}),
+	}
 }
 
 func (r *Registry) counter(name string) *atomic.Int64 {
@@ -105,11 +112,15 @@ func (r *Registry) Add(name string, delta int64) {
 func (r *Registry) Inc(name string) { r.Add(name, 1) }
 
 // SetMax raises the named counter to v if v exceeds its current value —
-// a high-water mark rather than an accumulator.
+// a high-water mark rather than an accumulator. Names written through
+// SetMax are remembered as gauges: the exposition output labels them
+// `gauge` rather than `counter`, since their value is a level, not a
+// monotonic total, and Reset returns them to zero like any other level.
 func (r *Registry) SetMax(name string, v int64) {
 	if r == nil {
 		return
 	}
+	r.markGauge(name)
 	c := r.counter(name)
 	for {
 		old := c.Load()
@@ -132,10 +143,39 @@ func (r *Registry) AddPeak(cur, peak string, delta int64) {
 	if r == nil {
 		return
 	}
+	r.markGauge(cur)
 	v := r.counter(cur).Add(delta)
 	if delta > 0 {
 		r.SetMax(peak, v)
 	}
+}
+
+// markGauge remembers that name holds a level rather than a monotonic
+// total, so exposition can label it correctly.
+func (r *Registry) markGauge(name string) {
+	r.mu.RLock()
+	_, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return
+	}
+	r.mu.Lock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]struct{})
+	}
+	r.gauges[name] = struct{}{}
+	r.mu.Unlock()
+}
+
+// IsGauge reports whether name has been written through SetMax/AddPeak.
+func (r *Registry) IsGauge(name string) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.gauges[name]
+	return ok
 }
 
 // Get returns the current value of the named counter (zero if never written).
@@ -152,7 +192,10 @@ func (r *Registry) Get(name string) int64 {
 	return c.Load()
 }
 
-// Reset zeroes every counter while keeping them registered.
+// Reset zeroes every counter, gauge, and histogram while keeping them
+// registered. High-water marks (SetMax/AddPeak gauges) restart from zero:
+// a bench iteration that Resets between runs sees only its own peaks, not
+// the high-water mark of every run before it.
 func (r *Registry) Reset() {
 	if r == nil {
 		return
@@ -161,6 +204,9 @@ func (r *Registry) Reset() {
 	defer r.mu.RUnlock()
 	for _, c := range r.counters {
 		c.Store(0)
+	}
+	for _, h := range r.hists {
+		h.reset()
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"github.com/shc-go/shc/internal/metrics"
+	"github.com/shc-go/shc/internal/trace"
 )
 
 // Errors returned by the transport.
@@ -195,13 +196,18 @@ func (n *Network) DialContext(ctx context.Context, host string) (*Conn, error) {
 	if down {
 		return nil, fmt.Errorf("%w: %q", ErrHostDown, host)
 	}
-	if err := n.injector().apply(ctx, host, MethodDial); err != nil {
+	dctx, sp := trace.StartSpan(ctx, "rpc:dial")
+	sp.SetTag("host", host)
+	defer sp.End()
+	if err := n.injector().apply(dctx, host, MethodDial); err != nil {
+		sp.SetError(err)
 		return nil, err
 	}
-	if err := SleepContext(ctx, n.cfg.ConnLatency); err != nil {
+	if err := SleepContext(dctx, n.cfg.ConnLatency); err != nil {
+		sp.SetError(err)
 		return nil, err
 	}
-	n.meter.Inc(metrics.ConnectionsCreated)
+	metrics.Scoped(ctx, n.meter).Inc(metrics.ConnectionsCreated)
 	return &Conn{n: n, host: host}, nil
 }
 
@@ -234,7 +240,25 @@ func (c *Conn) CallContext(ctx context.Context, method string, req Message) (Mes
 	return c.n.call(ctx, c.host, method, req)
 }
 
+// call wraps dispatch with the per-call observability: a span named after
+// the method (carrying host, byte sizes, and the error outcome) and the
+// per-method latency histogram. Latency is recorded on the network's own
+// registry and, when the context carries a query scope, on that too.
 func (n *Network) call(ctx context.Context, host, method string, req Message) (Message, error) {
+	sctx, sp := trace.StartSpan(ctx, "rpc:"+method)
+	sp.SetTag("host", host)
+	start := time.Now()
+	resp, err := n.dispatch(sctx, host, method, req)
+	metrics.Scoped(ctx, n.meter).Observe(metrics.HistRPCLatencyPrefix+method, time.Since(start))
+	if resp != nil {
+		sp.SetAttr("resp_bytes", int64(resp.WireSize()))
+	}
+	sp.SetError(err)
+	sp.End()
+	return resp, err
+}
+
+func (n *Network) dispatch(ctx context.Context, host, method string, req Message) (Message, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -262,8 +286,9 @@ func (n *Network) call(ctx context.Context, host, method string, req Message) (M
 	if req != nil {
 		reqSize = req.WireSize()
 	}
-	n.meter.Inc(metrics.RPCCalls)
-	n.meter.Add(metrics.RPCBytesSent, int64(reqSize))
+	m := metrics.Scoped(ctx, n.meter)
+	m.Inc(metrics.RPCCalls)
+	m.Add(metrics.RPCBytesSent, int64(reqSize))
 
 	resp, err := h(ctx, req)
 	if err != nil {
@@ -273,7 +298,7 @@ func (n *Network) call(ctx context.Context, host, method string, req Message) (M
 	if resp != nil {
 		respSize = resp.WireSize()
 	}
-	n.meter.Add(metrics.RPCBytesReceived, int64(respSize))
+	m.Add(metrics.RPCBytesReceived, int64(respSize))
 	if err := n.charge(ctx, reqSize+respSize); err != nil {
 		return nil, err
 	}

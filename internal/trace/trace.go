@@ -1,0 +1,481 @@
+// Package trace is the per-query tracing layer of the observability stack:
+// one Trace per query, hierarchical spans for every phase the query passes
+// through (parse → optimize → compile → execute → per-task run → per-RPC
+// call → server-side region scan), and a waterfall renderer that shows
+// where the wall time went.
+//
+// Traces propagate through the same context.Context plumbing every layer
+// already threads for cancellation: NewContext installs a Trace, and each
+// instrumented layer calls StartSpan, which nests the new span under the
+// context's current span. The whole stack is simulated in-process, so a
+// query's context — and therefore its trace — reaches the server-side RPC
+// handlers directly; no wire format is needed.
+//
+// Tracing is strictly pay-for-play: with no Trace in the context, StartSpan
+// returns the context unchanged and a nil *Span, and every Span method is a
+// no-op on a nil receiver. The disabled path performs no allocation, and the
+// enabled path stays cheap enough for the trace-overhead benchmark gate
+// (bench.TraceOverhead) to hold tracing to <5% added latency on the
+// streaming benchmark: each span carries its own mutex (concurrent tasks
+// never contend on a shared lock) and tags/attributes live in small slices,
+// not maps.
+package trace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span statuses. The zero value (empty string) renders as "ok".
+const (
+	// StatusError marks a span whose operation failed.
+	StatusError = "error"
+	// StatusCancelled marks a span whose operation was abandoned — a hedged
+	// read that lost the race, a task cancelled by an aborting run. A
+	// cancelled span is sticky: a later SetError never downgrades it back to
+	// a plain error, so a losing hedge is never mistaken for a failure (or a
+	// win).
+	StatusCancelled = "cancelled"
+)
+
+// Trace is one query's span tree. Synchronization is per span — the tree
+// has no global lock, so spans recorded by concurrent tasks never contend
+// with each other.
+type Trace struct {
+	root *Span
+}
+
+type tag struct {
+	k, v string
+}
+
+type attr struct {
+	k string
+	v int64
+}
+
+// Span is one timed operation within a trace. All methods are safe on a nil
+// receiver, which is how disabled tracing stays free at every call site.
+// Tags and attributes are slices, not maps: spans carry a handful of each,
+// and a linear scan beats a map's allocation on the recording hot path.
+type Span struct {
+	tr    *Trace
+	name  string
+	start time.Time
+
+	mu     sync.Mutex
+	end    time.Time // zero while the span is open
+	status string
+	errMsg string
+	tags   []tag
+	attrs  []attr
+	notes  []string
+	kids   []*Span
+}
+
+// New starts a trace whose root span is named name.
+func New(name string) *Trace {
+	t := &Trace{}
+	t.root = &Span{tr: t, name: name, start: time.Now()}
+	return t
+}
+
+type ctxKey struct{}
+
+type spanKey struct{}
+
+// NewContext returns ctx carrying tr (and tr's root as the current span).
+func NewContext(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	ctx = context.WithValue(ctx, ctxKey{}, tr)
+	return context.WithValue(ctx, spanKey{}, tr.root)
+}
+
+// FromContext returns the context's trace, or nil when tracing is off.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(ctxKey{}).(*Trace)
+	return tr
+}
+
+// SpanFromContext returns the context's current span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// StartSpan opens a child of the context's current span (the trace root when
+// no span is current) and returns a context carrying the new span. When the
+// context has no trace, it returns (ctx, nil) untouched — zero allocations,
+// and every method on the nil span is a no-op.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	tr := FromContext(ctx)
+	if tr == nil {
+		return ctx, nil
+	}
+	parent := SpanFromContext(ctx)
+	sp := tr.startSpan(parent, name)
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+func (t *Trace) startSpan(parent *Span, name string) *Span {
+	if parent == nil || parent.tr != t {
+		parent = t.root
+	}
+	sp := &Span{tr: t, name: name, start: time.Now()}
+	parent.mu.Lock()
+	parent.kids = append(parent.kids, sp)
+	parent.mu.Unlock()
+	return sp
+}
+
+// Root returns the trace's root span.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish ends the root span (idempotent).
+func (t *Trace) Finish() { t.Root().End() }
+
+// Duration is the root span's duration (elapsed-so-far while open).
+func (t *Trace) Duration() time.Duration { return t.Root().Duration() }
+
+// End closes the span. Ending twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = now
+	}
+	s.mu.Unlock()
+}
+
+// SetTag attaches a string label (host, region, outcome).
+func (s *Span) SetTag(key, val string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.tags {
+		if s.tags[i].k == key {
+			s.tags[i].v = val
+			return
+		}
+	}
+	if s.tags == nil {
+		s.tags = make([]tag, 0, 4)
+	}
+	s.tags = append(s.tags, tag{key, val})
+}
+
+// SetAttr attaches a numeric attribute (rows, bytes, attempt).
+func (s *Span) SetAttr(key string, val int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.putAttrLocked(key, val, false)
+}
+
+// AddAttr adds delta to a numeric attribute.
+func (s *Span) AddAttr(key string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.putAttrLocked(key, delta, true)
+}
+
+func (s *Span) putAttrLocked(key string, v int64, add bool) {
+	for i := range s.attrs {
+		if s.attrs[i].k == key {
+			if add {
+				s.attrs[i].v += v
+			} else {
+				s.attrs[i].v = v
+			}
+			return
+		}
+	}
+	if s.attrs == nil {
+		s.attrs = make([]attr, 0, 4)
+	}
+	s.attrs = append(s.attrs, attr{key, v})
+}
+
+// Annotate appends a free-form note (retry reasons, hedge outcomes).
+func (s *Span) Annotate(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	note := fmt.Sprintf(format, args...)
+	s.mu.Lock()
+	s.notes = append(s.notes, note)
+	s.mu.Unlock()
+}
+
+// SetError marks the span failed. Context-cancellation errors mark it
+// cancelled instead, and an already-cancelled span stays cancelled — a
+// hedged read's loser is cancelled, not failed, even though its call
+// returns an error.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	cancelled := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.status == StatusCancelled {
+		return
+	}
+	if cancelled {
+		s.status = StatusCancelled
+	} else {
+		s.status = StatusError
+	}
+	s.errMsg = err.Error()
+}
+
+// MarkCancelled marks the span abandoned. Sticky: later SetError calls
+// cannot overwrite it.
+func (s *Span) MarkCancelled() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.status = StatusCancelled
+	s.mu.Unlock()
+}
+
+// AddTimed records an already-measured child operation (e.g. SQL parsing
+// that happened before the trace existed) as a completed span of duration d.
+func (s *Span) AddTimed(name string, d time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	now := time.Now()
+	sp := &Span{tr: s.tr, name: name, start: now.Add(-d), end: now}
+	s.mu.Lock()
+	// A back-dated child can predate this span (the work happened before
+	// the trace existed); widen the span so offsets stay non-negative and
+	// the total covers the recorded work.
+	if sp.start.Before(s.start) {
+		s.start = sp.start
+	}
+	s.kids = append(s.kids, sp)
+	s.mu.Unlock()
+	return sp
+}
+
+// Name returns the span's name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the span's duration (elapsed-so-far while open).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.durationLocked()
+}
+
+func (s *Span) durationLocked() time.Duration {
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// Status returns "", StatusError, or StatusCancelled.
+func (s *Span) Status() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.status
+}
+
+// Tag returns a string label set with SetTag.
+func (s *Span) Tag(key string) string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.tags {
+		if s.tags[i].k == key {
+			return s.tags[i].v
+		}
+	}
+	return ""
+}
+
+// Attr returns a numeric attribute set with SetAttr/AddAttr.
+func (s *Span) Attr(key string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].k == key {
+			return s.attrs[i].v
+		}
+	}
+	return 0
+}
+
+// Children returns a snapshot of the span's child spans.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.kids...)
+}
+
+// Walk visits every span depth-first, the root at depth 0. Each span's
+// children are snapshotted under that span's lock, so fn may call span
+// accessors (Tag, Attr, Duration, ...) freely.
+func (t *Trace) Walk(fn func(depth int, s *Span)) {
+	if t == nil {
+		return
+	}
+	var walk func(sp *Span, depth int)
+	walk = func(sp *Span, depth int) {
+		fn(depth, sp)
+		for _, k := range sp.Children() {
+			walk(k, depth+1)
+		}
+	}
+	walk(t.root, 0)
+}
+
+// Find returns every span with the given name, in depth-first order.
+func (t *Trace) Find(name string) []*Span {
+	var out []*Span
+	t.Walk(func(_ int, s *Span) {
+		if s.name == name {
+			out = append(out, s)
+		}
+	})
+	return out
+}
+
+// SpanTiming is one entry of Slowest.
+type SpanTiming struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Slowest returns the n longest non-root spans, longest first — the
+// headline of a slow-query log record.
+func (t *Trace) Slowest(n int) []SpanTiming {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	var all []SpanTiming
+	t.Walk(func(depth int, sp *Span) {
+		if depth > 0 {
+			all = append(all, SpanTiming{Name: sp.name, Duration: sp.Duration()})
+		}
+	})
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Duration > all[j].Duration })
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// Render prints the span tree as an indented waterfall: each line shows the
+// span's name, duration, start offset from the trace start, sorted tags and
+// attributes, status, and notes.
+func (t *Trace) Render() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	origin := t.root.start
+	var walk func(sp *Span, depth int)
+	walk = func(sp *Span, depth int) {
+		sp.mu.Lock()
+		dur := sp.durationLocked()
+		tags := append([]tag(nil), sp.tags...)
+		attrs := append([]attr(nil), sp.attrs...)
+		status, errMsg := sp.status, sp.errMsg
+		notes := append([]string(nil), sp.notes...)
+		kids := append([]*Span(nil), sp.kids...)
+		sp.mu.Unlock()
+
+		b.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&b, "%s %s", sp.name, fmtDur(dur))
+		if depth > 0 {
+			fmt.Fprintf(&b, " @%s", fmtDur(sp.start.Sub(origin)))
+		}
+		sort.Slice(tags, func(i, j int) bool { return tags[i].k < tags[j].k })
+		for _, kv := range tags {
+			fmt.Fprintf(&b, " %s=%s", kv.k, kv.v)
+		}
+		sort.Slice(attrs, func(i, j int) bool { return attrs[i].k < attrs[j].k })
+		for _, kv := range attrs {
+			fmt.Fprintf(&b, " %s=%d", kv.k, kv.v)
+		}
+		if status != "" {
+			fmt.Fprintf(&b, " [%s", status)
+			if errMsg != "" {
+				fmt.Fprintf(&b, ": %s", errMsg)
+			}
+			b.WriteByte(']')
+		}
+		for _, n := range notes {
+			fmt.Fprintf(&b, " (%s)", n)
+		}
+		b.WriteByte('\n')
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	walk(t.root, 0)
+	return b.String()
+}
+
+// fmtDur rounds durations for display so waterfalls stay readable.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.String()
+	}
+}

@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := New("query")
+	ctx := NewContext(context.Background(), tr)
+
+	ctx1, parent := StartSpan(ctx, "schedule")
+	if parent == nil {
+		t.Fatal("expected live span with trace in context")
+	}
+	_, child := StartSpan(ctx1, "task")
+	child.SetTag("host", "rs-1")
+	child.SetAttr("rows", 42)
+	child.End()
+	parent.End()
+	tr.Finish()
+
+	root := tr.Root()
+	kids := root.Children()
+	if len(kids) != 1 || kids[0].Name() != "schedule" {
+		t.Fatalf("root children = %v, want [schedule]", names(kids))
+	}
+	grand := kids[0].Children()
+	if len(grand) != 1 || grand[0].Name() != "task" {
+		t.Fatalf("schedule children = %v, want [task]", names(grand))
+	}
+	if got := grand[0].Tag("host"); got != "rs-1" {
+		t.Fatalf("host tag = %q, want rs-1", got)
+	}
+	if got := grand[0].Attr("rows"); got != 42 {
+		t.Fatalf("rows attr = %d, want 42", got)
+	}
+}
+
+func names(spans []*Span) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name()
+	}
+	return out
+}
+
+func TestSiblingsUnderSameParent(t *testing.T) {
+	tr := New("q")
+	ctx := NewContext(context.Background(), tr)
+	for i := 0; i < 3; i++ {
+		_, sp := StartSpan(ctx, "task")
+		sp.End()
+	}
+	if got := len(tr.Root().Children()); got != 3 {
+		t.Fatalf("root has %d children, want 3", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var sp *Span
+	sp.End()
+	sp.SetTag("k", "v")
+	sp.SetAttr("k", 1)
+	sp.AddAttr("k", 1)
+	sp.Annotate("note %d", 1)
+	sp.SetError(errors.New("boom"))
+	sp.MarkCancelled()
+	sp.AddTimed("x", time.Millisecond)
+	if sp.Name() != "" || sp.Duration() != 0 || sp.Status() != "" ||
+		sp.Tag("k") != "" || sp.Attr("k") != 0 || sp.Children() != nil {
+		t.Fatal("nil span accessors must return zero values")
+	}
+	var tr *Trace
+	if tr.Root() != nil || tr.Render() != "" || tr.Slowest(3) != nil {
+		t.Fatal("nil trace accessors must return zero values")
+	}
+	tr.Walk(func(int, *Span) { t.Fatal("nil trace must not walk") })
+}
+
+func TestDisabledTracingZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(100, func() {
+		c2, sp := StartSpan(ctx, "rpc:Scan")
+		sp.SetTag("host", "rs-0")
+		sp.SetAttr("bytes", 1024)
+		sp.SetError(nil)
+		sp.End()
+		_ = c2
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestSetErrorAndCancellation(t *testing.T) {
+	tr := New("q")
+	ctx := NewContext(context.Background(), tr)
+
+	_, failed := StartSpan(ctx, "a")
+	failed.SetError(errors.New("boom"))
+	if failed.Status() != StatusError {
+		t.Fatalf("status = %q, want error", failed.Status())
+	}
+
+	// Context cancellation errors mark the span cancelled, not failed.
+	_, timedOut := StartSpan(ctx, "b")
+	timedOut.SetError(context.DeadlineExceeded)
+	if timedOut.Status() != StatusCancelled {
+		t.Fatalf("status = %q, want cancelled", timedOut.Status())
+	}
+
+	// MarkCancelled is sticky: a hedge loser's late error must not turn the
+	// cancelled span into a failure.
+	_, loser := StartSpan(ctx, "c")
+	loser.MarkCancelled()
+	loser.SetError(errors.New("late arrival"))
+	if loser.Status() != StatusCancelled {
+		t.Fatalf("status = %q, want cancelled to stick", loser.Status())
+	}
+}
+
+func TestRenderWaterfall(t *testing.T) {
+	tr := New("query")
+	ctx := NewContext(context.Background(), tr)
+	ctx2, sched := StartSpan(ctx, "schedule")
+	_, task := StartSpan(ctx2, "task")
+	task.SetTag("host", "rs-2")
+	task.SetAttr("rows", 7)
+	task.Annotate("retry 1: host down")
+	task.End()
+	sched.End()
+	_, bad := StartSpan(ctx, "rpc:Scan")
+	bad.SetError(errors.New("boom"))
+	bad.End()
+	tr.Finish()
+
+	out := tr.Render()
+	for _, want := range []string{
+		"query", "schedule", "task", "host=rs-2", "rows=7",
+		"(retry 1: host down)", "rpc:Scan", "[error: boom]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+	// Children are indented under their parents.
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[1], "  schedule") || !strings.HasPrefix(lines[2], "    task") {
+		t.Fatalf("bad indentation:\n%s", out)
+	}
+}
+
+func TestSlowestAndFind(t *testing.T) {
+	tr := New("q")
+	root := tr.Root()
+	root.AddTimed("fast", time.Millisecond)
+	root.AddTimed("slow", time.Second)
+	root.AddTimed("mid", 10*time.Millisecond)
+	top := tr.Slowest(2)
+	if len(top) != 2 || top[0].Name != "slow" || top[1].Name != "mid" {
+		t.Fatalf("slowest = %+v, want slow then mid", top)
+	}
+	if got := len(tr.Find("mid")); got != 1 {
+		t.Fatalf("Find(mid) = %d spans, want 1", got)
+	}
+}
+
+func TestWalkDepths(t *testing.T) {
+	tr := New("q")
+	ctx := NewContext(context.Background(), tr)
+	c1, _ := StartSpan(ctx, "l1")
+	StartSpan(c1, "l2")
+	depths := map[string]int{}
+	tr.Walk(func(d int, s *Span) { depths[s.Name()] = d })
+	if depths["q"] != 0 || depths["l1"] != 1 || depths["l2"] != 2 {
+		t.Fatalf("depths = %v", depths)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New("q")
+	ctx := NewContext(context.Background(), tr)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c2, sp := StartSpan(ctx, "task")
+			sp.SetTag("host", "h")
+			sp.AddAttr("rows", 1)
+			_, inner := StartSpan(c2, "rpc")
+			inner.End()
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	tr.Finish()
+	if got := len(tr.Find("task")); got != 16 {
+		t.Fatalf("found %d task spans, want 16", got)
+	}
+	if got := len(tr.Find("rpc")); got != 16 {
+		t.Fatalf("found %d rpc spans, want 16", got)
+	}
+}
+
+func TestAddTimedDuration(t *testing.T) {
+	tr := New("q")
+	sp := tr.Root().AddTimed("parse", 5*time.Millisecond)
+	if d := sp.Duration(); d != 5*time.Millisecond {
+		t.Fatalf("AddTimed duration = %v, want 5ms", d)
+	}
+}

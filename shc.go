@@ -21,6 +21,7 @@
 package shc
 
 import (
+	"context"
 	"time"
 
 	"github.com/shc-go/shc/internal/conncache"
@@ -30,6 +31,7 @@ import (
 	"github.com/shc-go/shc/internal/metrics"
 	"github.com/shc-go/shc/internal/plan"
 	"github.com/shc-go/shc/internal/security"
+	"github.com/shc-go/shc/internal/trace"
 )
 
 // Cluster-side types.
@@ -78,6 +80,25 @@ type (
 	// Metrics is the counter registry every layer reports into.
 	Metrics = metrics.Registry
 )
+
+// Observability types.
+type (
+	// QueryTrace is a per-query tree of timed spans; install one with
+	// StartTrace and render it with its Render method, or let
+	// DataFrame.ExplainAnalyze manage one for you.
+	QueryTrace = trace.Trace
+	// Span is one timed operation in a QueryTrace.
+	Span = trace.Span
+)
+
+// StartTrace returns ctx carrying a fresh query trace named name. Pass the
+// context to CollectContext/CountContext and every tier — parse, optimize,
+// compile, scheduler tasks, client RPCs, server-side region scans — records
+// spans into it; when tracing is absent the same code paths cost nothing.
+func StartTrace(ctx context.Context, name string) (context.Context, *QueryTrace) {
+	tr := trace.New(name)
+	return trace.NewContext(ctx, tr), tr
+}
 
 // Security types.
 type (

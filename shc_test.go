@@ -1,7 +1,9 @@
 package shc_test
 
 import (
+	"context"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -141,5 +143,34 @@ func TestFacadeSecureCluster(t *testing.T) {
 	anon := cluster.NewClient()
 	if _, err := anon.ListTables(); err == nil {
 		t.Error("anonymous access must be rejected")
+	}
+}
+
+func TestFacadeTracingAndExplainAnalyze(t *testing.T) {
+	_, sess, _ := bootFacade(t)
+	df, err := sess.SQL("SELECT id, age FROM people WHERE age < 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A caller-installed trace records spans from the facade down to the
+	// server-side region scans.
+	ctx, tr := shc.StartTrace(context.Background(), "facade-query")
+	if _, err := df.CollectContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish()
+	if len(tr.Find("region.scan"))+len(tr.Find("region.get")) == 0 {
+		t.Fatalf("no server-side spans recorded:\n%s", tr.Render())
+	}
+
+	rep, err := df.ExplainAnalyze(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"== Physical Plan (actual) ==", "(actual rows=", "== Query Trace =="} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
 	}
 }
