@@ -24,12 +24,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|table2|ablation|streaming|chaos|overload|trace-overhead")
+	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|table2|ablation|streaming|chaos|partition|overload|trace-overhead")
 	scales := flag.String("scales", "1,2,3,4,5,6", "comma-separated scale factors (the 5..30 GB axis)")
 	servers := flag.Int("servers", 5, "region servers / executor hosts")
 	runs := flag.Int("runs", 1, "average each measurement over N runs")
 	executors := flag.String("executors", "5,10,15,20,25", "total executor counts for fig6")
-	seed := flag.Int64("seed", 1, "fault-injection seed for the chaos experiment")
+	seed := flag.Int64("seed", 1, "fault-injection seed for the chaos and partition experiments")
 	metricsDump := flag.Bool("metrics", false, "dump a Prometheus-style metrics exposition after supporting experiments")
 	flag.Parse()
 
@@ -64,11 +64,12 @@ func main() {
 	run("ablation", func() error { _, err := bench.Ablation(p); return err })
 	run("streaming", func() error { _, err := bench.StreamingComparison(p); return err })
 	run("chaos", func() error { _, err := bench.Chaos(p); return err })
+	run("partition", func() error { _, err := bench.Partition(p); return err })
 	run("overload", func() error { _, err := bench.Overload(p); return err })
 	run("trace-overhead", func() error { _, err := bench.TraceOverhead(p); return err })
 
 	switch *exp {
-	case "all", "table1", "fig4", "fig5", "fig6", "fig7", "table2", "ablation", "streaming", "chaos", "overload", "trace-overhead":
+	case "all", "table1", "fig4", "fig5", "fig6", "fig7", "table2", "ablation", "streaming", "chaos", "partition", "overload", "trace-overhead":
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}

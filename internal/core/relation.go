@@ -503,9 +503,9 @@ func (r *HBaseRelation) BuildScan(requiredColumns []string, filters []datasource
 				continue
 			}
 			if isPoint(rng) {
-				ops = append(ops, hbase.ScanOp{RegionID: ri.ID, Rows: [][]byte{rng.Start}, Scan: scanTemplate(nil, nil)})
+				ops = append(ops, hbase.ScanOp{RegionID: ri.ID, Epoch: ri.Epoch, Rows: [][]byte{rng.Start}, Scan: scanTemplate(nil, nil)})
 			} else {
-				ops = append(ops, hbase.ScanOp{RegionID: ri.ID, Scan: scanTemplate(lo, hi)})
+				ops = append(ops, hbase.ScanOp{RegionID: ri.ID, Epoch: ri.Epoch, Scan: scanTemplate(lo, hi)})
 			}
 		}
 		if len(ops) == 0 {
@@ -519,7 +519,7 @@ func (r *HBaseRelation) BuildScan(requiredColumns []string, filters []datasource
 			if empty == nil {
 				empty = []byte{}
 			}
-			ops = append(ops, hbase.ScanOp{RegionID: ri.ID, Scan: scanTemplate(empty, empty)})
+			ops = append(ops, hbase.ScanOp{RegionID: ri.ID, Epoch: ri.Epoch, Scan: scanTemplate(empty, empty)})
 		}
 		work = append(work, regionWork{info: ri, ops: ops})
 	}
@@ -691,19 +691,28 @@ func (g *fusedPager) next(ctx context.Context) (*hbase.ScanResponse, error) {
 // replace re-resolves where the remaining ops now live and sets host/prefix
 // to the leading contiguous run served by one host. Op order is preserved,
 // so the rows stream in exactly the order the unbroken fused RPC would have
-// produced them.
+// produced them. Each remaining op is restamped with the region's current
+// ownership epoch — the fresh locations are only honored by servers when the
+// routing epoch matches what they hold.
 func (g *fusedPager) replace(ctx context.Context) error {
 	regions, err := g.p.rel.client.RegionsContext(ctx, g.p.rel.cat.Table.Name)
 	if err != nil {
 		return err
 	}
 	hostOf := make(map[string]string, len(regions))
+	epochOf := make(map[string]uint64, len(regions))
 	for _, ri := range regions {
 		hostOf[ri.ID] = ri.Host
+		epochOf[ri.ID] = ri.Epoch
 	}
 	h, ok := hostOf[g.ops[0].RegionID]
 	if !ok {
 		return fmt.Errorf("core: region %q vanished from table %q", g.ops[0].RegionID, g.p.rel.cat.Table.Name)
+	}
+	for i := range g.ops {
+		if e, ok := epochOf[g.ops[i].RegionID]; ok {
+			g.ops[i].Epoch = e
+		}
 	}
 	g.host = h
 	g.prefix = 1

@@ -1,0 +1,327 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/shc-go/shc/internal/core"
+	"github.com/shc-go/shc/internal/hbase"
+	"github.com/shc-go/shc/internal/metrics"
+	"github.com/shc-go/shc/internal/plan"
+	"github.com/shc-go/shc/internal/rpc"
+	"github.com/shc-go/shc/internal/tpcds"
+)
+
+const partitionQuery = `SELECT ss_item_sk, ss_quantity FROM store_sales WHERE ss_quantity > 10`
+
+// sortRows canonicalizes result order. A fresh query's row order follows the
+// per-host partition grouping, which legitimately changes when regions move;
+// only in-flight queries interrupted mid-stream guarantee positional
+// identity (the pager preserves op order across failovers).
+func sortRows(rows []plan.Row) []plan.Row {
+	out := append([]plan.Row(nil), rows...)
+	sort.Slice(out, func(i, j int) bool { return fmt.Sprint(out[i]) < fmt.Sprint(out[j]) })
+	return out
+}
+
+// TestStreamingSelectSurvivesZombiePartition is the end-to-end zombie
+// scenario: mid-streaming-query, the region server being read is partitioned
+// from the master (clients still reach it), declared dead, and its regions
+// are reassigned by WAL replay. The in-flight query must fail over and
+// return results byte-identical to an undisturbed run; a write issued
+// through a stale cache during the partition must be acked exactly once (the
+// zombie's fenced WAL refuses the append, so the ack comes from the real
+// owner); and once its lease lapses the zombie rejects reads with ErrFenced
+// instead of serving phantom data.
+func TestStreamingSelectSurvivesZombiePartition(t *testing.T) {
+	const lease = 60 * time.Millisecond
+	mk := func() *Rig {
+		rig, err := NewRig(Config{
+			System: SHC, Scale: 1, Servers: 3,
+			Store:     hbase.StoreConfig{ServerLease: lease, FenceReads: true},
+			Heartbeat: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rig
+	}
+	base := mk()
+	defer base.Close()
+	want, err := base.Run(partitionQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Rows) == 0 {
+		t.Fatal("baseline returned no rows; the chaos run would be vacuous")
+	}
+
+	rig := mk()
+	defer rig.Close()
+	regions, err := rig.Client.Regions("store_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleRI := regions[0] // pre-partition routing: victim host, old epoch
+	victim := staleRI.Host
+
+	// A second client with its own region cache, warmed before the
+	// partition: its routing will still point at the zombie afterwards.
+	writerClient := rig.Cluster.NewClient()
+	defer writerClient.Close()
+	wdoc, err := tpcds.Catalog("store_sales", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcat, err := core.ParseCatalog(wdoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writerRel, err := core.NewHBaseRelation(writerClient, wcat, core.Options{}, rig.Meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writerClient.Regions("store_sales"); err != nil {
+		t.Fatal(err)
+	}
+
+	// At the victim's second fused page the partition drops master↔victim
+	// traffic and a synchronous heartbeat round reassigns its regions; the
+	// page itself fails too, forcing the pager onto the failover path while
+	// the zombie is still reachable from clients.
+	inj := rpc.NewFaultInjector(chaosSeed(t),
+		&rpc.FaultRule{
+			Host: victim, Method: hbase.MethodFused, SkipFirst: 1, FailNext: 1,
+			OnFire: func() {
+				if err := rig.Cluster.PartitionServer(victim, hbase.PartitionFromMaster); err != nil {
+					t.Errorf("partition %s: %v", victim, err)
+				}
+				if _, err := rig.Cluster.Master.CheckServers(); err != nil {
+					t.Errorf("heartbeat round: %v", err)
+				}
+			},
+		},
+	)
+	rig.Cluster.Net.SetFaultInjector(inj)
+
+	got, err := rig.Run(partitionQuery)
+	if err != nil {
+		t.Fatalf("query through zombie partition: %v", err)
+	}
+	if !reflect.DeepEqual(want.Rows, got.Rows) {
+		t.Fatalf("partitioned run differs from baseline: %d rows vs %d", len(got.Rows), len(want.Rows))
+	}
+	if inj.Fired() == 0 {
+		t.Fatal("no faults fired; the scenario did not exercise the partition")
+	}
+	if rig.Meter.Get(metrics.RegionsReassigned) == 0 {
+		t.Error("partition did not reassign any regions")
+	}
+	// The zombie is alive and still holds its (superseded) regions.
+	if rig.Cluster.Server(victim).RegionCount() == 0 {
+		t.Fatal("partitioned server lost its region map; it should be a zombie, not a corpse")
+	}
+
+	// Acked writes through the stale-cache writer land exactly once: the
+	// zombie cannot ack — its WAL is fenced and its lease is lapsing — so
+	// every ack comes from the real owner after a fenced retry. Probes are
+	// spread across the keyspace so some land on regions the zombie still
+	// believes it holds, and use ss_quantity=1 so they stay outside
+	// partitionQuery's qty>10 result set.
+	const probeCustomer = 777777
+	var probes []plan.Row
+	for d := 1; d <= 20; d++ {
+		probes = append(probes, plan.Row{int32(d), int64(9_000_000 + d), int32(probeCustomer), int32(1), int32(1), float64(0.5)})
+	}
+	if err := writerRel.Insert(probes); err != nil {
+		t.Fatalf("write during partition: %v", err)
+	}
+
+	// The zombie self-fences once its lease lapses without master contact;
+	// reads through pre-partition routing then fail with ErrFenced.
+	deadline := time.Now().Add(20 * lease)
+	for !rig.Cluster.Server(victim).SelfFenced() {
+		if time.Now().After(deadline) {
+			t.Fatal("zombie never self-fenced")
+		}
+		time.Sleep(lease / 4)
+	}
+	if _, err := rig.Client.ScanRegion(staleRI, &hbase.Scan{}); !errors.Is(err, hbase.ErrFenced) {
+		t.Fatalf("read from self-fenced zombie = %v, want ErrFenced", err)
+	}
+
+	// Audit through SQL: every acked probe is visible, none lost to the
+	// zombie's unfenced-looking but fenced WAL.
+	audit, err := rig.Run(fmt.Sprintf(
+		`SELECT ss_sold_date_sk, ss_ticket_number FROM store_sales WHERE ss_customer_sk = %d`, probeCustomer))
+	if err != nil {
+		t.Fatalf("audit query: %v", err)
+	}
+	if len(audit.Rows) != len(probes) {
+		t.Fatalf("audit found %d acked probe rows, want %d", len(audit.Rows), len(probes))
+	}
+
+	// Heal and rejoin; the same query still matches the baseline (sorted:
+	// the healed topology legitimately regroups partitions by host).
+	rig.Cluster.Net.SetFaultInjector(nil)
+	rig.Cluster.HealPartition(victim)
+	if err := rig.Cluster.Master.AddServer(rig.Cluster.Server(victim)); err != nil {
+		t.Fatal(err)
+	}
+	after, err := rig.Run(partitionQuery)
+	if err != nil {
+		t.Fatalf("query after heal: %v", err)
+	}
+	if !reflect.DeepEqual(sortRows(want.Rows), sortRows(after.Rows)) {
+		t.Fatal("post-heal run differs from baseline")
+	}
+}
+
+// TestRollingRestartZeroQueryErrors drains every region server in turn —
+// the rolling-restart primitive — while a live query loop hammers the
+// cluster. Every query must succeed with byte-identical results, and the
+// whole restart must replay zero WAL entries: a graceful drain moves live
+// regions, it does not recover them.
+func TestRollingRestartZeroQueryErrors(t *testing.T) {
+	rig, err := NewRig(Config{
+		System: SHC, Scale: 1, Servers: 4,
+		Retry: hbase.RetryPolicy{MaxAttempts: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rig.Close()
+	want, err := rig.Run(partitionQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Rows) == 0 {
+		t.Fatal("baseline returned no rows")
+	}
+	replayedBefore := rig.Meter.Get(metrics.WALEntriesReplayed)
+	wantSorted := sortRows(want.Rows)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var queryErrs []error
+	runs := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			res, err := rig.Run(partitionQuery)
+			mu.Lock()
+			runs++
+			if err != nil {
+				queryErrs = append(queryErrs, err)
+			} else if !reflect.DeepEqual(wantSorted, sortRows(res.Rows)) {
+				queryErrs = append(queryErrs, fmt.Errorf("run %d: %d rows, want %d", runs, len(res.Rows), len(want.Rows)))
+			}
+			mu.Unlock()
+		}
+	}()
+
+	// Roll through every server: drain, "restart", rejoin — each under live
+	// query load.
+	for _, host := range rig.Cluster.Hosts() {
+		if err := rig.Cluster.Master.DrainServer(host); err != nil {
+			t.Fatalf("drain %s: %v", host, err)
+		}
+		time.Sleep(10 * time.Millisecond) // queries overlap the drained state
+		if err := rig.Cluster.Master.AddServer(rig.Cluster.Server(host)); err != nil {
+			t.Fatalf("rejoin %s: %v", host, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(queryErrs) > 0 {
+		t.Fatalf("%d of %d queries failed during rolling restart; first: %v", len(queryErrs), runs, queryErrs[0])
+	}
+	if runs == 0 {
+		t.Fatal("query loop never completed a run")
+	}
+	if got := rig.Meter.Get(metrics.RegionsDrained); got == 0 {
+		t.Error("rolling restart drained no regions")
+	}
+	if got := rig.Meter.Get(metrics.WALEntriesReplayed) - replayedBefore; got != 0 {
+		t.Errorf("rolling restart replayed %d WAL entries, want 0", got)
+	}
+	// Final sanity: one more run after the dust settles.
+	final, err := rig.Run(partitionQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantSorted, sortRows(final.Rows)) {
+		t.Fatal("post-restart run differs from baseline")
+	}
+}
+
+// TestStreamingSelectSurvivesGracefulDrain drains the host a streaming query
+// is reading mid-page: the fused pager must re-resolve locations, restamp
+// epochs, and finish byte-identical — with zero WAL replay, because a drain
+// moves live regions.
+func TestStreamingSelectSurvivesGracefulDrain(t *testing.T) {
+	base, err := NewRig(Config{System: SHC, Scale: 1, Servers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	want, err := base.Run(partitionQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rig, err := NewRig(Config{System: SHC, Scale: 1, Servers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rig.Close()
+	regions, err := rig.Client.Regions("store_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := regions[0].Host
+	inj := rpc.NewFaultInjector(chaosSeed(t),
+		&rpc.FaultRule{
+			Host: victim, Method: hbase.MethodFused, SkipFirst: 2, FailNext: 1,
+			OnFire: func() {
+				if err := rig.Cluster.Master.DrainServer(victim); err != nil {
+					t.Errorf("drain %s: %v", victim, err)
+				}
+			},
+		},
+	)
+	rig.Cluster.Net.SetFaultInjector(inj)
+
+	got, err := rig.Run(partitionQuery)
+	if err != nil {
+		t.Fatalf("query through drain: %v", err)
+	}
+	if !reflect.DeepEqual(want.Rows, got.Rows) {
+		t.Fatalf("drained run differs from baseline: %d rows vs %d", len(got.Rows), len(want.Rows))
+	}
+	if inj.Fired() == 0 {
+		t.Fatal("no faults fired; the drain never interrupted the stream")
+	}
+	if got.Delta[metrics.WALEntriesReplayed] != 0 {
+		t.Errorf("drain replayed %d WAL entries, want 0", got.Delta[metrics.WALEntriesReplayed])
+	}
+	if rig.Meter.Get(metrics.RegionsDrained) == 0 {
+		t.Error("drain moved no regions")
+	}
+}

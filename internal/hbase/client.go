@@ -74,6 +74,12 @@ type Client struct {
 	mu         sync.Mutex
 	masterHost string
 	regions    map[string][]RegionInfo // table -> sorted regions
+	// stale holds the last-known region list of each invalidated table
+	// until its next refresh, so the refresh can spot hosts that no longer
+	// serve any region and evict their pooled connections too — a cached
+	// connection to a fully-drained host would otherwise outlive the
+	// routing information that justified it.
+	stale map[string][]RegionInfo
 }
 
 // ClientOption customizes a client.
@@ -115,6 +121,7 @@ func NewClient(clusterName string, net *rpc.Network, zkSrv *zk.Server, opts ...C
 		net:         net,
 		zkSess:      zkSrv.NewSession(),
 		regions:     make(map[string][]RegionInfo),
+		stale:       make(map[string][]RegionInfo),
 		retry:       RetryPolicy{}.withDefaults(),
 	}
 	c.retryRng = rand.New(rand.NewSource(c.retry.JitterSeed))
@@ -396,15 +403,48 @@ func (c *Client) refreshRegions(ctx context.Context, table string) ([]RegionInfo
 	}
 	regions := resp.(*RegionList).Regions
 	c.mu.Lock()
+	prior := c.stale[table]
+	delete(c.stale, table)
 	c.regions[table] = regions
+	// Hosts the invalidated map pointed at that no cached table references
+	// any more have no reason to stay in the connection pool: evict them so
+	// the next call to a drained-and-restarted host re-dials instead of
+	// reusing a connection from its previous life.
+	var gone []string
+	if len(prior) > 0 {
+		live := make(map[string]bool)
+		for _, cached := range c.regions {
+			for i := range cached {
+				live[cached[i].Host] = true
+			}
+		}
+		seen := make(map[string]bool)
+		for i := range prior {
+			h := prior[i].Host
+			if !live[h] && !seen[h] {
+				seen[h] = true
+				gone = append(gone, h)
+			}
+		}
+	}
 	c.mu.Unlock()
+	if inv, ok := c.pool.(connInvalidator); ok {
+		for _, h := range gone {
+			inv.Invalidate(h)
+		}
+	}
 	return regions, nil
 }
 
-// InvalidateRegions drops the cached region map for table (after splits or
-// balancing move regions).
+// InvalidateRegions drops the cached region map for table (after splits,
+// balancing, failover reassignment, or a drain move regions). The dropped
+// list is remembered until the next refresh, which evicts pooled
+// connections to hosts that turn out to serve nothing.
 func (c *Client) InvalidateRegions(table string) {
 	c.mu.Lock()
+	if cached, ok := c.regions[table]; ok {
+		c.stale[table] = cached
+	}
 	delete(c.regions, table)
 	c.mu.Unlock()
 }
@@ -507,7 +547,7 @@ func (c *Client) PutContext(ctx context.Context, table string, cells []Cell) err
 			}
 			b, ok := batches[ri.ID]
 			if !ok {
-				b = &PutRequest{RegionID: ri.ID, Token: tok}
+				b = &PutRequest{RegionID: ri.ID, Epoch: ri.Epoch, Token: tok}
 				batches[ri.ID] = b
 				hosts[ri.ID] = ri.Host
 			}
@@ -564,7 +604,7 @@ func (c *Client) BulkGetContext(ctx context.Context, table string, rows [][]byte
 			}
 			b, ok := byRegion[ri.ID]
 			if !ok {
-				b = &BulkGetRequest{RegionID: ri.ID, Columns: cols, MaxVersions: maxVersions, TimeRange: tr, Token: tok}
+				b = &BulkGetRequest{RegionID: ri.ID, Epoch: ri.Epoch, Columns: cols, MaxVersions: maxVersions, TimeRange: tr, Token: tok}
 				byRegion[ri.ID] = b
 				hosts[ri.ID] = ri.Host
 			}
@@ -610,7 +650,7 @@ func (c *Client) ScanTableContext(ctx context.Context, table string, scan *Scan)
 			if !ri.OverlapsRange(scan.StartRow, scan.StopRow) {
 				continue
 			}
-			resp, err := c.callRead(ctx, ri.Host, MethodScan, &ScanRequest{RegionID: ri.ID, Scan: scan, Token: tok})
+			resp, err := c.callRead(ctx, ri.Host, MethodScan, &ScanRequest{RegionID: ri.ID, Epoch: ri.Epoch, Scan: scan, Token: tok})
 			if err != nil {
 				return err
 			}
@@ -640,7 +680,7 @@ func (c *Client) ScanRegionContext(ctx context.Context, ri RegionInfo, scan *Sca
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.callRead(ctx, ri.Host, MethodScan, &ScanRequest{RegionID: ri.ID, Scan: scan, Token: tok})
+	resp, err := c.callRead(ctx, ri.Host, MethodScan, &ScanRequest{RegionID: ri.ID, Epoch: ri.Epoch, Scan: scan, Token: tok})
 	if err != nil {
 		return nil, err
 	}

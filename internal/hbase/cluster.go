@@ -2,6 +2,7 @@ package hbase
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/shc-go/shc/internal/metrics"
 	"github.com/shc-go/shc/internal/rpc"
@@ -33,6 +34,9 @@ type Cluster struct {
 	Master  *Master
 	Servers []*RegionServer
 	Meter   *metrics.Registry
+
+	partMu     sync.Mutex
+	partitions map[string][]*rpc.FaultRule // host -> active partition rules
 }
 
 // NewCluster boots a cluster.
@@ -47,10 +51,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cfg.Meter = metrics.NewRegistry()
 	}
 	c := &Cluster{
-		Name:  cfg.Name,
-		Net:   rpc.NewNetwork(cfg.RPC, cfg.Meter),
-		ZK:    zk.NewServer(),
-		Meter: cfg.Meter,
+		Name:       cfg.Name,
+		Net:        rpc.NewNetwork(cfg.RPC, cfg.Meter),
+		ZK:         zk.NewServer(),
+		Meter:      cfg.Meter,
+		partitions: make(map[string][]*rpc.FaultRule),
 	}
 	master, err := NewMaster(cfg.Name+"-master", c.Net, c.ZK, cfg.Store, cfg.Meter, cfg.Validate)
 	if err != nil {
@@ -62,6 +67,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		rs, err := NewRegionServer(host, c.Net, cfg.Meter, cfg.Validate)
 		if err != nil {
 			return nil, fmt.Errorf("hbase: boot region server %s: %w", host, err)
+		}
+		if cfg.Store.ServerLease > 0 {
+			rs.SetFencing(cfg.Store.ServerLease, cfg.Store.FenceReads)
 		}
 		if err := master.AddServer(rs); err != nil {
 			return nil, err
@@ -96,10 +104,10 @@ func (c *Cluster) Server(host string) *RegionServer {
 }
 
 // CrashServer simulates a region-server process death: the host drops off
-// the network and every hosted region loses its MemStore (the WAL, standing
-// in for HDFS, survives the crash). Recovery happens when the master's next
-// heartbeat round (CheckServers) detects the death and reassigns the
-// regions.
+// the network, every hosted region loses its MemStore (the WAL, standing in
+// for HDFS, survives the crash), and the process's in-memory region map is
+// gone with it. Recovery happens when the master's next heartbeat round
+// (CheckServers) detects the death and reassigns the regions.
 func (c *Cluster) CrashServer(host string) error {
 	rs := c.Server(host)
 	if rs == nil {
@@ -110,6 +118,80 @@ func (c *Cluster) CrashServer(host string) error {
 	}
 	for _, r := range rs.Regions() {
 		r.DropMemStore()
+		rs.RemoveRegion(r.Info().ID)
 	}
 	return nil
+}
+
+// PartitionMode selects which side of a region server's traffic a simulated
+// network partition severs.
+type PartitionMode int
+
+const (
+	// PartitionFromMaster cuts only master↔server traffic: the master's
+	// heartbeats fail, so it declares the server dead and reassigns its
+	// regions — while clients can still reach the isolated server. This is
+	// the zombie scenario epoch fencing exists for.
+	PartitionFromMaster PartitionMode = iota
+	// PartitionFromClients cuts everything except master↔server traffic:
+	// the master still sees a healthy server, but clients cannot reach it
+	// and must ride out the partition on retries.
+	PartitionFromClients
+	// PartitionTotal cuts all traffic to the server without killing the
+	// process: unlike CrashServer, MemStore and the region map survive, so
+	// healing restores a fully live (if stale) server.
+	PartitionTotal
+)
+
+// PartitionServer installs fault-injection rules that sever one side of a
+// region server's network per mode. Rules are added to the network's
+// current injector when one is installed (composing with a chaos schedule
+// without disturbing its seeded RNG — partition drops are deterministic),
+// or to a fresh injector otherwise. HealPartition reverses it.
+func (c *Cluster) PartitionServer(host string, mode PartitionMode) error {
+	if c.Server(host) == nil {
+		return fmt.Errorf("hbase: no region server on host %q", host)
+	}
+	inj := c.Net.Injector()
+	if inj == nil {
+		inj = rpc.NewFaultInjector(1)
+		c.Net.SetFaultInjector(inj)
+	}
+	var rules []*rpc.FaultRule
+	switch mode {
+	case PartitionFromMaster:
+		rules = []*rpc.FaultRule{{Host: host, Caller: c.Master.Host(), Drop: true}}
+	case PartitionFromClients:
+		rules = []*rpc.FaultRule{{Host: host, ExceptCaller: c.Master.Host(), Drop: true}}
+	case PartitionTotal:
+		rules = []*rpc.FaultRule{{Host: host, Drop: true}}
+	default:
+		return fmt.Errorf("hbase: unknown partition mode %d", mode)
+	}
+	for _, r := range rules {
+		inj.Add(r)
+	}
+	c.partMu.Lock()
+	c.partitions[host] = append(c.partitions[host], rules...)
+	c.partMu.Unlock()
+	c.Meter.Inc(metrics.PartitionsInjected)
+	return nil
+}
+
+// HealPartition removes every partition rule previously installed for host.
+// Healing a host that was never partitioned is a no-op.
+func (c *Cluster) HealPartition(host string) {
+	c.partMu.Lock()
+	rules := c.partitions[host]
+	delete(c.partitions, host)
+	c.partMu.Unlock()
+	if len(rules) == 0 {
+		return
+	}
+	if inj := c.Net.Injector(); inj != nil {
+		for _, r := range rules {
+			inj.Remove(r)
+		}
+	}
+	c.Meter.Inc(metrics.PartitionsHealed)
 }

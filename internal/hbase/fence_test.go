@@ -1,0 +1,482 @@
+package hbase
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/shc-go/shc/internal/metrics"
+	"github.com/shc-go/shc/internal/rpc"
+)
+
+// loadRows writes n deterministic rows spread across the table's key space
+// and returns a baseline full-table scan.
+func loadFenceRows(t *testing.T, client *Client, n int) []Result {
+	t.Helper()
+	var cells []Cell
+	for i := 0; i < n; i++ {
+		cells = append(cells, cell(fmt.Sprintf("row-%03d", i), "cf", "q", 1, fmt.Sprintf("v%03d", i)))
+	}
+	if err := client.Put("t", cells); err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := client.ScanTable("t", &Scan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline) != n {
+		t.Fatalf("baseline rows = %d, want %d", len(baseline), n)
+	}
+	return baseline
+}
+
+// TestStaleEpochRoutingFenced: a request routed with the epoch of a
+// superseded assignment is rejected with ErrFenced, while an epoch-0 request
+// (legacy caller without routing info) is still served.
+func TestStaleEpochRoutingFenced(t *testing.T) {
+	c := bootCluster(t, 2)
+	client := c.NewClient()
+	defer client.Close()
+	if err := client.CreateTable(TableDescriptor{Name: "t", Families: []string{"cf"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	loadFenceRows(t, client, 10)
+	regions, err := client.Regions("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := regions[0]
+	if ri.Epoch == 0 {
+		t.Fatal("assigned region must carry a nonzero epoch")
+	}
+	// The master moves the region to a new epoch (as a balance or drain
+	// would) while it stays on the same host.
+	c.Server(ri.Host).Region(ri.ID).AdoptEpoch(ri.Epoch + 1)
+
+	if _, err := client.ScanRegion(ri, &Scan{}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale-epoch scan = %v, want ErrFenced", err)
+	}
+	if got := c.Meter.Get(metrics.FencedRejects); got == 0 {
+		t.Error("fenced reject not metered")
+	}
+	// Epoch 0 opts out of the check.
+	legacy := ri
+	legacy.Epoch = 0
+	if _, err := client.ScanRegion(legacy, &Scan{}); err != nil {
+		t.Errorf("epoch-0 scan = %v, want served", err)
+	}
+	// A refreshed cache carries the new epoch and is served again.
+	client.InvalidateRegions("t")
+	fresh, err := client.Regions("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh[0].Epoch != ri.Epoch+1 {
+		t.Fatalf("refreshed epoch = %d, want %d", fresh[0].Epoch, ri.Epoch+1)
+	}
+	if _, err := client.ScanRegion(fresh[0], &Scan{}); err != nil {
+		t.Errorf("fresh-epoch scan = %v", err)
+	}
+}
+
+// TestZombieDropsRegionOnHigherEpoch: a request carrying a NEWER epoch than
+// the serving side proves the server is the stale party — it must drop the
+// region immediately instead of double-serving it.
+func TestZombieDropsRegionOnHigherEpoch(t *testing.T) {
+	c := bootCluster(t, 1)
+	client := c.NewClient()
+	defer client.Close()
+	if err := client.CreateTable(TableDescriptor{Name: "t", Families: []string{"cf"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	loadFenceRows(t, client, 5)
+	regions, _ := client.Regions("t")
+	ri := regions[0]
+	srv := c.Server(ri.Host)
+	ahead := ri
+	ahead.Epoch = ri.Epoch + 3
+	if _, err := client.ScanRegion(ahead, &Scan{}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("newer-epoch scan = %v, want ErrFenced", err)
+	}
+	if srv.Region(ri.ID) != nil {
+		t.Error("zombie must drop the superseded region")
+	}
+	if got := c.Meter.Get(metrics.RegionsFenced); got != 1 {
+		t.Errorf("regions fenced = %d, want 1", got)
+	}
+}
+
+// TestDrainServerMovesRegionsWithoutReplay: a graceful drain flushes and
+// moves live region objects — zero WAL entries replayed, zero rows lost, and
+// clients with stale caches recover through the ordinary retry path.
+func TestDrainServerMovesRegionsWithoutReplay(t *testing.T) {
+	c := bootCluster(t, 3)
+	client := c.NewClient()
+	defer client.Close()
+	if err := client.CreateTable(TableDescriptor{Name: "t", Families: []string{"cf"}}, [][]byte{[]byte("row-010"), []byte("row-020")}); err != nil {
+		t.Fatal(err)
+	}
+	baseline := loadFenceRows(t, client, 30)
+	regions, _ := client.Regions("t")
+	victim := regions[0].Host
+	epochsBefore := map[string]uint64{}
+	for _, ri := range regions {
+		epochsBefore[ri.ID] = ri.Epoch
+	}
+
+	replayedBefore := c.Meter.Get(metrics.WALEntriesReplayed)
+	if err := c.Master.DrainServer(victim); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Meter.Get(metrics.WALEntriesReplayed) - replayedBefore; got != 0 {
+		t.Errorf("drain replayed %d WAL entries, want 0", got)
+	}
+	if got := c.Meter.Get(metrics.RegionsDrained); got == 0 {
+		t.Error("drained regions not metered")
+	}
+	if n := c.Server(victim).RegionCount(); n != 0 {
+		t.Errorf("drained server still hosts %d regions", n)
+	}
+	// Every moved region bumped its epoch.
+	client.InvalidateRegions("t")
+	fresh, err := client.Regions("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ri := range fresh {
+		if ri.Host == victim {
+			t.Errorf("region %s still routed to drained host", ri.ID)
+		}
+		wasOnVictim := false
+		for _, old := range regions {
+			if old.ID == ri.ID && old.Host == victim {
+				wasOnVictim = true
+			}
+		}
+		if wasOnVictim && ri.Epoch <= epochsBefore[ri.ID] {
+			t.Errorf("moved region %s epoch %d did not advance past %d", ri.ID, ri.Epoch, epochsBefore[ri.ID])
+		}
+	}
+	after, err := client.ScanTable("t", &Scan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(baseline, after) {
+		t.Fatal("scan after drain differs from baseline")
+	}
+	// Rejoin for a rolling restart: AddServer is idempotent and re-admits.
+	if err := c.Master.AddServer(c.Server(victim)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Master.AddServer(c.Server(victim)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDrainServerErrors: draining an unknown host or the last server fails.
+func TestDrainServerErrors(t *testing.T) {
+	c := bootCluster(t, 1)
+	if err := c.Master.DrainServer("nope"); err == nil {
+		t.Error("draining an unregistered host must fail")
+	}
+	if err := c.Master.DrainServer(c.Servers[0].Host()); err == nil {
+		t.Error("draining the only server must fail")
+	}
+}
+
+// TestScannerResumesAcrossDrain starts a paged scan, drains the host serving
+// the scanner's current region between pages, and requires the resumed scan
+// to be byte-identical to an undisturbed one.
+func TestScannerResumesAcrossDrain(t *testing.T) {
+	c := bootCluster(t, 2)
+	client := c.NewClient()
+	defer client.Close()
+	if err := client.CreateTable(TableDescriptor{Name: "t", Families: []string{"cf"}}, [][]byte{[]byte("row-020")}); err != nil {
+		t.Fatal(err)
+	}
+	baseline := loadFenceRows(t, client, 40)
+
+	sc, err := client.OpenScanner("t", &Scan{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page1, err := sc.Next()
+	if err != nil || len(page1) != 7 {
+		t.Fatalf("page 1 = %d rows, %v", len(page1), err)
+	}
+	regions, _ := client.Regions("t")
+	if err := c.Master.DrainServer(regions[0].Host); err != nil {
+		t.Fatal(err)
+	}
+	got := append([]Result(nil), page1...)
+	for {
+		page, err := sc.Next()
+		if err != nil {
+			t.Fatalf("scan resumed across drain: %v", err)
+		}
+		if page == nil {
+			break
+		}
+		got = append(got, page...)
+	}
+	if !reflect.DeepEqual(baseline, got) {
+		t.Fatalf("scan across drain differs: %d rows, want %d", len(got), len(baseline))
+	}
+}
+
+// TestZombiePartitionNoLostAckedWrites is the split-brain scenario epoch
+// fencing exists for. A region server is partitioned from the master only:
+// heartbeats die, the master declares it dead and reassigns its regions by
+// WAL replay — but clients can still reach the old server, which does not
+// know it has been superseded. Every write a client manages to get
+// acknowledged must survive; the zombie must not acknowledge anything after
+// the fence; and once its self-fencing lease lapses it rejects reads too.
+func TestZombiePartitionNoLostAckedWrites(t *testing.T) {
+	const lease = 40 * time.Millisecond
+	c, err := NewCluster(ClusterConfig{
+		Name: "test", NumServers: 3,
+		Store: StoreConfig{ServerLease: lease, FenceReads: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := c.NewClient()
+	defer client.Close()
+	if err := client.CreateTable(TableDescriptor{Name: "t", Families: []string{"cf"}}, [][]byte{[]byte("row-010"), []byte("row-020")}); err != nil {
+		t.Fatal(err)
+	}
+	baseline := loadFenceRows(t, client, 30)
+	regions, _ := client.Regions("t")
+	staleRI := regions[0]
+	victim := staleRI.Host
+
+	if err := c.PartitionServer(victim, PartitionFromMaster); err != nil {
+		t.Fatal(err)
+	}
+	dead, err := c.Master.CheckServers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dead) != 1 || dead[0] != victim {
+		t.Fatalf("dead = %v, want [%s]", dead, victim)
+	}
+	// The zombie is live and still holds its regions — the master never
+	// reached across the partition to take them away.
+	if c.Server(victim).RegionCount() == 0 {
+		t.Fatal("partitioned server must keep its region map (it is a zombie, not a corpse)")
+	}
+
+	// A write through the stale cache first lands on the zombie. Epochs
+	// match (cache and zombie are equally stale), but the shared WAL was
+	// fenced when the successor opened: the append is rejected un-acked and
+	// the client retries onto the new owner. The ack it finally gets is real.
+	if err := client.Put("t", []Cell{cell("row-005x", "cf", "q", 2, "acked")}); err != nil {
+		t.Fatalf("write during partition = %v, want acked after failover", err)
+	}
+	if got := c.Meter.Get(metrics.WALFencedAppends); got == 0 {
+		t.Error("zombie append should have been rejected by the fenced WAL")
+	}
+
+	// Once the lease lapses without master contact, the zombie self-fences:
+	// reads through the stale route fail with ErrFenced instead of serving
+	// phantom (pre-partition) data.
+	deadline := time.Now().Add(20 * lease)
+	for !c.Server(victim).SelfFenced() {
+		if time.Now().After(deadline) {
+			t.Fatal("zombie never self-fenced after its lease lapsed")
+		}
+		time.Sleep(lease / 4)
+	}
+	zombieClient := c.NewClient()
+	defer zombieClient.Close()
+	if _, err := zombieClient.ScanRegion(staleRI, &Scan{}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("read from self-fenced zombie = %v, want ErrFenced", err)
+	}
+	if got := c.Meter.Get(metrics.ServerSelfFenced); got != 1 {
+		t.Errorf("self-fence transitions metered = %d, want 1", got)
+	}
+
+	// Audit: the acked write is present exactly once, nothing lost, nothing
+	// phantom. The reader uses fresh meta. A heartbeat round first — the
+	// survivors' leases also need master contact to stay fresh, which a live
+	// cluster's heartbeat loop provides continuously.
+	if _, err := c.Master.CheckServers(); err != nil {
+		t.Fatal(err)
+	}
+	auditor := c.NewClient()
+	defer auditor.Close()
+	after, err := auditor.ScanTable("t", &Scan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(baseline)+1 {
+		t.Fatalf("rows after partitioned write = %d, want %d", len(after), len(baseline)+1)
+	}
+	seen := 0
+	for _, r := range after {
+		if string(r.Row) == "row-005x" {
+			seen++
+		}
+	}
+	if seen != 1 {
+		t.Fatalf("acked row appears %d times, want exactly 1", seen)
+	}
+
+	// Heal: the partition lifts, the server rejoins, its lease refreshes.
+	c.HealPartition(victim)
+	if err := c.Master.AddServer(c.Server(victim)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Server(victim).SelfFenced() {
+		t.Error("rejoined server must be unfenced")
+	}
+	if got := c.Meter.Get(metrics.PartitionsHealed); got != 1 {
+		t.Errorf("partitions healed = %d, want 1", got)
+	}
+	if _, err := c.Master.CheckServers(); err != nil {
+		t.Fatal(err)
+	}
+	final, err := auditor.ScanTable("t", &Scan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after, final) {
+		t.Fatal("results changed after healing the partition")
+	}
+}
+
+// TestPartitionFromClientsRidesOutOnRetries: the opposite asymmetry — the
+// master still sees a healthy server, clients cannot reach it. Requests fail
+// while the partition holds and succeed verbatim after it heals.
+func TestPartitionFromClientsRidesOutOnRetries(t *testing.T) {
+	c := bootCluster(t, 2)
+	client := c.NewClient()
+	defer client.Close()
+	if err := client.CreateTable(TableDescriptor{Name: "t", Families: []string{"cf"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	baseline := loadFenceRows(t, client, 10)
+	regions, _ := client.Regions("t")
+	host := regions[0].Host
+
+	if err := c.PartitionServer(host, PartitionFromClients); err != nil {
+		t.Fatal(err)
+	}
+	// The master's view is unaffected: a heartbeat round declares nobody
+	// dead, so the regions stay put.
+	if dead, err := c.Master.CheckServers(); err != nil || len(dead) != 0 {
+		t.Fatalf("heartbeats through partition = dead %v, err %v", dead, err)
+	}
+	if _, err := client.ScanTable("t", &Scan{}); err == nil {
+		t.Fatal("client scan through partition must fail")
+	}
+	c.HealPartition(host)
+	after, err := client.ScanTable("t", &Scan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(baseline, after) {
+		t.Fatal("scan after heal differs from baseline")
+	}
+}
+
+// trackingPool wraps the dial pool and records Invalidate calls, standing in
+// for the connection cache in the meta-staleness regression test.
+type trackingPool struct {
+	ConnPool
+	invalidated []string
+}
+
+func (p *trackingPool) Invalidate(host string) { p.invalidated = append(p.invalidated, host) }
+
+// TestRefreshEvictsConnsToHostsServingNothing is the regression test for the
+// InvalidateRegions staleness hazard: after regions move off a host, the next
+// meta refresh must also evict pooled connections to hosts that no cached
+// table routes to any more — otherwise a pooled connection outlives the
+// routing information that justified it.
+func TestRefreshEvictsConnsToHostsServingNothing(t *testing.T) {
+	c := bootCluster(t, 2)
+	pool := &trackingPool{ConnPool: NewDialPool(c.Net)}
+	client := c.NewClient(WithConnPool(pool))
+	defer client.Close()
+	if err := client.CreateTable(TableDescriptor{Name: "t", Families: []string{"cf"}}, [][]byte{[]byte("m")}); err != nil {
+		t.Fatal(err)
+	}
+	regions, err := client.Regions("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := regions[0].Host
+	if err := c.Master.DrainServer(victim); err != nil {
+		t.Fatal(err)
+	}
+	client.InvalidateRegions("t")
+	fresh, err := client.Regions("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ri := range fresh {
+		if ri.Host == victim {
+			t.Fatalf("region %s still on drained host", ri.ID)
+		}
+	}
+	found := false
+	for _, h := range pool.invalidated {
+		if h == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("refresh did not evict pooled connections to %s (invalidated: %v)", victim, pool.invalidated)
+	}
+	// A host that still serves another cached table's regions must NOT be
+	// evicted: warm a second table's cache pointing at the survivor, drop the
+	// first table's map, and refresh.
+	if err := client.CreateTable(TableDescriptor{Name: "u", Families: []string{"cf"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Regions("u"); err != nil {
+		t.Fatal(err)
+	}
+	pool.invalidated = nil
+	client.InvalidateRegions("t")
+	if _, err := client.Regions("t"); err != nil {
+		t.Fatal(err)
+	}
+	if len(pool.invalidated) != 0 {
+		t.Errorf("refresh evicted hosts still serving cached tables: %v", pool.invalidated)
+	}
+}
+
+// TestPartitionComposesWithChaosInjector: installing a partition on a network
+// that already carries a seeded chaos injector adds rules to it (preserving
+// the schedule) instead of replacing it.
+func TestPartitionComposesWithChaosInjector(t *testing.T) {
+	c := bootCluster(t, 2)
+	inj := rpc.NewFaultInjector(7)
+	c.Net.SetFaultInjector(inj)
+	host := c.Servers[0].Host()
+	if err := c.PartitionServer(host, PartitionTotal); err != nil {
+		t.Fatal(err)
+	}
+	if c.Net.Injector() != inj {
+		t.Fatal("partition replaced the existing injector")
+	}
+	ctx := context.Background()
+	if _, err := c.Net.DialContext(ctx, host); !errors.Is(err, rpc.ErrHostDown) {
+		t.Fatalf("dial through total partition = %v, want ErrHostDown", err)
+	}
+	c.HealPartition(host)
+	conn, err := c.Net.DialContext(ctx, host)
+	if err != nil {
+		t.Fatalf("dial after heal = %v", err)
+	}
+	conn.Close()
+	c.HealPartition(host) // healing twice is a no-op
+	if got := c.Meter.Get(metrics.PartitionsInjected); got != 1 {
+		t.Errorf("partitions injected = %d, want 1", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -18,6 +19,13 @@ const (
 	zkRoot       = "/hbase"
 	zkMasterPath = "/hbase/master"
 	zkServers    = "/hbase/rs"
+	// Region-ownership epochs live under their own subtree; each region's
+	// current epoch is the decimal string at /shc/regions/<id>/epoch. The
+	// coordination service, not the master process, is the source of truth:
+	// a recovering or standby master reads epochs back from here, so a
+	// zombie can never be un-fenced by master amnesia.
+	zkEpochRoot    = "/shc"
+	zkEpochRegions = "/shc/regions"
 )
 
 // Master performs the administrative duties of HMaster (paper §III-B):
@@ -78,6 +86,13 @@ func NewMaster(host string, net *rpc.Network, zkSrv *zk.Server, cfg StoreConfig,
 			return nil, err
 		}
 	}
+	for _, path := range []string{zkEpochRoot, zkEpochRegions} {
+		if ok, _ := m.sess.Exists(path); !ok {
+			if err := m.sess.Create(path, nil, false); err != nil {
+				return nil, err
+			}
+		}
+	}
 	won, err := m.sess.ElectLeader(zkMasterPath, host)
 	if err != nil {
 		return nil, err
@@ -123,6 +138,12 @@ func (m *Master) RecoverFrom(servers []*RegionServer) error {
 				m.tables[info.Table] = ts
 			}
 			ts.regions[info.ID] = region
+			// Epoch truth lives in the coordination service, not in this
+			// master's memory: adopt anything newer that a predecessor
+			// persisted before dying.
+			if zkE := m.loadEpoch(info.ID); zkE > info.Epoch {
+				region.setEpoch(zkE)
+			}
 			if n := regionSeq(info.ID); n > maxID {
 				maxID = n
 			}
@@ -147,13 +168,71 @@ func regionSeq(id string) int {
 	return n
 }
 
+// persistEpoch records a region's ownership epoch at
+// /shc/regions/<id>/epoch (creating the region node on first use).
+func (m *Master) persistEpoch(id string, epoch uint64) error {
+	node := zkEpochRegions + "/" + id
+	if ok, _ := m.sess.Exists(node); !ok {
+		if err := m.sess.Create(node, nil, false); err != nil {
+			return err
+		}
+	}
+	path := node + "/epoch"
+	data := []byte(strconv.FormatUint(epoch, 10))
+	if ok, _ := m.sess.Exists(path); !ok {
+		return m.sess.Create(path, data, false)
+	}
+	return m.sess.Set(path, data)
+}
+
+// loadEpoch reads a region's persisted epoch (0 when never assigned).
+func (m *Master) loadEpoch(id string) uint64 {
+	data, err := m.sess.Get(zkEpochRegions + "/" + id + "/epoch")
+	if err != nil {
+		return 0
+	}
+	n, err := strconv.ParseUint(string(data), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// nextEpochLocked computes, persists, and meters the next ownership epoch
+// for a region being moved: one past the maximum of what the region holds
+// and what the coordination service has recorded, so the sequence stays
+// monotonic even across master failovers.
+func (m *Master) nextEpochLocked(info RegionInfo) uint64 {
+	cur := info.Epoch
+	if zkE := m.loadEpoch(info.ID); zkE > cur {
+		cur = zkE
+	}
+	next := cur + 1
+	_ = m.persistEpoch(info.ID, next)
+	m.meter.Inc(metrics.EpochBumps)
+	return next
+}
+
 // AddServer registers a region server with the master and advertises it in
-// ZooKeeper.
+// ZooKeeper. Re-adding a host that is already registered is a no-op, so a
+// drained server can rejoin after its rolling restart. Registration also
+// restarts the server's self-fencing lease clock: being re-admitted by the
+// master is as good as a heartbeat.
 func (m *Master) AddServer(rs *RegionServer) error {
 	m.mu.Lock()
+	for _, have := range m.servers {
+		if have.Host() == rs.Host() {
+			m.mu.Unlock()
+			return nil
+		}
+	}
 	m.servers = append(m.servers, rs)
 	delete(m.missed, rs.Host())
 	m.mu.Unlock()
+	rs.heartbeat()
+	if ok, _ := m.sess.Exists(zkServers + "/" + rs.Host()); ok {
+		return nil
+	}
 	return m.sess.Create(zkServers+"/"+rs.Host(), nil, false)
 }
 
@@ -170,14 +249,18 @@ func (m *Master) SetDeathThreshold(n int) {
 }
 
 // pingServer probes one region server over the network, so SetDown hosts
-// and injected faults are observed exactly as a real heartbeat would.
+// and injected faults are observed exactly as a real heartbeat would. The
+// call is tagged with the master's identity, which lets fault rules sever
+// master↔server traffic while client↔server traffic still flows (the
+// asymmetric partition behind the zombie scenarios).
 func (m *Master) pingServer(host string) error {
-	conn, err := m.net.Dial(host)
+	ctx := rpc.WithCaller(context.Background(), m.host)
+	conn, err := m.net.DialContext(ctx, host)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-	_, err = conn.Call(MethodPing, Ping{})
+	_, err = conn.CallContext(ctx, MethodPing, Ping{})
 	return err
 }
 
@@ -237,26 +320,89 @@ func (m *Master) CheckServers() ([]string, error) {
 	return dead, nil
 }
 
-// reassignLocked moves every region off a dead server: each region's
-// MemStore is rebuilt by WAL replay (the paper's §VI-B recovery path — the
-// log, standing in for HDFS, outlives the server), then the region is placed
-// on the least-loaded survivor, which rebinds its meta host so refreshed
-// client caches route to the new location.
+// reassignLocked moves every region off a dead server. The master works
+// from its own meta, never the dead server's region map: a "dead" server
+// may in fact be a live zombie on the far side of a partition, and nothing
+// the master does may depend on reaching it. Each region's successor is
+// opened at a bumped, ZooKeeper-persisted epoch, which fences the shared
+// WAL — from that instant the zombie can no longer acknowledge a write —
+// and then rebuilt by WAL replay (the paper's §VI-B recovery path: the log,
+// standing in for HDFS, outlives the server). The successor lands on the
+// least-loaded survivor, which rebinds its meta host so refreshed client
+// caches route to the new location.
 func (m *Master) reassignLocked(dead *RegionServer) error {
 	if len(m.servers) == 0 {
 		return fmt.Errorf("hbase: no surviving region servers to reassign %s's regions", dead.Host())
 	}
-	infos := dead.RegionInfos() // sorted: deterministic reassignment order
+	deadHost := dead.Host()
+	type victim struct {
+		ts *tableState
+		r  *Region
+	}
+	var victims []victim
+	for _, ts := range m.tables {
+		for _, r := range ts.regions {
+			if r.Info().Host == deadHost {
+				victims = append(victims, victim{ts, r})
+			}
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { // deterministic reassignment order
+		return victims[i].r.Info().ID < victims[j].r.Info().ID
+	})
+	for _, v := range victims {
+		info := v.r.Info()
+		next := m.nextEpochLocked(info)
+		successor := v.r.Reopen(next)
+		if err := successor.RecoverFromWAL(); err != nil {
+			return fmt.Errorf("hbase: replay WAL of %s: %w", info.ID, err)
+		}
+		m.leastLoadedLocked().AddRegion(successor)
+		v.ts.regions[info.ID] = successor
+		m.meter.Inc(metrics.RegionsReassigned)
+		m.meter.Inc(metrics.RegionsFenced)
+	}
+	return nil
+}
+
+// DrainServer gracefully removes a region server from the cluster: every
+// hosted region is flushed (making its MemStore durable and truncating its
+// WAL), moved to a bumped ownership epoch, and handed — as the same live
+// object — to the least-loaded remaining server. Nothing is replayed,
+// nothing is lost, and in-flight client requests fail over with the
+// ordinary retryable errors (ErrNotServing before the move is visible in
+// meta, ErrFenced after). This is the rolling-restart primitive: drain,
+// restart the process, AddServer to rejoin.
+func (m *Master) DrainServer(host string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	idx := -1
+	for i, rs := range m.servers {
+		if rs.Host() == host {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("hbase: no region server %q registered to drain", host)
+	}
+	if len(m.servers) == 1 {
+		return fmt.Errorf("hbase: cannot drain %q: it is the only region server", host)
+	}
+	victim := m.servers[idx]
+	m.servers = append(m.servers[:idx:idx], m.servers[idx+1:]...)
+	delete(m.missed, host)
+	_ = m.sess.Delete(zkServers + "/" + host)
+	infos := victim.RegionInfos() // sorted: deterministic drain order
 	for _, info := range infos {
-		r := dead.RemoveRegion(info.ID)
+		r := victim.RemoveRegion(info.ID)
 		if r == nil {
 			continue
 		}
-		if err := r.RecoverFromWAL(); err != nil {
-			return fmt.Errorf("hbase: replay WAL of %s: %w", info.ID, err)
-		}
+		r.Flush()
+		r.AdoptEpoch(m.nextEpochLocked(r.Info()))
 		m.leastLoadedLocked().AddRegion(r)
-		m.meter.Inc(metrics.RegionsReassigned)
+		m.meter.Inc(metrics.RegionsDrained)
 	}
 	return nil
 }
@@ -324,6 +470,10 @@ func (m *Master) CreateTable(desc TableDescriptor, splitKeys [][]byte) error {
 		}
 		descCopy := desc
 		region := NewRegion(info, &descCopy, m.cfg, m.meter)
+		// First assignment: epoch one past anything ZooKeeper remembers for
+		// this id (a fresh id starts at 1).
+		region.setEpoch(m.loadEpoch(info.ID) + 1)
+		_ = m.persistEpoch(info.ID, region.Epoch())
 		m.leastLoadedLocked().AddRegion(region)
 		ts.regions[info.ID] = region
 	}
@@ -461,6 +611,13 @@ func (m *Master) SplitRegion(table, regionID string) error {
 	}
 	host.RemoveRegion(regionID)
 	delete(ts.regions, regionID)
+	// Daughters inherit the parent's epoch; persist them under their own
+	// ids and retire the parent's epoch node (best effort — a leftover node
+	// only makes a future same-id epoch start higher).
+	_ = m.persistEpoch(lowID, low.Epoch())
+	_ = m.persistEpoch(highID, high.Epoch())
+	_ = m.sess.Delete(zkEpochRegions + "/" + regionID + "/epoch")
+	_ = m.sess.Delete(zkEpochRegions + "/" + regionID)
 	host.AddRegion(low)
 	host.AddRegion(high)
 	ts.regions[lowID] = low
@@ -515,6 +672,10 @@ func (m *Master) Balance() int {
 		}
 		infos := maxS.RegionInfos()
 		r := maxS.RemoveRegion(infos[0].ID)
+		// A balance move is an ownership change like any other: the epoch
+		// bumps so stale routings to the old host fence instead of silently
+		// missing, and the same live object moves (no flush, no replay).
+		r.AdoptEpoch(m.nextEpochLocked(r.Info()))
 		minS.AddRegion(r)
 		moved++
 	}

@@ -14,16 +14,19 @@ const (
 	MethodTableStats   = "TableStats"
 )
 
-// PutRequest carries a batch of mutations for one region.
+// PutRequest carries a batch of mutations for one region. Epoch is the
+// ownership epoch the client routed by; the server rejects a stale one with
+// ErrFenced (0 = unchecked, for callers that bypass the meta cache).
 type PutRequest struct {
 	RegionID string
+	Epoch    uint64
 	Cells    []Cell
 	Token    string
 }
 
 // WireSize implements rpc.Message.
 func (m *PutRequest) WireSize() int {
-	n := len(m.RegionID) + len(m.Token)
+	n := len(m.RegionID) + len(m.Token) + 8
 	for i := range m.Cells {
 		n += m.Cells[i].WireSize()
 	}
@@ -42,16 +45,18 @@ type Ping struct{}
 // WireSize implements rpc.Message.
 func (Ping) WireSize() int { return 1 }
 
-// ScanRequest runs a Scan against one region.
+// ScanRequest runs a Scan against one region. Epoch carries the routing
+// epoch (see PutRequest).
 type ScanRequest struct {
 	RegionID string
+	Epoch    uint64
 	Scan     *Scan
 	Token    string
 }
 
 // WireSize implements rpc.Message.
 func (m *ScanRequest) WireSize() int {
-	n := len(m.RegionID) + len(m.Token)
+	n := len(m.RegionID) + len(m.Token) + 8
 	if m.Scan != nil {
 		n += m.Scan.WireSize()
 	}
@@ -84,6 +89,7 @@ func (m *ScanResponse) WireSize() int {
 // trip — HBase's batched Get (paper §V-A).
 type BulkGetRequest struct {
 	RegionID    string
+	Epoch       uint64
 	Rows        [][]byte
 	Columns     []Column
 	MaxVersions int
@@ -93,7 +99,7 @@ type BulkGetRequest struct {
 
 // WireSize implements rpc.Message.
 func (m *BulkGetRequest) WireSize() int {
-	n := len(m.RegionID) + len(m.Token) + 20
+	n := len(m.RegionID) + len(m.Token) + 28
 	for _, r := range m.Rows {
 		n += len(r)
 	}
@@ -104,9 +110,12 @@ func (m *BulkGetRequest) WireSize() int {
 }
 
 // ScanOp is one scan or bulk-get bound for a specific region, used inside a
-// fused request.
+// fused request. Epoch carries the per-region routing epoch (see
+// PutRequest); each op is checked independently, since a fused request spans
+// many regions that may have moved at different times.
 type ScanOp struct {
 	RegionID string
+	Epoch    uint64
 	Scan     *Scan    // nil when Rows is set
 	Rows     [][]byte // bulk get when non-empty
 }
@@ -152,7 +161,7 @@ func (m *FusedRequest) WireSize() int {
 		n += 4 + m.Cursor.WireSize()
 	}
 	for _, op := range m.Ops {
-		n += len(op.RegionID)
+		n += len(op.RegionID) + 8
 		if op.Scan != nil {
 			n += op.Scan.WireSize()
 		}

@@ -2,9 +2,11 @@ package hbase
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/shc-go/shc/internal/metrics"
 	"github.com/shc-go/shc/internal/wal"
@@ -20,6 +22,18 @@ type StoreConfig struct {
 	// SplitThresholdBytes marks the region as needing a split when its
 	// total size exceeds it; 0 disables automatic splits.
 	SplitThresholdBytes int
+	// ServerLease is how long a region server keeps serving after its last
+	// master heartbeat: a server silent longer self-fences (stops accepting
+	// writes, and reads too when FenceReads is set) so a zombie cut off from
+	// the master cannot double-serve regions the master has reassigned.
+	// 0 disables self-fencing. Safe operation requires
+	// ServerLease <= deathThreshold × heartbeat interval: the lease must
+	// expire before the master gives the region to someone else.
+	ServerLease time.Duration
+	// FenceReads extends self-fencing to reads. Off, a self-fenced server
+	// still answers reads (monotonic-read staleness is tolerated); on, it
+	// rejects them with ErrFenced, trading availability for freshness.
+	FenceReads bool
 }
 
 func (c StoreConfig) withDefaults() StoreConfig {
@@ -85,6 +99,20 @@ func (r *Region) setHost(host string) string {
 	return r.info.ID
 }
 
+// setEpoch stamps the region's ownership epoch (master-only, at assignment).
+func (r *Region) setEpoch(epoch uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.info.Epoch = epoch
+}
+
+// Epoch reports the ownership epoch the region currently holds.
+func (r *Region) Epoch() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.info.Epoch
+}
+
 // Descriptor returns the table descriptor the region serves.
 func (r *Region) Descriptor() TableDescriptor { return *r.desc }
 
@@ -96,7 +124,9 @@ func (r *Region) Put(c Cell) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.append(c)
+	if err := r.append(c); err != nil {
+		return err
+	}
 	r.maybeFlushLocked()
 	return nil
 }
@@ -112,7 +142,9 @@ func (r *Region) PutBatch(cells []Cell) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for i := range cells {
-		r.append(cells[i])
+		if err := r.append(cells[i]); err != nil {
+			return err
+		}
 	}
 	r.maybeFlushLocked()
 	return nil
@@ -131,19 +163,29 @@ func (r *Region) checkCell(c *Cell) error {
 	return nil
 }
 
-// locked
-func (r *Region) append(c Cell) {
+// locked. The WAL append carries the region's held epoch: once the log has
+// been fenced at a newer epoch (the region was reassigned), the append — and
+// therefore the write — fails before it is acknowledged, surfacing as the
+// retryable ErrFenced.
+func (r *Region) append(c Cell) error {
 	kind := wal.KindPut
 	if c.Type == TypeDelete {
 		kind = wal.KindDelete
 	}
-	r.log.Append(wal.Entry{
+	if _, err := r.log.Append(wal.Entry{
+		Epoch: r.info.Epoch,
 		Table: r.desc.Name, Region: r.info.ID, Kind: kind,
 		Row: c.Row, Family: c.Family, Qualifier: c.Qualifier,
 		Timestamp: c.Timestamp, Value: c.Value,
-	})
+	}); err != nil {
+		if errors.Is(err, wal.ErrFenced) {
+			return fmt.Errorf("%w: region %s epoch %d superseded", ErrFenced, r.info.ID, r.info.Epoch)
+		}
+		return err
+	}
 	r.mem.add(c)
 	r.gen++
+	return nil
 }
 
 // locked
@@ -157,6 +199,12 @@ func (r *Region) maybeFlushLocked() {
 // locked
 func (r *Region) flushLocked() {
 	if len(r.mem.cells) == 0 {
+		return
+	}
+	// A fenced owner must not flush: truncating the shared WAL below what
+	// the new owner replays would lose acknowledged history. Its buffered
+	// cells were all logged pre-fence, so the successor recovers them.
+	if r.log.Epoch() > r.info.Epoch {
 		return
 	}
 	r.files = append(r.files, newStoreFile(r.mem.snapshot()))
@@ -265,8 +313,8 @@ func (r *Region) SplitInto(lowID, highID string, splitKey []byte) (*Region, *Reg
 		return nil, nil, fmt.Errorf("hbase: split key %x outside region %s", splitKey, r.info.ID)
 	}
 	all := r.allCellsLocked(nil, nil)
-	lowInfo := RegionInfo{Table: r.info.Table, ID: lowID, StartKey: r.info.StartKey, EndKey: append([]byte(nil), splitKey...), Host: r.info.Host}
-	highInfo := RegionInfo{Table: r.info.Table, ID: highID, StartKey: append([]byte(nil), splitKey...), EndKey: r.info.EndKey, Host: r.info.Host}
+	lowInfo := RegionInfo{Table: r.info.Table, ID: lowID, StartKey: r.info.StartKey, EndKey: append([]byte(nil), splitKey...), Host: r.info.Host, Epoch: r.info.Epoch}
+	highInfo := RegionInfo{Table: r.info.Table, ID: highID, StartKey: append([]byte(nil), splitKey...), EndKey: r.info.EndKey, Host: r.info.Host, Epoch: r.info.Epoch}
 	low := NewRegion(lowInfo, r.desc, r.cfg, r.meter)
 	high := NewRegion(highInfo, r.desc, r.cfg, r.meter)
 	var lowCells, highCells []Cell
@@ -487,6 +535,13 @@ func (r *Region) RecoverFromWAL() error {
 	r.mem.reset()
 	r.gen++
 	return r.log.Replay(r.flushed, func(e wal.Entry) error {
+		// Discard entries stamped with an epoch newer than the ownership
+		// this region holds — they belong to a fenced-off future the log
+		// should never contain (defense in depth; append-time fencing
+		// already keeps them out).
+		if e.Epoch > r.info.Epoch {
+			return nil
+		}
 		typ := TypePut
 		if e.Kind == wal.KindDelete {
 			typ = TypeDelete
@@ -496,6 +551,44 @@ func (r *Region) RecoverFromWAL() error {
 		r.meter.Inc(metrics.WALEntriesReplayed)
 		return nil
 	})
+}
+
+// AdoptEpoch moves the live region to a new ownership epoch in place: the
+// WAL is fenced at the new epoch and subsequent appends stamp it — the
+// graceful-drain path, where the same object (MemStore included) changes
+// servers with nothing to replay.
+func (r *Region) AdoptEpoch(epoch uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.log.Fence(epoch)
+	r.info.Epoch = epoch
+}
+
+// Reopen fences the region's WAL at newEpoch and returns a fresh Region
+// object holding the same durable state (store files + log) under the new
+// ownership epoch — the reassignment path after a server is declared dead.
+// The fence is raised while holding the old region's lock, so an in-flight
+// zombie write or flush is strictly before or strictly after it: before,
+// the entry is in the log and the successor replays it; after, the append
+// is rejected un-acknowledged and the flush refuses to truncate. The caller
+// replays the successor's WAL (RecoverFromWAL) to rebuild its MemStore.
+func (r *Region) Reopen(newEpoch uint64) *Region {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.log.Fence(newEpoch)
+	info := r.info
+	info.Epoch = newEpoch
+	nr := &Region{
+		info:    info,
+		desc:    r.desc,
+		cfg:     r.cfg,
+		meter:   r.meter,
+		files:   append([]*storeFile(nil), r.files...),
+		log:     r.log,
+		flushed: r.flushed,
+		viewGen: -1,
+	}
+	return nr
 }
 
 // DropMemStore simulates a crash that loses buffered writes (for recovery

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/shc-go/shc/internal/metrics"
 	"github.com/shc-go/shc/internal/rpc"
@@ -15,6 +16,14 @@ import (
 // the client's signal that its meta cache is stale (region split, moved by
 // the balancer, or reassigned after failover).
 var ErrNotServing = errors.New("hbase: region not served here")
+
+// ErrFenced reports a request rejected by epoch fencing: either the caller
+// routed with a stale ownership epoch (its meta cache predates a
+// reassignment), or the serving side itself is fenced — a self-fenced server
+// whose master lease expired, or a zombie whose region was superseded.
+// Clients treat it exactly like ErrNotServing: invalidate caches, re-locate,
+// retry.
+var ErrFenced = errors.New("hbase: fenced by region ownership epoch")
 
 // TokenValidator authenticates a request token; nil means the cluster is
 // insecure and every request is accepted.
@@ -29,6 +38,16 @@ type RegionServer struct {
 
 	admMu sync.RWMutex
 	adm   *admission
+
+	// Self-fencing lease state: with a positive lease, the server refuses
+	// writes (and reads, when fenceReads) once it has gone lease-long
+	// without a master heartbeat — a partitioned server stops serving
+	// before the master can have reassigned its regions.
+	leaseMu    sync.Mutex
+	lease      time.Duration
+	fenceReads bool
+	lastBeat   time.Time
+	fencedNow  bool // edge-detect, so the transition is metered once
 
 	mu      sync.RWMutex
 	regions map[string]*Region
@@ -71,6 +90,68 @@ func (rs *RegionServer) admissionGate() *admission {
 	rs.admMu.RLock()
 	defer rs.admMu.RUnlock()
 	return rs.adm
+}
+
+// SetFencing installs (or, with lease <= 0, removes) the self-fencing lease.
+// The lease clock starts now, as if a heartbeat had just arrived.
+func (rs *RegionServer) SetFencing(lease time.Duration, fenceReads bool) {
+	rs.leaseMu.Lock()
+	defer rs.leaseMu.Unlock()
+	rs.lease = lease
+	rs.fenceReads = fenceReads
+	rs.lastBeat = time.Now()
+	rs.fencedNow = false
+}
+
+// SelfFenced reports whether the server's master lease has expired; the
+// first observation of an expiry is metered as a self-fence transition.
+func (rs *RegionServer) SelfFenced() bool {
+	rs.leaseMu.Lock()
+	defer rs.leaseMu.Unlock()
+	if rs.lease <= 0 {
+		return false
+	}
+	if time.Since(rs.lastBeat) <= rs.lease {
+		return false
+	}
+	if !rs.fencedNow {
+		rs.fencedNow = true
+		rs.meter.Inc(metrics.ServerSelfFenced)
+	}
+	return true
+}
+
+// fenceReadsEnabled reports whether self-fencing extends to reads.
+func (rs *RegionServer) fenceReadsEnabled() bool {
+	rs.leaseMu.Lock()
+	defer rs.leaseMu.Unlock()
+	return rs.fenceReads
+}
+
+// heartbeat restarts the lease clock; arriving master traffic unfences.
+func (rs *RegionServer) heartbeat() {
+	rs.leaseMu.Lock()
+	defer rs.leaseMu.Unlock()
+	rs.lastBeat = time.Now()
+	rs.fencedNow = false
+}
+
+// checkWriteFence gates a write RPC on the self-fencing lease.
+func (rs *RegionServer) checkWriteFence() error {
+	if rs.SelfFenced() {
+		rs.meter.Inc(metrics.FencedRejects)
+		return fmt.Errorf("%w: %s self-fenced, master lease expired", ErrFenced, rs.host)
+	}
+	return nil
+}
+
+// checkReadFence gates a read RPC: only when FenceReads is configured.
+func (rs *RegionServer) checkReadFence() error {
+	if rs.fenceReadsEnabled() && rs.SelfFenced() {
+		rs.meter.Inc(metrics.FencedRejects)
+		return fmt.Errorf("%w: %s self-fenced, master lease expired", ErrFenced, rs.host)
+	}
+	return nil
 }
 
 // admitted wraps a data handler with the admission gate: bounded in-flight
@@ -173,12 +254,31 @@ func (rs *RegionServer) auth(token string) error {
 	return rs.validate(token)
 }
 
-func (rs *RegionServer) regionFor(id string) (*Region, error) {
+// regionFor resolves a hosted region and checks the caller's routing epoch
+// against the one this server holds. Epoch 0 skips the check (legacy callers
+// that bypass the meta cache). A lower caller epoch means a stale client
+// cache; a higher one means this server itself is the stale party — a zombie
+// still holding a region the master has reassigned — so it drops the region
+// on the spot rather than double-serve it.
+func (rs *RegionServer) regionFor(id string, epoch uint64) (*Region, error) {
 	r := rs.Region(id)
 	if r == nil {
 		return nil, fmt.Errorf("%w: %q on %s", ErrNotServing, id, rs.host)
 	}
-	return r, nil
+	if epoch == 0 {
+		return r, nil
+	}
+	held := r.Epoch()
+	if epoch == held {
+		return r, nil
+	}
+	rs.meter.Inc(metrics.FencedRejects)
+	if epoch > held {
+		rs.RemoveRegion(id)
+		rs.meter.Inc(metrics.RegionsFenced)
+		return nil, fmt.Errorf("%w: %q on %s holds epoch %d, caller knows %d (superseded)", ErrFenced, id, rs.host, held, epoch)
+	}
+	return nil, fmt.Errorf("%w: %q on %s at epoch %d, caller routed with stale epoch %d", ErrFenced, id, rs.host, held, epoch)
 }
 
 // handlePing answers the master's heartbeat. Heartbeats are cluster-internal
@@ -188,6 +288,7 @@ func (rs *RegionServer) handlePing(_ context.Context, req rpc.Message) (rpc.Mess
 	if _, ok := req.(Ping); !ok {
 		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodPing, req)
 	}
+	rs.heartbeat()
 	rs.meter.Inc(metrics.Heartbeats)
 	return Ack{}, nil
 }
@@ -200,7 +301,10 @@ func (rs *RegionServer) handlePut(_ context.Context, req rpc.Message) (rpc.Messa
 	if err := rs.auth(m.Token); err != nil {
 		return nil, err
 	}
-	r, err := rs.regionFor(m.RegionID)
+	if err := rs.checkWriteFence(); err != nil {
+		return nil, err
+	}
+	r, err := rs.regionFor(m.RegionID, m.Epoch)
 	if err != nil {
 		return nil, err
 	}
@@ -231,7 +335,10 @@ func (rs *RegionServer) handleScan(ctx context.Context, req rpc.Message) (rpc.Me
 	if err := rs.auth(m.Token); err != nil {
 		return nil, err
 	}
-	r, err := rs.regionFor(m.RegionID)
+	if err := rs.checkReadFence(); err != nil {
+		return nil, err
+	}
+	r, err := rs.regionFor(m.RegionID, m.Epoch)
 	if err != nil {
 		return nil, err
 	}
@@ -249,7 +356,10 @@ func (rs *RegionServer) handleBulkGet(ctx context.Context, req rpc.Message) (rpc
 	if err := rs.auth(m.Token); err != nil {
 		return nil, err
 	}
-	r, err := rs.regionFor(m.RegionID)
+	if err := rs.checkReadFence(); err != nil {
+		return nil, err
+	}
+	r, err := rs.regionFor(m.RegionID, m.Epoch)
 	if err != nil {
 		return nil, err
 	}
@@ -277,6 +387,9 @@ func (rs *RegionServer) handleFused(ctx context.Context, req rpc.Message) (rpc.M
 	if err := rs.auth(m.Token); err != nil {
 		return nil, err
 	}
+	if err := rs.checkReadFence(); err != nil {
+		return nil, err
+	}
 	if m.Cursor.Op < 0 || m.Cursor.Op > len(m.Ops) {
 		return nil, fmt.Errorf("hbase: %s: cursor op %d out of range", MethodFused, m.Cursor.Op)
 	}
@@ -301,7 +414,7 @@ func (rs *RegionServer) handleFused(ctx context.Context, req rpc.Message) (rpc.M
 		if opIdx == m.Cursor.Op {
 			cur = m.Cursor
 		}
-		r, err := rs.regionFor(op.RegionID)
+		r, err := rs.regionFor(op.RegionID, op.Epoch)
 		if err != nil {
 			return nil, err
 		}

@@ -56,12 +56,18 @@ func (d *TableDescriptor) maxVersions() int {
 // RegionInfo identifies one region: a half-open row-key range
 // [StartKey, EndKey) of a table, hosted by a region server. A nil StartKey
 // means "from the beginning"; a nil EndKey means "to the end".
+//
+// Epoch is the region's ownership generation: the master bumps it on every
+// reassignment (failover, drain, balance), and data RPCs routed with a stale
+// epoch are rejected with ErrFenced so a cached location can never silently
+// read or write through a superseded owner.
 type RegionInfo struct {
 	Table    string
 	ID       string
 	StartKey []byte
 	EndKey   []byte
 	Host     string
+	Epoch    uint64
 }
 
 // ContainsRow reports whether row falls inside the region's range.
@@ -94,7 +100,7 @@ func (ri *RegionInfo) String() string {
 
 // WireSize implements rpc.Message for meta responses.
 func (ri *RegionInfo) WireSize() int {
-	return len(ri.Table) + len(ri.ID) + len(ri.StartKey) + len(ri.EndKey) + len(ri.Host)
+	return len(ri.Table) + len(ri.ID) + len(ri.StartKey) + len(ri.EndKey) + len(ri.Host) + 8
 }
 
 // sortRegions orders regions by start key, the layout of the meta table.

@@ -62,6 +62,16 @@ const (
 	BreakerOpens        = "breaker.opens"
 	QueriesCancelled    = "queries.cancelled"
 	TasksCancelled      = "tasks.cancelled"
+	RegionsFenced       = "hbase.regions_fenced"
+	RegionsDrained      = "hbase.regions_drained"
+	FencedRejects       = "rpc.fenced_rejects"
+	ServerSelfFenced    = "server.self_fenced"
+	EpochBumps          = "master.epoch_bumps"
+	PartitionsInjected  = "rpc.partitions_injected"
+	PartitionsHealed    = "rpc.partitions_healed"
+	PartitionDrops      = "rpc.partition_drops"
+	WALCorruptEntries   = "wal.corrupt_entries"
+	WALFencedAppends    = "wal.fenced_appends"
 )
 
 // Registry is a concurrency-safe set of named monotonic counters, gauges

@@ -26,6 +26,18 @@ type FaultRule struct {
 	// Method restricts the rule to one RPC method (MethodDial for dials);
 	// "" matches any.
 	Method string
+	// Caller restricts the rule to calls made by one host (tagged via
+	// rpc.WithCaller); "" matches any caller, including untagged ones.
+	Caller string
+	// ExceptCaller exempts one caller from the rule — the other half of an
+	// asymmetric partition ("everyone except the master loses this host").
+	ExceptCaller string
+	// Drop fails every matching call (after SkipFirst) deterministically
+	// without consulting the seeded RNG, so installing or removing a
+	// partition mid-run never perturbs the failure schedule other
+	// probabilistic rules draw from the shared RNG. Drops are metered
+	// separately as partition drops.
+	Drop bool
 	// SkipFirst lets this many matching calls through untouched before the
 	// failure logic applies.
 	SkipFirst int
@@ -83,6 +95,20 @@ func (f *FaultInjector) Add(r *FaultRule) {
 	f.rules = append(f.rules, r)
 }
 
+// Remove deletes a previously added rule (matched by identity); removing a
+// rule that was never added is a no-op. Healing a partition removes its drop
+// rules this way.
+func (f *FaultInjector) Remove(r *FaultRule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, have := range f.rules {
+		if have == r {
+			f.rules = append(f.rules[:i], f.rules[i+1:]...)
+			return
+		}
+	}
+}
+
 // Fired reports how many failures the injector has injected in total.
 func (f *FaultInjector) Fired() int {
 	f.mu.Lock()
@@ -104,15 +130,23 @@ func (f *FaultInjector) apply(ctx context.Context, host, method string) error {
 	if f == nil {
 		return nil
 	}
+	caller := CallerFromContext(ctx)
 	f.mu.Lock()
 	var extra time.Duration
 	var err error
+	var dropped bool
 	var hooks []func()
 	for _, r := range f.rules {
 		if r.Host != "" && r.Host != host {
 			continue
 		}
 		if r.Method != "" && r.Method != method {
+			continue
+		}
+		if r.Caller != "" && r.Caller != caller {
+			continue
+		}
+		if r.ExceptCaller != "" && r.ExceptCaller == caller {
 			continue
 		}
 		r.seen++
@@ -128,7 +162,7 @@ func (f *FaultInjector) apply(ctx context.Context, host, method string) error {
 		if after < 1 {
 			continue
 		}
-		inject := r.FailNext > 0 && after <= r.FailNext
+		inject := (r.FailNext > 0 && after <= r.FailNext) || r.Drop
 		if !inject && r.FailProb > 0 && f.rng.Float64() < r.FailProb {
 			inject = true
 		}
@@ -140,6 +174,7 @@ func (f *FaultInjector) apply(ctx context.Context, host, method string) error {
 			base = ErrHostDown
 		}
 		err = fmt.Errorf("%w: %q (injected)", base, host)
+		dropped = r.Drop
 		r.fired++
 		if r.OnFire != nil {
 			hooks = append(hooks, r.OnFire)
@@ -154,6 +189,9 @@ func (f *FaultInjector) apply(ctx context.Context, host, method string) error {
 	}
 	if err != nil {
 		meter.Inc(metrics.FaultsInjected)
+		if dropped {
+			meter.Inc(metrics.PartitionDrops)
+		}
 		for _, h := range hooks {
 			h()
 		}
@@ -180,3 +218,8 @@ func (n *Network) injector() *FaultInjector {
 	defer n.mu.RUnlock()
 	return n.faults
 }
+
+// Injector returns the installed fault injector (nil when none), so layers
+// that script partitions (Cluster.PartitionServer) can add rules to an
+// injector a test already seeded instead of replacing it.
+func (n *Network) Injector() *FaultInjector { return n.injector() }

@@ -145,3 +145,95 @@ func TestFaultInjectorRemoval(t *testing.T) {
 		t.Errorf("call after removal = %v", err)
 	}
 }
+
+func callAs(t *testing.T, n *Network, caller string) error {
+	t.Helper()
+	ctx := WithCaller(context.Background(), caller)
+	conn, err := n.DialContext(ctx, "rs1")
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_, err = conn.CallContext(ctx, "m", nil)
+	return err
+}
+
+func TestFaultCallerRuleMatchesOnlyTaggedCaller(t *testing.T) {
+	n, _ := newFaultNet(t)
+	n.SetFaultInjector(NewFaultInjector(1, &FaultRule{Host: "rs1", Caller: "master", Drop: true}))
+	if err := callAs(t, n, "master"); !errors.Is(err, ErrHostDown) {
+		t.Errorf("master call = %v, want dropped", err)
+	}
+	if err := callAs(t, n, "client-1"); err != nil {
+		t.Errorf("client call = %v, want success", err)
+	}
+	if err := callOK(t, n); err != nil {
+		t.Errorf("untagged call = %v, want success", err)
+	}
+}
+
+func TestFaultExceptCallerRuleExemptsCaller(t *testing.T) {
+	n, _ := newFaultNet(t)
+	n.SetFaultInjector(NewFaultInjector(1, &FaultRule{Host: "rs1", ExceptCaller: "master", Drop: true}))
+	if err := callAs(t, n, "master"); err != nil {
+		t.Errorf("master call = %v, want exempt", err)
+	}
+	if err := callAs(t, n, "client-1"); !errors.Is(err, ErrHostDown) {
+		t.Errorf("client call = %v, want dropped", err)
+	}
+	if err := callOK(t, n); !errors.Is(err, ErrHostDown) {
+		t.Errorf("untagged call = %v, want dropped", err)
+	}
+}
+
+func TestFaultDropDoesNotConsumeRNG(t *testing.T) {
+	// Two networks share the same probabilistic schedule; one also carries a
+	// Drop rule on a different host. The probabilistic outcomes must match
+	// call for call, proving Drop never draws from the seeded RNG.
+	run := func(withDrop bool) []bool {
+		n, _ := newTestNet(t)
+		_ = n.Handle("rs1", "m", func(context.Context, Message) (Message, error) { return nil, nil })
+		_ = n.Handle("rs2", "m", func(context.Context, Message) (Message, error) { return nil, nil })
+		inj := NewFaultInjector(7, &FaultRule{Host: "rs1", Method: "m", FailProb: 0.5})
+		if withDrop {
+			inj.Add(&FaultRule{Host: "rs2", Drop: true})
+		}
+		n.SetFaultInjector(inj)
+		var out []bool
+		for i := 0; i < 40; i++ {
+			out = append(out, callOK(t, n) == nil)
+			if withDrop {
+				conn, err := n.Dial("rs2")
+				if err == nil {
+					_, _ = conn.Call("m", nil)
+					conn.Close()
+				}
+			}
+		}
+		return out
+	}
+	plain, mixed := run(false), run(true)
+	for i := range plain {
+		if plain[i] != mixed[i] {
+			t.Fatalf("probabilistic schedule diverged at call %d once a Drop rule was active", i)
+		}
+	}
+}
+
+func TestFaultRemoveRestoresTraffic(t *testing.T) {
+	n, m := newFaultNet(t)
+	rule := &FaultRule{Host: "rs1", Drop: true}
+	inj := NewFaultInjector(1, rule)
+	n.SetFaultInjector(inj)
+	if err := callOK(t, n); !errors.Is(err, ErrHostDown) {
+		t.Fatalf("partitioned call = %v, want ErrHostDown", err)
+	}
+	inj.Remove(rule)
+	if err := callOK(t, n); err != nil {
+		t.Errorf("call after heal = %v, want success", err)
+	}
+	inj.Remove(rule) // double-remove is a no-op
+	if got := m.Get(metrics.PartitionDrops); got != 1 {
+		t.Errorf("partition drops = %d, want 1", got)
+	}
+}

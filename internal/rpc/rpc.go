@@ -33,6 +33,27 @@ var (
 	ErrConnClosed    = errors.New("rpc: connection closed")
 )
 
+// callerKey carries the calling host's identity in the context, so fault
+// rules can partition traffic asymmetrically (master↔server severed while
+// client↔server still flows, or the reverse).
+type callerKey struct{}
+
+// WithCaller tags ctx with the calling host's name. Calls made with an
+// untagged context have no caller identity and only match rules that do not
+// filter on one.
+func WithCaller(ctx context.Context, host string) context.Context {
+	return context.WithValue(ctx, callerKey{}, host)
+}
+
+// CallerFromContext returns the caller identity set by WithCaller ("" when
+// untagged).
+func CallerFromContext(ctx context.Context) string {
+	if v, ok := ctx.Value(callerKey{}).(string); ok {
+		return v
+	}
+	return ""
+}
+
 // Message is anything that can cross the simulated wire. WireSize must
 // report how many bytes the message would occupy serialized; the transport
 // meters it but does not actually serialize.

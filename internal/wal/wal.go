@@ -8,6 +8,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
 
 	"github.com/shc-go/shc/internal/metrics"
@@ -22,9 +23,13 @@ const (
 	KindDelete
 )
 
-// Entry is one logged mutation.
+// Entry is one logged mutation. Epoch records the region-ownership epoch the
+// mutation was accepted under; replay after a reassignment discards entries
+// stamped with a fenced (superseded) epoch so a zombie owner's doomed writes
+// never resurrect.
 type Entry struct {
 	Seq       uint64
+	Epoch     uint64
 	Table     string
 	Region    string
 	Kind      Kind
@@ -38,10 +43,18 @@ type Entry struct {
 // ErrCorrupt is returned when decoding malformed bytes.
 var ErrCorrupt = errors.New("wal: corrupt entry")
 
-// Encode serializes the entry to a self-delimiting binary record.
+// ErrFenced reports an append rejected because the log was fenced at a
+// higher epoch than the entry carries — the moment a zombie region owner
+// learns its lease is gone, modeled on HDFS lease recovery: the write is
+// refused before it is acknowledged, so nothing durable is lost.
+var ErrFenced = errors.New("wal: log fenced at a newer epoch")
+
+// Encode serializes the entry to a self-delimiting binary record guarded by
+// a CRC32 (IEEE) trailer over every preceding byte.
 func (e Entry) Encode() []byte {
-	buf := make([]byte, 0, 64+len(e.Row)+len(e.Family)+len(e.Qualifier)+len(e.Value))
+	buf := make([]byte, 0, 80+len(e.Row)+len(e.Family)+len(e.Qualifier)+len(e.Value))
 	buf = binary.BigEndian.AppendUint64(buf, e.Seq)
+	buf = binary.BigEndian.AppendUint64(buf, e.Epoch)
 	buf = append(buf, byte(e.Kind))
 	buf = appendBytes(buf, []byte(e.Table))
 	buf = appendBytes(buf, []byte(e.Region))
@@ -50,6 +63,7 @@ func (e Entry) Encode() []byte {
 	buf = appendBytes(buf, []byte(e.Qualifier))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(e.Timestamp))
 	buf = appendBytes(buf, e.Value)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
 	return buf
 }
 
@@ -58,18 +72,25 @@ func appendBytes(buf, b []byte) []byte {
 	return append(buf, b...)
 }
 
-// DecodeEntry parses bytes produced by Encode.
+// DecodeEntry parses bytes produced by Encode, verifying the CRC32 trailer
+// before trusting any field.
 func DecodeEntry(b []byte) (Entry, error) {
 	var e Entry
-	if len(b) < 9 {
+	if len(b) < 21 {
 		return e, fmt.Errorf("%w: too short", ErrCorrupt)
 	}
+	body, sum := b[:len(b)-4], binary.BigEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return e, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	b = body
 	e.Seq = binary.BigEndian.Uint64(b)
-	e.Kind = Kind(b[8])
+	e.Epoch = binary.BigEndian.Uint64(b[8:])
+	e.Kind = Kind(b[16])
 	if e.Kind != KindPut && e.Kind != KindDelete {
 		return e, fmt.Errorf("%w: bad kind %d", ErrCorrupt, e.Kind)
 	}
-	b = b[9:]
+	b = b[17:]
 	var err error
 	var table, region, fam, qual []byte
 	if table, b, err = takeBytes(b); err != nil {
@@ -122,6 +143,7 @@ type Log struct {
 	records [][]byte
 	first   uint64 // seq of records[0]
 	nextSeq uint64
+	epoch   uint64 // appends below this ownership epoch are rejected
 	meter   *metrics.Registry
 }
 
@@ -131,19 +153,48 @@ func New(meter *metrics.Registry) *Log {
 }
 
 // Append assigns the next sequence number to e, encodes and stores it, and
-// returns the assigned sequence number.
-func (l *Log) Append(e Entry) uint64 {
+// returns the assigned sequence number. An entry stamped with an epoch below
+// the log's fence epoch is rejected with ErrFenced — the append-time fencing
+// that keeps a zombie owner's writes out of the durable log after its region
+// has been reassigned.
+func (l *Log) Append(e Entry) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if e.Epoch < l.epoch {
+		l.meter.Inc(metrics.WALFencedAppends)
+		return 0, fmt.Errorf("%w: append at epoch %d, fenced at %d", ErrFenced, e.Epoch, l.epoch)
+	}
 	e.Seq = l.nextSeq
 	l.nextSeq++
 	l.records = append(l.records, e.Encode())
 	l.meter.Inc(metrics.WALAppends)
-	return e.Seq
+	return e.Seq, nil
+}
+
+// Fence raises the log's ownership epoch: subsequent appends stamped with a
+// lower epoch fail with ErrFenced. Fencing never lowers the epoch, so a
+// stale fencer cannot re-admit a zombie.
+func (l *Log) Fence(epoch uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if epoch > l.epoch {
+		l.epoch = epoch
+	}
+}
+
+// Epoch reports the current fence epoch (0 = never fenced).
+func (l *Log) Epoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
 }
 
 // Replay invokes fn for every retained entry with Seq >= fromSeq, in order.
-// It stops and returns the first error from fn or from decoding.
+// A corrupt record ends the replay cleanly — everything before it is
+// recovered, the unreadable tail is abandoned, exactly how a recovering
+// region treats a log whose final block was torn mid-write. fn errors still
+// propagate: they mean the recovered data could not be applied, not that the
+// log ran out.
 func (l *Log) Replay(fromSeq uint64, fn func(Entry) error) error {
 	l.mu.Lock()
 	records := l.records
@@ -156,13 +207,27 @@ func (l *Log) Replay(fromSeq uint64, fn func(Entry) error) error {
 		}
 		e, err := DecodeEntry(rec)
 		if err != nil {
-			return err
+			l.meter.Inc(metrics.WALCorruptEntries)
+			return nil
 		}
 		if err := fn(e); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// CorruptRecord flips bits in the i-th retained record (for corruption
+// tests); out-of-range indexes are ignored.
+func (l *Log) CorruptRecord(i int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if i < 0 || i >= len(l.records) {
+		return
+	}
+	rec := append([]byte(nil), l.records[i]...)
+	rec[len(rec)/2] ^= 0xFF
+	l.records[i] = rec
 }
 
 // Truncate discards entries with Seq < uptoSeq; the region calls this after

@@ -12,7 +12,7 @@ import (
 
 func sample(seq uint64) Entry {
 	return Entry{
-		Seq: seq, Table: "t", Region: "r1", Kind: KindPut,
+		Seq: seq, Epoch: 3, Table: "t", Region: "r1", Kind: KindPut,
 		Row: []byte("row-1"), Family: "cf", Qualifier: "q",
 		Timestamp: 42, Value: []byte("value"),
 	}
@@ -67,14 +67,56 @@ func TestDecodeCorrupt(t *testing.T) {
 
 func TestAppendAssignsSequence(t *testing.T) {
 	l := New(nil)
-	if s := l.Append(sample(0)); s != 1 {
-		t.Errorf("first seq = %d", s)
+	if s, err := l.Append(sample(0)); err != nil || s != 1 {
+		t.Errorf("first seq = %d, err = %v", s, err)
 	}
-	if s := l.Append(sample(0)); s != 2 {
-		t.Errorf("second seq = %d", s)
+	if s, err := l.Append(sample(0)); err != nil || s != 2 {
+		t.Errorf("second seq = %d, err = %v", s, err)
 	}
 	if l.NextSeq() != 3 {
 		t.Errorf("NextSeq = %d", l.NextSeq())
+	}
+}
+
+func TestAppendFencedEpochRejected(t *testing.T) {
+	l := New(nil)
+	e := sample(0)
+	e.Epoch = 1
+	if _, err := l.Append(e); err != nil {
+		t.Fatal(err)
+	}
+	l.Fence(2)
+	if _, err := l.Append(e); !errors.Is(err, ErrFenced) {
+		t.Errorf("append at stale epoch: %v, want ErrFenced", err)
+	}
+	// Equal-or-newer epochs still append.
+	e.Epoch = 2
+	if _, err := l.Append(e); err != nil {
+		t.Errorf("append at fence epoch: %v", err)
+	}
+	// Fencing never lowers the epoch.
+	l.Fence(1)
+	if got := l.Epoch(); got != 2 {
+		t.Errorf("epoch after stale fence = %d", got)
+	}
+}
+
+func TestReplayStopsAtCorruptTail(t *testing.T) {
+	m := metrics.NewRegistry()
+	l := New(m)
+	for i := 0; i < 5; i++ {
+		l.Append(sample(0))
+	}
+	l.CorruptRecord(3) // seq 4 is torn; 1..3 must still recover
+	var seqs []uint64
+	if err := l.Replay(0, func(e Entry) error { seqs = append(seqs, e.Seq); return nil }); err != nil {
+		t.Fatalf("truncated-tail replay: %v", err)
+	}
+	if !reflect.DeepEqual(seqs, []uint64{1, 2, 3}) {
+		t.Errorf("replayed seqs = %v, want prefix before the corrupt record", seqs)
+	}
+	if got := m.Get(metrics.WALCorruptEntries); got != 1 {
+		t.Errorf("corrupt entries metered = %d", got)
 	}
 }
 
