@@ -5,18 +5,25 @@
 //	shcbench -exp fig4 -scales 1,2,3 # query latency at selected scales
 //	shcbench -exp table2             # encoding comparison
 //	shcbench -exp ablation           # per-optimization breakdown
+//	shcbench -exp vector             # vectorized vs row-at-a-time execution
 //
 // Scale stands in for the paper's 5–30 GB axis: scale s generates s× the
 // base TPC-DS row counts. Absolute numbers depend on the machine; the
 // shapes (who wins, by what factor, where curves flatten) are the
 // reproduction target, recorded in EXPERIMENTS.md.
+//
+// Each experiment also writes its structured results — series points,
+// rows/sec, p50/p99 latencies — to BENCH_<exp>.json in the -json directory,
+// so CI gates and plots consume numbers instead of scraping stdout.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -24,13 +31,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|table2|ablation|streaming|chaos|partition|overload|trace-overhead")
+	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|table2|ablation|streaming|vector|chaos|partition|overload|trace-overhead")
 	scales := flag.String("scales", "1,2,3,4,5,6", "comma-separated scale factors (the 5..30 GB axis)")
 	servers := flag.Int("servers", 5, "region servers / executor hosts")
 	runs := flag.Int("runs", 1, "average each measurement over N runs")
 	executors := flag.String("executors", "5,10,15,20,25", "total executor counts for fig6")
 	seed := flag.Int64("seed", 1, "fault-injection seed for the chaos and partition experiments")
 	metricsDump := flag.Bool("metrics", false, "dump a Prometheus-style metrics exposition after supporting experiments")
+	jsonDir := flag.String("json", ".", "directory for BENCH_<exp>.json result files (empty = no files)")
 	flag.Parse()
 
 	p := bench.Params{
@@ -45,31 +53,45 @@ func main() {
 		p.MetricsOut = os.Stdout
 	}
 
-	run := func(name string, fn func() error) {
+	run := func(name string, fn func() (any, error)) {
 		if *exp != "all" && *exp != name {
 			return
 		}
 		fmt.Printf("\n===== %s =====\n", name)
-		if err := fn(); err != nil {
+		result, err := fn()
+		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
+		if result == nil || *jsonDir == "" {
+			return
+		}
+		path := filepath.Join(*jsonDir, "BENCH_"+name+".json")
+		data, err := json.MarshalIndent(result, "", "  ")
+		if err != nil {
+			log.Fatalf("%s: marshal results: %v", name, err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("%s: write %s: %v", name, path, err)
+		}
+		fmt.Printf("wrote %s\n", path)
 	}
 
-	run("table1", func() error { bench.Table1(os.Stdout); return nil })
-	run("fig4", func() error { _, err := bench.Fig4(p); return err })
-	run("fig5", func() error { _, err := bench.Fig5(p); return err })
-	run("fig6", func() error { _, err := bench.Fig6(p); return err })
-	run("fig7", func() error { _, err := bench.Fig7(p); return err })
-	run("table2", func() error { _, err := bench.Table2(p); return err })
-	run("ablation", func() error { _, err := bench.Ablation(p); return err })
-	run("streaming", func() error { _, err := bench.StreamingComparison(p); return err })
-	run("chaos", func() error { _, err := bench.Chaos(p); return err })
-	run("partition", func() error { _, err := bench.Partition(p); return err })
-	run("overload", func() error { _, err := bench.Overload(p); return err })
-	run("trace-overhead", func() error { _, err := bench.TraceOverhead(p); return err })
+	run("table1", func() (any, error) { bench.Table1(os.Stdout); return nil, nil })
+	run("fig4", func() (any, error) { return bench.Fig4(p) })
+	run("fig5", func() (any, error) { return bench.Fig5(p) })
+	run("fig6", func() (any, error) { return bench.Fig6(p) })
+	run("fig7", func() (any, error) { return bench.Fig7(p) })
+	run("table2", func() (any, error) { return bench.Table2(p) })
+	run("ablation", func() (any, error) { return bench.Ablation(p) })
+	run("streaming", func() (any, error) { return bench.StreamingComparison(p) })
+	run("vector", func() (any, error) { return bench.Vector(p) })
+	run("chaos", func() (any, error) { return bench.Chaos(p) })
+	run("partition", func() (any, error) { return bench.Partition(p) })
+	run("overload", func() (any, error) { return bench.Overload(p) })
+	run("trace-overhead", func() (any, error) { return bench.TraceOverhead(p) })
 
 	switch *exp {
-	case "all", "table1", "fig4", "fig5", "fig6", "fig7", "table2", "ablation", "streaming", "chaos", "partition", "overload", "trace-overhead":
+	case "all", "table1", "fig4", "fig5", "fig6", "fig7", "table2", "ablation", "streaming", "vector", "chaos", "partition", "overload", "trace-overhead":
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}

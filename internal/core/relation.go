@@ -611,6 +611,7 @@ type fusedPager struct {
 	prefix   int            // length of the contiguous same-host run being paged
 	cursor   hbase.FusedCursor
 	batch    int
+	columnar bool // request column-major pages (vectorized decode path)
 	failures int
 	done     bool
 }
@@ -637,7 +638,13 @@ func (g *fusedPager) wrapErr(err error) error {
 func (g *fusedPager) next(ctx context.Context) (*hbase.ScanResponse, error) {
 	client := g.p.rel.client
 	for !g.done {
-		resp, err := client.FusedExecPageContext(ctx, g.host, g.ops[:g.prefix], g.batch, g.cursor)
+		var resp *hbase.ScanResponse
+		var err error
+		if g.columnar {
+			resp, err = client.FusedExecPageColumnar(ctx, g.host, g.ops[:g.prefix], g.batch, g.cursor)
+		} else {
+			resp, err = client.FusedExecPageContext(ctx, g.host, g.ops[:g.prefix], g.batch, g.cursor)
+		}
 		if err != nil {
 			if !hbase.IsRetryable(err) {
 				return nil, g.wrapErr(err)

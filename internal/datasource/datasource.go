@@ -205,6 +205,13 @@ type BatchOptions struct {
 	// predicate is already evaluated inside the source, so that the first
 	// LimitHint rows are exactly the rows the query keeps.
 	LimitHint int
+	// EagerColumns lists the positions (in the scan's projected column
+	// order) that the consumer reads for every row — typically the filter
+	// and aggregate inputs. A vectorized source decodes these into typed
+	// vectors up front and may leave the rest lazy, decoding only the
+	// positions that survive filtering (late materialization). nil means
+	// "decode everything eagerly".
+	EagerColumns []int
 }
 
 // BatchScan is an optional Partition capability: compute the partition's
@@ -241,6 +248,37 @@ func StreamPartition(ctx context.Context, p Partition, opts BatchOptions, yield 
 		return err
 	}
 	return nil
+}
+
+// VectorScan is an optional Partition capability: compute the partition as
+// a stream of column batches — typed vectors with null bitmaps — instead of
+// row slices. The batch holds the scan's projected columns in order, and
+// the same ErrStopBatches/LimitHint contract as BatchScan applies. The
+// batch (vectors included) is only valid for the duration of the yield
+// call: sources reuse and re-fill it, so consumers materialize whatever
+// they keep before returning.
+type VectorScan interface {
+	ComputeVectors(ctx context.Context, opts BatchOptions, yield func(*plan.Batch) error) error
+}
+
+// StreamPartitionVectors streams p's rows as column batches, using the
+// VectorScan fast path when the partition implements it and transposing the
+// row stream into a reused batch otherwise. schema describes the scan's
+// projected columns.
+func StreamPartitionVectors(ctx context.Context, p Partition, schema plan.Schema, opts BatchOptions, yield func(*plan.Batch) error) error {
+	if vs, ok := p.(VectorScan); ok {
+		return vs.ComputeVectors(ctx, opts, yield)
+	}
+	batch := plan.NewBatch(schema)
+	return StreamPartition(ctx, p, opts, func(rows []plan.Row) error {
+		batch.Reset()
+		for _, r := range rows {
+			if err := batch.AppendRow(r); err != nil {
+				return err
+			}
+		}
+		return yield(batch)
+	})
 }
 
 // Relation is a table provided by an external source.

@@ -190,3 +190,23 @@ func (p *memPartition) ComputeBatches(ctx context.Context, opts BatchOptions, yi
 	}
 	return nil
 }
+
+// ComputeVectors implements VectorScan by transposing the filtered,
+// projected row stream into one reused column batch — the in-memory source
+// pays no decode cost, so eager vs lazy does not apply here.
+func (p *memPartition) ComputeVectors(ctx context.Context, opts BatchOptions, yield func(*plan.Batch) error) error {
+	schema := make(plan.Schema, len(p.colIdx))
+	for i, j := range p.colIdx {
+		schema[i] = p.rel.schema[j]
+	}
+	batch := plan.NewBatch(schema)
+	return p.ComputeBatches(ctx, opts, func(rows []plan.Row) error {
+		batch.Reset()
+		for _, r := range rows {
+			if err := batch.AppendRow(r); err != nil {
+				return err
+			}
+		}
+		return yield(batch)
+	})
+}

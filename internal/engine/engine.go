@@ -39,6 +39,10 @@ type Config struct {
 	// fusing scan→filter→project→limit chains into streaming batch
 	// pipelines (ablation switch).
 	DisablePipelining bool
+	// DisableVectorization keeps fused pipelines on the row-at-a-time path
+	// instead of columnar batches with compiled predicates (ablation switch;
+	// implies nothing about pipelining itself).
+	DisableVectorization bool
 	// TaskRetries is the per-task attempt cap for transport failures
 	// (default 3); set negative to disable re-execution.
 	TaskRetries int
@@ -191,8 +195,9 @@ func (s *Session) SQL(query string) (*DataFrame, error) {
 // compileConfig selects physical strategies for this session.
 func (s *Session) compileConfig() exec.CompileConfig {
 	return exec.CompileConfig{
-		SortMergeJoin:     s.cfg.UseSortMergeJoin,
-		DisablePipelining: s.cfg.DisablePipelining,
+		SortMergeJoin:        s.cfg.UseSortMergeJoin,
+		DisablePipelining:    s.cfg.DisablePipelining,
+		DisableVectorization: s.cfg.DisableVectorization,
 	}
 }
 

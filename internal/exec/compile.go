@@ -18,6 +18,10 @@ type CompileConfig struct {
 	// pipelines (ablation switch, and the baseline side of the
 	// streaming-vs-materialized benchmark).
 	DisablePipelining bool
+	// DisableVectorization keeps fused pipelines on the row-at-a-time
+	// interpreter instead of the columnar batch path (ablation switch, and
+	// the row side of the vector-vs-row benchmark).
+	DisableVectorization bool
 }
 
 // Compile lowers an optimized logical plan to a physical one with default
@@ -37,7 +41,7 @@ func CompileWith(p plan.LogicalPlan, cfg CompileConfig) (PhysicalPlan, error) {
 		return nil, err
 	}
 	if !cfg.DisablePipelining {
-		phys = FusePipelines(phys)
+		phys = FusePipelinesWith(phys, !cfg.DisableVectorization)
 	}
 	return phys, nil
 }

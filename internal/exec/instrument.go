@@ -172,6 +172,8 @@ func opName(p PhysicalPlan) string {
 		return "scan"
 	case *PipelineExec:
 		return "pipeline"
+	case *AggPipelineExec:
+		return "agg_pipeline"
 	case *FilterExec:
 		return "filter"
 	case *ProjectExec:

@@ -42,6 +42,20 @@ type PipelineExec struct {
 	Limit int
 	// BatchSize bounds the rows per streamed batch; 0 lets the source pick.
 	BatchSize int
+	// Vectorize enables the columnar path: partitions exposing
+	// datasource.VectorScan stream typed column batches that the residual
+	// filter and projection — compiled once per query into closures over
+	// vectors — consume with selection vectors. Partitions without the
+	// capability keep the row path.
+	Vectorize bool
+
+	// Compiled vector program, built lazily on first vectorized partition
+	// and shared (immutably) by all partition tasks.
+	vecOnce   sync.Once
+	vecFilter *plan.CompiledFilter
+	vecProj   *plan.CompiledProjection
+	vecEager  []int
+	vecBad    bool
 }
 
 // Schema implements PhysicalPlan.
@@ -157,8 +171,21 @@ func (p *PipelineExec) Execute(ctx *Context) ([]plan.Row, error) {
 	return out, nil
 }
 
-// runPartition streams one partition through the fused operators.
+// runPartition streams one partition through the fused operators, on the
+// columnar path when both the partition and the compiled program support it.
 func (p *PipelineExec) runPartition(tctx context.Context, ctx *Context, part datasource.Partition, tracker *limitTracker) ([]plan.Row, int, error) {
+	if p.Vectorize {
+		if vs, ok := part.(datasource.VectorScan); ok {
+			if _, _, _, ok := p.vecProgram(); ok {
+				return p.runPartitionVector(tctx, ctx, vs, tracker)
+			}
+		}
+	}
+	return p.runPartitionRows(tctx, ctx, part, tracker)
+}
+
+// runPartitionRows is the row-at-a-time interpreter path.
+func (p *PipelineExec) runPartitionRows(tctx context.Context, ctx *Context, part datasource.Partition, tracker *limitTracker) ([]plan.Row, int, error) {
 	opts := datasource.BatchOptions{BatchSize: p.BatchSize}
 	// The limit only pushes into the source when the source evaluates every
 	// remaining predicate itself; a residual filter means the first N
@@ -232,33 +259,43 @@ func (p *PipelineExec) runPartition(tctx context.Context, ctx *Context, part dat
 }
 
 // FusePipelines rewrites every Limit→Project→Filter→Scan chain (each layer
-// optional, at least one above the scan) into a PipelineExec. Operators
-// outside such chains — the pipeline breakers — are rebuilt with fused
-// children.
-func FusePipelines(p PhysicalPlan) PhysicalPlan {
-	if fused, ok := fuseChain(p); ok {
+// optional, at least one above the scan) into a PipelineExec with the
+// columnar path enabled. Operators outside such chains — the pipeline
+// breakers — are rebuilt with fused children.
+func FusePipelines(p PhysicalPlan) PhysicalPlan { return FusePipelinesWith(p, true) }
+
+// FusePipelinesWith is FusePipelines with the columnar path switchable:
+// vectorize=false compiles the same fused pipelines but keeps them on the
+// row-at-a-time interpreter (the row side of the vector-vs-row benchmark).
+func FusePipelinesWith(p PhysicalPlan, vectorize bool) PhysicalPlan {
+	if fused, ok := fuseChain(p, vectorize); ok {
 		return fused
 	}
 	switch n := p.(type) {
 	case *FilterExec:
-		n.Child = FusePipelines(n.Child)
+		n.Child = FusePipelinesWith(n.Child, vectorize)
 	case *ProjectExec:
-		n.Child = FusePipelines(n.Child)
+		n.Child = FusePipelinesWith(n.Child, vectorize)
 	case *LimitExec:
-		n.Child = FusePipelines(n.Child)
+		n.Child = FusePipelinesWith(n.Child, vectorize)
 	case *SortExec:
-		n.Child = FusePipelines(n.Child)
+		n.Child = FusePipelinesWith(n.Child, vectorize)
 	case *HashAggExec:
-		n.Child = FusePipelines(n.Child)
+		if vectorize {
+			if fused, ok := fuseAgg(n); ok {
+				return fused
+			}
+		}
+		n.Child = FusePipelinesWith(n.Child, vectorize)
 	case *HashJoinExec:
-		n.Left = FusePipelines(n.Left)
-		n.Right = FusePipelines(n.Right)
+		n.Left = FusePipelinesWith(n.Left, vectorize)
+		n.Right = FusePipelinesWith(n.Right, vectorize)
 	case *SortMergeJoinExec:
-		n.Left = FusePipelines(n.Left)
-		n.Right = FusePipelines(n.Right)
+		n.Left = FusePipelinesWith(n.Left, vectorize)
+		n.Right = FusePipelinesWith(n.Right, vectorize)
 	case *UnionExec:
 		for i, in := range n.Inputs {
-			n.Inputs[i] = FusePipelines(in)
+			n.Inputs[i] = FusePipelinesWith(in, vectorize)
 		}
 	}
 	return p
@@ -267,7 +304,7 @@ func FusePipelines(p PhysicalPlan) PhysicalPlan {
 // fuseChain matches Limit? Project? Filter* Scan from the top of p. A bare
 // scan is left alone — fusing it would add streaming overhead with nothing
 // to fuse against.
-func fuseChain(p PhysicalPlan) (PhysicalPlan, bool) {
+func fuseChain(p PhysicalPlan, vectorize bool) (PhysicalPlan, bool) {
 	node := p
 	limit := 0
 	if l, ok := node.(*LimitExec); ok && l.N > 0 {
@@ -309,5 +346,6 @@ func fuseChain(p PhysicalPlan) (PhysicalPlan, bool) {
 		Exprs:     exprs,
 		OutSchema: outSchema,
 		Limit:     limit,
+		Vectorize: vectorize,
 	}, true
 }

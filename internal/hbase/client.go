@@ -710,12 +710,24 @@ func (c *Client) FusedExecPage(host string, ops []ScanOp, batchLimit int, cursor
 
 // FusedExecPageContext is FusedExecPage bounded by ctx.
 func (c *Client) FusedExecPageContext(ctx context.Context, host string, ops []ScanOp, batchLimit int, cursor FusedCursor) (*ScanResponse, error) {
+	return c.fusedExecPage(ctx, host, ops, batchLimit, cursor, false)
+}
+
+// FusedExecPageColumnar is FusedExecPageContext with column-major packing
+// requested: when the page is losslessly packable the rows come back in
+// resp.Block (family/qualifier carried once per column, presence as nils)
+// instead of resp.Results. Paging and cursors are unchanged.
+func (c *Client) FusedExecPageColumnar(ctx context.Context, host string, ops []ScanOp, batchLimit int, cursor FusedCursor) (*ScanResponse, error) {
+	return c.fusedExecPage(ctx, host, ops, batchLimit, cursor, true)
+}
+
+func (c *Client) fusedExecPage(ctx context.Context, host string, ops []ScanOp, batchLimit int, cursor FusedCursor, columnar bool) (*ScanResponse, error) {
 	tok, err := c.token()
 	if err != nil {
 		return nil, err
 	}
 	resp, err := c.callRead(ctx, host, MethodFused, &FusedRequest{
-		Ops: ops, BatchLimit: batchLimit, Cursor: cursor, Token: tok,
+		Ops: ops, BatchLimit: batchLimit, Cursor: cursor, Columnar: columnar, Token: tok,
 	})
 	if err != nil {
 		return nil, err

@@ -66,9 +66,12 @@ func (m *ScanRequest) WireSize() int {
 // ScanResponse returns the matching rows. For paged fused requests it also
 // carries the continuation state: More reports that the server stopped at
 // the request's BatchLimit with work remaining, and Next is the cursor the
-// client echoes back to resume exactly where this page ended.
+// client echoes back to resume exactly where this page ended. When the
+// request asked for Columnar and the page is packable, the rows travel in
+// Block instead of Results — same rows, same order, column-major.
 type ScanResponse struct {
 	Results []Result
+	Block   *CellBlock
 	More    bool
 	Next    FusedCursor
 }
@@ -79,11 +82,58 @@ func (m *ScanResponse) WireSize() int {
 	for i := range m.Results {
 		n += m.Results[i].WireSize()
 	}
+	if m.Block != nil {
+		n += m.Block.WireSize()
+	}
 	if m.More {
 		n += m.Next.WireSize() + 1
 	}
 	return n
 }
+
+// CellColumn is one column of a columnar page: the family:qualifier pair is
+// carried once for the whole page instead of once per cell, and Values is
+// row-aligned with CellBlock.Rows (nil = the row has no cell in this
+// column). Cell timestamps and types are not carried — the columnar form
+// serves latest-version scan decoding, and the server falls back to
+// row-major Results whenever that would lose information.
+type CellColumn struct {
+	Family    string
+	Qualifier string
+	Values    [][]byte
+}
+
+// CellBlock is the column-major encoding of one fused page: row keys in
+// scan order plus one row-aligned value array per projected column. Packing
+// happens after the page's rows and continuation cursor are computed, so
+// paging and mid-scan resume behave identically to the row-major form.
+type CellBlock struct {
+	Rows [][]byte
+	Cols []CellColumn
+}
+
+// WireSize implements rpc.Message sizing: per-column metadata once, a
+// presence bitmap, and length-prefixed values — the per-cell family/
+// qualifier/timestamp overhead of the row-major form is gone.
+func (b *CellBlock) WireSize() int {
+	n := 0
+	for _, r := range b.Rows {
+		n += len(r) + 2
+	}
+	for i := range b.Cols {
+		c := &b.Cols[i]
+		n += len(c.Family) + len(c.Qualifier) + (len(b.Rows)+7)/8
+		for _, v := range c.Values {
+			if v != nil {
+				n += len(v) + 2
+			}
+		}
+	}
+	return n
+}
+
+// Len reports the block's row count.
+func (b *CellBlock) Len() int { return len(b.Rows) }
 
 // BulkGetRequest fetches many individual rows from one region in one round
 // trip — HBase's batched Get (paper §V-A).
@@ -151,12 +201,18 @@ type FusedRequest struct {
 	Ops        []ScanOp
 	BatchLimit int
 	Cursor     FusedCursor
-	Token      string
+	// Columnar asks the server to pack the page column-major (CellBlock)
+	// when lossless; the server silently falls back to Results otherwise.
+	Columnar bool
+	Token    string
 }
 
 // WireSize implements rpc.Message.
 func (m *FusedRequest) WireSize() int {
 	n := len(m.Token)
+	if m.Columnar {
+		n++
+	}
 	if m.BatchLimit > 0 {
 		n += 4 + m.Cursor.WireSize()
 	}

@@ -384,6 +384,20 @@ func (rs *RegionServer) handleFused(ctx context.Context, req rpc.Message) (rpc.M
 	if !ok {
 		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodFused, req)
 	}
+	resp, err := rs.fusedPage(ctx, m)
+	if err != nil {
+		return nil, err
+	}
+	// Column-major packing happens strictly after the page's rows and
+	// continuation cursor are final, so paging and mid-scan resume are
+	// byte-identical to the row-major form.
+	if m.Columnar {
+		packColumnar(resp)
+	}
+	return resp, nil
+}
+
+func (rs *RegionServer) fusedPage(ctx context.Context, m *FusedRequest) (*ScanResponse, error) {
 	if err := rs.auth(m.Token); err != nil {
 		return nil, err
 	}
@@ -490,4 +504,55 @@ func (rs *RegionServer) handleFused(ctx context.Context, req rpc.Message) (rpc.M
 		}
 	}
 	return resp, nil
+}
+
+// packColumnar repacks a page's row-major Results into a CellBlock when the
+// transformation is lossless: at most one (latest) version per column per
+// row. Multi-version rows keep the row-major form — the client decodes
+// both.
+func packColumnar(resp *ScanResponse) {
+	results := resp.Results
+	if len(results) == 0 {
+		return
+	}
+	type colKey struct{ f, q string }
+	var order []colKey
+	index := make(map[colKey]int)
+	for ri := range results {
+		cells := results[ri].Cells
+		for ci := range cells {
+			c := &cells[ci]
+			// Cells are ordered (family, qualifier, timestamp desc): a
+			// duplicate column means multiple versions — not packable.
+			if ci > 0 && cells[ci-1].Family == c.Family && cells[ci-1].Qualifier == c.Qualifier {
+				return
+			}
+			// A nil entry in the block means "no cell"; an empty stored
+			// value would be indistinguishable, so such pages stay row-major.
+			if len(c.Value) == 0 {
+				return
+			}
+			k := colKey{c.Family, c.Qualifier}
+			if _, ok := index[k]; !ok {
+				index[k] = len(order)
+				order = append(order, k)
+			}
+		}
+	}
+	block := &CellBlock{
+		Rows: make([][]byte, len(results)),
+		Cols: make([]CellColumn, len(order)),
+	}
+	for i, k := range order {
+		block.Cols[i] = CellColumn{Family: k.f, Qualifier: k.q, Values: make([][]byte, len(results))}
+	}
+	for ri := range results {
+		block.Rows[ri] = results[ri].Row
+		for ci := range results[ri].Cells {
+			c := &results[ri].Cells[ci]
+			block.Cols[index[colKey{c.Family, c.Qualifier}]].Values[ri] = c.Value
+		}
+	}
+	resp.Block = block
+	resp.Results = nil
 }

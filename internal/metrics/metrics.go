@@ -40,6 +40,9 @@ const (
 	MemoryPeak          = "engine.memory_peak_bytes"
 	BatchesStreamed     = "exec.batches_streamed"
 	RowsShortCircuited  = "exec.rows_short_circuited"
+	VectorBatches       = "exec.vector_batches"
+	VectorRows          = "exec.vector_rows"
+	ColumnarPages       = "hbase.columnar_pages"
 	PagesPrefetched     = "hbase.pages_prefetched"
 	FusedPages          = "hbase.fused_pages"
 	TasksLaunched       = "engine.tasks"
