@@ -31,7 +31,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|table2|ablation|streaming|vector|chaos|partition|overload|trace-overhead")
+	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|table2|ablation|streaming|vector|chaos|partition|replica|overload|trace-overhead")
 	scales := flag.String("scales", "1,2,3,4,5,6", "comma-separated scale factors (the 5..30 GB axis)")
 	servers := flag.Int("servers", 5, "region servers / executor hosts")
 	runs := flag.Int("runs", 1, "average each measurement over N runs")
@@ -87,11 +87,12 @@ func main() {
 	run("vector", func() (any, error) { return bench.Vector(p) })
 	run("chaos", func() (any, error) { return bench.Chaos(p) })
 	run("partition", func() (any, error) { return bench.Partition(p) })
+	run("replica", func() (any, error) { return bench.Replica(p) })
 	run("overload", func() (any, error) { return bench.Overload(p) })
 	run("trace-overhead", func() (any, error) { return bench.TraceOverhead(p) })
 
 	switch *exp {
-	case "all", "table1", "fig4", "fig5", "fig6", "fig7", "table2", "ablation", "streaming", "vector", "chaos", "partition", "overload", "trace-overhead":
+	case "all", "table1", "fig4", "fig5", "fig6", "fig7", "table2", "ablation", "streaming", "vector", "chaos", "partition", "replica", "overload", "trace-overhead":
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}

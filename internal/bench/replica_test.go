@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+// TestReplicaAvailabilityGate is the CI regression gate for region read
+// replicas: across a primary crash, a read probe running under timeline
+// consistency against a RegionReplication=2 table must see ZERO failed
+// reads (a crashed primary costs one failover RPC, never an error), the
+// master must promote at least one replica during recovery, and the
+// replica-free strong configuration must show the nonzero unavailability
+// window the replicas exist to remove.
+func TestReplicaAvailabilityGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("availability gate skipped in -short mode")
+	}
+	rows, err := Replica(Params{Scales: []int{1}, Out: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("scenarios = %d, want 2", len(rows))
+	}
+	repl, none := rows[0], rows[1]
+
+	if repl.Reads == 0 || none.Reads == 0 {
+		t.Fatalf("probe never read: replicated %d, replica-free %d", repl.Reads, none.Reads)
+	}
+	if repl.Errors != 0 {
+		t.Errorf("replicated run: %d failed reads across the crash, want 0", repl.Errors)
+	}
+	if repl.Promotions < 1 {
+		t.Errorf("replicated run: promotions = %d, want >= 1", repl.Promotions)
+	}
+	if repl.Failovers < 1 {
+		t.Errorf("replicated run: replica failovers = %d, want >= 1 (crash must have been ridden over)", repl.Failovers)
+	}
+	if repl.StaleReads < 1 {
+		t.Errorf("replicated run: stale reads = %d, want >= 1 (failover answers are replica-served)", repl.StaleReads)
+	}
+	// The replica-free configuration is the control: it must actually go
+	// dark, or the zero window above proves nothing.
+	if none.Errors == 0 {
+		t.Error("replica-free run: no failed reads — the crash scenario is vacuous")
+	}
+	if none.UnavailableMs <= 0 {
+		t.Errorf("replica-free run: unavailability window = %dms, want > 0", none.UnavailableMs)
+	}
+}

@@ -147,6 +147,7 @@ func (p *baselinePartition) PreferredHost() string { return "" }
 // Compute implements datasource.Partition: full region scan, all columns,
 // then decode everything and project.
 func (p *baselinePartition) Compute(ctx context.Context) ([]plan.Row, error) {
+	ctx = bridgeConsistency(ctx)
 	scan := &hbase.Scan{
 		MaxVersions: p.rel.opts.maxVersions(),
 		TimeRange:   p.rel.opts.timeRange(),

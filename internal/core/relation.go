@@ -12,7 +12,20 @@ import (
 	"github.com/shc-go/shc/internal/hbase"
 	"github.com/shc-go/shc/internal/metrics"
 	"github.com/shc-go/shc/internal/plan"
+	"github.com/shc-go/shc/internal/trace"
 )
+
+// bridgeConsistency translates the engine-level consistency choice (carried
+// in the hbase-free datasource package) into the hbase client's context key,
+// so a DataFrame built WithConsistency(Timeline) actually reaches the
+// storage layer's replica failover. Strong (the zero value) bridges to
+// nothing — the context is returned untouched.
+func bridgeConsistency(ctx context.Context) context.Context {
+	if datasource.ConsistencyFromContext(ctx) == datasource.ConsistencyTimeline {
+		return hbase.WithConsistency(ctx, hbase.ConsistencyTimeline)
+	}
+	return ctx
+}
 
 // Options carries the per-relation settings of HBaseSparkConf (paper Code 5
 // and §IV-C) plus the ablation switches the benchmarks sweep.
@@ -580,6 +593,7 @@ func (p *hbasePartition) PreferredHost() string { return p.host }
 // partition's rows in a fused RPC, failing over to reassigned region
 // servers if the host dies mid-query.
 func (p *hbasePartition) Compute(ctx context.Context) ([]plan.Row, error) {
+	ctx = bridgeConsistency(ctx)
 	pager := newFusedPager(p, p.ops, 0)
 	var rows []plan.Row
 	var keyScratch []any
@@ -665,13 +679,14 @@ func (g *fusedPager) next(ctx context.Context) (*hbase.ScanResponse, error) {
 			// Ops before cursor.Op have fully streamed; the cursor's own op
 			// resumes mid-scan via Row/RowIdx/Sent, which survive the rebase
 			// because the server walks ops from Cursor.Op.
+			failed := g.host
 			g.ops = g.ops[g.cursor.Op:]
 			g.cursor.Op = 0
 			client.InvalidateRegions(g.p.rel.cat.Table.Name)
 			if perr := client.RetryPause(ctx, g.failures); perr != nil {
 				return nil, g.wrapErr(perr)
 			}
-			if rerr := g.replace(ctx); rerr != nil {
+			if rerr := g.replace(ctx, failed); rerr != nil {
 				return nil, g.wrapErr(rerr)
 			}
 			continue
@@ -687,7 +702,7 @@ func (g *fusedPager) next(ctx context.Context) (*hbase.ScanResponse, error) {
 		g.cursor = hbase.FusedCursor{}
 		if len(g.ops) == 0 {
 			g.done = true
-		} else if rerr := g.replace(ctx); rerr != nil {
+		} else if rerr := g.replace(ctx, ""); rerr != nil {
 			return nil, g.wrapErr(rerr)
 		}
 		return resp, nil
@@ -701,29 +716,73 @@ func (g *fusedPager) next(ctx context.Context) (*hbase.ScanResponse, error) {
 // produced them. Each remaining op is restamped with the region's current
 // ownership epoch — the fresh locations are only honored by servers when the
 // routing epoch matches what they hold.
-func (g *fusedPager) replace(ctx context.Context) error {
+//
+// avoid names a host that just failed (empty on the normal run-exhausted
+// path). When the refreshed meta still routes the leading op's primary to
+// that host — the master's heartbeat has not noticed the death yet — and
+// the query runs under timeline consistency, the run is redirected to one of
+// the region's secondary replicas instead of burning the remaining attempts
+// against a corpse: ops are stamped with the replica number the chosen host
+// serves, and the pages come back tagged stale. Strong queries never
+// redirect; they wait out reassignment exactly as before replicas existed.
+func (g *fusedPager) replace(ctx context.Context, avoid string) error {
 	regions, err := g.p.rel.client.RegionsContext(ctx, g.p.rel.cat.Table.Name)
 	if err != nil {
 		return err
 	}
-	hostOf := make(map[string]string, len(regions))
-	epochOf := make(map[string]uint64, len(regions))
+	infoOf := make(map[string]hbase.RegionInfo, len(regions))
 	for _, ri := range regions {
-		hostOf[ri.ID] = ri.Host
-		epochOf[ri.ID] = ri.Epoch
+		infoOf[ri.ID] = ri
 	}
-	h, ok := hostOf[g.ops[0].RegionID]
+	lead, ok := infoOf[g.ops[0].RegionID]
 	if !ok {
 		return fmt.Errorf("core: region %q vanished from table %q", g.ops[0].RegionID, g.p.rel.cat.Table.Name)
 	}
 	for i := range g.ops {
-		if e, ok := epochOf[g.ops[i].RegionID]; ok {
-			g.ops[i].Epoch = e
+		if in, ok := infoOf[g.ops[i].RegionID]; ok {
+			g.ops[i].Epoch = in.Epoch
+		}
+		g.ops[i].Replica = 0
+	}
+	host := lead.Host
+	if avoid != "" && host == avoid && hbase.ConsistencyFromContext(ctx) == hbase.ConsistencyTimeline {
+		for i, rh := range lead.ReplicaHosts {
+			if rh != "" && rh != avoid {
+				host = rh
+				g.ops[0].Replica = i + 1
+				metrics.Scoped(ctx, g.p.rel.meter).Inc(metrics.ReplicaFailovers)
+				trace.SpanFromContext(ctx).Annotate("timeline failover: fused run -> %s replica %d on %s", lead.ID, i+1, rh)
+				break
+			}
 		}
 	}
-	g.host = h
+	// replicaOn reports which copy of a region host serves: 0 for the
+	// primary, n for replica #n, -1 when host holds no copy.
+	replicaOn := func(in hbase.RegionInfo) int {
+		if in.Host == host {
+			return 0
+		}
+		for i, rh := range in.ReplicaHosts {
+			if rh != "" && rh == host {
+				return i + 1
+			}
+		}
+		return -1
+	}
+	g.host = host
 	g.prefix = 1
-	for g.prefix < len(g.ops) && hostOf[g.ops[g.prefix].RegionID] == h {
+	for g.prefix < len(g.ops) {
+		in, ok := infoOf[g.ops[g.prefix].RegionID]
+		if !ok {
+			break
+		}
+		rep := replicaOn(in)
+		if rep < 0 || (rep > 0 && g.ops[0].Replica == 0) {
+			// Replica-served ops only join a run that already failed over;
+			// a healthy strong run stays primary-only.
+			break
+		}
+		g.ops[g.prefix].Replica = rep
 		g.prefix++
 	}
 	return nil
@@ -740,6 +799,7 @@ const defaultFusedBatch = 256
 // shrinks each op's server-side Scan.Limit and stops paging once enough rows
 // streamed — the fused-LIMIT short circuit.
 func (p *hbasePartition) ComputeBatches(ctx context.Context, opts datasource.BatchOptions, yield func([]plan.Row) error) error {
+	ctx = bridgeConsistency(ctx)
 	batchSize := opts.BatchSize
 	if batchSize <= 0 {
 		batchSize = defaultFusedBatch

@@ -76,6 +76,7 @@ func putBatch(b *plan.Batch) {
 // shrinking, cursor-exact failover — but pages are requested column-major
 // and decoded into one reused column batch instead of row slices.
 func (p *hbasePartition) ComputeVectors(ctx context.Context, opts datasource.BatchOptions, yield func(*plan.Batch) error) error {
+	ctx = bridgeConsistency(ctx)
 	batchSize := opts.BatchSize
 	if batchSize <= 0 {
 		batchSize = defaultFusedBatch

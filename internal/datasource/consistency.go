@@ -1,0 +1,42 @@
+package datasource
+
+import "context"
+
+// Consistency is the engine-facing read-consistency level a query runs at.
+// It mirrors the storage layer's notion without importing it, so the engine
+// depends only on the datasource contract: connectors that support replica
+// reads translate it to their own wire-level option.
+type Consistency int
+
+const (
+	// ConsistencyStrong reads only primary copies; results are never stale.
+	ConsistencyStrong Consistency = iota
+	// ConsistencyTimeline allows possibly-stale replica reads when a
+	// primary is unreachable, trading bounded staleness for availability.
+	ConsistencyTimeline
+)
+
+// String implements fmt.Stringer.
+func (c Consistency) String() string {
+	if c == ConsistencyTimeline {
+		return "timeline"
+	}
+	return "strong"
+}
+
+type consistencyKey struct{}
+
+// WithConsistency returns ctx carrying the query's read-consistency level.
+func WithConsistency(ctx context.Context, c Consistency) context.Context {
+	return context.WithValue(ctx, consistencyKey{}, c)
+}
+
+// ConsistencyFromContext reports the context's read-consistency level
+// (ConsistencyStrong when unset).
+func ConsistencyFromContext(ctx context.Context) Consistency {
+	if ctx == nil {
+		return ConsistencyStrong
+	}
+	c, _ := ctx.Value(consistencyKey{}).(Consistency)
+	return c
+}

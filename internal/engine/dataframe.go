@@ -20,7 +20,33 @@ type DataFrame struct {
 	// parseDur is the SQL front-end time when this frame came from
 	// Session.SQL; traced actions back-date a parse span from it.
 	parseDur time.Duration
+	// consistency is the read-consistency mode actions execute under. The
+	// zero value (Strong) routes every read to region primaries; Timeline
+	// allows possibly-stale replica reads with same-round crash failover.
+	consistency datasource.Consistency
 }
+
+// derive builds a new frame over lp inheriting everything but the plan —
+// the consistency choice (and session) survives every transformation, so
+// df.WithConsistency(Timeline).Filter(...).Count() runs timeline.
+func (df *DataFrame) derive(lp plan.LogicalPlan) *DataFrame {
+	return &DataFrame{sess: df.sess, lp: lp, consistency: df.consistency}
+}
+
+// WithConsistency returns a copy of the frame whose actions read at the
+// given consistency level. ConsistencyTimeline lets reads be served by
+// region replicas — results may trail the primary by a bounded, reported
+// staleness, and a crashed primary fails over within one RPC round instead
+// of stalling until reassignment. ConsistencyStrong (the default) is
+// read-your-writes and touches only primaries.
+func (df *DataFrame) WithConsistency(c datasource.Consistency) *DataFrame {
+	out := *df
+	out.consistency = c
+	return &out
+}
+
+// Consistency reports the read-consistency mode actions execute under.
+func (df *DataFrame) Consistency() datasource.Consistency { return df.consistency }
 
 // Schema describes the DataFrame's output columns.
 func (df *DataFrame) Schema() plan.Schema { return df.lp.Schema() }
@@ -30,7 +56,7 @@ func (df *DataFrame) LogicalPlan() plan.LogicalPlan { return df.lp }
 
 // Filter keeps rows satisfying cond (Code 3's df.filter($"col0" <= ...)).
 func (df *DataFrame) Filter(cond plan.Expr) *DataFrame {
-	return &DataFrame{sess: df.sess, lp: &plan.FilterNode{Cond: cond, Child: df.lp}}
+	return df.derive(&plan.FilterNode{Cond: cond, Child: df.lp})
 }
 
 // Select projects the named columns (Code 3's .select("col0", "col1")).
@@ -39,12 +65,12 @@ func (df *DataFrame) Select(cols ...string) *DataFrame {
 	for i, c := range cols {
 		exprs[i] = plan.NamedExpr{Expr: plan.Col(c), Name: c}
 	}
-	return &DataFrame{sess: df.sess, lp: &plan.ProjectNode{Exprs: exprs, Child: df.lp}}
+	return df.derive(&plan.ProjectNode{Exprs: exprs, Child: df.lp})
 }
 
 // SelectExpr projects arbitrary named expressions.
 func (df *DataFrame) SelectExpr(exprs ...plan.NamedExpr) *DataFrame {
-	return &DataFrame{sess: df.sess, lp: &plan.ProjectNode{Exprs: exprs, Child: df.lp}}
+	return df.derive(&plan.ProjectNode{Exprs: exprs, Child: df.lp})
 }
 
 // Join inner-joins with other on leftCols[i] = rightCols[i].
@@ -68,9 +94,9 @@ func (df *DataFrame) join(other *DataFrame, leftCols, rightCols []string, jt pla
 		lk[i] = plan.Col(leftCols[i])
 		rk[i] = plan.Col(rightCols[i])
 	}
-	return &DataFrame{sess: df.sess, lp: &plan.JoinNode{
+	return df.derive(&plan.JoinNode{
 		Left: df.lp, Right: other.lp, LeftKeys: lk, RightKeys: rk, Type: jt,
-	}}, nil
+	}), nil
 }
 
 // Distinct deduplicates the DataFrame's rows.
@@ -79,7 +105,7 @@ func (df *DataFrame) Distinct() *DataFrame {
 	for i, f := range df.lp.Schema() {
 		groups[i] = plan.NamedExpr{Expr: plan.Col(f.Name), Name: f.Name}
 	}
-	return &DataFrame{sess: df.sess, lp: &plan.AggregateNode{GroupBy: groups, Child: df.lp}}
+	return df.derive(&plan.AggregateNode{GroupBy: groups, Child: df.lp})
 }
 
 // GroupBy starts a grouped aggregation.
@@ -99,19 +125,19 @@ func (g *GroupedData) Agg(aggs ...plan.AggExpr) *DataFrame {
 	for i, c := range g.cols {
 		groups[i] = plan.NamedExpr{Expr: plan.Col(c), Name: c}
 	}
-	return &DataFrame{sess: g.df.sess, lp: &plan.AggregateNode{
+	return g.df.derive(&plan.AggregateNode{
 		GroupBy: groups, Aggs: aggs, Child: g.df.lp,
-	}}
+	})
 }
 
 // OrderBy sorts by the given keys.
 func (df *DataFrame) OrderBy(orders ...plan.SortOrder) *DataFrame {
-	return &DataFrame{sess: df.sess, lp: &plan.SortNode{Orders: orders, Child: df.lp}}
+	return df.derive(&plan.SortNode{Orders: orders, Child: df.lp})
 }
 
 // Limit keeps the first n rows.
 func (df *DataFrame) Limit(n int) *DataFrame {
-	return &DataFrame{sess: df.sess, lp: &plan.LimitNode{N: n, Child: df.lp}}
+	return df.derive(&plan.LimitNode{N: n, Child: df.lp})
 }
 
 // CreateOrReplaceTempView registers the DataFrame's plan under name for SQL
@@ -145,7 +171,8 @@ func (df *DataFrame) Count() (int64, error) {
 // CountContext is Count bounded by ctx (see CollectContext).
 func (df *DataFrame) CountContext(ctx context.Context) (int64, error) {
 	agg := &plan.AggregateNode{Aggs: []plan.AggExpr{{Kind: plan.AggCount, Name: "count"}}, Child: df.lp}
-	cdf := &DataFrame{sess: df.sess, lp: agg, parseDur: df.parseDur}
+	cdf := df.derive(agg)
+	cdf.parseDur = df.parseDur
 	rows, _, err := cdf.run(ctx, false)
 	if err != nil {
 		return 0, err

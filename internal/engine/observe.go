@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/shc-go/shc/internal/datasource"
 	"github.com/shc-go/shc/internal/exec"
 	"github.com/shc-go/shc/internal/metrics"
 	"github.com/shc-go/shc/internal/plan"
@@ -38,6 +39,9 @@ type queryRun struct {
 // line on the slow-query log.
 func (df *DataFrame) run(ctx context.Context, analyze bool) ([]plan.Row, *queryRun, error) {
 	sess := df.sess
+	if df.consistency == datasource.ConsistencyTimeline {
+		ctx = datasource.WithConsistency(ctx, datasource.ConsistencyTimeline)
+	}
 	qr := &queryRun{}
 	if analyze {
 		qr.tr = trace.New("query")
@@ -141,10 +145,11 @@ func regionBreakdown(tr *trace.Trace) string {
 		return ""
 	}
 	type regionAgg struct {
-		host  string
-		rows  int64
-		spans int
-		wall  time.Duration
+		host      string
+		rows      int64
+		staleRows int64
+		spans     int
+		wall      time.Duration
 	}
 	agg := make(map[string]*regionAgg)
 	tr.Walk(func(_ int, s *trace.Span) {
@@ -158,6 +163,11 @@ func regionBreakdown(tr *trace.Trace) string {
 			agg[id] = a
 		}
 		a.rows += s.Attr("rows")
+		if s.Tag("replica") != "" {
+			// The span ran on a secondary copy, so its rows are timeline
+			// (possibly-stale) reads.
+			a.staleRows += s.Attr("rows")
+		}
 		a.spans++
 		a.wall += s.Duration()
 	})
@@ -172,8 +182,12 @@ func regionBreakdown(tr *trace.Trace) string {
 	var b strings.Builder
 	for _, id := range ids {
 		a := agg[id]
-		fmt.Fprintf(&b, "%s  host=%s rows=%d spans=%d time=%s\n",
+		fmt.Fprintf(&b, "%s  host=%s rows=%d spans=%d time=%s",
 			id, a.host, a.rows, a.spans, a.wall.Round(time.Microsecond))
+		if a.staleRows > 0 {
+			fmt.Fprintf(&b, " stale_rows=%d", a.staleRows)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/shc-go/shc/internal/hbase"
+	"github.com/shc-go/shc/internal/metrics"
+)
+
+// ReadProbe issues point reads against a table from a background goroutine,
+// measuring read availability through a fault: every failed read counts, and
+// the longest stretch between the last success before a failure and the
+// first success after it is the measured unavailability window. This is the
+// instrument behind the replica experiment's headline number — with
+// replication and timeline reads the window stays at zero because a crashed
+// primary fails over within the read's own RPC round, while the replica-free
+// strong configuration is dark until the master notices the death and
+// replays the WAL.
+type ReadProbe struct {
+	rig         *Rig
+	table       string
+	rows        [][]byte
+	consistency hbase.Consistency
+	interval    time.Duration
+
+	stop chan struct{}
+	done chan struct{}
+
+	mu          sync.Mutex
+	report      ProbeReport
+	lastSuccess time.Time
+	failing     bool
+}
+
+// ProbeReport summarizes one probe run.
+type ProbeReport struct {
+	// Reads is the total number of read attempts.
+	Reads int
+	// Errors is how many attempts returned an error (after the client's
+	// own retries — an error here means the read was truly unavailable).
+	Errors int
+	// StaleReads is how many successful reads were served by a secondary
+	// replica, i.e. came back explicitly tagged stale.
+	StaleReads int
+	// MaxStaleMs is the largest staleness bound attached to any stale read.
+	MaxStaleMs int64
+	// UnavailableMs is the longest failure-spanning gap between two
+	// successful reads; 0 when no read ever failed.
+	UnavailableMs int64
+}
+
+// StartReadProbe launches a probe that reads the given rows round-robin
+// every interval until Stop. consistency selects the read path under test:
+// ConsistencyTimeline rides the replica failover, ConsistencyStrong insists
+// on primaries.
+func (r *Rig) StartReadProbe(table string, rows [][]byte, consistency hbase.Consistency, interval time.Duration) *ReadProbe {
+	p := &ReadProbe{
+		rig: r, table: table, rows: rows,
+		consistency: consistency, interval: interval,
+		stop: make(chan struct{}), done: make(chan struct{}),
+		lastSuccess: time.Now(),
+	}
+	go p.loop()
+	return p
+}
+
+func (p *ReadProbe) loop() {
+	defer close(p.done)
+	ctx := context.Background()
+	if p.consistency == hbase.ConsistencyTimeline {
+		ctx = hbase.WithConsistency(ctx, hbase.ConsistencyTimeline)
+	}
+	for i := 0; ; i++ {
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		row := p.rows[i%len(p.rows)]
+		_, fresh, err := p.rig.Client.BulkGetFresh(ctx, p.table, [][]byte{row}, nil, 1, hbase.TimeRange{})
+		p.record(fresh, err)
+		select {
+		case <-p.stop:
+			return
+		case <-time.After(p.interval):
+		}
+	}
+}
+
+func (p *ReadProbe) record(fresh hbase.ReadFreshness, err error) {
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.report.Reads++
+	if err != nil {
+		p.report.Errors++
+		p.failing = true
+		return
+	}
+	if p.failing {
+		// First success after a failure: the dark window ran from the last
+		// success straight through every failed attempt to now.
+		if gap := now.Sub(p.lastSuccess).Milliseconds(); gap > p.report.UnavailableMs {
+			p.report.UnavailableMs = gap
+		}
+		p.failing = false
+	}
+	p.lastSuccess = now
+	if fresh.Stale {
+		p.report.StaleReads++
+		if fresh.BoundMs > p.report.MaxStaleMs {
+			p.report.MaxStaleMs = fresh.BoundMs
+		}
+	}
+}
+
+// Stop halts the probe and returns its report, publishing the measured
+// window as the cluster.read_unavailable_ms gauge.
+func (p *ReadProbe) Stop() ProbeReport {
+	close(p.stop)
+	<-p.done
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.failing {
+		// Still dark at shutdown: the open-ended gap counts too.
+		if gap := time.Since(p.lastSuccess).Milliseconds(); gap > p.report.UnavailableMs {
+			p.report.UnavailableMs = gap
+		}
+	}
+	p.rig.Meter.SetMax(metrics.ReadUnavailableMs, p.report.UnavailableMs)
+	return p.report
+}

@@ -295,6 +295,59 @@ func (c *Client) callRead(ctx context.Context, host, method string, req rpc.Mess
 	}
 }
 
+// ReadFreshness reports whether any part of a read was served by a
+// secondary replica (a timeline failover) and, if so, the largest explicit
+// staleness bound the serving replicas attached.
+type ReadFreshness struct {
+	Stale   bool
+	BoundMs int64
+}
+
+func (f *ReadFreshness) absorb(resp *ScanResponse) {
+	if f == nil || !resp.Stale {
+		return
+	}
+	f.Stale = true
+	if resp.StalenessMs > f.BoundMs {
+		f.BoundMs = resp.StalenessMs
+	}
+}
+
+// readRegion issues one read RPC against a region's primary and — when the
+// context asks for timeline consistency — fails over to the region's
+// secondary replicas within the same round if the primary is unreachable or
+// no longer serving. This is the availability contract replicas exist for:
+// a crashed primary costs one failed RPC, not a heartbeat-plus-WAL-replay
+// wait. build stamps the request for the copy being addressed (0 =
+// primary); replica responses come back tagged stale with their staleness
+// bound. Strong-consistency callers never take the failover branch, so
+// their behaviour is byte-identical to the replica-free client.
+func (c *Client) readRegion(ctx context.Context, ri *RegionInfo, method string, build func(replica int) rpc.Message) (*ScanResponse, error) {
+	resp, err := c.callRead(ctx, ri.Host, method, build(0))
+	if err == nil {
+		return resp.(*ScanResponse), nil
+	}
+	if ConsistencyFromContext(ctx) != ConsistencyTimeline || !IsRetryable(err) {
+		return nil, err
+	}
+	meter := metrics.Scoped(ctx, c.net.Meter())
+	for i, host := range ri.ReplicaHosts {
+		if host == "" || host == ri.Host {
+			continue
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		rresp, rerr := c.callRead(ctx, host, method, build(i+1))
+		if rerr == nil {
+			meter.Inc(metrics.ReplicaFailovers)
+			trace.SpanFromContext(ctx).Annotate("timeline failover: %s replica %d on %s", ri.ID, i+1, host)
+			return rresp.(*ScanResponse), nil
+		}
+	}
+	return nil, err
+}
+
 // callMaster sends a meta request to the current master. If the cached
 // master is unreachable (failover), it re-reads the leader from the
 // coordination service once and retries — how clients survive the
@@ -588,15 +641,27 @@ func (c *Client) BulkGet(table string, rows [][]byte, cols []Column, maxVersions
 // BulkGetContext is BulkGet bounded by ctx; the per-region read RPCs hedge
 // when hedged reads are enabled.
 func (c *Client) BulkGetContext(ctx context.Context, table string, rows [][]byte, cols []Column, maxVersions int, tr TimeRange) ([]Result, error) {
+	out, _, err := c.BulkGetFresh(ctx, table, rows, cols, maxVersions, tr)
+	return out, err
+}
+
+// BulkGetFresh is BulkGetContext that additionally reports the read's
+// freshness: whether any region's batch was answered by a secondary replica
+// (only possible under WithConsistency(ctx, ConsistencyTimeline)) and the
+// largest staleness bound attached. Strong reads always come back
+// {Stale: false}.
+func (c *Client) BulkGetFresh(ctx context.Context, table string, rows [][]byte, cols []Column, maxVersions int, tr TimeRange) ([]Result, ReadFreshness, error) {
 	tok, err := c.token()
 	if err != nil {
-		return nil, err
+		return nil, ReadFreshness{}, err
 	}
 	var out []Result
+	var fresh ReadFreshness
 	err = c.withRetry(ctx, table, func() error {
 		out = nil
+		fresh = ReadFreshness{}
 		byRegion := make(map[string]*BulkGetRequest)
-		hosts := make(map[string]string)
+		infos := make(map[string]RegionInfo)
 		for _, row := range rows {
 			ri, err := c.regionForRow(ctx, table, row)
 			if err != nil {
@@ -606,23 +671,30 @@ func (c *Client) BulkGetContext(ctx context.Context, table string, rows [][]byte
 			if !ok {
 				b = &BulkGetRequest{RegionID: ri.ID, Epoch: ri.Epoch, Columns: cols, MaxVersions: maxVersions, TimeRange: tr, Token: tok}
 				byRegion[ri.ID] = b
-				hosts[ri.ID] = ri.Host
+				infos[ri.ID] = ri
 			}
 			b.Rows = append(b.Rows, row)
 		}
 		for id, b := range byRegion {
-			resp, err := c.callRead(ctx, hosts[id], MethodBulkGet, b)
+			ri := infos[id]
+			req := b
+			resp, err := c.readRegion(ctx, &ri, MethodBulkGet, func(replica int) rpc.Message {
+				r := *req
+				r.Replica = replica
+				return &r
+			})
 			if err != nil {
 				return err
 			}
-			out = append(out, resp.(*ScanResponse).Results...)
+			fresh.absorb(resp)
+			out = append(out, resp.Results...)
 		}
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, ReadFreshness{}, err
 	}
-	return out, nil
+	return out, fresh, nil
 }
 
 // ScanTable scans the whole key range [scan.StartRow, scan.StopRow),
@@ -650,11 +722,13 @@ func (c *Client) ScanTableContext(ctx context.Context, table string, scan *Scan)
 			if !ri.OverlapsRange(scan.StartRow, scan.StopRow) {
 				continue
 			}
-			resp, err := c.callRead(ctx, ri.Host, MethodScan, &ScanRequest{RegionID: ri.ID, Epoch: ri.Epoch, Scan: scan, Token: tok})
+			resp, err := c.readRegion(ctx, ri, MethodScan, func(replica int) rpc.Message {
+				return &ScanRequest{RegionID: ri.ID, Epoch: ri.Epoch, Replica: replica, Scan: scan, Token: tok}
+			})
 			if err != nil {
 				return err
 			}
-			out = append(out, resp.(*ScanResponse).Results...)
+			out = append(out, resp.Results...)
 			if scan.Limit > 0 && len(out) >= scan.Limit {
 				out = out[:scan.Limit]
 				break
@@ -674,17 +748,22 @@ func (c *Client) ScanRegion(ri RegionInfo, scan *Scan) ([]Result, error) {
 	return c.ScanRegionContext(context.Background(), ri, scan)
 }
 
-// ScanRegionContext is ScanRegion bounded by ctx.
+// ScanRegionContext is ScanRegion bounded by ctx. Under timeline
+// consistency an unreachable primary fails over to the region's replicas
+// (the cached RegionInfo carries their hosts), so per-partition readers
+// survive a primary crash without waiting out reassignment.
 func (c *Client) ScanRegionContext(ctx context.Context, ri RegionInfo, scan *Scan) ([]Result, error) {
 	tok, err := c.token()
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.callRead(ctx, ri.Host, MethodScan, &ScanRequest{RegionID: ri.ID, Epoch: ri.Epoch, Scan: scan, Token: tok})
+	resp, err := c.readRegion(ctx, &ri, MethodScan, func(replica int) rpc.Message {
+		return &ScanRequest{RegionID: ri.ID, Epoch: ri.Epoch, Replica: replica, Scan: scan, Token: tok}
+	})
 	if err != nil {
 		return nil, err
 	}
-	return resp.(*ScanResponse).Results, nil
+	return resp.Results, nil
 }
 
 // FusedExec sends multiple scan/get operations for regions hosted on the

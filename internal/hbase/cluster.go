@@ -118,7 +118,8 @@ func (c *Cluster) CrashServer(host string) error {
 	}
 	for _, r := range rs.Regions() {
 		r.DropMemStore()
-		rs.RemoveRegion(r.Info().ID)
+		info := r.Info()
+		rs.RemoveRegion(regionKey(info.ID, info.Replica))
 	}
 	return nil
 }

@@ -1,0 +1,45 @@
+package hbase
+
+import "context"
+
+// Consistency selects which copies of a region may answer a read, modeled
+// on HBase's Consistency enum.
+type Consistency int
+
+const (
+	// ConsistencyStrong (the default, and the zero value) routes reads only
+	// to the region's primary: results are never stale, but a crashed
+	// primary makes the region unreadable until the master reassigns it.
+	ConsistencyStrong Consistency = iota
+	// ConsistencyTimeline lets reads fail over to secondary replicas when
+	// the primary does not answer. Replica results may lag the primary but
+	// are always a prefix of its acknowledged write history — never torn,
+	// never reordered — and arrive tagged stale with an explicit staleness
+	// bound.
+	ConsistencyTimeline
+)
+
+// String implements fmt.Stringer.
+func (c Consistency) String() string {
+	if c == ConsistencyTimeline {
+		return "timeline"
+	}
+	return "strong"
+}
+
+type consistencyKey struct{}
+
+// WithConsistency returns ctx carrying the read-consistency level client
+// read paths honor. Absent, reads are ConsistencyStrong.
+func WithConsistency(ctx context.Context, c Consistency) context.Context {
+	return context.WithValue(ctx, consistencyKey{}, c)
+}
+
+// ConsistencyFromContext reports the context's read-consistency level.
+func ConsistencyFromContext(ctx context.Context) Consistency {
+	if ctx == nil {
+		return ConsistencyStrong
+	}
+	c, _ := ctx.Value(consistencyKey{}).(Consistency)
+	return c
+}

@@ -52,7 +52,12 @@ type Master struct {
 
 type tableState struct {
 	desc    TableDescriptor
-	regions map[string]*Region // by region id
+	regions map[string]*Region // primaries, by region id
+	// replicas holds each region's secondary copies (by primary region id).
+	// Slots keep their replica numbers across failures: a promoted or lost
+	// copy's number is reused by its replacement, so server region-map keys
+	// stay stable.
+	replicas map[string][]*Region
 }
 
 // NewMaster creates the master on host, registers its RPC handlers, elects
@@ -134,8 +139,14 @@ func (m *Master) RecoverFrom(servers []*RegionServer) error {
 			info := region.Info()
 			ts, ok := m.tables[info.Table]
 			if !ok {
-				ts = &tableState{desc: region.Descriptor(), regions: make(map[string]*Region)}
+				ts = &tableState{desc: region.Descriptor(), regions: make(map[string]*Region), replicas: make(map[string][]*Region)}
 				m.tables[info.Table] = ts
+			}
+			if info.Replica > 0 {
+				// Secondary copies carry no ownership of their own: they are
+				// re-learned as-is, epochs stay the primary's business.
+				ts.replicas[info.ID] = append(ts.replicas[info.ID], region)
+				continue
 			}
 			ts.regions[info.ID] = region
 			// Epoch truth lives in the coordination service, not in this
@@ -352,6 +363,17 @@ func (m *Master) reassignLocked(dead *RegionServer) error {
 	})
 	for _, v := range victims {
 		info := v.r.Info()
+		if promoted := m.promoteLocked(v.ts, info); promoted != nil {
+			// A surviving secondary took over: it was already serving, so the
+			// region never waits on WAL replay — the read-availability win
+			// replicas exist for. The epoch bump below fences the shared WAL
+			// exactly as a replay reassignment would, so a zombie old primary
+			// dies identically either way.
+			v.ts.regions[info.ID] = promoted
+			m.meter.Inc(metrics.RegionsReassigned)
+			m.meter.Inc(metrics.RegionsFenced)
+			continue
+		}
 		next := m.nextEpochLocked(info)
 		successor := v.r.Reopen(next)
 		if err := successor.RecoverFromWAL(); err != nil {
@@ -362,7 +384,154 @@ func (m *Master) reassignLocked(dead *RegionServer) error {
 		m.meter.Inc(metrics.RegionsReassigned)
 		m.meter.Inc(metrics.RegionsFenced)
 	}
+	// Secondary copies the dead server hosted are gone with it: forget them
+	// (the promoted/reassigned primaries keep shipping to the survivors),
+	// then restore every shorthanded region to its configured replication.
+	m.dropReplicasOnLocked(deadHost)
+	m.topUpReplicasLocked()
 	return nil
+}
+
+// promoteLocked promotes the freshest surviving secondary of a region whose
+// primary died, returning the promoted Region (nil when no live copy
+// exists). Freshness is the applied WAL high-water mark — the copy that saw
+// most of the acknowledged history loses the least. The promoted copy stays
+// on its own server: it re-registers under the primary key, at a bumped
+// ZooKeeper-persisted epoch, with no data movement and no replay wait.
+func (m *Master) promoteLocked(ts *tableState, info RegionInfo) *Region {
+	reps := ts.replicas[info.ID]
+	var best *Region
+	var bestSrv *RegionServer
+	for _, rep := range reps {
+		srv := m.serverLocked(rep.Info().Host)
+		if srv == nil {
+			continue // the copy's host is dead or gone too
+		}
+		if best == nil || rep.AppliedSeq() > best.AppliedSeq() {
+			best, bestSrv = rep, srv
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	next := m.nextEpochLocked(info)
+	bestSrv.RemoveRegion(regionKey(info.ID, best.Info().Replica))
+	best.Promote(next)
+	bestSrv.AddRegion(best)
+	keep := reps[:0]
+	for _, rep := range reps {
+		if rep != best {
+			keep = append(keep, rep)
+		}
+	}
+	ts.replicas[info.ID] = keep
+	m.meter.Inc(metrics.Promotions)
+	return best
+}
+
+// serverLocked returns the registered server for host, or nil.
+func (m *Master) serverLocked(host string) *RegionServer {
+	for _, rs := range m.servers {
+		if rs.Host() == host {
+			return rs
+		}
+	}
+	return nil
+}
+
+// dropReplicasOnLocked forgets every secondary copy hosted on host (a dead
+// server): each is detached from its primary's replicator so shipping stops
+// and the object can be collected.
+func (m *Master) dropReplicasOnLocked(host string) {
+	for _, ts := range m.tables {
+		for id, reps := range ts.replicas {
+			keep := reps[:0]
+			for _, rep := range reps {
+				if rep.Info().Host == host {
+					if rep.repl != nil {
+						rep.repl.detach(rep)
+					}
+					continue
+				}
+				keep = append(keep, rep)
+			}
+			ts.replicas[id] = keep
+		}
+	}
+}
+
+// topUpReplicasLocked restores every region to its configured replication
+// by bootstrapping fresh secondary copies from the current primary onto
+// servers not already holding a copy. Freed replica numbers are reused so
+// clients' ReplicaHosts slots stay stable.
+func (m *Master) topUpReplicasLocked() {
+	if m.cfg.RegionReplication <= 1 {
+		return
+	}
+	for _, ts := range m.tables {
+		ids := make([]string, 0, len(ts.regions))
+		for id := range ts.regions {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids) // deterministic placement order
+		for _, id := range ids {
+			m.ensureReplicasLocked(ts, ts.regions[id])
+		}
+	}
+}
+
+// ensureReplicasLocked adds secondary copies of primary until the region
+// has RegionReplication total copies or no eligible server remains.
+func (m *Master) ensureReplicasLocked(ts *tableState, primary *Region) {
+	id := primary.Info().ID
+	for len(ts.replicas[id]) < m.cfg.RegionReplication-1 {
+		used := make(map[int]bool, len(ts.replicas[id]))
+		for _, rep := range ts.replicas[id] {
+			used[rep.Info().Replica] = true
+		}
+		num := 1
+		for used[num] {
+			num++
+		}
+		if !m.addReplicaLocked(ts, primary, num) {
+			return
+		}
+	}
+}
+
+// addReplicaLocked bootstraps secondary copy #num of primary onto the
+// least-loaded server not already holding a copy of the region. Returns
+// false when every server already holds one (replication is capped by the
+// cluster size, as in HBase).
+func (m *Master) addReplicaLocked(ts *tableState, primary *Region, num int) bool {
+	info := primary.Info()
+	exclude := map[string]bool{info.Host: true}
+	for _, rep := range ts.replicas[info.ID] {
+		exclude[rep.Info().Host] = true
+	}
+	target := m.leastLoadedExcludingLocked(exclude)
+	if target == nil {
+		return false
+	}
+	rep := primary.NewReplica(num)
+	target.AddRegion(rep)
+	ts.replicas[info.ID] = append(ts.replicas[info.ID], rep)
+	return true
+}
+
+// leastLoadedExcludingLocked returns the least-loaded registered server
+// whose host is not excluded, or nil when none qualifies.
+func (m *Master) leastLoadedExcludingLocked(exclude map[string]bool) *RegionServer {
+	var best *RegionServer
+	for _, rs := range m.servers {
+		if exclude[rs.Host()] {
+			continue
+		}
+		if best == nil || rs.RegionCount() < best.RegionCount() {
+			best = rs
+		}
+	}
+	return best
 }
 
 // DrainServer gracefully removes a region server from the cluster: every
@@ -395,16 +564,47 @@ func (m *Master) DrainServer(host string) error {
 	_ = m.sess.Delete(zkServers + "/" + host)
 	infos := victim.RegionInfos() // sorted: deterministic drain order
 	for _, info := range infos {
-		r := victim.RemoveRegion(info.ID)
+		r := victim.RemoveRegion(regionKey(info.ID, info.Replica))
 		if r == nil {
+			continue
+		}
+		if info.Replica > 0 {
+			// A secondary copy moves as the same live object with no epoch
+			// bump — replicas carry no ownership, and the replicator keeps
+			// shipping to the object wherever it is hosted.
+			m.placeCopyLocked(info).AddRegion(r)
+			m.meter.Inc(metrics.RegionsDrained)
 			continue
 		}
 		r.Flush()
 		r.AdoptEpoch(m.nextEpochLocked(r.Info()))
-		m.leastLoadedLocked().AddRegion(r)
+		m.placeCopyLocked(info).AddRegion(r)
 		m.meter.Inc(metrics.RegionsDrained)
 	}
 	return nil
+}
+
+// placeCopyLocked picks the drain/balance target for one copy of a region:
+// least-loaded among servers not already holding another copy, falling back
+// to plain least-loaded when the cluster is too small to keep copies apart.
+func (m *Master) placeCopyLocked(info RegionInfo) *RegionServer {
+	ts := m.tables[info.Table]
+	if ts == nil {
+		return m.leastLoadedLocked()
+	}
+	exclude := make(map[string]bool, m.cfg.RegionReplication)
+	if p := ts.regions[info.ID]; p != nil && p.Info().Replica != info.Replica {
+		exclude[p.Info().Host] = true
+	}
+	for _, rep := range ts.replicas[info.ID] {
+		if rep.Info().Replica != info.Replica {
+			exclude[rep.Info().Host] = true
+		}
+	}
+	if target := m.leastLoadedExcludingLocked(exclude); target != nil {
+		return target
+	}
+	return m.leastLoadedLocked()
 }
 
 // StartHeartbeats drives CheckServers on a fixed interval and returns a
@@ -455,7 +655,7 @@ func (m *Master) CreateTable(desc TableDescriptor, splitKeys [][]byte) error {
 			return fmt.Errorf("hbase: split keys must be sorted and distinct")
 		}
 	}
-	ts := &tableState{desc: desc, regions: make(map[string]*Region)}
+	ts := &tableState{desc: desc, regions: make(map[string]*Region), replicas: make(map[string][]*Region)}
 	bounds := make([][]byte, 0, len(splitKeys)+2)
 	bounds = append(bounds, nil)
 	bounds = append(bounds, splitKeys...)
@@ -476,6 +676,7 @@ func (m *Master) CreateTable(desc TableDescriptor, splitKeys [][]byte) error {
 		_ = m.persistEpoch(info.ID, region.Epoch())
 		m.leastLoadedLocked().AddRegion(region)
 		ts.regions[info.ID] = region
+		m.ensureReplicasLocked(ts, region)
 	}
 	m.tables[desc.Name] = ts
 	return nil
@@ -513,6 +714,15 @@ func (m *Master) DeleteTable(name string) error {
 				rs.RemoveRegion(id)
 			}
 		}
+		for _, rep := range ts.replicas[id] {
+			ri := rep.Info()
+			if srv := m.serverLocked(ri.Host); srv != nil {
+				srv.RemoveRegion(regionKey(ri.ID, ri.Replica))
+			}
+			if rep.repl != nil {
+				rep.repl.detach(rep)
+			}
+		}
 	}
 	delete(m.tables, name)
 	return nil
@@ -528,7 +738,25 @@ func (m *Master) TableRegions(name string) ([]RegionInfo, error) {
 	}
 	out := make([]RegionInfo, 0, len(ts.regions))
 	for _, r := range ts.regions {
-		out = append(out, r.Info())
+		info := r.Info()
+		if reps := ts.replicas[info.ID]; len(reps) > 0 {
+			// Publish replica locations in the meta response, indexed by
+			// replica number, so timeline clients can fail over without a
+			// second meta round trip.
+			maxNum := 0
+			for _, rep := range reps {
+				if n := rep.Info().Replica; n > maxNum {
+					maxNum = n
+				}
+			}
+			hosts := make([]string, maxNum)
+			for _, rep := range reps {
+				ri := rep.Info()
+				hosts[ri.Replica-1] = ri.Host
+			}
+			info.ReplicaHosts = hosts
+		}
+		out = append(out, info)
 	}
 	sortRegions(out)
 	return out, nil
@@ -611,6 +839,18 @@ func (m *Master) SplitRegion(table, regionID string) error {
 	}
 	host.RemoveRegion(regionID)
 	delete(ts.regions, regionID)
+	// The parent's secondary copies are retired with it — their ranges no
+	// longer exist — and each daughter bootstraps a fresh set below.
+	for _, rep := range ts.replicas[regionID] {
+		ri := rep.Info()
+		if srv := m.serverLocked(ri.Host); srv != nil {
+			srv.RemoveRegion(regionKey(ri.ID, ri.Replica))
+		}
+		if rep.repl != nil {
+			rep.repl.detach(rep)
+		}
+	}
+	delete(ts.replicas, regionID)
 	// Daughters inherit the parent's epoch; persist them under their own
 	// ids and retire the parent's epoch node (best effort — a leftover node
 	// only makes a future same-id epoch start higher).
@@ -622,6 +862,8 @@ func (m *Master) SplitRegion(table, regionID string) error {
 	host.AddRegion(high)
 	ts.regions[lowID] = low
 	ts.regions[highID] = high
+	m.ensureReplicasLocked(ts, low)
+	m.ensureReplicasLocked(ts, high)
 	return nil
 }
 
@@ -670,15 +912,53 @@ func (m *Master) Balance() int {
 		if maxS.RegionCount()-minS.RegionCount() <= 1 {
 			return moved
 		}
+		// Pick the first copy whose move keeps the region's copies on
+		// distinct hosts; skipping the rest keeps primaries and their
+		// replicas from ever colliding onto minS.
 		infos := maxS.RegionInfos()
-		r := maxS.RemoveRegion(infos[0].ID)
-		// A balance move is an ownership change like any other: the epoch
-		// bumps so stale routings to the old host fence instead of silently
-		// missing, and the same live object moves (no flush, no replay).
-		r.AdoptEpoch(m.nextEpochLocked(r.Info()))
+		var r *Region
+		var picked RegionInfo
+		for _, info := range infos {
+			if m.copyOnHostLocked(info.ID, minS.Host(), info.Replica) {
+				continue
+			}
+			r = maxS.RemoveRegion(regionKey(info.ID, info.Replica))
+			picked = info
+			break
+		}
+		if r == nil {
+			return moved
+		}
+		if picked.Replica == 0 {
+			// A balance move is an ownership change like any other: the epoch
+			// bumps so stale routings to the old host fence instead of silently
+			// missing, and the same live object moves (no flush, no replay).
+			r.AdoptEpoch(m.nextEpochLocked(r.Info()))
+		}
 		minS.AddRegion(r)
 		moved++
 	}
+}
+
+// copyOnHostLocked reports whether some other copy (a different replica
+// number) of the region already lives on host.
+func (m *Master) copyOnHostLocked(id, host string, replica int) bool {
+	for _, ts := range m.tables {
+		p, ok := ts.regions[id]
+		if !ok {
+			continue
+		}
+		if pi := p.Info(); pi.Replica != replica && pi.Host == host {
+			return true
+		}
+		for _, rep := range ts.replicas[id] {
+			if ri := rep.Info(); ri.Replica != replica && ri.Host == host {
+				return true
+			}
+		}
+		return false
+	}
+	return false
 }
 
 func (m *Master) handleCreateTable(_ context.Context, req rpc.Message) (rpc.Message, error) {

@@ -46,10 +46,14 @@ type Ping struct{}
 func (Ping) WireSize() int { return 1 }
 
 // ScanRequest runs a Scan against one region. Epoch carries the routing
-// epoch (see PutRequest).
+// epoch (see PutRequest). Replica selects which copy answers: 0 (the
+// default) is the primary, higher values address a secondary — the
+// timeline-read failover path, which skips epoch checks because a replica
+// is allowed to lag the primary's ownership changes.
 type ScanRequest struct {
 	RegionID string
 	Epoch    uint64
+	Replica  int
 	Scan     *Scan
 	Token    string
 }
@@ -57,6 +61,9 @@ type ScanRequest struct {
 // WireSize implements rpc.Message.
 func (m *ScanRequest) WireSize() int {
 	n := len(m.RegionID) + len(m.Token) + 8
+	if m.Replica > 0 {
+		n += 2
+	}
 	if m.Scan != nil {
 		n += m.Scan.WireSize()
 	}
@@ -74,6 +81,13 @@ type ScanResponse struct {
 	Block   *CellBlock
 	More    bool
 	Next    FusedCursor
+	// Stale marks a page served (in whole or part) by a secondary replica:
+	// the rows are a possibly-lagging prefix of the primary's history.
+	// StalenessMs is the explicit bound on that lag — the longest any
+	// serving replica had gone without draining its shipped queue. Every
+	// stale response carries the bound, even when it is 0ms.
+	Stale       bool
+	StalenessMs int64
 }
 
 // WireSize implements rpc.Message.
@@ -87,6 +101,9 @@ func (m *ScanResponse) WireSize() int {
 	}
 	if m.More {
 		n += m.Next.WireSize() + 1
+	}
+	if m.Stale {
+		n += 9
 	}
 	return n
 }
@@ -140,6 +157,7 @@ func (b *CellBlock) Len() int { return len(b.Rows) }
 type BulkGetRequest struct {
 	RegionID    string
 	Epoch       uint64
+	Replica     int // copy to address; see ScanRequest
 	Rows        [][]byte
 	Columns     []Column
 	MaxVersions int
@@ -150,6 +168,9 @@ type BulkGetRequest struct {
 // WireSize implements rpc.Message.
 func (m *BulkGetRequest) WireSize() int {
 	n := len(m.RegionID) + len(m.Token) + 28
+	if m.Replica > 0 {
+		n += 2
+	}
 	for _, r := range m.Rows {
 		n += len(r)
 	}
@@ -166,6 +187,7 @@ func (m *BulkGetRequest) WireSize() int {
 type ScanOp struct {
 	RegionID string
 	Epoch    uint64
+	Replica  int      // copy to address; see ScanRequest
 	Scan     *Scan    // nil when Rows is set
 	Rows     [][]byte // bulk get when non-empty
 }
@@ -218,6 +240,9 @@ func (m *FusedRequest) WireSize() int {
 	}
 	for _, op := range m.Ops {
 		n += len(op.RegionID) + 8
+		if op.Replica > 0 {
+			n += 2
+		}
 		if op.Scan != nil {
 			n += op.Scan.WireSize()
 		}

@@ -34,6 +34,13 @@ type StoreConfig struct {
 	// still answers reads (monotonic-read staleness is tolerated); on, it
 	// rejects them with ErrFenced, trading availability for freshness.
 	FenceReads bool
+	// RegionReplication is the total number of copies of each region the
+	// master places, primary included, each on a distinct server — HBase's
+	// read-replica feature. Values <= 1 mean a single primary copy and
+	// leave every code path byte-identical to the replica-free build.
+	// Secondary copies serve only Consistency=Timeline reads; writes and
+	// Strong reads always route to the primary.
+	RegionReplication int
 }
 
 func (c StoreConfig) withDefaults() StoreConfig {
@@ -68,6 +75,23 @@ type Region struct {
 	gen     int64
 	view    []Cell
 	viewGen int64
+
+	// Primary-side replication state: repl fans acked WAL entries out to
+	// this region's secondary copies (nil when unreplicated). The pointer
+	// is carried across Reopen so a promoted or reassigned primary keeps
+	// shipping to the surviving copies.
+	repl *replicator
+
+	// Secondary-copy state (info.Replica > 0): entries shipped from the
+	// primary queue in pending and apply in sequence order; appliedSeq is
+	// the high-water mark already in the MemStore, and caughtUpAt is when
+	// the copy last drained to parity with the primary — the staleness
+	// bound a timeline read reports. applyHold freezes the apply loop so
+	// tests can inject replication lag deterministically.
+	pending    []shippedEntry
+	appliedSeq uint64
+	applyHold  bool
+	caughtUpAt time.Time
 }
 
 // NewRegion creates an empty region for the given range.
@@ -91,12 +115,14 @@ func (r *Region) Info() RegionInfo {
 	return r.info
 }
 
-// setHost rebinds the region's hosting server and returns the region ID.
+// setHost rebinds the region's hosting server and returns the key the
+// server indexes the copy under: the bare region ID for the primary, a
+// replica-suffixed form for secondary copies.
 func (r *Region) setHost(host string) string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.info.Host = host
-	return r.info.ID
+	return regionKey(r.info.ID, r.info.Replica)
 }
 
 // setEpoch stamps the region's ownership epoch (master-only, at assignment).
@@ -124,6 +150,9 @@ func (r *Region) Put(c Cell) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.info.Replica > 0 {
+		return fmt.Errorf("%w: replica %d of region %s is read-only", ErrNotServing, r.info.Replica, r.info.ID)
+	}
 	if err := r.append(c); err != nil {
 		return err
 	}
@@ -141,6 +170,9 @@ func (r *Region) PutBatch(cells []Cell) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.info.Replica > 0 {
+		return fmt.Errorf("%w: replica %d of region %s is read-only", ErrNotServing, r.info.Replica, r.info.ID)
+	}
 	for i := range cells {
 		if err := r.append(cells[i]); err != nil {
 			return err
@@ -199,6 +231,12 @@ func (r *Region) maybeFlushLocked() {
 // locked
 func (r *Region) flushLocked() {
 	if len(r.mem.cells) == 0 {
+		return
+	}
+	// Secondary copies never flush: they share the primary's WAL, and
+	// truncating it out from under the primary would lose acknowledged
+	// history. Their MemStore simply accumulates shipped entries.
+	if r.info.Replica > 0 {
 		return
 	}
 	// A fenced owner must not flush: truncating the shared WAL below what
@@ -587,6 +625,7 @@ func (r *Region) Reopen(newEpoch uint64) *Region {
 		log:     r.log,
 		flushed: r.flushed,
 		viewGen: -1,
+		repl:    r.repl,
 	}
 	return nr
 }

@@ -254,16 +254,25 @@ func (rs *RegionServer) auth(token string) error {
 	return rs.validate(token)
 }
 
-// regionFor resolves a hosted region and checks the caller's routing epoch
-// against the one this server holds. Epoch 0 skips the check (legacy callers
-// that bypass the meta cache). A lower caller epoch means a stale client
-// cache; a higher one means this server itself is the stale party — a zombie
-// still holding a region the master has reassigned — so it drops the region
-// on the spot rather than double-serve it.
-func (rs *RegionServer) regionFor(id string, epoch uint64) (*Region, error) {
-	r := rs.Region(id)
+// regionFor resolves a hosted copy of a region and checks the caller's
+// routing epoch against the one this server holds. Epoch 0 skips the check
+// (legacy callers that bypass the meta cache). A lower caller epoch means a
+// stale client cache; a higher one means this server itself is the stale
+// party — a zombie still holding a region the master has reassigned — so it
+// drops the region on the spot rather than double-serve it.
+//
+// replica > 0 addresses a secondary copy, the timeline-read failover path.
+// Secondary lookups skip epoch checks entirely: a replica is expected to
+// lag the primary's ownership changes, and the read was already promised
+// to be possibly stale.
+func (rs *RegionServer) regionFor(id string, epoch uint64, replica int) (*Region, error) {
+	r := rs.Region(regionKey(id, replica))
 	if r == nil {
-		return nil, fmt.Errorf("%w: %q on %s", ErrNotServing, id, rs.host)
+		return nil, fmt.Errorf("%w: %q on %s", ErrNotServing, regionKey(id, replica), rs.host)
+	}
+	if replica > 0 {
+		rs.meter.Inc(metrics.ReplicaReads)
+		return r, nil
 	}
 	if epoch == 0 {
 		return r, nil
@@ -304,7 +313,7 @@ func (rs *RegionServer) handlePut(_ context.Context, req rpc.Message) (rpc.Messa
 	if err := rs.checkWriteFence(); err != nil {
 		return nil, err
 	}
-	r, err := rs.regionFor(m.RegionID, m.Epoch)
+	r, err := rs.regionFor(m.RegionID, m.Epoch, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -316,15 +325,30 @@ func (rs *RegionServer) handlePut(_ context.Context, req rpc.Message) (rpc.Messa
 
 // runScanTraced executes a region scan under a "region.scan" span tagged
 // with the region and host, metering through the caller's scoped registry
-// when the context carries one.
+// when the context carries one. Scans served by a secondary copy carry a
+// "replica" tag so EXPLAIN ANALYZE can attribute stale rows.
 func (rs *RegionServer) runScanTraced(ctx context.Context, r *Region, s *Scan) []Result {
 	_, sp := trace.StartSpan(ctx, "region.scan")
-	sp.SetTag("region", r.Info().ID)
+	info := r.Info()
+	sp.SetTag("region", info.ID)
 	sp.SetTag("host", rs.host)
+	if info.Replica > 0 {
+		sp.SetTag("replica", fmt.Sprintf("%d", info.Replica))
+	}
 	results := r.RunScanWith(s, metrics.Scoped(ctx, rs.meter))
 	sp.SetAttr("rows", int64(len(results)))
 	sp.End()
 	return results
+}
+
+// markStale tags a response served by secondary copy r: the rows may lag
+// the primary, and StalenessMs is the explicit bound on that lag. The max
+// survives across multiple ops on one page.
+func markStale(resp *ScanResponse, r *Region) {
+	resp.Stale = true
+	if b := r.StalenessBound().Milliseconds(); b > resp.StalenessMs {
+		resp.StalenessMs = b
+	}
 }
 
 func (rs *RegionServer) handleScan(ctx context.Context, req rpc.Message) (rpc.Message, error) {
@@ -338,14 +362,18 @@ func (rs *RegionServer) handleScan(ctx context.Context, req rpc.Message) (rpc.Me
 	if err := rs.checkReadFence(); err != nil {
 		return nil, err
 	}
-	r, err := rs.regionFor(m.RegionID, m.Epoch)
+	r, err := rs.regionFor(m.RegionID, m.Epoch, m.Replica)
 	if err != nil {
 		return nil, err
 	}
 	if m.Scan == nil {
 		return nil, fmt.Errorf("hbase: %s: nil scan", MethodScan)
 	}
-	return &ScanResponse{Results: rs.runScanTraced(ctx, r, m.Scan)}, nil
+	resp := &ScanResponse{Results: rs.runScanTraced(ctx, r, m.Scan)}
+	if m.Replica > 0 {
+		markStale(resp, r)
+	}
+	return resp, nil
 }
 
 func (rs *RegionServer) handleBulkGet(ctx context.Context, req rpc.Message) (rpc.Message, error) {
@@ -359,13 +387,16 @@ func (rs *RegionServer) handleBulkGet(ctx context.Context, req rpc.Message) (rpc
 	if err := rs.checkReadFence(); err != nil {
 		return nil, err
 	}
-	r, err := rs.regionFor(m.RegionID, m.Epoch)
+	r, err := rs.regionFor(m.RegionID, m.Epoch, m.Replica)
 	if err != nil {
 		return nil, err
 	}
 	_, sp := trace.StartSpan(ctx, "region.get")
 	sp.SetTag("region", r.Info().ID)
 	sp.SetTag("host", rs.host)
+	if m.Replica > 0 {
+		sp.SetTag("replica", fmt.Sprintf("%d", m.Replica))
+	}
 	meter := metrics.Scoped(ctx, rs.meter)
 	resp := &ScanResponse{}
 	for _, row := range m.Rows {
@@ -373,6 +404,9 @@ func (rs *RegionServer) handleBulkGet(ctx context.Context, req rpc.Message) (rpc
 		if !res.Empty() {
 			resp.Results = append(resp.Results, res)
 		}
+	}
+	if m.Replica > 0 {
+		markStale(resp, r)
 	}
 	sp.SetAttr("rows", int64(len(resp.Results)))
 	sp.End()
@@ -428,9 +462,12 @@ func (rs *RegionServer) fusedPage(ctx context.Context, m *FusedRequest) (*ScanRe
 		if opIdx == m.Cursor.Op {
 			cur = m.Cursor
 		}
-		r, err := rs.regionFor(op.RegionID, op.Epoch)
+		r, err := rs.regionFor(op.RegionID, op.Epoch, op.Replica)
 		if err != nil {
 			return nil, err
+		}
+		if op.Replica > 0 {
+			markStale(resp, r)
 		}
 		if len(op.Rows) > 0 {
 			// Point gets inherit the template's projection, filter, and
@@ -439,6 +476,9 @@ func (rs *RegionServer) fusedPage(ctx context.Context, m *FusedRequest) (*ScanRe
 			_, sp := trace.StartSpan(ctx, "region.get")
 			sp.SetTag("region", r.Info().ID)
 			sp.SetTag("host", rs.host)
+			if op.Replica > 0 {
+				sp.SetTag("replica", fmt.Sprintf("%d", op.Replica))
+			}
 			var got int64
 			for ri := cur.RowIdx; ri < len(op.Rows); ri++ {
 				if room() == 0 {

@@ -68,6 +68,16 @@ type RegionInfo struct {
 	EndKey   []byte
 	Host     string
 	Epoch    uint64
+	// Replica numbers this copy of the region: 0 is the primary (the only
+	// copy that accepts writes and Strong reads), 1..N-1 are read-only
+	// secondaries serving timeline reads.
+	Replica int
+	// ReplicaHosts lists where the region's secondary copies live, indexed
+	// by replica number minus one ("" = that slot is currently unplaced).
+	// The master fills it on meta responses so clients can fail timeline
+	// reads over without a second meta round trip; nil when the region is
+	// unreplicated.
+	ReplicaHosts []string
 }
 
 // ContainsRow reports whether row falls inside the region's range.
@@ -98,9 +108,18 @@ func (ri *RegionInfo) String() string {
 	return fmt.Sprintf("%s[%x,%x)@%s", ri.ID, ri.StartKey, ri.EndKey, ri.Host)
 }
 
-// WireSize implements rpc.Message for meta responses.
+// WireSize implements rpc.Message for meta responses. The replica fields
+// cost nothing when unset, keeping unreplicated clusters' wire accounting
+// byte-identical to the pre-replica build.
 func (ri *RegionInfo) WireSize() int {
-	return len(ri.Table) + len(ri.ID) + len(ri.StartKey) + len(ri.EndKey) + len(ri.Host) + 8
+	n := len(ri.Table) + len(ri.ID) + len(ri.StartKey) + len(ri.EndKey) + len(ri.Host) + 8
+	if ri.Replica > 0 {
+		n += 2
+	}
+	for _, h := range ri.ReplicaHosts {
+		n += len(h) + 1
+	}
+	return n
 }
 
 // sortRegions orders regions by start key, the layout of the meta table.

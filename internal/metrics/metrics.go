@@ -75,6 +75,11 @@ const (
 	PartitionDrops      = "rpc.partition_drops"
 	WALCorruptEntries   = "wal.corrupt_entries"
 	WALFencedAppends    = "wal.fenced_appends"
+	ReplicaReads        = "hbase.replica_reads"
+	HistReplicaLag      = "hbase.replica_lag_ms"
+	Promotions          = "master.promotions"
+	ReplicaFailovers    = "client.replica_failovers"
+	ReadUnavailableMs   = "cluster.read_unavailable_ms"
 )
 
 // Registry is a concurrency-safe set of named monotonic counters, gauges

@@ -145,6 +145,7 @@ type Log struct {
 	nextSeq uint64
 	epoch   uint64 // appends below this ownership epoch are rejected
 	meter   *metrics.Registry
+	obs     func(Entry)
 }
 
 // New returns an empty log. meter may be nil.
@@ -159,16 +160,34 @@ func New(meter *metrics.Registry) *Log {
 // has been reassigned.
 func (l *Log) Append(e Entry) (uint64, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if e.Epoch < l.epoch {
 		l.meter.Inc(metrics.WALFencedAppends)
+		l.mu.Unlock()
 		return 0, fmt.Errorf("%w: append at epoch %d, fenced at %d", ErrFenced, e.Epoch, l.epoch)
 	}
 	e.Seq = l.nextSeq
 	l.nextSeq++
 	l.records = append(l.records, e.Encode())
 	l.meter.Inc(metrics.WALAppends)
+	obs := l.obs
+	l.mu.Unlock()
+	if obs != nil {
+		obs(e)
+	}
 	return e.Seq, nil
+}
+
+// SetObserver registers fn to be invoked with every successfully appended
+// entry (sequence number assigned), after the log's own lock is released —
+// the seam region replication hangs off of. Only acknowledged writes reach
+// the observer: a fenced append fails before it, so replicas can never
+// apply a mutation the primary did not durably log. Appends to one region's
+// log are serialized by the region lock, so observer calls arrive in
+// sequence order.
+func (l *Log) SetObserver(fn func(Entry)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.obs = fn
 }
 
 // Fence raises the log's ownership epoch: subsequent appends stamped with a
