@@ -31,7 +31,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|table2|ablation|streaming|vector|chaos|partition|replica|overload|trace-overhead")
+	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|table2|ablation|streaming|vector|chaos|partition|replica|overload|trace-overhead|ingest")
 	scales := flag.String("scales", "1,2,3,4,5,6", "comma-separated scale factors (the 5..30 GB axis)")
 	servers := flag.Int("servers", 5, "region servers / executor hosts")
 	runs := flag.Int("runs", 1, "average each measurement over N runs")
@@ -90,9 +90,10 @@ func main() {
 	run("replica", func() (any, error) { return bench.Replica(p) })
 	run("overload", func() (any, error) { return bench.Overload(p) })
 	run("trace-overhead", func() (any, error) { return bench.TraceOverhead(p) })
+	run("ingest", func() (any, error) { return bench.Ingest(p) })
 
 	switch *exp {
-	case "all", "table1", "fig4", "fig5", "fig6", "fig7", "table2", "ablation", "streaming", "vector", "chaos", "partition", "replica", "overload", "trace-overhead":
+	case "all", "table1", "fig4", "fig5", "fig6", "fig7", "table2", "ablation", "streaming", "vector", "chaos", "partition", "replica", "overload", "trace-overhead", "ingest":
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"io"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestIngestDurabilityGate is the CI regression gate for the crash-safe
+// ingest path. It runs the full ingest matrix — ack-lost faults, a region
+// split, and a region-server crash all land mid-run, with hot-key auto-split
+// on — under the CHAOS_SEED the CI matrix sweeps, and demands:
+//
+//   - exactly-once: zero acked cells lost, no stamped batch applied twice;
+//   - the faults actually bit (replies were dropped and retries deduped);
+//   - client batching pays: buffered throughput >= 5x unbuffered;
+//   - the chaos run's Mutate p99 stays bounded (retries, not stalls);
+//   - the hot-region detector fires: the skewed run splits its hot region,
+//     while the undefended control does not.
+func TestIngestDurabilityGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ingest durability gate skipped in -short mode")
+	}
+	seed := int64(1)
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEED %q: %v", s, err)
+		}
+		seed = n
+	}
+	rows, err := Ingest(Params{Scales: []int{1}, Seed: seed, Out: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]IngestRow, len(rows))
+	for _, r := range rows {
+		byName[r.Scenario] = r
+	}
+	unbuffered, ok1 := byName["unbuffered"]
+	buffered, ok2 := byName["buffered"]
+	chaos, ok3 := byName["buffered+chaos"]
+	bulk, ok4 := byName["bulkload"]
+	hotOff, ok5 := byName["hotkey defense=off"]
+	hotOn, ok6 := byName["hotkey defense=on"]
+	if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 || !ok6 {
+		t.Fatalf("missing scenarios in %v", rows)
+	}
+
+	// Durability: every scenario must end with every written cell readable.
+	for _, r := range rows {
+		if r.RowsLost != 0 {
+			t.Errorf("%s: lost %d acked cells", r.Scenario, r.RowsLost)
+		}
+	}
+	// Exactly-once under chaos: faults fired, retries were deduplicated, and
+	// no stamped batch was ever applied twice anywhere.
+	if chaos.Faults == 0 {
+		t.Error("chaos run: no faults fired; the scenario was vacuous")
+	}
+	if chaos.Deduped == 0 {
+		t.Error("chaos run: no retry was deduplicated; ack loss did not bite")
+	}
+	if chaos.MaxApplies > 1 {
+		t.Errorf("chaos run: a stamped batch applied %d times, want <= 1", chaos.MaxApplies)
+	}
+	// The split and crash really happened mid-run: more regions than the
+	// presplit four.
+	if chaos.Regions <= 4 {
+		t.Errorf("chaos run: regions = %d, want > 4 (split did not land)", chaos.Regions)
+	}
+	// Throughput: batching must amortize per-RPC cost at least fivefold.
+	if buffered.CellsPerSec < 5*unbuffered.CellsPerSec {
+		t.Errorf("buffered throughput %.0f cells/s < 5x unbuffered %.0f cells/s",
+			buffered.CellsPerSec, unbuffered.CellsPerSec)
+	}
+	if bulk.CellsPerSec < unbuffered.CellsPerSec {
+		t.Errorf("bulk load %.0f cells/s slower than unbuffered puts %.0f cells/s",
+			bulk.CellsPerSec, unbuffered.CellsPerSec)
+	}
+	// Bounded tail under chaos: a Mutate call may absorb a retried flush but
+	// never an unbounded stall.
+	if chaos.P99Us <= 0 || chaos.P99Us > 500_000 {
+		t.Errorf("chaos run: Mutate p99 = %dus, want (0, 500ms]", chaos.P99Us)
+	}
+	// Hot-key defense: detection and mitigation on, quiescence off.
+	if hotOn.HotSplits < 1 {
+		t.Errorf("defended hot-key run: hot splits = %d, want >= 1", hotOn.HotSplits)
+	}
+	if hotOn.Regions <= hotOff.Regions {
+		t.Errorf("defended hot-key run: regions = %d, undefended = %d; defense did not split",
+			hotOn.Regions, hotOff.Regions)
+	}
+	if hotOff.HotSplits != 0 {
+		t.Errorf("undefended hot-key run: hot splits = %d, want 0", hotOff.HotSplits)
+	}
+}

@@ -734,10 +734,31 @@ func (g *fusedPager) replace(ctx context.Context, avoid string) error {
 	for _, ri := range regions {
 		infoOf[ri.ID] = ri
 	}
-	lead, ok := infoOf[g.ops[0].RegionID]
-	if !ok {
-		return fmt.Errorf("core: region %q vanished from table %q", g.ops[0].RegionID, g.p.rel.cat.Table.Name)
+	// Fold the in-flight cursor into the lead op's own key range / row list.
+	// Only the cursor key says where the stream truly stands, and a region
+	// that split between pages invalidates the (RegionID, cursor) pair — so
+	// bake the resume position into the op before remapping by key range.
+	g.foldCursor()
+	// Re-lookup ops whose region no longer exists (it split — or merged —
+	// under the scan) by their remaining key range. Fresh regions come back
+	// sorted by start key and each op expands in place, so op order — and
+	// therefore row order — is exactly what the unbroken stream would have
+	// produced.
+	remapped := g.ops[:0:0]
+	for _, op := range g.ops {
+		if _, ok := infoOf[op.RegionID]; ok {
+			remapped = append(remapped, op)
+			continue
+		}
+		remapped = append(remapped, remapOp(op, regions)...)
 	}
+	g.ops = remapped
+	if len(g.ops) == 0 {
+		// Every remaining op folded away (cursor past the end of its range).
+		g.done = true
+		return nil
+	}
+	lead := infoOf[g.ops[0].RegionID]
 	for i := range g.ops {
 		if in, ok := infoOf[g.ops[i].RegionID]; ok {
 			g.ops[i].Epoch = in.Epoch
@@ -786,6 +807,86 @@ func (g *fusedPager) replace(ctx context.Context, avoid string) error {
 		g.prefix++
 	}
 	return nil
+}
+
+// foldCursor rewrites the lead op so its own key range (scan) or row list
+// (bulk get) starts at the continuation cursor, then clears the cursor. A
+// folded op resumes exactly where the stream stood no matter which region —
+// or how many, after a split — now covers its keys. The zero cursor (the
+// run-exhausted path) folds to a no-op. The op's Scan is cloned before
+// mutation because the backing array is shared with the partition's op list.
+func (g *fusedPager) foldCursor() {
+	if len(g.ops) == 0 {
+		return
+	}
+	c := g.cursor
+	if c.Row == nil && c.RowIdx == 0 && c.Sent == 0 {
+		return
+	}
+	op := g.ops[0]
+	g.cursor = hbase.FusedCursor{}
+	exhausted := false
+	if len(op.Rows) > 0 {
+		if c.RowIdx >= len(op.Rows) {
+			exhausted = true
+		} else if c.RowIdx > 0 {
+			op.Rows = op.Rows[c.RowIdx:]
+		}
+	} else if op.Scan != nil {
+		sc := *op.Scan
+		if c.Row != nil {
+			sc.StartRow = c.Row
+		}
+		if sc.Limit > 0 {
+			sc.Limit -= c.Sent
+			exhausted = sc.Limit <= 0
+		}
+		op.Scan = &sc
+	}
+	if exhausted {
+		// The cursor sat exactly at the op's end: it has fully streamed.
+		g.ops = g.ops[1:]
+		return
+	}
+	g.ops[0] = op
+}
+
+// remapOp re-homes one op whose region vanished onto the fresh region list:
+// a scan op is clipped to every fresh region its range overlaps, a bulk get
+// is partitioned by which fresh region contains each row. regions are sorted
+// by start key and rows within an op are sorted, so expansion preserves
+// stream order.
+func remapOp(op hbase.ScanOp, regions []hbase.RegionInfo) []hbase.ScanOp {
+	var out []hbase.ScanOp
+	if len(op.Rows) > 0 {
+		i := 0
+		for ri := range regions {
+			in := &regions[ri]
+			var rows [][]byte
+			for i < len(op.Rows) && in.ContainsRow(op.Rows[i]) {
+				rows = append(rows, op.Rows[i])
+				i++
+			}
+			if len(rows) > 0 {
+				out = append(out, hbase.ScanOp{RegionID: in.ID, Epoch: in.Epoch, Rows: rows, Scan: op.Scan})
+			}
+		}
+		return out
+	}
+	if op.Scan == nil {
+		return nil
+	}
+	for ri := range regions {
+		in := &regions[ri]
+		lo, hi, ok := hbase.SplitRowRange(in, op.Scan.StartRow, op.Scan.StopRow)
+		if !ok {
+			continue
+		}
+		sc := *op.Scan
+		sc.StartRow, sc.StopRow = lo, hi
+		out = append(out, hbase.ScanOp{RegionID: in.ID, Epoch: in.Epoch, Scan: &sc})
+	}
+	return out
 }
 
 // defaultFusedBatch is the per-page row budget when the caller does not pick

@@ -25,11 +25,9 @@ func (r *HBaseRelation) EnsureTable(splitKeys [][]byte) error {
 	return r.client.CreateTable(r.cat.TableDescriptor(r.opts.maxVersions()), splitKeys)
 }
 
-// Insert implements datasource.InsertableRelation: the DataFrame write path
-// (paper Code 2). Rows follow the catalog schema order. When the table does
-// not exist yet it is created pre-split into NewTableRegions regions, with
-// split points sampled from the batch being written.
-func (r *HBaseRelation) Insert(rows []plan.Row) error {
+// encodeRows turns schema-ordered rows into HBase cells plus their encoded
+// rowkeys — the shared front half of both write paths (Insert and BulkLoad).
+func (r *HBaseRelation) encodeRows(rows []plan.Row) (cells []hbase.Cell, keys [][]byte, err error) {
 	schema := r.cat.Schema()
 	keyFields := r.cat.RowkeyFields()
 	ts := r.opts.WriteTimestamp
@@ -37,22 +35,22 @@ func (r *HBaseRelation) Insert(rows []plan.Row) error {
 		ts = 1
 	}
 
-	cells := make([]hbase.Cell, 0, len(rows)*(len(schema)-len(keyFields)))
-	keys := make([][]byte, 0, len(rows))
+	cells = make([]hbase.Cell, 0, len(rows)*(len(schema)-len(keyFields)))
+	keys = make([][]byte, 0, len(rows))
 	for _, row := range rows {
 		if len(row) != len(schema) {
-			return fmt.Errorf("core: row width %d does not match catalog schema %d", len(row), len(schema))
+			return nil, nil, fmt.Errorf("core: row width %d does not match catalog schema %d", len(row), len(schema))
 		}
 		keyVals := make([]any, len(keyFields))
 		for i := range keyFields {
 			if row[i] == nil {
-				return fmt.Errorf("core: rowkey dimension %q is NULL", keyFields[i])
+				return nil, nil, fmt.Errorf("core: rowkey dimension %q is NULL", keyFields[i])
 			}
 			keyVals[i] = row[i]
 		}
 		key, err := r.codec.encodeRowkey(keyVals)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
 		keys = append(keys, key)
 		for i := len(keyFields); i < len(schema); i++ {
@@ -62,7 +60,7 @@ func (r *HBaseRelation) Insert(rows []plan.Row) error {
 			spec := r.cat.Columns[schema[i].Name]
 			enc, err := r.coder.Encode(row[i], schema[i].Type)
 			if err != nil {
-				return fmt.Errorf("core: encode %s: %w", schema[i].Name, err)
+				return nil, nil, fmt.Errorf("core: encode %s: %w", schema[i].Name, err)
 			}
 			cells = append(cells, hbase.Cell{
 				Row: key, Family: spec.CF, Qualifier: spec.Col,
@@ -70,10 +68,37 @@ func (r *HBaseRelation) Insert(rows []plan.Row) error {
 			})
 		}
 	}
+	return cells, keys, nil
+}
+
+// Insert implements datasource.InsertableRelation: the DataFrame write path
+// (paper Code 2). Rows follow the catalog schema order. When the table does
+// not exist yet it is created pre-split into NewTableRegions regions, with
+// split points sampled from the batch being written.
+func (r *HBaseRelation) Insert(rows []plan.Row) error {
+	cells, keys, err := r.encodeRows(rows)
+	if err != nil {
+		return err
+	}
 	if err := r.EnsureTable(SampleSplitKeys(keys, r.opts.NewTableRegions)); err != nil {
 		return err
 	}
 	return r.client.Put(r.cat.Table.Name, cells)
+}
+
+// BulkLoad implements datasource.BulkLoadableRelation: rows are encoded,
+// sorted, and installed as store files directly in each region — no WAL
+// append, no MemStore residency, no flush — the right path for loading a
+// large initial dataset without pushing the cluster into write backpressure.
+func (r *HBaseRelation) BulkLoad(rows []plan.Row) error {
+	cells, keys, err := r.encodeRows(rows)
+	if err != nil {
+		return err
+	}
+	if err := r.EnsureTable(SampleSplitKeys(keys, r.opts.NewTableRegions)); err != nil {
+		return err
+	}
+	return r.client.BulkLoad(r.cat.Table.Name, cells)
 }
 
 // Delete writes tombstones for every data column of the given rowkey

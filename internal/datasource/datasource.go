@@ -322,6 +322,16 @@ type InsertableRelation interface {
 	Insert(rows []plan.Row) error
 }
 
+// BulkLoadableRelation is an optional write capability: relations whose
+// store offers a bulk-load path (HBase's completebulkload) accept rows as
+// pre-sorted store files that bypass the normal write pipeline — no WAL, no
+// MemStore, no flush — for high-volume initial loads.
+type BulkLoadableRelation interface {
+	InsertableRelation
+	// BulkLoad writes the rows through the store's bulk-load path.
+	BulkLoad(rows []plan.Row) error
+}
+
 // EvalFilter applies a source filter description to a row (used by sources
 // without native filtering, and by tests as the reference semantics).
 func EvalFilter(f Filter, schema plan.Schema, row plan.Row) (bool, error) {

@@ -196,6 +196,23 @@ func (df *DataFrame) Write(target datasource.InsertableRelation) error {
 	return target.Insert(rows)
 }
 
+// WriteBulk inserts the DataFrame's rows through the target's bulk-load
+// path — store files installed directly in each region, bypassing WAL and
+// MemStore. Use it for initial loads too large for the buffered write path.
+func (df *DataFrame) WriteBulk(target datasource.BulkLoadableRelation) error {
+	rows, err := df.Collect()
+	if err != nil {
+		return err
+	}
+	want := len(target.Schema())
+	for _, r := range rows {
+		if len(r) != want {
+			return fmt.Errorf("engine: cannot write %d-column rows into %q with %d columns", len(r), target.Name(), want)
+		}
+	}
+	return target.BulkLoad(rows)
+}
+
 // Show renders up to n rows as an aligned text table (n <= 0 means all),
 // like Spark's df.show().
 func (df *DataFrame) Show(n int) (string, error) {

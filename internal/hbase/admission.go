@@ -17,6 +17,13 @@ import (
 // saturated, and the region still lives there.
 var ErrServerBusy = errors.New("hbase: server busy")
 
+// ErrMemstoreFull reports a write rejected because the server's aggregate
+// MemStore size is above its high watermark: accepting more would risk
+// unbounded buffering while flushes catch up. It is retryable and, like
+// ErrServerBusy, does NOT invalidate region locations — the region is
+// exactly where the client thinks, the server just needs to drain.
+var ErrMemstoreFull = errors.New("hbase: memstore above high watermark")
+
 // ServerLimits bounds the concurrent work one region server accepts — the
 // admission-control half of workload management. Zero values mean
 // unlimited (the default, matching the pre-overload-protection behaviour).
@@ -32,6 +39,22 @@ type ServerLimits struct {
 	// why it cannot contend for slots; ServiceTime is what makes a bounded
 	// server actually saturate under concurrent load. 0 = instant service.
 	ServiceTime time.Duration
+	// MemstoreLowWatermarkBytes is the aggregate MemStore size (across every
+	// region the server hosts) above which writes are delayed: the server
+	// flushes its largest MemStore and sleeps MemstoreDelay before applying
+	// the write, pacing ingest to flush throughput. 0 disables the delay
+	// watermark.
+	MemstoreLowWatermarkBytes int
+	// MemstoreHighWatermarkBytes is the aggregate MemStore size above which
+	// writes are rejected with the retryable ErrMemstoreFull (after one
+	// forced flush of the largest MemStore fails to bring the total back
+	// under). This is the hard bound that keeps a write burst from buffering
+	// unbounded memory. 0 disables the reject watermark.
+	MemstoreHighWatermarkBytes int
+	// MemstoreDelay is the pause imposed on each write while the server is
+	// between the low and high watermarks (default 1ms when a low watermark
+	// is set).
+	MemstoreDelay time.Duration
 }
 
 // admission is the gate every data RPC passes through when limits are set.

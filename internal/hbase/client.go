@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -565,7 +566,7 @@ func (c *Client) withRetry(ctx context.Context, table string, op func() error) e
 		}
 		metrics.Scoped(ctx, c.net.Meter()).Inc(metrics.ClientRetries)
 		trace.SpanFromContext(ctx).Annotate("retry %d: %v", attempt, err)
-		if !errors.Is(err, ErrServerBusy) {
+		if !errors.Is(err, ErrServerBusy) && !errors.Is(err, ErrMemstoreFull) {
 			c.InvalidateRegions(table)
 		}
 		if perr := c.RetryPause(ctx, attempt); perr != nil {
@@ -610,6 +611,48 @@ func (c *Client) PutContext(ctx context.Context, table string, cells []Cell) err
 			if _, err := c.call(ctx, hosts[id], MethodPut, b); err != nil {
 				return err
 			}
+		}
+		return nil
+	})
+}
+
+// BulkLoad installs cells directly as sorted store files, bypassing the WAL
+// and MemStore — the client side of HBase's completebulkload. The client
+// sorts the cells, carves them into per-region runs, and each region
+// installs its run as one immutable store file. A retried run that already
+// landed re-installs identical cells, which version resolution collapses, so
+// the call is safe to retry after partial failure.
+func (c *Client) BulkLoad(table string, cells []Cell) error {
+	return c.BulkLoadContext(context.Background(), table, cells)
+}
+
+// BulkLoadContext is BulkLoad bounded by ctx.
+func (c *Client) BulkLoadContext(ctx context.Context, table string, cells []Cell) error {
+	if len(cells) == 0 {
+		return nil
+	}
+	tok, err := c.token()
+	if err != nil {
+		return err
+	}
+	sorted := make([]Cell, len(cells))
+	copy(sorted, cells)
+	sort.SliceStable(sorted, func(i, j int) bool { return CompareCells(&sorted[i], &sorted[j]) < 0 })
+	return c.withRetry(ctx, table, func() error {
+		for start := 0; start < len(sorted); {
+			ri, err := c.regionForRow(ctx, table, sorted[start].Row)
+			if err != nil {
+				return err
+			}
+			end := start + 1
+			for end < len(sorted) && ri.ContainsRow(sorted[end].Row) {
+				end++
+			}
+			req := &BulkLoadRequest{RegionID: ri.ID, Epoch: ri.Epoch, Cells: sorted[start:end], Token: tok}
+			if _, err := c.call(ctx, ri.Host, MethodBulkLoad, req); err != nil {
+				return err
+			}
+			start = end
 		}
 		return nil
 	})

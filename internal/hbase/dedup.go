@@ -1,0 +1,81 @@
+package hbase
+
+// dedupWindow records, per writer, which sequence-stamped batches a region
+// has applied, so a retried multi-put whose ack was lost is acknowledged
+// again without re-applying — the server half of the exactly-once contract.
+//
+// Durability mirrors the data it guards: the live window is rebuilt on crash
+// recovery from the flush-time snapshot (carried with the store files, the
+// way HBase persists max-seq-id metadata) plus the batch stamps on replayed
+// WAL entries, so the window covers exactly the acknowledged history. A
+// split copies the parent's window to both daughters: a regrouped retry's
+// pieces are row-disjoint, so per-daughter dedup on the original stamp
+// still applies each cell at most once.
+type dedupWindow struct {
+	writers map[string]*writerWindow
+}
+
+// writerWindow is one writer's applied-batch set with its high-water mark.
+type writerWindow struct {
+	max  uint64
+	seen map[uint64]struct{}
+}
+
+// dedupWindowSize bounds the per-writer set: stamps more than this far below
+// the writer's high-water mark are pruned. A client retries a batch long
+// before it falls this far behind its own newest sequence, so pruning never
+// un-remembers a batch that could still be retried.
+const dedupWindowSize = 4096
+
+func newDedupWindow() *dedupWindow {
+	return &dedupWindow{writers: make(map[string]*writerWindow)}
+}
+
+func (d *dedupWindow) has(writer string, seq uint64) bool {
+	if d == nil {
+		return false
+	}
+	w := d.writers[writer]
+	if w == nil {
+		return false
+	}
+	_, ok := w.seen[seq]
+	return ok
+}
+
+func (d *dedupWindow) mark(writer string, seq uint64) {
+	if writer == "" {
+		return
+	}
+	w := d.writers[writer]
+	if w == nil {
+		w = &writerWindow{seen: make(map[uint64]struct{})}
+		d.writers[writer] = w
+	}
+	w.seen[seq] = struct{}{}
+	if seq > w.max {
+		w.max = seq
+	}
+	if len(w.seen) > dedupWindowSize {
+		for s := range w.seen {
+			if s+dedupWindowSize < w.max {
+				delete(w.seen, s)
+			}
+		}
+	}
+}
+
+func (d *dedupWindow) clone() *dedupWindow {
+	if d == nil {
+		return newDedupWindow()
+	}
+	nd := newDedupWindow()
+	for wr, w := range d.writers {
+		nw := &writerWindow{max: w.max, seen: make(map[uint64]struct{}, len(w.seen))}
+		for s := range w.seen {
+			nw.seen[s] = struct{}{}
+		}
+		nd.writers[wr] = nw
+	}
+	return nd
+}

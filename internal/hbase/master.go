@@ -3,6 +3,7 @@ package hbase
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strconv"
@@ -26,6 +27,12 @@ const (
 	// zombie can never be un-fenced by master amnesia.
 	zkEpochRoot    = "/shc"
 	zkEpochRegions = "/shc/regions"
+	// Split transactions journal themselves at /shc/splits/<parent-id>
+	// before any state changes: a master or hosting server dying mid-split
+	// leaves the journal behind, and recovery rolls the split forward (both
+	// daughters made it) or back (they did not) instead of leaving the
+	// keyspace torn.
+	zkSplits = "/shc/splits"
 )
 
 // Master performs the administrative duties of HMaster (paper §III-B):
@@ -48,6 +55,14 @@ type Master struct {
 	// are reassigned.
 	missed         map[string]int
 	deathThreshold int
+	// hotWriteThreshold is the per-janitor-interval cell-write count above
+	// which a region is considered hot and split by load; 0 disables the
+	// defense.
+	hotWriteThreshold int64
+	// splitHook, when set (tests only), runs after each named stage of a
+	// split transaction; returning an error aborts the split mid-flight,
+	// simulating a master crash at that exact point.
+	splitHook func(stage string) error
 }
 
 type tableState struct {
@@ -91,7 +106,7 @@ func NewMaster(host string, net *rpc.Network, zkSrv *zk.Server, cfg StoreConfig,
 			return nil, err
 		}
 	}
-	for _, path := range []string{zkEpochRoot, zkEpochRegions} {
+	for _, path := range []string{zkEpochRoot, zkEpochRegions, zkSplits} {
 		if ok, _ := m.sess.Exists(path); !ok {
 			if err := m.sess.Create(path, nil, false); err != nil {
 				return nil, err
@@ -163,6 +178,9 @@ func (m *Master) RecoverFrom(servers []*RegionServer) error {
 	if maxID > m.nextID {
 		m.nextID = maxID
 	}
+	// A predecessor may have died mid-split: settle any journaled split
+	// transactions against the hosted state just re-learned.
+	m.recoverSplitsLocked()
 	return nil
 }
 
@@ -483,6 +501,15 @@ func (m *Master) topUpReplicasLocked() {
 // ensureReplicasLocked adds secondary copies of primary until the region
 // has RegionReplication total copies or no eligible server remains.
 func (m *Master) ensureReplicasLocked(ts *tableState, primary *Region) {
+	m.ensureReplicasPlacedLocked(ts, primary, nil)
+}
+
+// ensureReplicasPlacedLocked is ensureReplicasLocked with preferred hosts:
+// each missing copy tries the corresponding preferred host first (split
+// daughters inherit the parent's replica placement this way, so a split
+// does not reshuffle where the range's copies live), falling back to the
+// least-loaded eligible server.
+func (m *Master) ensureReplicasPlacedLocked(ts *tableState, primary *Region, preferred []string) {
 	id := primary.Info().ID
 	for len(ts.replicas[id]) < m.cfg.RegionReplication-1 {
 		used := make(map[int]bool, len(ts.replicas[id]))
@@ -493,23 +520,34 @@ func (m *Master) ensureReplicasLocked(ts *tableState, primary *Region) {
 		for used[num] {
 			num++
 		}
-		if !m.addReplicaLocked(ts, primary, num) {
+		var want string
+		if num-1 < len(preferred) {
+			want = preferred[num-1]
+		}
+		if !m.addReplicaLocked(ts, primary, num, want) {
 			return
 		}
 	}
 }
 
 // addReplicaLocked bootstraps secondary copy #num of primary onto the
-// least-loaded server not already holding a copy of the region. Returns
-// false when every server already holds one (replication is capped by the
-// cluster size, as in HBase).
-func (m *Master) addReplicaLocked(ts *tableState, primary *Region, num int) bool {
+// preferred host when it is registered and eligible, else the least-loaded
+// server not already holding a copy of the region. Returns false when every
+// server already holds one (replication is capped by the cluster size, as
+// in HBase).
+func (m *Master) addReplicaLocked(ts *tableState, primary *Region, num int, preferred string) bool {
 	info := primary.Info()
 	exclude := map[string]bool{info.Host: true}
 	for _, rep := range ts.replicas[info.ID] {
 		exclude[rep.Info().Host] = true
 	}
-	target := m.leastLoadedExcludingLocked(exclude)
+	var target *RegionServer
+	if preferred != "" && !exclude[preferred] {
+		target = m.serverLocked(preferred)
+	}
+	if target == nil {
+		target = m.leastLoadedExcludingLocked(exclude)
+	}
 	if target == nil {
 		return false
 	}
@@ -802,11 +840,68 @@ func (m *Master) TableStatsFor(name string) (TableStats, error) {
 	return out, nil
 }
 
+// splitJournal is the durable record of one in-flight split transaction,
+// JSON-encoded at /shc/splits/<parent-id>. Epoch is the daughters' ownership
+// epoch — the parent's WAL is fenced at it, so rolling back means adopting
+// it on the parent (un-fencing) and rolling forward means the daughters
+// already hold it.
+type splitJournal struct {
+	Table    string `json:"table"`
+	Parent   string `json:"parent"`
+	LowID    string `json:"low"`
+	HighID   string `json:"high"`
+	SplitKey []byte `json:"key"`
+	Epoch    uint64 `json:"epoch"`
+}
+
+// SetSplitHook installs a test-only hook that runs after each named stage of
+// a split transaction ("journaled", "split", "daughters-added",
+// "meta-updated"); returning an error aborts the split there, simulating the
+// master dying at that exact point. nil removes it.
+func (m *Master) SetSplitHook(fn func(stage string) error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.splitHook = fn
+}
+
+// locked
+func (m *Master) splitStageLocked(stage string) error {
+	if m.splitHook == nil {
+		return nil
+	}
+	return m.splitHook(stage)
+}
+
+func (m *Master) writeSplitJournal(j *splitJournal) error {
+	data, err := json.Marshal(j)
+	if err != nil {
+		return err
+	}
+	node := zkSplits + "/" + j.Parent
+	if ok, _ := m.sess.Exists(node); ok {
+		return m.sess.Set(node, data)
+	}
+	return m.sess.Create(node, data, false)
+}
+
 // SplitRegion splits one region at its computed midpoint, keeping both
-// daughters on the same host (HBase's default before balancing).
+// daughters on the same host (HBase's default before balancing). The split
+// runs as a fenced transaction: (1) the intent is journaled in the
+// coordination service, (2) the daughters are cut and the parent's WAL is
+// fenced at a bumped epoch — an in-flight write against the parent from here
+// on fails un-acknowledged instead of landing in a doomed region, (3) the
+// daughters are hosted and swapped into meta atomically under the master
+// lock, (4) the journal is deleted. A master or hosting-server death between
+// any of those steps leaves the journal behind, and recoverSplitsLocked
+// settles it — forward when both daughters made it, back otherwise.
 func (m *Master) SplitRegion(table, regionID string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.splitRegionLocked(table, regionID)
+}
+
+// locked
+func (m *Master) splitRegionLocked(table, regionID string) error {
 	ts, ok := m.tables[table]
 	if !ok {
 		return fmt.Errorf("hbase: table %q does not exist", table)
@@ -819,14 +914,6 @@ func (m *Master) SplitRegion(table, regionID string) error {
 	if point == nil {
 		return fmt.Errorf("hbase: region %q has no viable split point", regionID)
 	}
-	m.nextID++
-	lowID := fmt.Sprintf("%s-%04d", table, m.nextID)
-	m.nextID++
-	highID := fmt.Sprintf("%s-%04d", table, m.nextID)
-	low, high, err := r.SplitInto(lowID, highID, point)
-	if err != nil {
-		return err
-	}
 	var host *RegionServer
 	for _, rs := range m.servers {
 		if rs.Host() == r.Info().Host {
@@ -837,10 +924,56 @@ func (m *Master) SplitRegion(table, regionID string) error {
 	if host == nil {
 		return fmt.Errorf("hbase: host %q of region %q not found", r.Info().Host, regionID)
 	}
+	m.nextID++
+	lowID := fmt.Sprintf("%s-%04d", table, m.nextID)
+	m.nextID++
+	highID := fmt.Sprintf("%s-%04d", table, m.nextID)
+	// Remember where the parent's secondary copies live before anything
+	// changes: the daughters inherit that placement.
+	placement := make([]string, 0, len(ts.replicas[regionID]))
+	for _, rep := range ts.replicas[regionID] {
+		placement = append(placement, rep.Info().Host)
+	}
+
+	// Stage 1: journal the intent. The epoch is bumped and persisted first
+	// (nextEpochLocked), so even a crash between the bump and the journal
+	// only costs the parent one fence level on its next assignment.
+	next := m.nextEpochLocked(r.Info())
+	j := &splitJournal{Table: table, Parent: regionID, LowID: lowID, HighID: highID, SplitKey: point, Epoch: next}
+	if err := m.writeSplitJournal(j); err != nil {
+		return err
+	}
+	if err := m.splitStageLocked("journaled"); err != nil {
+		return err
+	}
+
+	// Stage 2: cut the daughters, fencing the parent's WAL at the new epoch.
+	low, high, err := r.SplitInto(lowID, highID, point, next)
+	if err != nil {
+		// The parent is now fenced but the journal records everything needed
+		// to roll back; do it inline.
+		m.rollBackSplitLocked(ts, j)
+		return err
+	}
+	if err := m.splitStageLocked("split"); err != nil {
+		return err
+	}
+	_ = m.persistEpoch(lowID, next)
+	_ = m.persistEpoch(highID, next)
+
+	// Stage 3: host the daughters, then swap meta. Handlers serialize on the
+	// master lock, so readers never observe the parent and daughters
+	// overlapping.
+	host.AddRegion(low)
+	host.AddRegion(high)
+	if err := m.splitStageLocked("daughters-added"); err != nil {
+		return err
+	}
 	host.RemoveRegion(regionID)
 	delete(ts.regions, regionID)
 	// The parent's secondary copies are retired with it — their ranges no
-	// longer exist — and each daughter bootstraps a fresh set below.
+	// longer exist — and each daughter bootstraps a fresh set below, on the
+	// hosts the parent's copies occupied.
 	for _, rep := range ts.replicas[regionID] {
 		ri := rep.Info()
 		if srv := m.serverLocked(ri.Host); srv != nil {
@@ -851,20 +984,199 @@ func (m *Master) SplitRegion(table, regionID string) error {
 		}
 	}
 	delete(ts.replicas, regionID)
-	// Daughters inherit the parent's epoch; persist them under their own
-	// ids and retire the parent's epoch node (best effort — a leftover node
-	// only makes a future same-id epoch start higher).
-	_ = m.persistEpoch(lowID, low.Epoch())
-	_ = m.persistEpoch(highID, high.Epoch())
-	_ = m.sess.Delete(zkEpochRegions + "/" + regionID + "/epoch")
-	_ = m.sess.Delete(zkEpochRegions + "/" + regionID)
-	host.AddRegion(low)
-	host.AddRegion(high)
 	ts.regions[lowID] = low
 	ts.regions[highID] = high
-	m.ensureReplicasLocked(ts, low)
-	m.ensureReplicasLocked(ts, high)
+	_ = m.sess.Delete(zkEpochRegions + "/" + regionID + "/epoch")
+	_ = m.sess.Delete(zkEpochRegions + "/" + regionID)
+	if err := m.splitStageLocked("meta-updated"); err != nil {
+		return err
+	}
+	m.ensureReplicasPlacedLocked(ts, low, placement)
+	m.ensureReplicasPlacedLocked(ts, high, placement)
+
+	// Stage 4: the transaction is complete; retire the journal.
+	_ = m.sess.Delete(zkSplits + "/" + regionID)
 	return nil
+}
+
+// recoverSplitsLocked settles every journaled split transaction against the
+// current hosted state: when both daughters are in meta the split rolls
+// forward (the parent, if it survived anywhere, is removed); otherwise it
+// rolls back (any orphan daughter is removed and the parent is un-fenced by
+// adopting the journal epoch). Run by a recovering master after rebuilding
+// meta, and by every janitor pass.
+func (m *Master) recoverSplitsLocked() {
+	parents, err := m.sess.Children(zkSplits)
+	if err != nil || len(parents) == 0 {
+		return
+	}
+	sort.Strings(parents) // deterministic recovery order
+	for _, parent := range parents {
+		data, err := m.sess.Get(zkSplits + "/" + parent)
+		if err != nil {
+			continue
+		}
+		var j splitJournal
+		if err := json.Unmarshal(data, &j); err != nil {
+			// An unreadable journal is unrecoverable dead weight; drop it.
+			_ = m.sess.Delete(zkSplits + "/" + parent)
+			continue
+		}
+		ts := m.tables[j.Table]
+		if ts == nil {
+			_ = m.sess.Delete(zkSplits + "/" + parent)
+			continue
+		}
+		_, lowOK := ts.regions[j.LowID]
+		_, highOK := ts.regions[j.HighID]
+		if lowOK && highOK {
+			m.rollForwardSplitLocked(ts, &j)
+		} else {
+			m.rollBackSplitLocked(ts, &j)
+		}
+	}
+}
+
+// rollForwardSplitLocked completes a split whose daughters both survived:
+// the parent is evicted from meta and every server, its epoch node retired,
+// and the daughters' replica sets topped up.
+func (m *Master) rollForwardSplitLocked(ts *tableState, j *splitJournal) {
+	if parent, ok := ts.regions[j.Parent]; ok {
+		if srv := m.serverLocked(parent.Info().Host); srv != nil {
+			srv.RemoveRegion(j.Parent)
+		}
+		delete(ts.regions, j.Parent)
+	}
+	for _, rep := range ts.replicas[j.Parent] {
+		ri := rep.Info()
+		if srv := m.serverLocked(ri.Host); srv != nil {
+			srv.RemoveRegion(regionKey(ri.ID, ri.Replica))
+		}
+		if rep.repl != nil {
+			rep.repl.detach(rep)
+		}
+	}
+	delete(ts.replicas, j.Parent)
+	_ = m.sess.Delete(zkEpochRegions + "/" + j.Parent + "/epoch")
+	_ = m.sess.Delete(zkEpochRegions + "/" + j.Parent)
+	m.ensureReplicasLocked(ts, ts.regions[j.LowID])
+	m.ensureReplicasLocked(ts, ts.regions[j.HighID])
+	_ = m.sess.Delete(zkSplits + "/" + j.Parent)
+	m.meter.Inc(metrics.SplitsRolledForward)
+}
+
+// rollBackSplitLocked abandons a split that did not complete: any orphan
+// daughter is removed from meta and its server, the daughters' epoch nodes
+// are retired, and the parent — whose WAL the split fenced at j.Epoch — is
+// un-fenced by adopting that epoch, so it serves writes again with no
+// acknowledged history lost (the fence rejected, never dropped).
+func (m *Master) rollBackSplitLocked(ts *tableState, j *splitJournal) {
+	for _, id := range []string{j.LowID, j.HighID} {
+		if d, ok := ts.regions[id]; ok {
+			if srv := m.serverLocked(d.Info().Host); srv != nil {
+				srv.RemoveRegion(id)
+			}
+			delete(ts.regions, id)
+		} else if parent, ok := ts.regions[j.Parent]; ok {
+			// The daughter may be hosted but not in meta (abort between
+			// hosting and the meta swap): evict it from the parent's host.
+			if srv := m.serverLocked(parent.Info().Host); srv != nil {
+				srv.RemoveRegion(id)
+			}
+		}
+		for _, rep := range ts.replicas[id] {
+			ri := rep.Info()
+			if srv := m.serverLocked(ri.Host); srv != nil {
+				srv.RemoveRegion(regionKey(ri.ID, ri.Replica))
+			}
+			if rep.repl != nil {
+				rep.repl.detach(rep)
+			}
+		}
+		delete(ts.replicas, id)
+		_ = m.sess.Delete(zkEpochRegions + "/" + id + "/epoch")
+		_ = m.sess.Delete(zkEpochRegions + "/" + id)
+	}
+	if parent, ok := ts.regions[j.Parent]; ok {
+		parent.AdoptEpoch(j.Epoch)
+		_ = m.persistEpoch(j.Parent, j.Epoch)
+	}
+	_ = m.sess.Delete(zkSplits + "/" + j.Parent)
+	m.meter.Inc(metrics.SplitsRolledBack)
+}
+
+// SetHotWriteThreshold arms hot-region detection: a region that takes more
+// than n cell writes between janitor passes is split by load. 0 disarms it.
+func (m *Master) SetHotWriteThreshold(n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hotWriteThreshold = n
+}
+
+// SplitHotRegions samples every region's write-load counter and splits the
+// ones above the hot threshold — the master-side defense that turns a
+// sustained hot-key workload into more, smaller regions the balancer can
+// spread. Returns how many regions were split.
+func (m *Master) SplitHotRegions() (int, error) {
+	type target struct{ table, region string }
+	m.mu.Lock()
+	threshold := m.hotWriteThreshold
+	var targets []target
+	if threshold > 0 {
+		for name, ts := range m.tables {
+			for id, r := range ts.regions {
+				if r.TakeWriteLoad() > threshold {
+					targets = append(targets, target{name, id})
+				}
+			}
+		}
+	}
+	m.mu.Unlock()
+	n := 0
+	for _, t := range targets {
+		if err := m.SplitRegion(t.table, t.region); err != nil {
+			// A region too small or too uniform to split stays hot but whole;
+			// skip it rather than abort the pass.
+			continue
+		}
+		m.meter.Inc(metrics.HotSplits)
+		n++
+	}
+	return n, nil
+}
+
+// JanitorPass runs one round of the master's steady-state housekeeping:
+// settle any orphaned split journals, split overgrown regions, split hot
+// regions, and rebalance.
+func (m *Master) JanitorPass() {
+	m.meter.Inc(metrics.JanitorRuns)
+	m.mu.Lock()
+	m.recoverSplitsLocked()
+	m.mu.Unlock()
+	_, _ = m.SplitOvergrownRegions()
+	_, _ = m.SplitHotRegions()
+	m.Balance()
+}
+
+// StartJanitor drives JanitorPass on a fixed interval and returns a stop
+// function — the steady-state loop that makes size- and load-based splits
+// happen without an operator. Tests call JanitorPass directly.
+func (m *Master) StartJanitor(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				m.JanitorPass()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
 }
 
 // SplitOvergrownRegions splits every region that reports NeedsSplit, once.

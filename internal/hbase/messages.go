@@ -3,6 +3,8 @@ package hbase
 // RPC method names served by region servers and the master.
 const (
 	MethodPut          = "Put"
+	MethodMultiPut     = "MultiPut"
+	MethodBulkLoad     = "BulkLoad"
 	MethodScan         = "Scan"
 	MethodBulkGet      = "BulkGet"
 	MethodFused        = "Fused"
@@ -26,6 +28,68 @@ type PutRequest struct {
 
 // WireSize implements rpc.Message.
 func (m *PutRequest) WireSize() int {
+	n := len(m.RegionID) + len(m.Token) + 8
+	for i := range m.Cells {
+		n += m.Cells[i].WireSize()
+	}
+	return n
+}
+
+// RegionBatch is one sequence-stamped group of mutations for one region
+// inside a MultiPutRequest. Writer identifies the BufferedMutator instance
+// and Seq is its per-writer batch sequence number; together they let the
+// server deduplicate a retried batch whose ack was lost. A batch regrouped
+// after a split keeps its original stamp: the daughters inherited the
+// parent's dedup window, and the regrouped pieces are row-disjoint, so
+// per-region dedup on the same stamp stays exactly-once.
+type RegionBatch struct {
+	RegionID string
+	Epoch    uint64
+	Writer   string
+	Seq      uint64
+	Cells    []Cell
+}
+
+// WireSize implements rpc.Message sizing for embedded batches.
+func (b *RegionBatch) WireSize() int {
+	n := len(b.RegionID) + len(b.Writer) + 16
+	for i := range b.Cells {
+		n += b.Cells[i].WireSize()
+	}
+	return n
+}
+
+// MultiPutRequest carries several region batches bound for one server — the
+// BufferedMutator's per-server flush RPC. The server applies the batches in
+// order, deduplicating any it has already applied, and returns the first
+// error it hit (retrying the whole request is safe: dedup makes re-applying
+// the batches that did succeed a no-op).
+type MultiPutRequest struct {
+	Batches []RegionBatch
+	Token   string
+}
+
+// WireSize implements rpc.Message.
+func (m *MultiPutRequest) WireSize() int {
+	n := len(m.Token)
+	for i := range m.Batches {
+		n += m.Batches[i].WireSize()
+	}
+	return n
+}
+
+// BulkLoadRequest installs pre-sorted cells directly as a store file in one
+// region, bypassing the WAL and MemStore — HBase's HFile bulk load. The
+// cells must be sorted in store order and fall inside the region's range.
+type BulkLoadRequest struct {
+	RegionID string
+	Epoch    uint64
+	Cells    []Cell
+	Token    string
+}
+
+// WireSize implements rpc.Message.
+func (m *BulkLoadRequest) WireSize() int {
 	n := len(m.RegionID) + len(m.Token) + 8
 	for i := range m.Cells {
 		n += m.Cells[i].WireSize()

@@ -67,6 +67,18 @@ type Region struct {
 	log     *wal.Log
 	flushed uint64 // WAL sequence below which data is in store files
 
+	// dedup is the live multi-put dedup window; durableDedup is its state as
+	// of the last flush, the analogue of max-seq-id metadata persisted with
+	// store files. Crash recovery rebuilds the live window from the durable
+	// snapshot plus the batch stamps on replayed WAL entries, so the window
+	// always covers exactly the acknowledged history. Both lazily allocated.
+	dedup        *dedupWindow
+	durableDedup *dedupWindow
+
+	// writeLoad counts cells written since the master last sampled it — the
+	// per-region write-rate signal hot-region detection splits by.
+	writeLoad int64
+
 	// gen counts mutations; view caches the resolved default read
 	// (maxVersions=1, unbounded time range) so paged scans clip a shared
 	// sorted run instead of re-merging the region per page. viewGen
@@ -153,9 +165,10 @@ func (r *Region) Put(c Cell) error {
 	if r.info.Replica > 0 {
 		return fmt.Errorf("%w: replica %d of region %s is read-only", ErrNotServing, r.info.Replica, r.info.ID)
 	}
-	if err := r.append(c); err != nil {
+	if err := r.appendStamped(c, "", 0); err != nil {
 		return err
 	}
+	r.writeLoad++
 	r.maybeFlushLocked()
 	return nil
 }
@@ -163,23 +176,49 @@ func (r *Region) Put(c Cell) error {
 // PutBatch applies many cells under one lock acquisition, the path bulk
 // writes take.
 func (r *Region) PutBatch(cells []Cell) error {
+	_, err := r.PutBatchStamped("", 0, cells)
+	return err
+}
+
+// PutBatchStamped applies one sequence-stamped batch, deduplicating on the
+// (writer, seq) stamp: a batch the region has already applied is acknowledged
+// without re-applying, which is what makes retrying a multi-put whose ack was
+// lost exactly-once. applied reports whether the cells were written (false =
+// duplicate, already durable). An empty writer disables dedup (plain puts).
+func (r *Region) PutBatchStamped(writer string, seq uint64, cells []Cell) (applied bool, err error) {
 	for i := range cells {
 		if err := r.checkCell(&cells[i]); err != nil {
-			return err
+			return false, err
 		}
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.info.Replica > 0 {
-		return fmt.Errorf("%w: replica %d of region %s is read-only", ErrNotServing, r.info.Replica, r.info.ID)
+		return false, fmt.Errorf("%w: replica %d of region %s is read-only", ErrNotServing, r.info.Replica, r.info.ID)
+	}
+	if writer != "" && r.dedupLocked().has(writer, seq) {
+		r.meter.Inc(metrics.BatchesDeduped)
+		return false, nil
 	}
 	for i := range cells {
-		if err := r.append(cells[i]); err != nil {
-			return err
+		if err := r.appendStamped(cells[i], writer, seq); err != nil {
+			return false, err
 		}
 	}
+	if writer != "" {
+		r.dedupLocked().mark(writer, seq)
+	}
+	r.writeLoad += int64(len(cells))
 	r.maybeFlushLocked()
-	return nil
+	return true, nil
+}
+
+// locked; lazily allocates the live dedup window.
+func (r *Region) dedupLocked() *dedupWindow {
+	if r.dedup == nil {
+		r.dedup = newDedupWindow()
+	}
+	return r.dedup
 }
 
 func (r *Region) checkCell(c *Cell) error {
@@ -199,7 +238,7 @@ func (r *Region) checkCell(c *Cell) error {
 // been fenced at a newer epoch (the region was reassigned), the append — and
 // therefore the write — fails before it is acknowledged, surfacing as the
 // retryable ErrFenced.
-func (r *Region) append(c Cell) error {
+func (r *Region) appendStamped(c Cell, writer string, batchSeq uint64) error {
 	kind := wal.KindPut
 	if c.Type == TypeDelete {
 		kind = wal.KindDelete
@@ -209,6 +248,7 @@ func (r *Region) append(c Cell) error {
 		Table: r.desc.Name, Region: r.info.ID, Kind: kind,
 		Row: c.Row, Family: c.Family, Qualifier: c.Qualifier,
 		Timestamp: c.Timestamp, Value: c.Value,
+		Writer: writer, Batch: batchSeq,
 	}); err != nil {
 		if errors.Is(err, wal.ErrFenced) {
 			return fmt.Errorf("%w: region %s epoch %d superseded", ErrFenced, r.info.ID, r.info.Epoch)
@@ -250,6 +290,10 @@ func (r *Region) flushLocked() {
 	r.gen++
 	r.flushed = r.log.NextSeq()
 	r.log.Truncate(r.flushed)
+	// Snapshot the dedup window alongside the flushed data: the WAL entries
+	// that carried these batch stamps were just truncated, so after a crash
+	// the stamps can only be recovered from this snapshot.
+	r.durableDedup = r.dedup.clone()
 	r.meter.Inc(metrics.MemstoreFlushes)
 	if len(r.files) >= r.cfg.CompactThresholdFiles {
 		r.compactLocked()
@@ -281,6 +325,25 @@ func (r *Region) Compact() {
 	defer r.mu.Unlock()
 	r.flushLocked()
 	r.compactLocked()
+}
+
+// MemBytes reports the region's buffered (unflushed) MemStore bytes — the
+// quantity server-wide memstore watermarks aggregate.
+func (r *Region) MemBytes() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.mem.bytes
+}
+
+// TakeWriteLoad returns the cells written since the previous call and resets
+// the counter — the master samples it each janitor pass, so the value is a
+// per-interval write rate, not a lifetime total.
+func (r *Region) TakeWriteLoad() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.writeLoad
+	r.writeLoad = 0
+	return n
 }
 
 // Size reports the region's total stored bytes (MemStore + store files).
@@ -343,16 +406,31 @@ func (r *Region) SplitPoint() []byte {
 }
 
 // SplitInto materializes two daughter regions at splitKey and returns them.
-// The parent should be discarded afterwards.
-func (r *Region) SplitInto(lowID, highID string, splitKey []byte) (*Region, *Region, error) {
+// The parent should be discarded afterwards. A non-zero newEpoch fences the
+// parent's WAL at it and stamps the daughters with it, so any write still in
+// flight against the parent fails un-acknowledged rather than landing in a
+// region about to be thrown away — the fencing that makes a split safe under
+// concurrent ingest. newEpoch 0 inherits the parent's epoch without fencing
+// (direct single-region use, where no concurrent writer exists).
+//
+// Both daughters inherit the parent's full dedup window: a stamped batch
+// retried after the split regroups into row-disjoint pieces, and each
+// daughter independently recognizes the original stamp, so the retry stays
+// exactly-once on both sides of the boundary.
+func (r *Region) SplitInto(lowID, highID string, splitKey []byte, newEpoch uint64) (*Region, *Region, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(splitKey) == 0 || !r.info.ContainsRow(splitKey) {
 		return nil, nil, fmt.Errorf("hbase: split key %x outside region %s", splitKey, r.info.ID)
 	}
+	epoch := r.info.Epoch
+	if newEpoch > 0 {
+		epoch = newEpoch
+		r.log.Fence(newEpoch)
+	}
 	all := r.allCellsLocked(nil, nil)
-	lowInfo := RegionInfo{Table: r.info.Table, ID: lowID, StartKey: r.info.StartKey, EndKey: append([]byte(nil), splitKey...), Host: r.info.Host, Epoch: r.info.Epoch}
-	highInfo := RegionInfo{Table: r.info.Table, ID: highID, StartKey: append([]byte(nil), splitKey...), EndKey: r.info.EndKey, Host: r.info.Host, Epoch: r.info.Epoch}
+	lowInfo := RegionInfo{Table: r.info.Table, ID: lowID, StartKey: r.info.StartKey, EndKey: append([]byte(nil), splitKey...), Host: r.info.Host, Epoch: epoch}
+	highInfo := RegionInfo{Table: r.info.Table, ID: highID, StartKey: append([]byte(nil), splitKey...), EndKey: r.info.EndKey, Host: r.info.Host, Epoch: epoch}
 	low := NewRegion(lowInfo, r.desc, r.cfg, r.meter)
 	high := NewRegion(highInfo, r.desc, r.cfg, r.meter)
 	var lowCells, highCells []Cell
@@ -369,6 +447,10 @@ func (r *Region) SplitInto(lowID, highID string, splitKey []byte) (*Region, *Reg
 	if len(highCells) > 0 {
 		high.files = []*storeFile{newStoreFile(highCells)}
 	}
+	// The daughters are born flushed (all parent data is in their store
+	// files), so the inherited window is durable state on both.
+	low.dedup, low.durableDedup = r.dedup.clone(), r.dedup.clone()
+	high.dedup, high.durableDedup = r.dedup.clone(), r.dedup.clone()
 	r.meter.Inc(metrics.RegionSplits)
 	return low, high, nil
 }
@@ -572,6 +654,11 @@ func (r *Region) RecoverFromWAL() error {
 	defer r.mu.Unlock()
 	r.mem.reset()
 	r.gen++
+	// The live dedup window tracked un-flushed batches that just evaporated
+	// with the MemStore; rebuild it from the flush-time snapshot plus the
+	// batch stamps on the entries replayed below, so it ends up covering
+	// exactly the recovered history.
+	r.dedup = r.durableDedup.clone()
 	return r.log.Replay(r.flushed, func(e wal.Entry) error {
 		// Discard entries stamped with an epoch newer than the ownership
 		// this region holds — they belong to a fenced-off future the log
@@ -585,6 +672,9 @@ func (r *Region) RecoverFromWAL() error {
 			typ = TypeDelete
 		}
 		r.mem.add(Cell{Row: e.Row, Family: e.Family, Qualifier: e.Qualifier, Timestamp: e.Timestamp, Type: typ, Value: e.Value})
+		if e.Writer != "" {
+			r.dedup.mark(e.Writer, e.Batch)
+		}
 		r.gen++
 		r.meter.Inc(metrics.WALEntriesReplayed)
 		return nil
@@ -626,15 +716,61 @@ func (r *Region) Reopen(newEpoch uint64) *Region {
 		flushed: r.flushed,
 		viewGen: -1,
 		repl:    r.repl,
+		// The successor starts from durable state and replays the WAL tail
+		// (RecoverFromWAL), which rebuilds the live window from this same
+		// snapshot — so only the durable half carries over.
+		dedup:        r.durableDedup.clone(),
+		durableDedup: r.durableDedup.clone(),
 	}
 	return nr
 }
 
 // DropMemStore simulates a crash that loses buffered writes (for recovery
-// tests): the MemStore is cleared without flushing.
+// tests): the MemStore is cleared without flushing. The live dedup window
+// falls back to the flush-time snapshot with it — the lost batches' stamps
+// must be forgotten too, or a retry of an UNACKED batch would be wrongly
+// deduplicated and the write lost.
 func (r *Region) DropMemStore() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.mem.reset()
+	r.dedup = r.durableDedup.clone()
 	r.gen++
+}
+
+// BulkLoad installs pre-sorted cells directly as a store file, bypassing the
+// WAL and MemStore — the HFile bulk-load path. The cells must be sorted in
+// store order (CompareCells) and fall inside the region's range. The file is
+// durable on installation (store files survive crashes by construction
+// here), which is why skipping the WAL is safe.
+func (r *Region) BulkLoad(cells []Cell) error {
+	for i := range cells {
+		if err := r.checkCell(&cells[i]); err != nil {
+			return err
+		}
+		if i > 0 && CompareCells(&cells[i-1], &cells[i]) > 0 {
+			return fmt.Errorf("hbase: bulk load cells not in store order at index %d", i)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.info.Replica > 0 {
+		return fmt.Errorf("%w: replica %d of region %s is read-only", ErrNotServing, r.info.Replica, r.info.ID)
+	}
+	// No WAL append happens, so check the fence explicitly: a region whose
+	// log was fenced at a newer epoch has been reassigned or split away.
+	if r.log.Epoch() > r.info.Epoch {
+		return fmt.Errorf("%w: region %s epoch %d superseded", ErrFenced, r.info.ID, r.info.Epoch)
+	}
+	if len(cells) == 0 {
+		return nil
+	}
+	r.files = append(r.files, newStoreFile(append([]Cell(nil), cells...)))
+	r.gen++
+	r.meter.Inc(metrics.BulkLoads)
+	r.meter.Add(metrics.BulkLoadCells, int64(len(cells)))
+	if len(r.files) >= r.cfg.CompactThresholdFiles {
+		r.compactLocked()
+	}
+	return nil
 }

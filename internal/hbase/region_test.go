@@ -221,7 +221,7 @@ func TestRegionSplit(t *testing.T) {
 	if point == nil {
 		t.Fatal("split point expected")
 	}
-	low, high, err := r.SplitInto("low", "high", point)
+	low, high, err := r.SplitInto("low", "high", point, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestRegionSplit(t *testing.T) {
 
 func TestRegionSplitErrors(t *testing.T) {
 	r := newTestRegion(t, StoreConfig{})
-	if _, _, err := r.SplitInto("a", "b", nil); err == nil {
+	if _, _, err := r.SplitInto("a", "b", nil, 0); err == nil {
 		t.Error("nil split key must fail")
 	}
 	if p := r.SplitPoint(); p != nil {

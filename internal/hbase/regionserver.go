@@ -38,6 +38,20 @@ type RegionServer struct {
 
 	admMu sync.RWMutex
 	adm   *admission
+	// limits is the full ServerLimits last installed — kept separately from
+	// the admission gate because the memstore watermarks apply even when
+	// MaxInFlight is unset (no in-flight gate).
+	limits ServerLimits
+	// holdFlush freezes watermark-driven flushes (test hook): simulated
+	// flushes are instantaneous, so without a way to stall them memstore
+	// pressure could never accumulate deterministically.
+	holdFlush bool
+
+	// onBatchApplied, when set, observes every stamped batch the moment a
+	// region reports it actually applied (not deduplicated) — the seam
+	// exactly-once property tests count double-applies through.
+	hookMu         sync.RWMutex
+	onBatchApplied func(writer string, seq uint64, regionID string)
 
 	// Self-fencing lease state: with a positive lease, the server refuses
 	// writes (and reads, when fenceReads) once it has gone lease-long
@@ -61,11 +75,13 @@ func NewRegionServer(host string, net *rpc.Network, meter *metrics.Registry, val
 	}
 	// Data RPCs pass the admission gate; Ping does not (see handlePing).
 	for method, h := range map[string]rpc.Handler{
-		MethodPut:     rs.admitted(rs.handlePut),
-		MethodScan:    rs.admitted(rs.handleScan),
-		MethodBulkGet: rs.admitted(rs.handleBulkGet),
-		MethodFused:   rs.admitted(rs.handleFused),
-		MethodPing:    rs.handlePing,
+		MethodPut:      rs.admitted(rs.handlePut),
+		MethodMultiPut: rs.admitted(rs.handleMultiPut),
+		MethodBulkLoad: rs.admitted(rs.handleBulkLoad),
+		MethodScan:     rs.admitted(rs.handleScan),
+		MethodBulkGet:  rs.admitted(rs.handleBulkGet),
+		MethodFused:    rs.admitted(rs.handleFused),
+		MethodPing:     rs.handlePing,
 	} {
 		if err := net.Handle(host, method, h); err != nil {
 			return nil, err
@@ -74,11 +90,13 @@ func NewRegionServer(host string, net *rpc.Network, meter *metrics.Registry, val
 	return rs, nil
 }
 
-// SetLimits installs (or, with the zero value, removes) admission control on
-// this server's data RPCs.
+// SetLimits installs (or, with the zero value, removes) admission control and
+// memstore watermarks on this server's data RPCs. The in-flight gate needs a
+// positive MaxInFlight; the watermarks stand on their own.
 func (rs *RegionServer) SetLimits(limits ServerLimits) {
 	rs.admMu.Lock()
 	defer rs.admMu.Unlock()
+	rs.limits = limits
 	if limits.MaxInFlight <= 0 {
 		rs.adm = nil
 		return
@@ -90,6 +108,119 @@ func (rs *RegionServer) admissionGate() *admission {
 	rs.admMu.RLock()
 	defer rs.admMu.RUnlock()
 	return rs.adm
+}
+
+func (rs *RegionServer) serverLimits() ServerLimits {
+	rs.admMu.RLock()
+	defer rs.admMu.RUnlock()
+	return rs.limits
+}
+
+// HoldFlushes freezes (or resumes) watermark-driven memstore flushes — the
+// deterministic stand-in for slow flush I/O that lets tests build real
+// memstore pressure despite instantaneous simulated flushes.
+func (rs *RegionServer) HoldFlushes(hold bool) {
+	rs.admMu.Lock()
+	defer rs.admMu.Unlock()
+	rs.holdFlush = hold
+}
+
+func (rs *RegionServer) flushesHeld() bool {
+	rs.admMu.RLock()
+	defer rs.admMu.RUnlock()
+	return rs.holdFlush
+}
+
+// SetBatchAppliedHook registers fn to observe every stamped batch a hosted
+// region actually applies (deduplicated retries do not fire it) — the seam
+// exactly-once property tests count double-applies through. nil removes it.
+func (rs *RegionServer) SetBatchAppliedHook(fn func(writer string, seq uint64, regionID string)) {
+	rs.hookMu.Lock()
+	defer rs.hookMu.Unlock()
+	rs.onBatchApplied = fn
+}
+
+func (rs *RegionServer) notifyBatchApplied(writer string, seq uint64, regionID string) {
+	rs.hookMu.RLock()
+	fn := rs.onBatchApplied
+	rs.hookMu.RUnlock()
+	if fn != nil {
+		fn(writer, seq, regionID)
+	}
+}
+
+// MemstoreBytes reports the aggregate buffered bytes across every primary
+// region this server hosts — the quantity the watermarks compare against.
+func (rs *RegionServer) MemstoreBytes() int {
+	rs.mu.RLock()
+	regions := make([]*Region, 0, len(rs.regions))
+	for _, r := range rs.regions {
+		regions = append(regions, r)
+	}
+	rs.mu.RUnlock()
+	n := 0
+	for _, r := range regions {
+		if !r.IsReplica() {
+			n += r.MemBytes()
+		}
+	}
+	return n
+}
+
+// flushLargestMemstore flushes the primary region holding the most buffered
+// bytes — the flush-the-biggest policy HBase's global memstore pressure
+// valve uses, freeing the most memory per flush.
+func (rs *RegionServer) flushLargestMemstore() {
+	if rs.flushesHeld() {
+		return
+	}
+	rs.mu.RLock()
+	var victim *Region
+	most := 0
+	for _, r := range rs.regions {
+		if r.IsReplica() {
+			continue
+		}
+		if b := r.MemBytes(); b > most {
+			most, victim = b, r
+		}
+	}
+	rs.mu.RUnlock()
+	if victim != nil {
+		victim.Flush()
+	}
+}
+
+// checkMemstorePressure enforces the server-wide memstore watermarks on a
+// write. Above the high watermark the largest memstore is flushed and, if
+// the total is still over, the write is rejected with the retryable
+// ErrMemstoreFull — the hard bound that keeps a burst from buffering
+// unbounded memory. Between the watermarks the write is delayed (after a
+// flush), pacing ingest to flush throughput instead of failing it.
+func (rs *RegionServer) checkMemstorePressure(ctx context.Context) error {
+	lim := rs.serverLimits()
+	if lim.MemstoreLowWatermarkBytes <= 0 && lim.MemstoreHighWatermarkBytes <= 0 {
+		return nil
+	}
+	total := rs.MemstoreBytes()
+	if lim.MemstoreHighWatermarkBytes > 0 && total >= lim.MemstoreHighWatermarkBytes {
+		rs.flushLargestMemstore()
+		if rs.MemstoreBytes() >= lim.MemstoreHighWatermarkBytes {
+			rs.meter.Inc(metrics.MemstoreRejects)
+			return fmt.Errorf("%w: %s at %d buffered bytes", ErrMemstoreFull, rs.host, total)
+		}
+		return nil
+	}
+	if lim.MemstoreLowWatermarkBytes > 0 && total >= lim.MemstoreLowWatermarkBytes {
+		rs.flushLargestMemstore()
+		rs.meter.Inc(metrics.MemstoreDelays)
+		delay := lim.MemstoreDelay
+		if delay <= 0 {
+			delay = time.Millisecond
+		}
+		return rpc.SleepContext(ctx, delay)
+	}
+	return nil
 }
 
 // SetFencing installs (or, with lease <= 0, removes) the self-fencing lease.
@@ -302,7 +433,7 @@ func (rs *RegionServer) handlePing(_ context.Context, req rpc.Message) (rpc.Mess
 	return Ack{}, nil
 }
 
-func (rs *RegionServer) handlePut(_ context.Context, req rpc.Message) (rpc.Message, error) {
+func (rs *RegionServer) handlePut(ctx context.Context, req rpc.Message) (rpc.Message, error) {
 	m, ok := req.(*PutRequest)
 	if !ok {
 		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodPut, req)
@@ -313,11 +444,82 @@ func (rs *RegionServer) handlePut(_ context.Context, req rpc.Message) (rpc.Messa
 	if err := rs.checkWriteFence(); err != nil {
 		return nil, err
 	}
+	if err := rs.checkMemstorePressure(ctx); err != nil {
+		return nil, err
+	}
 	r, err := rs.regionFor(m.RegionID, m.Epoch, 0)
 	if err != nil {
 		return nil, err
 	}
 	if err := r.PutBatch(m.Cells); err != nil {
+		return nil, err
+	}
+	return Ack{}, nil
+}
+
+func (rs *RegionServer) handleMultiPut(ctx context.Context, req rpc.Message) (rpc.Message, error) {
+	m, ok := req.(*MultiPutRequest)
+	if !ok {
+		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodMultiPut, req)
+	}
+	if err := rs.auth(m.Token); err != nil {
+		return nil, err
+	}
+	if err := rs.checkWriteFence(); err != nil {
+		return nil, err
+	}
+	if err := rs.checkMemstorePressure(ctx); err != nil {
+		return nil, err
+	}
+	// Apply every batch, returning the first error at the end: later batches
+	// are not skipped because a retry of the whole request deduplicates the
+	// ones that did land — finishing the pass costs nothing and narrows the
+	// retry to genuinely unapplied batches.
+	var firstErr error
+	for i := range m.Batches {
+		b := &m.Batches[i]
+		r, err := rs.regionFor(b.RegionID, b.Epoch, 0)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		applied, err := r.PutBatchStamped(b.Writer, b.Seq, b.Cells)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if applied && b.Writer != "" {
+			rs.notifyBatchApplied(b.Writer, b.Seq, b.RegionID)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return Ack{}, nil
+}
+
+func (rs *RegionServer) handleBulkLoad(_ context.Context, req rpc.Message) (rpc.Message, error) {
+	m, ok := req.(*BulkLoadRequest)
+	if !ok {
+		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodBulkLoad, req)
+	}
+	if err := rs.auth(m.Token); err != nil {
+		return nil, err
+	}
+	if err := rs.checkWriteFence(); err != nil {
+		return nil, err
+	}
+	// No memstore pressure check: bulk load bypasses the MemStore entirely,
+	// which is the point of the path.
+	r, err := rs.regionFor(m.RegionID, m.Epoch, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.BulkLoad(m.Cells); err != nil {
 		return nil, err
 	}
 	return Ack{}, nil

@@ -170,6 +170,11 @@ func (r *Region) applyPendingLocked(n int) int {
 			typ = TypeDelete
 		}
 		r.mem.add(Cell{Row: se.e.Row, Family: se.e.Family, Qualifier: se.e.Qualifier, Timestamp: se.e.Timestamp, Type: typ, Value: se.e.Value})
+		// Track the batch stamps the primary applied: if this copy is later
+		// promoted, its dedup window must cover the acked history it serves.
+		if se.e.Writer != "" {
+			r.dedupLocked().mark(se.e.Writer, se.e.Batch)
+		}
 		r.gen++
 		r.appliedSeq = se.e.Seq
 		r.meter.Observe(metrics.HistReplicaLag, time.Since(se.at))
@@ -226,6 +231,9 @@ func (r *Region) Promote(newEpoch uint64) {
 			typ = TypeDelete
 		}
 		r.mem.add(Cell{Row: e.Row, Family: e.Family, Qualifier: e.Qualifier, Timestamp: e.Timestamp, Type: typ, Value: e.Value})
+		if e.Writer != "" {
+			r.dedupLocked().mark(e.Writer, e.Batch)
+		}
 		r.gen++
 		r.appliedSeq = e.Seq
 		r.meter.Inc(metrics.WALEntriesReplayed)

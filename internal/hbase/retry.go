@@ -91,5 +91,6 @@ func IsRetryable(err error) bool {
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		return false
 	}
-	return errors.Is(err, ErrNotServing) || errors.Is(err, ErrFenced) || errors.Is(err, ErrServerBusy) || isUnreachable(err)
+	return errors.Is(err, ErrNotServing) || errors.Is(err, ErrFenced) || errors.Is(err, ErrServerBusy) ||
+		errors.Is(err, ErrMemstoreFull) || isUnreachable(err)
 }

@@ -205,6 +205,16 @@ func (s *Scanner) relocate() error {
 	if err != nil {
 		return err
 	}
+	// The within-region cursor is cleared at every region boundary, but the
+	// rows already returned are still marked by lastRow — rebuild the cursor
+	// from it, or repositioning against fresh regions would fall back to the
+	// scan's own StartRow and replay everything. This is what makes a resume
+	// exact when the region under the scanner split between pages: the fresh
+	// map has different boundaries, and only the cursor key says where the
+	// scan truly stands.
+	if s.cursor == nil && s.lastRow != nil {
+		s.cursor = append(append([]byte(nil), s.lastRow...), 0)
+	}
 	s.regions = regions
 	s.region = 0
 	s.skipToOverlap()

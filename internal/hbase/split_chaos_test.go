@@ -1,0 +1,203 @@
+package hbase
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/shc-go/shc/internal/metrics"
+)
+
+// errAbort simulates the master dying at a chosen stage of the split
+// transaction: the stage hook returns it, SplitRegion aborts right there, and
+// the journal plus whatever partial state the stages built are left behind
+// for recovery to settle.
+var errAbort = errors.New("injected master death")
+
+func seedSplitTable(t *testing.T, c *Cluster) (*Client, []Result, string) {
+	t.Helper()
+	client := c.NewClient()
+	t.Cleanup(client.Close)
+	if err := client.CreateTable(TableDescriptor{Name: "t", Families: []string{"cf"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var cells []Cell
+	for i := 0; i < 30; i++ {
+		cells = append(cells, cell(fmt.Sprintf("row-%03d", i), "cf", "q", 1, fmt.Sprintf("v%03d", i)))
+	}
+	if err := client.Put("t", cells); err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := client.ScanTable("t", &Scan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions, err := client.Regions("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 1 {
+		t.Fatalf("seed regions = %d, want 1", len(regions))
+	}
+	return client, baseline, regions[0].ID
+}
+
+// TestSplitAbortRollsBackViaJanitor aborts the split transaction at each
+// pre-meta-swap stage and lets the next janitor pass settle it: the orphan
+// journal rolls back, the parent serves reads and writes again (its fence
+// adopted away), and the data is byte-identical to before the attempt.
+func TestSplitAbortRollsBackViaJanitor(t *testing.T) {
+	for _, stage := range []string{"journaled", "split", "daughters-added"} {
+		t.Run(stage, func(t *testing.T) {
+			c := bootCluster(t, 2)
+			client, baseline, parent := seedSplitTable(t, c)
+
+			c.Master.SetSplitHook(func(s string) error {
+				if s == stage {
+					return errAbort
+				}
+				return nil
+			})
+			if err := c.Master.SplitRegion("t", parent); !errors.Is(err, errAbort) {
+				t.Fatalf("aborted split returned %v", err)
+			}
+			c.Master.SetSplitHook(nil)
+
+			// The janitor finds the orphan journal and rolls the split back.
+			c.Master.JanitorPass()
+			if got := c.Meter.Get(metrics.SplitsRolledBack); got != 1 {
+				t.Fatalf("splits rolled back = %d, want 1", got)
+			}
+			client.InvalidateRegions("t")
+			regions, err := client.Regions("t")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(regions) != 1 || regions[0].ID != parent {
+				t.Fatalf("regions after rollback = %v, want just %s", regions, parent)
+			}
+			after, err := client.ScanTable("t", &Scan{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(baseline, after) {
+				t.Fatalf("rollback lost or duplicated rows: %d vs %d", len(after), len(baseline))
+			}
+			// The parent's fence was adopted away: writes land again.
+			if err := client.Put("t", []Cell{cell("row-999", "cf", "q", 2, "after")}); err != nil {
+				t.Fatalf("write after rollback: %v", err)
+			}
+			// The journal is gone: another pass settles nothing new.
+			c.Master.JanitorPass()
+			if got := c.Meter.Get(metrics.SplitsRolledBack); got != 1 {
+				t.Errorf("second pass rolled back again (%d)", got)
+			}
+		})
+	}
+}
+
+// TestSplitAbortRollsBackAfterMasterFailover aborts after the daughters were
+// cut (parent fenced) but before they were hosted, then kills the master. The
+// standby rebuilds meta from the servers — which only hold the parent — finds
+// the journal, and must roll back: un-fence the parent, drop the orphan
+// daughters, and serve the exact pre-split data.
+func TestSplitAbortRollsBackAfterMasterFailover(t *testing.T) {
+	c := bootCluster(t, 2)
+	client, baseline, parent := seedSplitTable(t, c)
+
+	c.Master.SetSplitHook(func(s string) error {
+		if s == "split" {
+			return errAbort
+		}
+		return nil
+	})
+	if err := c.Master.SplitRegion("t", parent); !errors.Is(err, errAbort) {
+		t.Fatalf("aborted split returned %v", err)
+	}
+
+	// The master dies; a standby wins the election and recovers.
+	c.Master.Resign()
+	if err := c.Net.SetDown(c.Master.Host(), true); err != nil {
+		t.Fatal(err)
+	}
+	standby, err := NewMaster("test-master-2", c.Net, c.ZK, StoreConfig{}, c.Meter, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := standby.RecoverFrom(c.Servers); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Meter.Get(metrics.SplitsRolledBack); got != 1 {
+		t.Fatalf("splits rolled back = %d, want 1", got)
+	}
+	client.InvalidateRegions("t")
+	after, err := client.ScanTable("t", &Scan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(baseline, after) {
+		t.Fatalf("post-failover rollback lost or duplicated rows: %d vs %d", len(after), len(baseline))
+	}
+	if err := client.Put("t", []Cell{cell("row-998", "cf", "q", 2, "after")}); err != nil {
+		t.Fatalf("write after failover rollback: %v", err)
+	}
+}
+
+// TestSplitAbortRollsForwardAfterMasterFailover aborts after the meta swap —
+// the daughters are hosted and in meta, only replica top-up and journal
+// retirement remain — then kills the master. The standby recovers both
+// daughters from the servers and must roll the split FORWARD: retire the
+// journal, keep the daughters, and serve identical data with one more region.
+func TestSplitAbortRollsForwardAfterMasterFailover(t *testing.T) {
+	c := bootCluster(t, 2)
+	client, baseline, parent := seedSplitTable(t, c)
+
+	c.Master.SetSplitHook(func(s string) error {
+		if s == "meta-updated" {
+			return errAbort
+		}
+		return nil
+	})
+	if err := c.Master.SplitRegion("t", parent); !errors.Is(err, errAbort) {
+		t.Fatalf("aborted split returned %v", err)
+	}
+
+	c.Master.Resign()
+	if err := c.Net.SetDown(c.Master.Host(), true); err != nil {
+		t.Fatal(err)
+	}
+	standby, err := NewMaster("test-master-2", c.Net, c.ZK, StoreConfig{}, c.Meter, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := standby.RecoverFrom(c.Servers); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Meter.Get(metrics.SplitsRolledForward); got != 1 {
+		t.Fatalf("splits rolled forward = %d, want 1", got)
+	}
+	client.InvalidateRegions("t")
+	regions, err := client.Regions("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 2 {
+		t.Fatalf("regions after roll-forward = %d, want 2", len(regions))
+	}
+	for _, ri := range regions {
+		if ri.ID == parent {
+			t.Fatalf("parent %s still in meta after roll-forward", parent)
+		}
+	}
+	after, err := client.ScanTable("t", &Scan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(baseline, after) {
+		t.Fatalf("roll-forward lost or duplicated rows: %d vs %d", len(after), len(baseline))
+	}
+	if err := client.Put("t", []Cell{cell("row-997", "cf", "q", 2, "after")}); err != nil {
+		t.Fatalf("write after roll-forward: %v", err)
+	}
+}

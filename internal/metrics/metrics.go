@@ -80,6 +80,18 @@ const (
 	Promotions          = "master.promotions"
 	ReplicaFailovers    = "client.replica_failovers"
 	ReadUnavailableMs   = "cluster.read_unavailable_ms"
+	RepliesDropped      = "rpc.replies_dropped"
+	JanitorRuns         = "master.janitor_runs"
+	HotSplits           = "master.hot_splits"
+	SplitsRolledForward = "master.splits_rolled_forward"
+	SplitsRolledBack    = "master.splits_rolled_back"
+	MemstoreDelays      = "server.memstore_delays"
+	MemstoreRejects     = "server.memstore_full_rejects"
+	BatchesDeduped      = "hbase.batches_deduped"
+	BulkLoads           = "hbase.bulk_loads"
+	BulkLoadCells       = "hbase.bulk_load_cells"
+	MutatorFlushes      = "client.mutator_flushes"
+	MultiPuts           = "client.multi_puts"
 )
 
 // Registry is a concurrency-safe set of named monotonic counters, gauges

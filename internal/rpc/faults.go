@@ -51,6 +51,13 @@ type FaultRule struct {
 	// Err is the error injected; nil injects ErrHostDown. Use ErrConnClosed
 	// to simulate a killed connection rather than an unreachable host.
 	Err error
+	// DropReply shifts the injected failure to after the handler has run:
+	// the request executes on the server (its effects apply) but the
+	// response never reaches the caller, who sees Err exactly as if the
+	// connection died mid-reply. This is the ack-lost failure mode —
+	// "applied but unacknowledged" — that exactly-once write tests need;
+	// a plain injected error models "never applied". Ignored for dials.
+	DropReply bool
 	// ExtraLatency is added to every matching call, failed or not. The
 	// sleep respects the call's context: a cancelled or timed-out caller
 	// stops waiting immediately instead of serving out the injected delay.
@@ -121,20 +128,23 @@ func (f *FaultInjector) Fired() int {
 }
 
 // apply evaluates the rules for one call, sleeping any injected latency and
-// returning the injected error (nil = let the call through). OnFire hooks
-// run outside the lock so they can safely mutate the network (SetDown) or
-// drive recovery (master failover) without deadlocking. Injected latency is
-// cancellable: when ctx is done mid-sleep the call returns the context's
-// error immediately, so deadline tests never wall-clock-wait for the delay.
-func (f *FaultInjector) apply(ctx context.Context, host, method string) error {
+// returning the injected error (nil = let the call through). afterReply
+// reports that the winning rule was a DropReply: the dispatcher must run the
+// handler first and discard its response, rather than failing the call up
+// front. OnFire hooks run outside the lock so they can safely mutate the
+// network (SetDown) or drive recovery (master failover) without
+// deadlocking. Injected latency is cancellable: when ctx is done mid-sleep
+// the call returns the context's error immediately, so deadline tests never
+// wall-clock-wait for the delay.
+func (f *FaultInjector) apply(ctx context.Context, host, method string) (injected error, afterReply bool) {
 	if f == nil {
-		return nil
+		return nil, false
 	}
 	caller := CallerFromContext(ctx)
 	f.mu.Lock()
 	var extra time.Duration
 	var err error
-	var dropped bool
+	var dropped, dropReply bool
 	var hooks []func()
 	for _, r := range f.rules {
 		if r.Host != "" && r.Host != host {
@@ -175,6 +185,7 @@ func (f *FaultInjector) apply(ctx context.Context, host, method string) error {
 		}
 		err = fmt.Errorf("%w: %q (injected)", base, host)
 		dropped = r.Drop
+		dropReply = r.DropReply
 		r.fired++
 		if r.OnFire != nil {
 			hooks = append(hooks, r.OnFire)
@@ -184,7 +195,7 @@ func (f *FaultInjector) apply(ctx context.Context, host, method string) error {
 	f.mu.Unlock()
 	if extra > 0 {
 		if serr := SleepContext(ctx, extra); serr != nil {
-			return serr
+			return serr, false
 		}
 	}
 	if err != nil {
@@ -192,11 +203,14 @@ func (f *FaultInjector) apply(ctx context.Context, host, method string) error {
 		if dropped {
 			meter.Inc(metrics.PartitionDrops)
 		}
+		if dropReply {
+			meter.Inc(metrics.RepliesDropped)
+		}
 		for _, h := range hooks {
 			h()
 		}
 	}
-	return err
+	return err, dropReply
 }
 
 // SetFaultInjector installs (or, with nil, removes) a fault injector on the

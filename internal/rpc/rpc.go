@@ -220,7 +220,9 @@ func (n *Network) DialContext(ctx context.Context, host string) (*Conn, error) {
 	dctx, sp := trace.StartSpan(ctx, "rpc:dial")
 	sp.SetTag("host", host)
 	defer sp.End()
-	if err := n.injector().apply(dctx, host, MethodDial); err != nil {
+	// A DropReply rule on a dial degenerates to a dial failure: there is no
+	// server-side effect to preserve before the connection exists.
+	if err, _ := n.injector().apply(dctx, host, MethodDial); err != nil {
 		sp.SetError(err)
 		return nil, err
 	}
@@ -299,8 +301,9 @@ func (n *Network) dispatch(ctx context.Context, host, method string, req Message
 	if !hok {
 		return nil, fmt.Errorf("%w: %s on %q", ErrUnknownMethod, method, host)
 	}
-	if err := n.injector().apply(ctx, host, method); err != nil {
-		return nil, err
+	injErr, afterReply := n.injector().apply(ctx, host, method)
+	if injErr != nil && !afterReply {
+		return nil, injErr
 	}
 
 	reqSize := 0
@@ -314,6 +317,12 @@ func (n *Network) dispatch(ctx context.Context, host, method string, req Message
 	resp, err := h(ctx, req)
 	if err != nil {
 		return nil, err
+	}
+	if injErr != nil {
+		// Ack lost: the handler ran — its effects stand — but the reply is
+		// discarded, so the caller observes a transport failure for a write
+		// that in fact applied. Retry safety is the server's problem (dedup).
+		return nil, injErr
 	}
 	respSize := 0
 	if resp != nil {

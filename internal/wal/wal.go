@@ -26,7 +26,10 @@ const (
 // Entry is one logged mutation. Epoch records the region-ownership epoch the
 // mutation was accepted under; replay after a reassignment discards entries
 // stamped with a fenced (superseded) epoch so a zombie owner's doomed writes
-// never resurrect.
+// never resurrect. Writer/Batch carry the client batch stamp for mutations
+// from a sequence-stamped multi-put ("" / 0 for unstamped writes): replay
+// rebuilds the region's dedup window from them, so an ack-lost retry stays
+// exactly-once even across a crash.
 type Entry struct {
 	Seq       uint64
 	Epoch     uint64
@@ -38,6 +41,8 @@ type Entry struct {
 	Qualifier string
 	Timestamp int64
 	Value     []byte
+	Writer    string
+	Batch     uint64
 }
 
 // ErrCorrupt is returned when decoding malformed bytes.
@@ -63,6 +68,8 @@ func (e Entry) Encode() []byte {
 	buf = appendBytes(buf, []byte(e.Qualifier))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(e.Timestamp))
 	buf = appendBytes(buf, e.Value)
+	buf = appendBytes(buf, []byte(e.Writer))
+	buf = binary.BigEndian.AppendUint64(buf, e.Batch)
 	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
 	return buf
 }
@@ -116,10 +123,20 @@ func DecodeEntry(b []byte) (Entry, error) {
 	if e.Value, b, err = takeBytes(b); err != nil {
 		return e, err
 	}
+	var writer []byte
+	if writer, b, err = takeBytes(b); err != nil {
+		return e, err
+	}
+	if len(b) < 8 {
+		return e, fmt.Errorf("%w: missing batch stamp", ErrCorrupt)
+	}
+	e.Batch = binary.BigEndian.Uint64(b)
+	b = b[8:]
 	if len(b) != 0 {
 		return e, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b))
 	}
 	e.Table, e.Region, e.Family, e.Qualifier = string(table), string(region), string(fam), string(qual)
+	e.Writer = string(writer)
 	return e, nil
 }
 

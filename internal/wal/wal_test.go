@@ -15,6 +15,7 @@ func sample(seq uint64) Entry {
 		Seq: seq, Epoch: 3, Table: "t", Region: "r1", Kind: KindPut,
 		Row: []byte("row-1"), Family: "cf", Qualifier: "q",
 		Timestamp: 42, Value: []byte("value"),
+		Writer: "w-7", Batch: 19,
 	}
 }
 
@@ -30,13 +31,14 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 }
 
 func TestEncodeDecodeProperty(t *testing.T) {
-	if err := quick.Check(func(table, region, fam, qual string, row, val []byte, ts int64, del bool) bool {
+	if err := quick.Check(func(table, region, fam, qual, writer string, row, val []byte, ts int64, batch uint64, del bool) bool {
 		kind := KindPut
 		if del {
 			kind = KindDelete
 		}
 		e := Entry{Seq: 1, Table: table, Region: region, Kind: kind,
-			Row: row, Family: fam, Qualifier: qual, Timestamp: ts, Value: val}
+			Row: row, Family: fam, Qualifier: qual, Timestamp: ts, Value: val,
+			Writer: writer, Batch: batch}
 		got, err := DecodeEntry(e.Encode())
 		if err != nil {
 			return false
@@ -44,7 +46,7 @@ func TestEncodeDecodeProperty(t *testing.T) {
 		return got.Table == e.Table && got.Region == e.Region && got.Kind == e.Kind &&
 			bytes.Equal(got.Row, e.Row) && got.Family == e.Family &&
 			got.Qualifier == e.Qualifier && got.Timestamp == e.Timestamp &&
-			bytes.Equal(got.Value, e.Value)
+			bytes.Equal(got.Value, e.Value) && got.Writer == e.Writer && got.Batch == e.Batch
 	}, nil); err != nil {
 		t.Error(err)
 	}

@@ -47,6 +47,17 @@ type (
 	TableDescriptor = hbase.TableDescriptor
 	// StoreConfig tunes region storage (flush/compact/split thresholds).
 	StoreConfig = hbase.StoreConfig
+	// Cell is one HBase cell (row, family, qualifier, timestamp, value).
+	Cell = hbase.Cell
+	// BufferedMutator batches writes into per-server MultiPut RPCs whose
+	// retries are exactly-once; create one with Client.NewMutator.
+	BufferedMutator = hbase.BufferedMutator
+	// MutatorConfig tunes a BufferedMutator (flush size/interval, buffer
+	// bound, retry budget).
+	MutatorConfig = hbase.MutatorConfig
+	// ServerLimits installs admission control and memstore watermarks on a
+	// region server (RegionServer.SetLimits).
+	ServerLimits = hbase.ServerLimits
 )
 
 // Connector-side types.
