@@ -15,17 +15,19 @@ type dedupWindow struct {
 	writers map[string]*writerWindow
 }
 
-// writerWindow is one writer's applied-batch set with its high-water mark.
+// writerWindow is one writer's applied-batch set with its high- and
+// low-water marks. low is the writer's own declaration — carried on every
+// batch it sends — that all sequences below it are resolved (acked, or
+// abandoned with the error surfaced) and will never be retried. Stamps below
+// low are pruned from seen, but has still answers true for them: pruning
+// collapses history into the watermark instead of forgetting it, so the
+// window stays exact for the writer's entire sequence space while holding
+// only the in-flight tail in memory.
 type writerWindow struct {
+	low  uint64
 	max  uint64
 	seen map[uint64]struct{}
 }
-
-// dedupWindowSize bounds the per-writer set: stamps more than this far below
-// the writer's high-water mark are pruned. A client retries a batch long
-// before it falls this far behind its own newest sequence, so pruning never
-// un-remembers a batch that could still be retried.
-const dedupWindowSize = 4096
 
 func newDedupWindow() *dedupWindow {
 	return &dedupWindow{writers: make(map[string]*writerWindow)}
@@ -39,11 +41,23 @@ func (d *dedupWindow) has(writer string, seq uint64) bool {
 	if w == nil {
 		return false
 	}
+	if seq < w.low {
+		// The writer declared every sequence below its low-water mark
+		// resolved; a retry that still shows up must deduplicate, not
+		// re-apply.
+		return true
+	}
 	_, ok := w.seen[seq]
 	return ok
 }
 
-func (d *dedupWindow) mark(writer string, seq uint64) {
+// mark records an applied stamp. lowWater is the writer's low-water mark as
+// claimed on the batch (0 when unknown, e.g. WAL replay or replica shipping):
+// it advances the window monotonically and prunes stamps that fall below it.
+// Unlike a fixed-size window, pruning is driven only by the writer's own
+// resolved-up-to claim, so a retried batch can never out-age its stamp no
+// matter how far it trails the writer's newest sequence.
+func (d *dedupWindow) mark(writer string, seq, lowWater uint64) {
 	if writer == "" {
 		return
 	}
@@ -56,9 +70,10 @@ func (d *dedupWindow) mark(writer string, seq uint64) {
 	if seq > w.max {
 		w.max = seq
 	}
-	if len(w.seen) > dedupWindowSize {
+	if lowWater > w.low {
+		w.low = lowWater
 		for s := range w.seen {
-			if s+dedupWindowSize < w.max {
+			if s < w.low {
 				delete(w.seen, s)
 			}
 		}
@@ -71,7 +86,7 @@ func (d *dedupWindow) clone() *dedupWindow {
 	}
 	nd := newDedupWindow()
 	for wr, w := range d.writers {
-		nw := &writerWindow{max: w.max, seen: make(map[uint64]struct{}, len(w.seen))}
+		nw := &writerWindow{low: w.low, max: w.max, seen: make(map[uint64]struct{}, len(w.seen))}
 		for s := range w.seen {
 			nw.seen[s] = struct{}{}
 		}

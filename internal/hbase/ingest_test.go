@@ -18,9 +18,9 @@ func TestDedupWindowBasics(t *testing.T) {
 	if w.has("a", 1) {
 		t.Error("empty window must not report stamps")
 	}
-	w.mark("a", 1)
-	w.mark("a", 3)
-	w.mark("b", 1)
+	w.mark("a", 1, 0)
+	w.mark("a", 3, 0)
+	w.mark("b", 1, 0)
 	if !w.has("a", 1) || !w.has("a", 3) || !w.has("b", 1) {
 		t.Error("marked stamps must be reported")
 	}
@@ -28,13 +28,13 @@ func TestDedupWindowBasics(t *testing.T) {
 		t.Error("unmarked stamps must not be reported")
 	}
 	// The anonymous writer is never tracked: unstamped writes do not dedup.
-	w.mark("", 7)
+	w.mark("", 7, 0)
 	if w.has("", 7) {
 		t.Error("anonymous stamps must not be tracked")
 	}
 	// Clones are independent snapshots.
 	c := w.clone()
-	w.mark("a", 9)
+	w.mark("a", 9, 0)
 	if c.has("a", 9) {
 		t.Error("clone must not see later marks")
 	}
@@ -50,32 +50,50 @@ func TestDedupWindowBasics(t *testing.T) {
 	}
 }
 
-func TestDedupWindowPrunes(t *testing.T) {
+func TestDedupWindowPrunesByLowWater(t *testing.T) {
 	w := newDedupWindow()
-	for i := uint64(1); i <= 3*dedupWindowSize; i++ {
-		w.mark("w", i)
+	// A writer streams 10k batches, each claiming everything before it is
+	// resolved: the seen set stays O(in-flight), not O(history).
+	for i := uint64(1); i <= 10000; i++ {
+		w.mark("w", i, i)
 	}
 	ww := w.writers["w"]
-	if len(ww.seen) > dedupWindowSize+1 {
-		t.Fatalf("window kept %d stamps, want <= %d", len(ww.seen), dedupWindowSize+1)
+	if len(ww.seen) > 2 {
+		t.Fatalf("window kept %d stamps, want <= 2", len(ww.seen))
 	}
-	// Recent stamps are still deduplicated; ancient ones age out.
-	if !w.has("w", 3*dedupWindowSize) {
-		t.Error("most recent stamp must stay")
+	// Pruned stamps collapse into the watermark, not into oblivion: every
+	// resolved sequence still deduplicates.
+	if !w.has("w", 10000) || !w.has("w", 1) || !w.has("w", 5000) {
+		t.Error("stamps at or below the low-water mark must still dedup")
 	}
-	if w.has("w", 1) {
-		t.Error("ancient stamp must have been pruned")
+	// Without a low-water claim nothing is pruned, no matter how far a stamp
+	// trails the high-water mark — a slow retry can never out-age its stamp.
+	s := newDedupWindow()
+	s.mark("s", 1, 0)
+	s.mark("s", 100000, 0)
+	if len(s.writers["s"].seen) != 2 || !s.has("s", 1) {
+		t.Error("stamps above the low-water mark must never be pruned")
+	}
+	// The mark only moves forward; a stale lower claim cannot resurrect
+	// unseen sequences below the established mark.
+	w.mark("w", 10001, 1)
+	if !w.has("w", 2) {
+		t.Error("low-water mark must be monotonic")
+	}
+	// Clones carry the watermark.
+	if !w.clone().has("w", 3) {
+		t.Error("clone must keep the low-water mark")
 	}
 }
 
 func TestPutBatchStampedDeduplicates(t *testing.T) {
 	r := newTestRegion(t, StoreConfig{})
 	cells := []Cell{cell("a", "cf", "q", 1, "x"), cell("b", "cf", "q", 1, "y")}
-	applied, err := r.PutBatchStamped("w1", 1, cells)
+	applied, err := r.PutBatchStamped("w1", 1, 0, cells)
 	if err != nil || !applied {
 		t.Fatalf("first apply = %v, %v", applied, err)
 	}
-	applied, err = r.PutBatchStamped("w1", 1, cells)
+	applied, err = r.PutBatchStamped("w1", 1, 0, cells)
 	if err != nil || applied {
 		t.Fatalf("replay must dedup, got applied=%v err=%v", applied, err)
 	}
@@ -83,7 +101,7 @@ func TestPutBatchStampedDeduplicates(t *testing.T) {
 		t.Errorf("batches deduped = %d", got)
 	}
 	// A different stamp applies.
-	if applied, err = r.PutBatchStamped("w1", 2, []Cell{cell("c", "cf", "q", 1, "z")}); err != nil || !applied {
+	if applied, err = r.PutBatchStamped("w1", 2, 0, []Cell{cell("c", "cf", "q", 1, "z")}); err != nil || !applied {
 		t.Fatalf("new stamp = %v, %v", applied, err)
 	}
 	if n := len(r.RunScan(&Scan{})); n != 3 {
@@ -93,12 +111,12 @@ func TestPutBatchStampedDeduplicates(t *testing.T) {
 
 func TestDedupSurvivesFlushAndCrashRecovery(t *testing.T) {
 	r := newTestRegion(t, StoreConfig{})
-	if _, err := r.PutBatchStamped("w", 1, []Cell{cell("a", "cf", "q", 1, "x")}); err != nil {
+	if _, err := r.PutBatchStamped("w", 1, 0, []Cell{cell("a", "cf", "q", 1, "x")}); err != nil {
 		t.Fatal(err)
 	}
 	// Flush snapshots the window into the durable half.
 	r.Flush()
-	if _, err := r.PutBatchStamped("w", 2, []Cell{cell("b", "cf", "q", 1, "y")}); err != nil {
+	if _, err := r.PutBatchStamped("w", 2, 0, []Cell{cell("b", "cf", "q", 1, "y")}); err != nil {
 		t.Fatal(err)
 	}
 	// Crash: the memstore is lost, the WAL replays. Stamp 1 comes back from
@@ -107,7 +125,7 @@ func TestDedupSurvivesFlushAndCrashRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	for seq := uint64(1); seq <= 2; seq++ {
-		applied, err := r.PutBatchStamped("w", seq, []Cell{cell("a", "cf", "q", 1, "dup")})
+		applied, err := r.PutBatchStamped("w", seq, 0, []Cell{cell("a", "cf", "q", 1, "dup")})
 		if err != nil || applied {
 			t.Fatalf("stamp %d must dedup after recovery, got applied=%v err=%v", seq, applied, err)
 		}
@@ -119,22 +137,22 @@ func TestDedupSurvivesFlushAndCrashRecovery(t *testing.T) {
 
 func TestDedupDropMemStoreForgetsUnflushedStamps(t *testing.T) {
 	r := newTestRegion(t, StoreConfig{})
-	if _, err := r.PutBatchStamped("w", 1, []Cell{cell("a", "cf", "q", 1, "x")}); err != nil {
+	if _, err := r.PutBatchStamped("w", 1, 0, []Cell{cell("a", "cf", "q", 1, "x")}); err != nil {
 		t.Fatal(err)
 	}
 	r.Flush()
-	if _, err := r.PutBatchStamped("w", 2, []Cell{cell("b", "cf", "q", 1, "y")}); err != nil {
+	if _, err := r.PutBatchStamped("w", 2, 0, []Cell{cell("b", "cf", "q", 1, "y")}); err != nil {
 		t.Fatal(err)
 	}
 	// DropMemStore models losing unflushed (hence unacked-able) state without
 	// WAL replay: stamp 2's cells are gone, so its stamp must be forgotten or
 	// the retry would be wrongly swallowed.
 	r.DropMemStore()
-	applied, err := r.PutBatchStamped("w", 2, []Cell{cell("b", "cf", "q", 1, "y")})
+	applied, err := r.PutBatchStamped("w", 2, 0, []Cell{cell("b", "cf", "q", 1, "y")})
 	if err != nil || !applied {
 		t.Fatalf("retry after drop must apply, got applied=%v err=%v", applied, err)
 	}
-	if applied, _ = r.PutBatchStamped("w", 1, []Cell{cell("a", "cf", "q", 1, "x")}); applied {
+	if applied, _ = r.PutBatchStamped("w", 1, 0, []Cell{cell("a", "cf", "q", 1, "x")}); applied {
 		t.Error("flushed stamp must still dedup after drop")
 	}
 }
@@ -142,7 +160,7 @@ func TestDedupDropMemStoreForgetsUnflushedStamps(t *testing.T) {
 func TestSplitDaughtersInheritDedupWindow(t *testing.T) {
 	r := newTestRegion(t, StoreConfig{})
 	for i := 0; i < 10; i++ {
-		if _, err := r.PutBatchStamped("w", uint64(i+1), []Cell{cell(fmt.Sprintf("row-%02d", i), "cf", "q", 1, "x")}); err != nil {
+		if _, err := r.PutBatchStamped("w", uint64(i+1), 0, []Cell{cell(fmt.Sprintf("row-%02d", i), "cf", "q", 1, "x")}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -157,7 +175,7 @@ func TestSplitDaughtersInheritDedupWindow(t *testing.T) {
 			if !d.info.ContainsRow([]byte(row)) {
 				continue
 			}
-			applied, err := d.PutBatchStamped("w", seq, []Cell{cell(row, "cf", "q", 1, "dup")})
+			applied, err := d.PutBatchStamped("w", seq, 0, []Cell{cell(row, "cf", "q", 1, "dup")})
 			if err != nil || applied {
 				t.Fatalf("daughter %s seq %d: applied=%v err=%v", d.info.ID, seq, applied, err)
 			}
@@ -350,6 +368,108 @@ func TestBufferedMutatorFlushesBySizeAndInterval(t *testing.T) {
 	if err := m2.Close(ctx); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestBufferedMutatorFlushSurfacesRegroupFailure(t *testing.T) {
+	ctx := context.Background()
+	c := bootCluster(t, 1)
+	client := c.NewClient()
+	defer client.Close()
+	if err := client.CreateTable(TableDescriptor{Name: "t", Families: []string{"cf"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Round 1: the MultiPut dies retryably and takes the master down with it.
+	// The retry invalidates the region cache, so round 2 must re-resolve
+	// locations through the unreachable master and fails before any RPC goes
+	// out. The flush must surface that — not report success with the cells
+	// silently dropped (regression: an early-error round used to return an
+	// empty failed set that send() mistook for "all acked").
+	inj := rpc.NewFaultInjector(1, &rpc.FaultRule{
+		Method: MethodMultiPut, FailNext: 1, Err: rpc.ErrConnClosed,
+		OnFire: func() {
+			if err := c.Net.SetDown(c.Master.Host(), true); err != nil {
+				t.Errorf("down master: %v", err)
+			}
+		},
+	})
+	c.Net.SetFaultInjector(inj)
+
+	m := client.NewMutator("t", MutatorConfig{WriterID: "w1", FlushBytes: 1 << 20, MaxAttempts: 3})
+	if err := m.Mutate(ctx, cell("row-a", "cf", "q", 1, "v")); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Flush(ctx)
+	if err == nil {
+		t.Fatal("flush with undeliverable batches reported success")
+	}
+	if !errors.Is(err, rpc.ErrHostDown) {
+		t.Fatalf("flush error = %v, want to wrap rpc.ErrHostDown", err)
+	}
+	if got := len(m.AckedBatches()); got != 0 {
+		t.Errorf("acked batches = %d, want 0", got)
+	}
+}
+
+func TestBufferedMutatorSurfacesBackgroundFlushError(t *testing.T) {
+	ctx := context.Background()
+	c := bootCluster(t, 1)
+	client := c.NewClient()
+	defer client.Close()
+	if err := client.CreateTable(TableDescriptor{Name: "t", Families: []string{"cf"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	inj := rpc.NewFaultInjector(1, &rpc.FaultRule{Method: MethodMultiPut, FailNext: 1, Err: rpc.ErrConnClosed})
+	c.Net.SetFaultInjector(inj)
+	m := client.NewMutator("t", MutatorConfig{WriterID: "w1", FlushBytes: 1 << 20, FlushInterval: time.Millisecond, MaxAttempts: 1})
+	if err := m.Mutate(ctx, cell("row-a", "cf", "q", 1, "v")); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the background flusher has taken the buffer and recorded its
+	// failure; the next explicit Flush must surface it — Mutate's documented
+	// contract for deferred errors.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		m.mu.Lock()
+		recorded := m.bgErr != nil
+		m.mu.Unlock()
+		if recorded {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := m.Flush(ctx); !errors.Is(err, rpc.ErrConnClosed) {
+		t.Fatalf("explicit flush = %v, want the background rpc.ErrConnClosed surfaced", err)
+	}
+	// The error surfaces exactly once; the mutator keeps working after.
+	if err := m.Close(ctx); err != nil {
+		t.Fatalf("close after surfaced error: %v", err)
+	}
+}
+
+func TestBufferedMutatorConcurrentClose(t *testing.T) {
+	ctx := context.Background()
+	c := bootCluster(t, 1)
+	client := c.NewClient()
+	defer client.Close()
+	if err := client.CreateTable(TableDescriptor{Name: "t", Families: []string{"cf"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	m := client.NewMutator("t", MutatorConfig{WriterID: "w1", FlushInterval: time.Millisecond})
+	if err := m.Mutate(ctx, cell("row-a", "cf", "q", 1, "v")); err != nil {
+		t.Fatal(err)
+	}
+	// Two racing Closes must not double-close the ticker channel.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := m.Close(ctx); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // appliedCounter records, per (writer, seq, region), how many times a server

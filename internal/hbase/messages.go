@@ -41,18 +41,22 @@ func (m *PutRequest) WireSize() int {
 // server deduplicate a retried batch whose ack was lost. A batch regrouped
 // after a split keeps its original stamp: the daughters inherited the
 // parent's dedup window, and the regrouped pieces are row-disjoint, so
-// per-region dedup on the same stamp stays exactly-once.
+// per-region dedup on the same stamp stays exactly-once. LowWater is the
+// writer's low-water mark — every sequence below it is resolved (acked or
+// abandoned) and will never be retried — which bounds the server-side dedup
+// window without a fixed size that could out-prune a slow retry.
 type RegionBatch struct {
 	RegionID string
 	Epoch    uint64
 	Writer   string
 	Seq      uint64
+	LowWater uint64
 	Cells    []Cell
 }
 
 // WireSize implements rpc.Message sizing for embedded batches.
 func (b *RegionBatch) WireSize() int {
-	n := len(b.RegionID) + len(b.Writer) + 16
+	n := len(b.RegionID) + len(b.Writer) + 24
 	for i := range b.Cells {
 		n += b.Cells[i].WireSize()
 	}

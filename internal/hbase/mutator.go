@@ -84,6 +84,7 @@ type BufferedMutator struct {
 	acked    []BatchStamp
 	flushing bool
 	closed   bool
+	bgErr    error // error a background flush recorded, pending surfacing
 
 	stopTicker chan struct{}
 	tickerDone chan struct{}
@@ -96,20 +97,32 @@ func (c *Client) NewMutator(table string, cfg MutatorConfig) *BufferedMutator {
 	if m.cfg.FlushInterval > 0 {
 		m.stopTicker = make(chan struct{})
 		m.tickerDone = make(chan struct{})
-		go m.backgroundFlush()
+		// The stop channel is passed in rather than re-read from the struct:
+		// Close nils m.stopTicker (under m.mu) when it claims shutdown, and a
+		// Close racing this goroutine's startup must not leave it selecting
+		// on a nil channel forever.
+		go m.backgroundFlush(m.stopTicker)
 	}
 	return m
 }
 
-func (m *BufferedMutator) backgroundFlush() {
+func (m *BufferedMutator) backgroundFlush(stop <-chan struct{}) {
 	defer close(m.tickerDone)
 	t := time.NewTicker(m.cfg.FlushInterval)
 	defer t.Stop()
 	for {
 		select {
 		case <-t.C:
-			_ = m.Flush(context.Background())
-		case <-m.stopTicker:
+			// Record a failure for the next explicit Flush/Close to surface —
+			// Mutate's documented contract for deferred errors. Flush drained
+			// any previously recorded error into this return value, so
+			// storing it back loses nothing.
+			if err := m.Flush(context.Background()); err != nil {
+				m.mu.Lock()
+				m.bgErr = err
+				m.mu.Unlock()
+			}
+		case <-stop:
 			return
 		}
 	}
@@ -145,17 +158,28 @@ func (m *BufferedMutator) Mutate(ctx context.Context, cells ...Cell) error {
 	return m.flushLocked(ctx)
 }
 
-// Flush synchronously sends everything buffered.
+// Flush synchronously sends everything buffered. It also surfaces any error
+// a background flush recorded since the last explicit Flush or Close.
 func (m *BufferedMutator) Flush(ctx context.Context) error {
 	m.mu.Lock()
 	for m.flushing {
 		m.cond.Wait()
 	}
+	bg := m.bgErr
+	m.bgErr = nil
 	if len(m.buf) == 0 {
 		m.mu.Unlock()
-		return nil
+		return bg
 	}
-	return m.flushLocked(ctx)
+	err := m.flushLocked(ctx)
+	switch {
+	case bg == nil:
+		return err
+	case err == nil:
+		return bg
+	default:
+		return errors.Join(bg, err)
+	}
 }
 
 // flushLocked takes the buffer and sends it; called with m.mu held, returns
@@ -176,12 +200,17 @@ func (m *BufferedMutator) flushLocked(ctx context.Context) error {
 	return err
 }
 
-// Close flushes the remaining buffer and stops the background flusher.
+// Close flushes the remaining buffer and stops the background flusher. Safe
+// to call concurrently: only the caller that claims the ticker channel under
+// the lock closes it.
 func (m *BufferedMutator) Close(ctx context.Context) error {
-	if m.stopTicker != nil {
-		close(m.stopTicker)
+	m.mu.Lock()
+	stop := m.stopTicker
+	m.stopTicker = nil
+	m.mu.Unlock()
+	if stop != nil {
+		close(stop)
 		<-m.tickerDone
-		m.stopTicker = nil
 	}
 	err := m.Flush(ctx)
 	m.mu.Lock()
@@ -242,18 +271,24 @@ func (m *BufferedMutator) send(ctx context.Context, cells []Cell) error {
 			return cerr
 		}
 		failed, err := m.sendRound(ctx, tok, pending, meter)
-		if err == nil && len(failed) == 0 {
-			return nil
-		}
-		if err != nil {
+		if err == nil {
+			if len(failed) == 0 {
+				return nil
+			}
+			pending = failed
+		} else {
 			lastErr = err
 			if !IsRetryable(err) {
 				return err
 			}
-		}
-		pending = failed
-		if len(pending) == 0 {
-			return nil
+			// A round that erred before any RPC went out (e.g. region
+			// re-lookup failed while regrouping) reports no per-batch
+			// outcome and leaves every batch pending. Only a verdict that
+			// names failed batches replaces the pending set — an early
+			// error must never masquerade as "all acked".
+			if len(failed) > 0 {
+				pending = failed
+			}
 		}
 		if attempt >= m.cfg.MaxAttempts {
 			return fmt.Errorf("hbase: mutator flush gave up after %d attempts: %w", attempt, lastErr)
@@ -275,6 +310,16 @@ func (m *BufferedMutator) send(ctx context.Context, cells []Cell) error {
 // packed per server, and sent as parallel MultiPut RPCs. It returns the
 // batches that must be retried and the first retryable error seen.
 func (m *BufferedMutator) sendRound(ctx context.Context, tok string, pending []*stampedBatch, meter metrics.Meter) ([]*stampedBatch, error) {
+	// The low-water mark carried on every batch: flushes are serialized, so
+	// everything below the smallest still-pending stamp is resolved — acked,
+	// or abandoned with its error surfaced — and will never be retried.
+	// Servers prune their dedup windows below it.
+	lowWater := pending[0].seq
+	for _, sb := range pending[1:] {
+		if sb.seq < lowWater {
+			lowWater = sb.seq
+		}
+	}
 	type hostLoad struct {
 		batches []RegionBatch
 		owners  map[*stampedBatch]bool
@@ -297,7 +342,7 @@ func (m *BufferedMutator) sendRound(ctx context.Context, tok string, pending []*
 			}
 			hl.batches = append(hl.batches, RegionBatch{
 				RegionID: id, Epoch: ri.Epoch,
-				Writer: m.cfg.WriterID, Seq: sb.seq, Cells: part,
+				Writer: m.cfg.WriterID, Seq: sb.seq, LowWater: lowWater, Cells: part,
 			})
 			hl.owners[sb] = true
 		}

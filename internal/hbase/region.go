@@ -176,7 +176,7 @@ func (r *Region) Put(c Cell) error {
 // PutBatch applies many cells under one lock acquisition, the path bulk
 // writes take.
 func (r *Region) PutBatch(cells []Cell) error {
-	_, err := r.PutBatchStamped("", 0, cells)
+	_, err := r.PutBatchStamped("", 0, 0, cells)
 	return err
 }
 
@@ -185,7 +185,9 @@ func (r *Region) PutBatch(cells []Cell) error {
 // without re-applying, which is what makes retrying a multi-put whose ack was
 // lost exactly-once. applied reports whether the cells were written (false =
 // duplicate, already durable). An empty writer disables dedup (plain puts).
-func (r *Region) PutBatchStamped(writer string, seq uint64, cells []Cell) (applied bool, err error) {
+// lowWater is the writer's claim that every sequence below it is resolved
+// and unretryable; it lets the dedup window prune safely (0 = no claim).
+func (r *Region) PutBatchStamped(writer string, seq, lowWater uint64, cells []Cell) (applied bool, err error) {
 	for i := range cells {
 		if err := r.checkCell(&cells[i]); err != nil {
 			return false, err
@@ -206,7 +208,7 @@ func (r *Region) PutBatchStamped(writer string, seq uint64, cells []Cell) (appli
 		}
 	}
 	if writer != "" {
-		r.dedupLocked().mark(writer, seq)
+		r.dedupLocked().mark(writer, seq, lowWater)
 	}
 	r.writeLoad += int64(len(cells))
 	r.maybeFlushLocked()
@@ -673,7 +675,9 @@ func (r *Region) RecoverFromWAL() error {
 		}
 		r.mem.add(Cell{Row: e.Row, Family: e.Family, Qualifier: e.Qualifier, Timestamp: e.Timestamp, Type: typ, Value: e.Value})
 		if e.Writer != "" {
-			r.dedup.mark(e.Writer, e.Batch)
+			// Replayed entries carry no low-water claim; the window converges
+			// again on the writer's next live batch.
+			r.dedup.mark(e.Writer, e.Batch, 0)
 		}
 		r.gen++
 		r.meter.Inc(metrics.WALEntriesReplayed)

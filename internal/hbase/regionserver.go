@@ -485,7 +485,7 @@ func (rs *RegionServer) handleMultiPut(ctx context.Context, req rpc.Message) (rp
 			}
 			continue
 		}
-		applied, err := r.PutBatchStamped(b.Writer, b.Seq, b.Cells)
+		applied, err := r.PutBatchStamped(b.Writer, b.Seq, b.LowWater, b.Cells)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err

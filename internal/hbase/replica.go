@@ -173,7 +173,7 @@ func (r *Region) applyPendingLocked(n int) int {
 		// Track the batch stamps the primary applied: if this copy is later
 		// promoted, its dedup window must cover the acked history it serves.
 		if se.e.Writer != "" {
-			r.dedupLocked().mark(se.e.Writer, se.e.Batch)
+			r.dedupLocked().mark(se.e.Writer, se.e.Batch, 0)
 		}
 		r.gen++
 		r.appliedSeq = se.e.Seq
@@ -232,7 +232,7 @@ func (r *Region) Promote(newEpoch uint64) {
 		}
 		r.mem.add(Cell{Row: e.Row, Family: e.Family, Qualifier: e.Qualifier, Timestamp: e.Timestamp, Type: typ, Value: e.Value})
 		if e.Writer != "" {
-			r.dedupLocked().mark(e.Writer, e.Batch)
+			r.dedupLocked().mark(e.Writer, e.Batch, 0)
 		}
 		r.gen++
 		r.appliedSeq = e.Seq
