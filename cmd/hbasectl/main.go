@@ -1,23 +1,199 @@
-// Command hbasectl tours the administrative side of the simulated HBase
-// substrate: it boots a cluster, loads a skewed table, then walks through
-// the HMaster's duties — region listing, forced flush/compaction, region
-// splitting, and load balancing — printing the cluster topology after each
-// step (paper §III-B's administrative operations).
+// Command hbasectl is the cluster control/inspection tool. With no
+// subcommand (or "demo") it tours the administrative side of the simulated
+// HBase substrate: boot a cluster, load a skewed table, then walk through
+// the HMaster's duties — region listing, region splitting, and load
+// balancing — printing the cluster topology after each step (paper
+// §III-B's administrative operations).
+//
+// Against a live process exposing the ops endpoint (harness OpsAddr or
+// ops.StartServer), three subcommands scrape and render its state:
+//
+//	hbasectl status -ops http://127.0.0.1:9890   # /statusz topology snapshot
+//	hbasectl events -ops ... -type ServerFenced  # /events journal tail
+//	hbasectl top -ops ... -n 10                  # /queries fingerprint table
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"os"
+	"time"
 
 	"github.com/shc-go/shc"
 	"github.com/shc-go/shc/internal/hbase"
+	"github.com/shc-go/shc/internal/ops"
 )
 
 func main() {
-	servers := flag.Int("servers", 3, "region servers")
-	rows := flag.Int("rows", 3000, "rows to load")
-	flag.Parse()
+	args := os.Args[1:]
+	cmd := "demo"
+	if len(args) > 0 {
+		switch args[0] {
+		case "demo", "status", "events", "top":
+			cmd, args = args[0], args[1:]
+		case "-h", "-help", "--help", "help":
+			usage()
+			return
+		}
+	}
+	switch cmd {
+	case "status":
+		cmdStatus(args)
+	case "events":
+		cmdEvents(args)
+	case "top":
+		cmdTop(args)
+	default:
+		cmdDemo(args)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: hbasectl [command] [flags]
+
+commands:
+  demo     boot a cluster and tour the master's admin operations (default)
+  status   render the /statusz cluster snapshot from a live ops endpoint
+  events   render the /events journal tail from a live ops endpoint
+  top      render the /queries fingerprint table from a live ops endpoint
+
+run "hbasectl <command> -h" for the command's flags.
+`)
+}
+
+// opsFlag registers the shared -ops flag on a subcommand's flag set.
+func opsFlag(fs *flag.FlagSet) *string {
+	return fs.String("ops", "http://127.0.0.1:9890", "base URL of the ops endpoint")
+}
+
+// fetchJSON GETs base+path and decodes the JSON response into v.
+func fetchJSON(base, path string, v any) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s%s: %s", base, path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// cmdStatus renders /statusz: servers, regions (with replica lag), and the
+// journal summary — the at-a-glance answer to "what does the master believe
+// the cluster looks like right now".
+func cmdStatus(args []string) {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	opsURL := opsFlag(fs)
+	fs.Parse(args)
+
+	var st ops.ClusterStatus
+	if err := fetchJSON(*opsURL, "/statusz", &st); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster status at %s\n\n", st.Time.Format(time.RFC3339))
+	fmt.Printf("%-20s %-6s %-8s %8s %10s %s\n", "SERVER", "LIVE", "FENCED", "REGIONS", "MEMSTORE", "WATERMARK")
+	for _, s := range st.Servers {
+		fmt.Printf("%-20s %-6v %-8v %8d %9dB %s\n", s.Host, s.Live, s.Fenced, s.Regions, s.MemstoreBytes, s.Watermark)
+	}
+	fmt.Printf("\n%-28s %-14s %-20s %6s %10s %s\n", "REGION", "TABLE", "SERVER", "EPOCH", "SIZE", "REPLICAS")
+	for _, r := range st.Regions {
+		reps := ""
+		for i, rep := range r.Replicas {
+			if i > 0 {
+				reps += " "
+			}
+			reps += fmt.Sprintf("%s(lag=%d)", rep.Server, rep.LagSeq)
+		}
+		fmt.Printf("%-28s %-14s %-20s %6d %9dB %s\n", r.Name, r.Table, r.Server, r.Epoch, r.SizeB, reps)
+	}
+	if len(st.Draining) > 0 {
+		fmt.Printf("\ndraining: %v\n", st.Draining)
+	}
+	fmt.Printf("\njournal: %d events retained, last seq %d", st.Journal.Len, st.Journal.LastSeq)
+	if st.Journal.Dropped > 0 {
+		fmt.Printf(" (%d evicted from the ring)", st.Journal.Dropped)
+	}
+	fmt.Println()
+}
+
+// cmdEvents renders the journal tail from /events, oldest first, with the
+// causality column that lets an operator walk a failover back to its root.
+func cmdEvents(args []string) {
+	fs := flag.NewFlagSet("events", flag.ExitOnError)
+	opsURL := opsFlag(fs)
+	typ := fs.String("type", "", "comma-separated event types to keep (e.g. ServerFenced,ReplicaPromoted)")
+	region := fs.String("region", "", "keep only events touching this region")
+	server := fs.String("server", "", "keep only events touching this server")
+	since := fs.Uint64("since", 0, "keep only events with seq greater than this")
+	last := fs.Int("last", 0, "keep only the newest N matches (0 = all retained)")
+	fs.Parse(args)
+
+	path := fmt.Sprintf("/events?type=%s&region=%s&server=%s&since=%d&last=%d",
+		*typ, *region, *server, *since, *last)
+	var payload struct {
+		LastSeq uint64      `json:"last_seq"`
+		Dropped uint64      `json:"dropped"`
+		Events  []ops.Event `json:"events"`
+	}
+	if err := fetchJSON(*opsURL, path, &payload); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%5s %-12s %-22s %-26s %-20s %6s %6s %s\n", "SEQ", "TIME", "TYPE", "REGION", "SERVER", "EPOCH", "CAUSE", "DETAIL")
+	for _, e := range payload.Events {
+		cause := ""
+		if e.Cause != 0 {
+			cause = fmt.Sprintf("<-%d", e.Cause)
+		}
+		fmt.Printf("%5d %-12s %-22s %-26s %-20s %6d %6s %s\n",
+			e.Seq, e.Time.Format("15:04:05.000"), e.Type, e.Region, e.Server, e.Epoch, cause, e.Detail)
+	}
+	fmt.Printf("\n%d event(s) shown, journal at seq %d", len(payload.Events), payload.LastSeq)
+	if payload.Dropped > 0 {
+		fmt.Printf(" (%d evicted from the ring)", payload.Dropped)
+	}
+	fmt.Println()
+}
+
+// cmdTop renders /queries: the statement-fingerprint table ordered by total
+// wall time, heaviest first.
+func cmdTop(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	opsURL := opsFlag(fs)
+	n := fs.Int("n", 20, "show at most N fingerprints (0 = all)")
+	shapes := fs.Bool("shapes", false, "also print each fingerprint's normalized statement shape")
+	fs.Parse(args)
+
+	var payload struct {
+		Queries []ops.QueryStat `json:"queries"`
+	}
+	if err := fetchJSON(*opsURL, fmt.Sprintf("/queries?n=%d", *n), &payload); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-16s %6s %6s %8s %8s %7s %7s %7s %7s %5s %4s\n",
+		"FINGERPRINT", "COUNT", "ERRS", "ROWS", "TOTALMS", "P50MS", "P95MS", "P99MS", "MAXMS", "RETRY", "SLOW")
+	for _, q := range payload.Queries {
+		fmt.Printf("%-16s %6d %6d %8d %8d %7d %7d %7d %7d %5d %4d\n",
+			q.Fingerprint, q.Count, q.Errors, q.Rows, q.TotalMs, q.P50Ms, q.P95Ms, q.P99Ms, q.MaxMs, q.Retries, q.SlowCount)
+		if *shapes {
+			fmt.Printf("  shape: %s\n", q.Shape)
+			if q.LastSlow != "" {
+				fmt.Printf("  last slow: %s\n", q.LastSlow)
+			}
+		}
+	}
+}
+
+// cmdDemo is the original administrative tour.
+func cmdDemo(args []string) {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	servers := fs.Int("servers", 3, "region servers")
+	rows := fs.Int("rows", 3000, "rows to load")
+	fs.Parse(args)
 
 	cluster, err := shc.NewCluster(shc.ClusterConfig{
 		NumServers: *servers,
@@ -84,6 +260,19 @@ func main() {
 	}
 	fmt.Printf("table stats: %d bytes, %d cells, %d regions\n", stats.Bytes, stats.Cells, stats.Regions)
 	fmt.Printf("\ncluster counters:\n%s", cluster.Meter)
+
+	// The demo's own journal makes for a nice closing exhibit: everything
+	// the master just did, causally linked.
+	if j := cluster.Journal; j != nil && j.Len() > 0 {
+		fmt.Println("\nevent journal:")
+		for _, e := range j.Events(ops.Filter{}) {
+			cause := ""
+			if e.Cause != 0 {
+				cause = fmt.Sprintf(" cause=%d", e.Cause)
+			}
+			fmt.Printf("  #%d %s region=%s server=%s%s %s\n", e.Seq, e.Type, e.Region, e.Server, cause, e.Detail)
+		}
+	}
 }
 
 func topology(cluster *shc.Cluster) {

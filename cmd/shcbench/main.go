@@ -24,11 +24,36 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/shc-go/shc/internal/bench"
 )
+
+// runMeta stamps each BENCH_<exp>.json with what produced it, so a stored
+// result is reproducible (seed, topology, run count, toolchain) without the
+// shell history that generated it. The wall-clock timestamp is opt-in
+// (-stamp): without it the files are byte-stable across reruns, which keeps
+// them diffable in CI artifacts.
+type runMeta struct {
+	Experiment string `json:"experiment"`
+	Seed       int64  `json:"seed"`
+	Servers    int    `json:"servers"`
+	Runs       int    `json:"runs"`
+	Scales     []int  `json:"scales,omitempty"`
+	Executors  []int  `json:"executors,omitempty"`
+	GoVersion  string `json:"go_version"`
+	Timestamp  string `json:"timestamp,omitempty"`
+}
+
+// benchFile is the JSON envelope: run metadata plus the experiment's
+// structured results.
+type benchFile struct {
+	Meta    runMeta `json:"meta"`
+	Results any     `json:"results"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|table2|ablation|streaming|vector|chaos|partition|replica|overload|trace-overhead|ingest")
@@ -39,6 +64,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "fault-injection seed for the chaos and partition experiments")
 	metricsDump := flag.Bool("metrics", false, "dump a Prometheus-style metrics exposition after supporting experiments")
 	jsonDir := flag.String("json", ".", "directory for BENCH_<exp>.json result files (empty = no files)")
+	stamp := flag.Bool("stamp", false, "include a wall-clock timestamp in BENCH_<exp>.json metadata (off keeps files byte-stable)")
 	flag.Parse()
 
 	p := bench.Params{
@@ -65,8 +91,20 @@ func main() {
 		if result == nil || *jsonDir == "" {
 			return
 		}
+		meta := runMeta{
+			Experiment: name,
+			Seed:       p.Seed,
+			Servers:    p.Servers,
+			Runs:       p.Runs,
+			Scales:     p.Scales,
+			Executors:  p.Executors,
+			GoVersion:  runtime.Version(),
+		}
+		if *stamp {
+			meta.Timestamp = time.Now().UTC().Format(time.RFC3339)
+		}
 		path := filepath.Join(*jsonDir, "BENCH_"+name+".json")
-		data, err := json.MarshalIndent(result, "", "  ")
+		data, err := json.MarshalIndent(benchFile{Meta: meta, Results: result}, "", "  ")
 		if err != nil {
 			log.Fatalf("%s: marshal results: %v", name, err)
 		}

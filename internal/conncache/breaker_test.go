@@ -39,7 +39,7 @@ func TestBreakerOpensAfterConsecutiveTransportFailures(t *testing.T) {
 		t.Fatal("open circuit must fail fast")
 	}
 	if got := m.Get(metrics.BreakerOpens); got != 1 {
-		t.Errorf("breaker.opens = %d, want 1", got)
+		t.Errorf("breaker.circuit_opens = %d, want 1", got)
 	}
 }
 
@@ -114,7 +114,7 @@ func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
 		t.Fatal("second cooldown elapsed: another probe must be admitted")
 	}
 	if got := m.Get(metrics.BreakerOpens); got != 2 {
-		t.Errorf("breaker.opens = %d, want 2 (initial trip + failed probe)", got)
+		t.Errorf("breaker.circuit_opens = %d, want 2 (initial trip + failed probe)", got)
 	}
 }
 

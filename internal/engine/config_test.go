@@ -86,7 +86,7 @@ func TestCollectContextCancelledQuery(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	if got := m.Get(metrics.QueriesCancelled); got != 1 {
-		t.Errorf("queries.cancelled = %d, want 1", got)
+		t.Errorf("engine.queries_cancelled = %d, want 1", got)
 	}
 }
 
@@ -103,7 +103,7 @@ func TestQueryTimeoutExpires(t *testing.T) {
 		t.Fatalf("err = %v, want DeadlineExceeded", err)
 	}
 	if got := s.meter.Get(metrics.QueriesCancelled); got == 0 {
-		t.Error("timed-out query not counted in queries.cancelled")
+		t.Error("timed-out query not counted in engine.queries_cancelled")
 	}
 }
 

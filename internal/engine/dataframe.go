@@ -157,7 +157,7 @@ func (df *DataFrame) Collect() ([]plan.Row, error) {
 // deadline, or the session's QueryTimeout) aborts the query — queued tasks
 // drop, in-flight RPCs and backoff sleeps stop early — and the context's
 // error comes back. Cancelled or timed-out queries count in
-// queries.cancelled.
+// engine.queries_cancelled.
 func (df *DataFrame) CollectContext(ctx context.Context) ([]plan.Row, error) {
 	rows, _, err := df.run(ctx, false)
 	return rows, err

@@ -14,6 +14,7 @@ import (
 
 	"github.com/shc-go/shc/internal/exec"
 	"github.com/shc-go/shc/internal/metrics"
+	"github.com/shc-go/shc/internal/ops"
 	"github.com/shc-go/shc/internal/plan"
 	"github.com/shc-go/shc/internal/sql"
 )
@@ -66,6 +67,10 @@ type Config struct {
 	SlowQueryThreshold time.Duration
 	// SlowQueryLog receives slow-query records; os.Stderr when nil.
 	SlowQueryLog io.Writer
+	// QueryStatsSize caps the session's per-fingerprint statement stats
+	// table (top-K by total time; the least-used entry is evicted when
+	// full). 0 means the default size; negative is rejected by NewSession.
+	QueryStatsSize int
 }
 
 // Validate normalizes cfg in place (defaults, clamps) and reports
@@ -86,6 +91,9 @@ func (cfg *Config) Validate() error {
 	}
 	if cfg.SlowQueryThreshold < 0 {
 		return fmt.Errorf("engine: SlowQueryThreshold must not be negative, got %v", cfg.SlowQueryThreshold)
+	}
+	if cfg.QueryStatsSize < 0 {
+		return fmt.Errorf("engine: QueryStatsSize must not be negative, got %d", cfg.QueryStatsSize)
 	}
 	if cfg.HedgeDelay < 0 {
 		cfg.HedgeDelay = 0
@@ -109,6 +117,7 @@ func (cfg *Config) Validate() error {
 type Session struct {
 	sched *exec.Scheduler
 	meter *metrics.Registry
+	stats *ops.StatsTable
 	cfg   Config
 
 	mu     sync.RWMutex
@@ -128,6 +137,7 @@ func NewSession(cfg Config) (*Session, error) {
 	return &Session{
 		sched:  sched,
 		meter:  cfg.Meter,
+		stats:  ops.NewStatsTable(cfg.QueryStatsSize),
 		cfg:    cfg,
 		tables: make(map[string]plan.Relation),
 		views:  make(map[string]plan.LogicalPlan),
@@ -140,6 +150,9 @@ func (s *Session) Config() Config { return s.cfg }
 
 // Meter exposes the session's counters.
 func (s *Session) Meter() *metrics.Registry { return s.meter }
+
+// QueryStats exposes the session's per-fingerprint statement statistics.
+func (s *Session) QueryStats() *ops.StatsTable { return s.stats }
 
 // Register adds a relation to the catalog under its own name.
 func (s *Session) Register(rel plan.Relation) {

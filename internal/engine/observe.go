@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"github.com/shc-go/shc/internal/datasource"
 	"github.com/shc-go/shc/internal/exec"
 	"github.com/shc-go/shc/internal/metrics"
+	"github.com/shc-go/shc/internal/ops"
 	"github.com/shc-go/shc/internal/plan"
 	"github.com/shc-go/shc/internal/trace"
 )
@@ -27,6 +29,10 @@ type queryRun struct {
 	opt   plan.LogicalPlan
 	phys  exec.PhysicalPlan
 	dur   time.Duration
+	// fp/shape identify the statement for the fingerprint stats table and
+	// the slow-query log (computed from the optimized plan).
+	fp    string
+	shape string
 }
 
 // run is the single execution path behind every action: optimize, compile,
@@ -71,6 +77,7 @@ func (df *DataFrame) run(ctx context.Context, analyze bool) ([]plan.Row, *queryR
 	_, osp := trace.StartSpan(ctx, "optimize")
 	qr.opt = plan.Optimize(df.lp)
 	osp.End()
+	qr.fp, qr.shape = plan.Fingerprint(qr.opt)
 
 	_, csp := trace.StartSpan(ctx, "compile")
 	phys, err := exec.CompileWith(qr.opt, sess.compileConfig())
@@ -85,7 +92,14 @@ func (df *DataFrame) run(ctx context.Context, analyze bool) ([]plan.Row, *queryR
 	qr.phys = phys
 
 	ectx, esp := trace.StartSpan(ctx, "execute")
-	rows, err := phys.Execute(sess.execContext(ectx))
+	// The fingerprint label rides the context into every task goroutine, so
+	// a CPU profile taken mid-flight attributes samples to the statement
+	// shape that burned them (composing with the scheduler's host label and
+	// the region server's region label).
+	var rows []plan.Row
+	pprof.Do(ectx, pprof.Labels("query_fingerprint", qr.fp), func(ectx context.Context) {
+		rows, err = phys.Execute(sess.execContext(ectx))
+	})
 	esp.SetError(err)
 	esp.End()
 	qr.dur = time.Since(start)
@@ -95,6 +109,19 @@ func (df *DataFrame) run(ctx context.Context, analyze bool) ([]plan.Row, *queryR
 	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 		meter.Inc(metrics.QueriesCancelled)
 	}
+	sample := ops.QuerySample{
+		Fingerprint: qr.fp,
+		Shape:       qr.shape,
+		Duration:    qr.dur,
+		Rows:        int64(len(rows)),
+		Retries:     qr.retries(),
+		Err:         err != nil,
+	}
+	if qr.scope != nil {
+		sample.Bytes = qr.scope.Get(metrics.RPCBytesReceived)
+		sample.Shed = qr.scope.Get(metrics.ServerShed)
+	}
+	sess.stats.Record(sample)
 	sess.logSlowQuery(qr, err)
 	return rows, qr, err
 }
@@ -220,8 +247,8 @@ func (s *Session) logSlowQuery(qr *queryRun, err error) {
 		w = os.Stderr
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "slow-query dur=%s threshold=%s shape=%s",
-		qr.dur.Round(time.Microsecond), threshold, shapeOf(qr.phys))
+	fmt.Fprintf(&b, "slow-query fingerprint=%s dur=%s threshold=%s shape=%s",
+		qr.fp, qr.dur.Round(time.Microsecond), threshold, shapeOf(qr.phys))
 	if retries := qr.retries(); retries > 0 {
 		fmt.Fprintf(&b, " retries=%d", retries)
 	}
@@ -237,6 +264,7 @@ func (s *Session) logSlowQuery(qr *queryRun, err error) {
 	}
 	b.WriteByte('\n')
 	io.WriteString(w, b.String())
+	s.stats.RecordSlow(qr.fp, qr.shape, strings.TrimSuffix(b.String(), "\n"))
 }
 
 // retries counts retried work under this query: scoped counters when a

@@ -109,10 +109,10 @@ func TestSlowQueryLogEmitsStructuredRecord(t *testing.T) {
 		t.Fatal(err)
 	}
 	line := buf.String()
-	if !strings.HasPrefix(line, "slow-query dur=") {
+	if !strings.HasPrefix(line, "slow-query fingerprint=") {
 		t.Fatalf("slow log = %q, want slow-query record", line)
 	}
-	for _, want := range []string{"shape=", "ScanExec", "slowest=[", "execute="} {
+	for _, want := range []string{"dur=", "shape=", "ScanExec", "slowest=[", "execute="} {
 		if !strings.Contains(line, want) {
 			t.Errorf("slow log missing %q: %q", want, line)
 		}
@@ -158,4 +158,60 @@ func mustCollect(t *testing.T, s *Session, q string) ([]interface{}, error) {
 		out[i] = r
 	}
 	return out, nil
+}
+
+// TestQueryStatsAggregateByFingerprint: runs differing only in literals
+// fold into one fingerprint entry, and the slow-query log keys into it.
+func TestQueryStatsAggregateByFingerprint(t *testing.T) {
+	var buf bytes.Buffer
+	s, err := NewSession(Config{SlowQueryThreshold: time.Nanosecond, SlowQueryLog: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := newTestSession(t)
+	s.Register(mem.tables["users"])
+
+	for _, q := range []string{
+		"SELECT id FROM users WHERE age < 25",
+		"SELECT id FROM users WHERE age < 70",
+	} {
+		if _, err := mustCollect(t, s, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	top := s.QueryStats().Top(0)
+	if len(top) != 1 {
+		t.Fatalf("fingerprint entries = %d, want 1 (literals must not fragment): %+v", len(top), top)
+	}
+	st := top[0]
+	if st.Count != 2 {
+		t.Errorf("count = %d, want 2", st.Count)
+	}
+	if st.Rows == 0 {
+		t.Error("no rows recorded")
+	}
+	if !strings.Contains(st.Shape, "?") || strings.Contains(st.Shape, "25") {
+		t.Errorf("shape not normalized: %q", st.Shape)
+	}
+	if st.SlowCount != 2 {
+		t.Errorf("slow count = %d, want 2 (threshold is 1ns)", st.SlowCount)
+	}
+	if !strings.Contains(st.LastSlow, "fingerprint="+st.Fingerprint) {
+		t.Errorf("last slow line %q does not reference fingerprint %s", st.LastSlow, st.Fingerprint)
+	}
+
+	// A structurally different statement lands in its own entry.
+	if _, err := mustCollect(t, s, "SELECT id FROM users"); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.QueryStats().Len(); n != 2 {
+		t.Errorf("fingerprint entries after new shape = %d, want 2", n)
+	}
+}
+
+// TestValidateRejectsNegativeQueryStatsSize guards the config seam.
+func TestValidateRejectsNegativeQueryStatsSize(t *testing.T) {
+	if _, err := NewSession(Config{QueryStatsSize: -1}); err == nil {
+		t.Fatal("negative QueryStatsSize accepted")
+	}
 }

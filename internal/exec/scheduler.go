@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -128,7 +129,7 @@ func (s *Scheduler) Run(tasks []Task) error {
 // failing with a retryable transport error is re-executed on a different
 // host (up to the configured attempt cap).
 //
-// The run stops early two ways, both counted in tasks.cancelled for every
+// The run stops early two ways, both counted in exec.tasks_cancelled for every
 // queued task dropped unstarted. A permanent task failure aborts the run:
 // queued tasks are dropped, in-flight ones see their context cancelled, and
 // every permanent error comes back joined. Cancelling ctx does the same
@@ -223,7 +224,13 @@ func (r *runState) work(host int) {
 		sp.SetTag("host", r.s.hosts[host])
 		sp.SetAttr("attempt", int64(t.attempts))
 		start := time.Now()
-		err := t.task.Run(tctx)
+		// Label the attempt's goroutine so CPU profiles attribute samples to
+		// the executor host (nesting under the engine's query_fingerprint
+		// label, which rode in on r.ctx).
+		var err error
+		pprof.Do(tctx, pprof.Labels("host", r.s.hosts[host]), func(tctx context.Context) {
+			err = t.task.Run(tctx)
+		})
 		r.meter.Observe(metrics.HistTaskRun, time.Since(start))
 		sp.SetError(err)
 		r.finish(host, t, err, sp)

@@ -1,0 +1,239 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/shc-go/shc/internal/hbase"
+	"github.com/shc-go/shc/internal/ops"
+	"github.com/shc-go/shc/internal/rpc"
+)
+
+// opsGet fetches a JSON endpoint from the rig's ops server into out.
+func opsGet(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+// eventsPayload mirrors the /events response envelope.
+type eventsPayload struct {
+	LastSeq uint64      `json:"last_seq"`
+	Events  []ops.Event `json:"events"`
+}
+
+// queriesPayload mirrors the /queries response envelope.
+type queriesPayload struct {
+	Queries []ops.QueryStat `json:"queries"`
+}
+
+// TestOpsEndpointExposition boots a rig with the ops endpoint on, runs a
+// query, and scrapes /metrics over real HTTP: the exposition must be
+// structurally well-formed Prometheus text format, and /healthz must be ok.
+func TestOpsEndpointExposition(t *testing.T) {
+	rig, err := NewRig(Config{System: SHC, Scale: 1, Servers: 2, OpsAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rig.Close()
+	if _, err := rig.Run(`SELECT ss_item_sk FROM store_sales WHERE ss_quantity > 10`); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(rig.Ops.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	if err := ops.ValidateExposition(resp.Body); err != nil {
+		t.Fatalf("exposition malformed: %v", err)
+	}
+
+	hresp, err := http.Get(rig.Ops.URL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status = %d", hresp.StatusCode)
+	}
+}
+
+// TestOpsChaosJournalCausalityEndToEnd is the ops-plane acceptance run: a
+// replicated cluster takes a server crash and a region split while
+// concurrent scans (same statement shape, different literals) are in
+// flight. Afterwards, everything an operator would reach for must line up
+// over real HTTP: /events shows the ServerFenced root cause with every
+// ReplicaPromoted linking back to it, /statusz reflects the post-failover
+// topology, and /queries aggregates the scans into one fingerprint whose
+// retry count proves the crash was ridden out, not dodged.
+func TestOpsChaosJournalCausalityEndToEnd(t *testing.T) {
+	rig, err := NewRig(Config{
+		System: SHC, Scale: 1, Servers: 3,
+		Store:   hbase.StoreConfig{RegionReplication: 2},
+		OpsAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rig.Close()
+
+	regions, err := rig.Client.Regions("store_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := regions[0].Host
+	inj := rpc.NewFaultInjector(chaosSeed(t),
+		&rpc.FaultRule{
+			Host: victim, Method: hbase.MethodFused, SkipFirst: 2, FailNext: 1,
+			OnFire: func() {
+				if err := rig.Cluster.CrashServer(victim); err != nil {
+					t.Errorf("crash %s: %v", victim, err)
+				}
+				if _, err := rig.Cluster.Master.CheckServers(); err != nil {
+					t.Errorf("heartbeat round: %v", err)
+				}
+			},
+		},
+	)
+	rig.Cluster.Net.SetFaultInjector(inj)
+
+	// Concurrent load: one statement shape, varying literals — every run
+	// must fold into a single fingerprint entry.
+	const workers, runsEach = 4, 3
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*runsEach)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < runsEach; i++ {
+				q := fmt.Sprintf(`SELECT ss_item_sk, ss_quantity FROM store_sales WHERE ss_quantity > %d`, 5+w*runsEach+i)
+				if _, err := rig.Run(q); err != nil {
+					errs <- fmt.Errorf("worker %d run %d: %w", w, i, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if inj.Fired() == 0 {
+		t.Fatal("no faults fired; the crash never hit the load")
+	}
+
+	// A manual split on a surviving region layers a RegionSplit event on top
+	// of the failover history.
+	post, err := rig.Cluster.Master.TableRegions("store_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.Cluster.Master.SplitRegion("store_sales", post[0].ID); err != nil {
+		t.Fatal(err)
+	}
+
+	base := rig.Ops.URL()
+
+	// /events: the fencing is the root; every promotion cites it.
+	var fenced eventsPayload
+	opsGet(t, base+"/events?type=ServerFenced&server="+victim, &fenced)
+	if len(fenced.Events) != 1 {
+		t.Fatalf("ServerFenced events for %s = %+v, want exactly 1", victim, fenced.Events)
+	}
+	root := fenced.Events[0].Seq
+
+	var promoted eventsPayload
+	opsGet(t, base+"/events?type=ReplicaPromoted", &promoted)
+	if len(promoted.Events) == 0 {
+		t.Fatal("replicated crash produced no ReplicaPromoted events")
+	}
+	for _, e := range promoted.Events {
+		if e.Cause != root {
+			t.Errorf("ReplicaPromoted %s: cause = %d, want %d (the ServerFenced seq)", e.Region, e.Cause, root)
+		}
+		if e.Server == victim {
+			t.Errorf("ReplicaPromoted %s landed on the dead server", e.Region)
+		}
+	}
+
+	var splits eventsPayload
+	opsGet(t, base+"/events?type=RegionSplit", &splits)
+	if len(splits.Events) != 1 || splits.Events[0].Region != post[0].ID {
+		t.Errorf("RegionSplit events = %+v, want exactly one for %s", splits.Events, post[0].ID)
+	}
+
+	// /statusz: the dead server is down and hosts nothing.
+	var st ops.ClusterStatus
+	opsGet(t, base+"/statusz", &st)
+	foundVictim := false
+	for _, ss := range st.Servers {
+		if ss.Host == victim {
+			foundVictim = true
+			if ss.Live {
+				t.Errorf("crashed server %s reported live in /statusz", victim)
+			}
+		}
+	}
+	if !foundVictim {
+		t.Errorf("victim %s missing from /statusz servers", victim)
+	}
+	if len(st.Regions) == 0 {
+		t.Fatal("/statusz reports no regions")
+	}
+	for _, r := range st.Regions {
+		if r.Server == victim {
+			t.Errorf("region %s still placed on dead server in /statusz", r.Name)
+		}
+		if r.Epoch == 0 {
+			t.Errorf("region %s has epoch 0 in /statusz", r.Name)
+		}
+	}
+
+	// /queries: all runs share one store_sales fingerprint, and the crash
+	// shows up as client retries folded into it.
+	var qs queriesPayload
+	opsGet(t, base+"/queries", &qs)
+	var scan *ops.QueryStat
+	for i := range qs.Queries {
+		if strings.Contains(qs.Queries[i].Shape, "store_sales") {
+			if scan != nil {
+				t.Fatalf("store_sales scans fragmented into several fingerprints: %q and %q",
+					scan.Shape, qs.Queries[i].Shape)
+			}
+			scan = &qs.Queries[i]
+		}
+	}
+	if scan == nil {
+		t.Fatal("/queries has no store_sales fingerprint")
+	}
+	if scan.Count != workers*runsEach {
+		t.Errorf("fingerprint count = %d, want %d", scan.Count, workers*runsEach)
+	}
+	if !strings.Contains(scan.Shape, "?") {
+		t.Errorf("shape not literal-masked: %q", scan.Shape)
+	}
+	if scan.Retries == 0 {
+		t.Error("fingerprint shows zero retries; the crash left no trace on the workload")
+	}
+	if scan.Rows == 0 {
+		t.Error("fingerprint shows zero rows")
+	}
+}

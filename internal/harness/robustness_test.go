@@ -124,7 +124,7 @@ func TestSaturatedServerShedsWithoutQueryFailure(t *testing.T) {
 		}
 	}
 	if got := rig.Meter.Get(metrics.ServerShed); got == 0 {
-		t.Error("server.shed = 0; the load never overran admission control")
+		t.Error("server.requests_shed = 0; the load never overran admission control")
 	}
 	if got := rig.Meter.Get(metrics.RegionsReassigned); got != 0 {
 		t.Errorf("%d regions reassigned; shedding must not look like death", got)
@@ -161,7 +161,7 @@ func TestCancelMidStreamingSelect(t *testing.T) {
 		t.Errorf("cancelled query took %v to return", elapsed)
 	}
 	if got := rig.Meter.Get(metrics.QueriesCancelled); got == 0 {
-		t.Error("cancelled query not counted in queries.cancelled")
+		t.Error("cancelled query not counted in engine.queries_cancelled")
 	}
 
 	// Every goroutine the run spawned must unwind after cancellation.
@@ -206,6 +206,6 @@ func TestQueryTimeoutBoundsSlowQuery(t *testing.T) {
 		t.Errorf("20ms-deadline query took %v; injected sleeps did not abort", elapsed)
 	}
 	if got := rig.Meter.Get(metrics.QueriesCancelled); got == 0 {
-		t.Error("timed-out query not counted in queries.cancelled")
+		t.Error("timed-out query not counted in engine.queries_cancelled")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"github.com/shc-go/shc/internal/metrics"
+	"github.com/shc-go/shc/internal/ops"
 	"github.com/shc-go/shc/internal/rpc"
 	"github.com/shc-go/shc/internal/zk"
 )
@@ -34,6 +35,10 @@ type Cluster struct {
 	Master  *Master
 	Servers []*RegionServer
 	Meter   *metrics.Registry
+	// Journal is the cluster's structured event journal: every lifecycle
+	// transition (fencing, reassignment, promotion, splits, backpressure)
+	// is appended here with a causality link to its trigger.
+	Journal *ops.Journal
 
 	partMu     sync.Mutex
 	partitions map[string][]*rpc.FaultRule // host -> active partition rules
@@ -55,6 +60,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Net:        rpc.NewNetwork(cfg.RPC, cfg.Meter),
 		ZK:         zk.NewServer(),
 		Meter:      cfg.Meter,
+		Journal:    ops.NewJournal(0),
 		partitions: make(map[string][]*rpc.FaultRule),
 	}
 	master, err := NewMaster(cfg.Name+"-master", c.Net, c.ZK, cfg.Store, cfg.Meter, cfg.Validate)
@@ -62,6 +68,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, fmt.Errorf("hbase: boot master: %w", err)
 	}
 	c.Master = master
+	// Installed before any server registers, so AddServer propagates the
+	// journal to every region server as it joins.
+	master.SetJournal(c.Journal)
 	for i := 0; i < cfg.NumServers; i++ {
 		host := fmt.Sprintf("%s-rs%d", cfg.Name, i+1)
 		rs, err := NewRegionServer(host, c.Net, cfg.Meter, cfg.Validate)

@@ -1,0 +1,177 @@
+package hbase
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/shc-go/shc/internal/ops"
+)
+
+// TestJournalFailoverCausality is the journal's core contract: a crash
+// produces a ServerFenced root event, and every recovery action links back
+// to it through Cause — promotion when a replica survives, so an operator
+// (or a test) can walk the chain instead of correlating counters.
+func TestJournalFailoverCausality(t *testing.T) {
+	c := bootReplicated(t, 3, 2)
+	client := c.NewClient()
+	defer client.Close()
+	if err := client.CreateTable(TableDescriptor{Name: "t", Families: []string{"cf"}}, [][]byte{[]byte("m")}); err != nil {
+		t.Fatal(err)
+	}
+	var cells []Cell
+	for i := 0; i < 20; i++ {
+		cells = append(cells, cell(fmt.Sprintf("row-%02d", i), "cf", "q", 1, "x"))
+	}
+	if err := client.Put("t", cells); err != nil {
+		t.Fatal(err)
+	}
+
+	victim := c.Servers[0].Host()
+	if err := c.CrashServer(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Master.CheckServers(); err != nil {
+		t.Fatal(err)
+	}
+
+	fenced := c.Journal.Find(ops.EventServerFenced)
+	if len(fenced) != 1 || fenced[0].Server != victim {
+		t.Fatalf("ServerFenced events = %+v, want exactly one for %s", fenced, victim)
+	}
+	root := fenced[0].Seq
+
+	promoted := c.Journal.Find(ops.EventReplicaPromoted)
+	reassigned := c.Journal.Find(ops.EventRegionReassigned)
+	if len(promoted)+len(reassigned) == 0 {
+		t.Fatal("no recovery events journaled after failover")
+	}
+	for _, e := range append(promoted, reassigned...) {
+		if e.Cause != root {
+			t.Errorf("%s %s: cause = %d, want %d (the ServerFenced seq)", e.Type, e.Region, e.Cause, root)
+		}
+		if e.Server == victim {
+			t.Errorf("%s %s: recovered onto the dead server %s", e.Type, e.Region, victim)
+		}
+		if e.Epoch == 0 {
+			t.Errorf("%s %s: no epoch recorded", e.Type, e.Region)
+		}
+	}
+
+	// The status snapshot reflects the post-failover topology.
+	st := c.Status()
+	for _, ss := range st.Servers {
+		if ss.Host == victim && ss.Live {
+			t.Errorf("crashed server %s reported live", victim)
+		}
+	}
+	for _, rs := range st.Regions {
+		if rs.Server == victim {
+			t.Errorf("region %s still placed on dead server", rs.Name)
+		}
+		if rs.Epoch == 0 {
+			t.Errorf("region %s has epoch 0 in status", rs.Name)
+		}
+	}
+}
+
+// TestJournalSplitAndJanitorEvents checks split provenance: a manual split
+// journals a RegionSplit with no cause; janitor-driven work hangs off the
+// pass's JanitorAction event.
+func TestJournalSplitAndJanitorEvents(t *testing.T) {
+	c := bootCluster(t, 2)
+	client := c.NewClient()
+	defer client.Close()
+	if err := client.CreateTable(TableDescriptor{Name: "t", Families: []string{"cf"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var cells []Cell
+	for i := 0; i < 40; i++ {
+		cells = append(cells, cell(fmt.Sprintf("row-%02d", i), "cf", "q", 1, "0123456789"))
+	}
+	if err := client.Put("t", cells); err != nil {
+		t.Fatal(err)
+	}
+	regions, err := c.Master.TableRegions("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Master.SplitRegion("t", regions[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	splits := c.Journal.Find(ops.EventRegionSplit)
+	if len(splits) != 1 {
+		t.Fatalf("RegionSplit events = %d, want 1", len(splits))
+	}
+	if splits[0].Region != regions[0].ID || splits[0].Cause != 0 {
+		t.Fatalf("manual split event = %+v, want region %s with no cause", splits[0], regions[0].ID)
+	}
+
+	c.Master.JanitorPass()
+	passes := c.Journal.Find(ops.EventJanitorAction)
+	if len(passes) != 1 {
+		t.Fatalf("JanitorAction events = %d, want 1", len(passes))
+	}
+}
+
+// TestJournalDrainEvents: a graceful drain journals ServerDrained, and each
+// region move references it.
+func TestJournalDrainEvents(t *testing.T) {
+	c := bootCluster(t, 2)
+	client := c.NewClient()
+	defer client.Close()
+	if err := client.CreateTable(TableDescriptor{Name: "t", Families: []string{"cf"}}, [][]byte{[]byte("m")}); err != nil {
+		t.Fatal(err)
+	}
+	victim := c.Servers[0].Host()
+	if err := c.Master.DrainServer(victim); err != nil {
+		t.Fatal(err)
+	}
+	drains := c.Journal.Find(ops.EventServerDrained)
+	if len(drains) != 1 || drains[0].Server != victim {
+		t.Fatalf("ServerDrained events = %+v", drains)
+	}
+	moves := c.Journal.Find(ops.EventRegionReassigned)
+	if len(moves) == 0 {
+		t.Fatal("no RegionReassigned events from the drain")
+	}
+	for _, e := range moves {
+		if e.Cause != drains[0].Seq {
+			t.Errorf("drain move %s: cause = %d, want %d", e.Region, e.Cause, drains[0].Seq)
+		}
+	}
+}
+
+// TestJournalBackpressureEdgeDetected: memstore rejects journal one event
+// per episode, not one per rejected write.
+func TestJournalBackpressureEdgeDetected(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Name: "t", NumServers: 1, Store: StoreConfig{FlushThresholdBytes: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := c.Servers[0]
+	rs.SetLimits(ServerLimits{MemstoreHighWatermarkBytes: 64})
+	rs.HoldFlushes(true)
+	client := c.NewClient()
+	defer client.Close()
+	if err := client.CreateTable(TableDescriptor{Name: "t", Families: []string{"cf"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Fill past the high watermark, then keep hammering: every write after
+	// the first overflow is rejected, but only the first journals.
+	var rejects int
+	for i := 0; i < 10; i++ {
+		if err := client.Put("t", []Cell{cell(fmt.Sprintf("r%d", i), "cf", "q", 1, "0123456789012345678901234567890123456789")}); err != nil {
+			rejects++
+		}
+	}
+	if rejects < 2 {
+		t.Fatalf("rejects = %d, want several (watermark never tripped?)", rejects)
+	}
+	events := c.Journal.Find(ops.EventMemstoreBackpressure)
+	if len(events) != 1 {
+		t.Fatalf("MemstoreBackpressure events = %d, want 1 (edge-detected)", len(events))
+	}
+	if events[0].Server != rs.Host() {
+		t.Fatalf("backpressure event server = %s", events[0].Server)
+	}
+}

@@ -8,9 +8,11 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/shc-go/shc/internal/metrics"
+	"github.com/shc-go/shc/internal/ops"
 	"github.com/shc-go/shc/internal/rpc"
 	"github.com/shc-go/shc/internal/zk"
 )
@@ -45,6 +47,10 @@ type Master struct {
 	cfg      StoreConfig
 	sess     *zk.Session
 	validate TokenValidator
+	// journal receives structured lifecycle events (fencing, reassignment,
+	// promotion, splits, janitor passes). Atomic so emission sites never
+	// contend on m.mu ordering; a nil journal swallows events.
+	journal atomic.Pointer[ops.Journal]
 
 	mu      sync.Mutex
 	servers []*RegionServer
@@ -126,6 +132,22 @@ func NewMaster(host string, net *rpc.Network, zkSrv *zk.Server, cfg StoreConfig,
 // Host returns the master's host name.
 func (m *Master) Host() string { return m.host }
 
+// SetJournal installs the cluster event journal on the master and every
+// registered region server. Servers registered later inherit it through
+// AddServer. nil disables emission everywhere.
+func (m *Master) SetJournal(j *ops.Journal) {
+	m.journal.Store(j)
+	m.mu.Lock()
+	servers := append([]*RegionServer(nil), m.servers...)
+	m.mu.Unlock()
+	for _, rs := range servers {
+		rs.SetJournal(j)
+	}
+}
+
+// jrn returns the installed journal (nil appends are no-ops).
+func (m *Master) jrn() *ops.Journal { return m.journal.Load() }
+
 // Resign simulates a master crash: its coordination session closes (so the
 // ephemeral leader node vanishes and a standby can win the next election).
 // The caller should also mark the host down on the network.
@@ -180,7 +202,7 @@ func (m *Master) RecoverFrom(servers []*RegionServer) error {
 	}
 	// A predecessor may have died mid-split: settle any journaled split
 	// transactions against the hosted state just re-learned.
-	m.recoverSplitsLocked()
+	m.recoverSplitsLocked(0)
 	return nil
 }
 
@@ -258,6 +280,9 @@ func (m *Master) AddServer(rs *RegionServer) error {
 	m.servers = append(m.servers, rs)
 	delete(m.missed, rs.Host())
 	m.mu.Unlock()
+	if j := m.jrn(); j != nil {
+		rs.SetJournal(j)
+	}
 	rs.heartbeat()
 	if ok, _ := m.sess.Exists(zkServers + "/" + rs.Host()); ok {
 		return nil
@@ -342,7 +367,13 @@ func (m *Master) CheckServers() ([]string, error) {
 	for _, rs := range victims {
 		m.meter.Inc(metrics.ServersDeclaredDead)
 		_ = m.sess.Delete(zkServers + "/" + rs.Host())
-		if err := m.reassignLocked(rs); err != nil {
+		// The fencing decision is the root cause every recovery action that
+		// follows links back to.
+		cause := m.jrn().Append(ops.Event{
+			Type: ops.EventServerFenced, Server: rs.Host(),
+			Detail: "missed heartbeats, declared dead",
+		})
+		if err := m.reassignLocked(rs, cause); err != nil {
 			return dead, err
 		}
 	}
@@ -359,7 +390,7 @@ func (m *Master) CheckServers() ([]string, error) {
 // standing in for HDFS, outlives the server). The successor lands on the
 // least-loaded survivor, which rebinds its meta host so refreshed client
 // caches route to the new location.
-func (m *Master) reassignLocked(dead *RegionServer) error {
+func (m *Master) reassignLocked(dead *RegionServer, cause uint64) error {
 	if len(m.servers) == 0 {
 		return fmt.Errorf("hbase: no surviving region servers to reassign %s's regions", dead.Host())
 	}
@@ -390,6 +421,11 @@ func (m *Master) reassignLocked(dead *RegionServer) error {
 			v.ts.regions[info.ID] = promoted
 			m.meter.Inc(metrics.RegionsReassigned)
 			m.meter.Inc(metrics.RegionsFenced)
+			pi := promoted.Info()
+			m.jrn().Append(ops.Event{
+				Type: ops.EventReplicaPromoted, Region: info.ID, Table: info.Table,
+				Server: pi.Host, Epoch: pi.Epoch, Cause: cause, Detail: "no WAL replay",
+			})
 			continue
 		}
 		next := m.nextEpochLocked(info)
@@ -397,10 +433,15 @@ func (m *Master) reassignLocked(dead *RegionServer) error {
 		if err := successor.RecoverFromWAL(); err != nil {
 			return fmt.Errorf("hbase: replay WAL of %s: %w", info.ID, err)
 		}
-		m.leastLoadedLocked().AddRegion(successor)
+		target := m.leastLoadedLocked()
+		target.AddRegion(successor)
 		v.ts.regions[info.ID] = successor
 		m.meter.Inc(metrics.RegionsReassigned)
 		m.meter.Inc(metrics.RegionsFenced)
+		m.jrn().Append(ops.Event{
+			Type: ops.EventRegionReassigned, Region: info.ID, Table: info.Table,
+			Server: target.Host(), Epoch: next, Cause: cause, Detail: "wal-replay",
+		})
 	}
 	// Secondary copies the dead server hosted are gone with it: forget them
 	// (the promoted/reassigned primaries keep shipping to the survivors),
@@ -600,6 +641,7 @@ func (m *Master) DrainServer(host string) error {
 	m.servers = append(m.servers[:idx:idx], m.servers[idx+1:]...)
 	delete(m.missed, host)
 	_ = m.sess.Delete(zkServers + "/" + host)
+	cause := m.jrn().Append(ops.Event{Type: ops.EventServerDrained, Server: host})
 	infos := victim.RegionInfos() // sorted: deterministic drain order
 	for _, info := range infos {
 		r := victim.RemoveRegion(regionKey(info.ID, info.Replica))
@@ -610,14 +652,24 @@ func (m *Master) DrainServer(host string) error {
 			// A secondary copy moves as the same live object with no epoch
 			// bump — replicas carry no ownership, and the replicator keeps
 			// shipping to the object wherever it is hosted.
-			m.placeCopyLocked(info).AddRegion(r)
+			target := m.placeCopyLocked(info)
+			target.AddRegion(r)
 			m.meter.Inc(metrics.RegionsDrained)
+			m.jrn().Append(ops.Event{
+				Type: ops.EventRegionReassigned, Region: info.ID, Table: info.Table,
+				Server: target.Host(), Cause: cause, Detail: "drain-replica",
+			})
 			continue
 		}
 		r.Flush()
 		r.AdoptEpoch(m.nextEpochLocked(r.Info()))
-		m.placeCopyLocked(info).AddRegion(r)
+		target := m.placeCopyLocked(info)
+		target.AddRegion(r)
 		m.meter.Inc(metrics.RegionsDrained)
+		m.jrn().Append(ops.Event{
+			Type: ops.EventRegionReassigned, Region: info.ID, Table: info.Table,
+			Server: target.Host(), Epoch: r.Epoch(), Cause: cause, Detail: "drain",
+		})
 	}
 	return nil
 }
@@ -895,13 +947,20 @@ func (m *Master) writeSplitJournal(j *splitJournal) error {
 // any of those steps leaves the journal behind, and recoverSplitsLocked
 // settles it — forward when both daughters made it, back otherwise.
 func (m *Master) SplitRegion(table, regionID string) error {
+	return m.splitRegionCaused(table, regionID, 0, "manual")
+}
+
+// splitRegionCaused is SplitRegion with journal provenance: cause links the
+// split's events to the triggering event (a janitor pass), reason says why
+// it ran ("manual", "overgrown", "hot").
+func (m *Master) splitRegionCaused(table, regionID string, cause uint64, reason string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.splitRegionLocked(table, regionID)
+	return m.splitRegionLocked(table, regionID, cause, reason)
 }
 
 // locked
-func (m *Master) splitRegionLocked(table, regionID string) error {
+func (m *Master) splitRegionLocked(table, regionID string, cause uint64, reason string) error {
 	ts, ok := m.tables[table]
 	if !ok {
 		return fmt.Errorf("hbase: table %q does not exist", table)
@@ -952,7 +1011,7 @@ func (m *Master) splitRegionLocked(table, regionID string) error {
 	if err != nil {
 		// The parent is now fenced but the journal records everything needed
 		// to roll back; do it inline.
-		m.rollBackSplitLocked(ts, j)
+		m.rollBackSplitLocked(ts, j, cause)
 		return err
 	}
 	if err := m.splitStageLocked("split"); err != nil {
@@ -996,6 +1055,11 @@ func (m *Master) splitRegionLocked(table, regionID string) error {
 
 	// Stage 4: the transaction is complete; retire the journal.
 	_ = m.sess.Delete(zkSplits + "/" + regionID)
+	m.jrn().Append(ops.Event{
+		Type: ops.EventRegionSplit, Region: regionID, Table: table,
+		Server: host.Host(), Epoch: next, Cause: cause,
+		Detail: fmt.Sprintf("%s: daughters %s,%s", reason, lowID, highID),
+	})
 	return nil
 }
 
@@ -1005,7 +1069,7 @@ func (m *Master) splitRegionLocked(table, regionID string) error {
 // rolls back (any orphan daughter is removed and the parent is un-fenced by
 // adopting the journal epoch). Run by a recovering master after rebuilding
 // meta, and by every janitor pass.
-func (m *Master) recoverSplitsLocked() {
+func (m *Master) recoverSplitsLocked(cause uint64) {
 	parents, err := m.sess.Children(zkSplits)
 	if err != nil || len(parents) == 0 {
 		return
@@ -1030,9 +1094,9 @@ func (m *Master) recoverSplitsLocked() {
 		_, lowOK := ts.regions[j.LowID]
 		_, highOK := ts.regions[j.HighID]
 		if lowOK && highOK {
-			m.rollForwardSplitLocked(ts, &j)
+			m.rollForwardSplitLocked(ts, &j, cause)
 		} else {
-			m.rollBackSplitLocked(ts, &j)
+			m.rollBackSplitLocked(ts, &j, cause)
 		}
 	}
 }
@@ -1040,7 +1104,7 @@ func (m *Master) recoverSplitsLocked() {
 // rollForwardSplitLocked completes a split whose daughters both survived:
 // the parent is evicted from meta and every server, its epoch node retired,
 // and the daughters' replica sets topped up.
-func (m *Master) rollForwardSplitLocked(ts *tableState, j *splitJournal) {
+func (m *Master) rollForwardSplitLocked(ts *tableState, j *splitJournal, cause uint64) {
 	if parent, ok := ts.regions[j.Parent]; ok {
 		if srv := m.serverLocked(parent.Info().Host); srv != nil {
 			srv.RemoveRegion(j.Parent)
@@ -1063,6 +1127,10 @@ func (m *Master) rollForwardSplitLocked(ts *tableState, j *splitJournal) {
 	m.ensureReplicasLocked(ts, ts.regions[j.HighID])
 	_ = m.sess.Delete(zkSplits + "/" + j.Parent)
 	m.meter.Inc(metrics.SplitsRolledForward)
+	m.jrn().Append(ops.Event{
+		Type: ops.EventSplitRolledForward, Region: j.Parent, Table: j.Table,
+		Epoch: j.Epoch, Cause: cause, Detail: "daughters " + j.LowID + "," + j.HighID,
+	})
 }
 
 // rollBackSplitLocked abandons a split that did not complete: any orphan
@@ -1070,7 +1138,7 @@ func (m *Master) rollForwardSplitLocked(ts *tableState, j *splitJournal) {
 // are retired, and the parent — whose WAL the split fenced at j.Epoch — is
 // un-fenced by adopting that epoch, so it serves writes again with no
 // acknowledged history lost (the fence rejected, never dropped).
-func (m *Master) rollBackSplitLocked(ts *tableState, j *splitJournal) {
+func (m *Master) rollBackSplitLocked(ts *tableState, j *splitJournal, cause uint64) {
 	for _, id := range []string{j.LowID, j.HighID} {
 		if d, ok := ts.regions[id]; ok {
 			if srv := m.serverLocked(d.Info().Host); srv != nil {
@@ -1103,6 +1171,10 @@ func (m *Master) rollBackSplitLocked(ts *tableState, j *splitJournal) {
 	}
 	_ = m.sess.Delete(zkSplits + "/" + j.Parent)
 	m.meter.Inc(metrics.SplitsRolledBack)
+	m.jrn().Append(ops.Event{
+		Type: ops.EventSplitRolledBack, Region: j.Parent, Table: j.Table,
+		Epoch: j.Epoch, Cause: cause, Detail: "daughters " + j.LowID + "," + j.HighID,
+	})
 }
 
 // SetHotWriteThreshold arms hot-region detection: a region that takes more
@@ -1117,7 +1189,9 @@ func (m *Master) SetHotWriteThreshold(n int64) {
 // ones above the hot threshold — the master-side defense that turns a
 // sustained hot-key workload into more, smaller regions the balancer can
 // spread. Returns how many regions were split.
-func (m *Master) SplitHotRegions() (int, error) {
+func (m *Master) SplitHotRegions() (int, error) { return m.splitHot(0) }
+
+func (m *Master) splitHot(cause uint64) (int, error) {
 	type target struct{ table, region string }
 	m.mu.Lock()
 	threshold := m.hotWriteThreshold
@@ -1134,7 +1208,7 @@ func (m *Master) SplitHotRegions() (int, error) {
 	m.mu.Unlock()
 	n := 0
 	for _, t := range targets {
-		if err := m.SplitRegion(t.table, t.region); err != nil {
+		if err := m.splitRegionCaused(t.table, t.region, cause, "hot"); err != nil {
 			// A region too small or too uniform to split stays hot but whole;
 			// skip it rather than abort the pass.
 			continue
@@ -1150,12 +1224,15 @@ func (m *Master) SplitHotRegions() (int, error) {
 // regions, and rebalance.
 func (m *Master) JanitorPass() {
 	m.meter.Inc(metrics.JanitorRuns)
+	// One JanitorAction event anchors the pass; every split, rollback, and
+	// balance move it performs carries this seq as its Cause.
+	cause := m.jrn().Append(ops.Event{Type: ops.EventJanitorAction, Server: m.host})
 	m.mu.Lock()
-	m.recoverSplitsLocked()
+	m.recoverSplitsLocked(cause)
 	m.mu.Unlock()
-	_, _ = m.SplitOvergrownRegions()
-	_, _ = m.SplitHotRegions()
-	m.Balance()
+	_, _ = m.splitOvergrown(cause)
+	_, _ = m.splitHot(cause)
+	m.balance(cause)
 }
 
 // StartJanitor drives JanitorPass on a fixed interval and returns a stop
@@ -1180,7 +1257,9 @@ func (m *Master) StartJanitor(interval time.Duration) (stop func()) {
 }
 
 // SplitOvergrownRegions splits every region that reports NeedsSplit, once.
-func (m *Master) SplitOvergrownRegions() (int, error) {
+func (m *Master) SplitOvergrownRegions() (int, error) { return m.splitOvergrown(0) }
+
+func (m *Master) splitOvergrown(cause uint64) (int, error) {
 	type target struct{ table, region string }
 	m.mu.Lock()
 	var targets []target
@@ -1194,7 +1273,7 @@ func (m *Master) SplitOvergrownRegions() (int, error) {
 	m.mu.Unlock()
 	n := 0
 	for _, t := range targets {
-		if err := m.SplitRegion(t.table, t.region); err != nil {
+		if err := m.splitRegionCaused(t.table, t.region, cause, "overgrown"); err != nil {
 			return n, err
 		}
 		n++
@@ -1204,7 +1283,9 @@ func (m *Master) SplitOvergrownRegions() (int, error) {
 
 // Balance migrates regions so server loads differ by at most one region.
 // It returns the number of regions moved.
-func (m *Master) Balance() int {
+func (m *Master) Balance() int { return m.balance(0) }
+
+func (m *Master) balance(cause uint64) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if len(m.servers) < 2 {
@@ -1248,6 +1329,14 @@ func (m *Master) Balance() int {
 			r.AdoptEpoch(m.nextEpochLocked(r.Info()))
 		}
 		minS.AddRegion(r)
+		ev := ops.Event{
+			Type: ops.EventRegionReassigned, Region: picked.ID, Table: picked.Table,
+			Server: minS.Host(), Cause: cause, Detail: "balance",
+		}
+		if picked.Replica == 0 {
+			ev.Epoch = r.Epoch()
+		}
+		m.jrn().Append(ev)
 		moved++
 	}
 }

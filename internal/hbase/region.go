@@ -348,6 +348,15 @@ func (r *Region) TakeWriteLoad() int64 {
 	return n
 }
 
+// WriteLoad peeks at the cells written since the master last sampled the
+// counter, without resetting it — the status snapshot reads it this way so
+// observation never perturbs hot-region detection.
+func (r *Region) WriteLoad() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.writeLoad
+}
+
 // Size reports the region's total stored bytes (MemStore + store files).
 func (r *Region) Size() int {
 	r.mu.RLock()

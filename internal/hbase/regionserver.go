@@ -4,10 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/shc-go/shc/internal/metrics"
+	"github.com/shc-go/shc/internal/ops"
 	"github.com/shc-go/shc/internal/rpc"
 	"github.com/shc-go/shc/internal/trace"
 )
@@ -35,6 +38,9 @@ type RegionServer struct {
 	host     string
 	meter    *metrics.Registry
 	validate TokenValidator
+	// journal receives the server's lifecycle events (self-fencing,
+	// memstore backpressure); nil swallows them.
+	journal atomic.Pointer[ops.Journal]
 
 	admMu sync.RWMutex
 	adm   *admission
@@ -46,6 +52,9 @@ type RegionServer struct {
 	// flushes are instantaneous, so without a way to stall them memstore
 	// pressure could never accumulate deterministically.
 	holdFlush bool
+	// bpActive edge-detects memstore backpressure so the journal records one
+	// event per episode rather than one per rejected write.
+	bpActive bool
 
 	// onBatchApplied, when set, observes every stamped batch the moment a
 	// region reports it actually applied (not deduplicated) — the seam
@@ -89,6 +98,13 @@ func NewRegionServer(host string, net *rpc.Network, meter *metrics.Registry, val
 	}
 	return rs, nil
 }
+
+// SetJournal installs the cluster event journal this server emits lifecycle
+// events into (normally propagated by the master); nil disables emission.
+func (rs *RegionServer) SetJournal(j *ops.Journal) { rs.journal.Store(j) }
+
+// jrn returns the installed journal (nil appends are no-ops).
+func (rs *RegionServer) jrn() *ops.Journal { return rs.journal.Load() }
 
 // SetLimits installs (or, with the zero value, removes) admission control and
 // memstore watermarks on this server's data RPCs. The in-flight gate needs a
@@ -207,10 +223,13 @@ func (rs *RegionServer) checkMemstorePressure(ctx context.Context) error {
 		rs.flushLargestMemstore()
 		if rs.MemstoreBytes() >= lim.MemstoreHighWatermarkBytes {
 			rs.meter.Inc(metrics.MemstoreRejects)
+			rs.noteBackpressure(total)
 			return fmt.Errorf("%w: %s at %d buffered bytes", ErrMemstoreFull, rs.host, total)
 		}
+		rs.clearBackpressure()
 		return nil
 	}
+	rs.clearBackpressure()
 	if lim.MemstoreLowWatermarkBytes > 0 && total >= lim.MemstoreLowWatermarkBytes {
 		rs.flushLargestMemstore()
 		rs.meter.Inc(metrics.MemstoreDelays)
@@ -221,6 +240,28 @@ func (rs *RegionServer) checkMemstorePressure(ctx context.Context) error {
 		return rpc.SleepContext(ctx, delay)
 	}
 	return nil
+}
+
+// noteBackpressure journals the start of a memstore-backpressure episode:
+// one event per transition into the rejecting state, not one per reject.
+func (rs *RegionServer) noteBackpressure(total int) {
+	rs.admMu.Lock()
+	fire := !rs.bpActive
+	rs.bpActive = true
+	rs.admMu.Unlock()
+	if fire {
+		rs.jrn().Append(ops.Event{
+			Type: ops.EventMemstoreBackpressure, Server: rs.host,
+			Detail: fmt.Sprintf("%d buffered bytes over high watermark", total),
+		})
+	}
+}
+
+// clearBackpressure ends the episode: the next reject journals again.
+func (rs *RegionServer) clearBackpressure() {
+	rs.admMu.Lock()
+	rs.bpActive = false
+	rs.admMu.Unlock()
 }
 
 // SetFencing installs (or, with lease <= 0, removes) the self-fencing lease.
@@ -248,6 +289,10 @@ func (rs *RegionServer) SelfFenced() bool {
 	if !rs.fencedNow {
 		rs.fencedNow = true
 		rs.meter.Inc(metrics.ServerSelfFenced)
+		rs.jrn().Append(ops.Event{
+			Type: ops.EventServerFenced, Server: rs.host,
+			Detail: "self-fenced: master lease expired",
+		})
 	}
 	return true
 }
@@ -528,7 +573,10 @@ func (rs *RegionServer) handleBulkLoad(_ context.Context, req rpc.Message) (rpc.
 // runScanTraced executes a region scan under a "region.scan" span tagged
 // with the region and host, metering through the caller's scoped registry
 // when the context carries one. Scans served by a secondary copy carry a
-// "replica" tag so EXPLAIN ANALYZE can attribute stale rows.
+// "replica" tag so EXPLAIN ANALYZE can attribute stale rows. The scan body
+// runs under a pprof "region" label (composing with the engine's
+// query_fingerprint label carried in ctx), so a CPU profile scraped from
+// the ops endpoint attributes scan time to regions and statements.
 func (rs *RegionServer) runScanTraced(ctx context.Context, r *Region, s *Scan) []Result {
 	_, sp := trace.StartSpan(ctx, "region.scan")
 	info := r.Info()
@@ -537,7 +585,10 @@ func (rs *RegionServer) runScanTraced(ctx context.Context, r *Region, s *Scan) [
 	if info.Replica > 0 {
 		sp.SetTag("replica", fmt.Sprintf("%d", info.Replica))
 	}
-	results := r.RunScanWith(s, metrics.Scoped(ctx, rs.meter))
+	var results []Result
+	pprof.Do(ctx, pprof.Labels("region", info.ID), func(ctx context.Context) {
+		results = r.RunScanWith(s, metrics.Scoped(ctx, rs.meter))
+	})
 	sp.SetAttr("rows", int64(len(results)))
 	sp.End()
 	return results

@@ -185,7 +185,7 @@ func TestHedgeNotFiredOnFastReads(t *testing.T) {
 
 // TestBreakerOpensOnDeadHostAndFailsFast wires the circuit breaker into a
 // client: after the retry budget hammers a dead host, the circuit is open,
-// further calls fail fast (no new transport attempts), and breaker.opens is
+// further calls fail fast (no new transport attempts), and breaker.circuit_opens is
 // counted.
 func TestBreakerOpensOnDeadHostAndFailsFast(t *testing.T) {
 	c := bootCluster(t, 1)
@@ -204,7 +204,7 @@ func TestBreakerOpensOnDeadHostAndFailsFast(t *testing.T) {
 		t.Fatalf("breaker state = %s after repeated transport failures, want open", got)
 	}
 	if got := c.Meter.Get(metrics.BreakerOpens); got == 0 {
-		t.Error("breaker.opens = 0")
+		t.Error("breaker.circuit_opens = 0")
 	}
 	// With the circuit open, the failure is the breaker's synthetic error
 	// (fail fast), not a fresh transport attempt against the dead host.
@@ -251,7 +251,7 @@ func TestAdmissionGate(t *testing.T) {
 		t.Fatalf("err = %v, want ErrServerBusy", err)
 	}
 	if got := m.Get(metrics.ServerShed); got != 1 {
-		t.Errorf("server.shed = %d, want 1", got)
+		t.Errorf("server.requests_shed = %d, want 1", got)
 	}
 	if got := m.Get(metrics.ServerQueuePeak); got != 1 {
 		t.Errorf("queue peak = %d, want 1", got)

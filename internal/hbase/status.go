@@ -1,0 +1,113 @@
+package hbase
+
+import (
+	"sort"
+	"time"
+
+	"github.com/shc-go/shc/internal/ops"
+)
+
+// Status assembles the ops-plane cluster snapshot: per-server liveness and
+// memstore watermark state, per-region placement/epoch/size/write-load with
+// replica lag, and the journal's high-water marks. It reads live state under
+// the master lock, so the snapshot is internally consistent with meta.
+func (c *Cluster) Status() ops.ClusterStatus {
+	st := ops.ClusterStatus{
+		Time: time.Now(),
+		Journal: ops.JournalStatus{
+			LastSeq: c.Journal.LastSeq(),
+			Len:     c.Journal.Len(),
+			Dropped: c.Journal.Dropped(),
+		},
+	}
+
+	m := c.Master
+	m.mu.Lock()
+	registered := make(map[string]*RegionServer, len(m.servers))
+	for _, rs := range m.servers {
+		registered[rs.Host()] = rs
+	}
+	for name, ts := range m.tables {
+		for id, r := range ts.regions {
+			info := r.Info()
+			rstat := ops.RegionStatus{
+				Name: id, Table: name, Server: info.Host, Epoch: info.Epoch,
+				SizeB: int64(r.Size()), Cells: r.CellCount(),
+				Files: r.StoreFileCount(), WriteLoad: r.WriteLoad(),
+			}
+			// The primary's WAL high-water mark is the reference the
+			// replicas' applied sequences lag behind.
+			primarySeq := r.log.NextSeq() - 1
+			for _, rep := range ts.replicas[id] {
+				applied := rep.AppliedSeq()
+				lag := uint64(0)
+				if primarySeq > applied {
+					lag = primarySeq - applied
+				}
+				rstat.Replicas = append(rstat.Replicas, ops.ReplicaStatus{
+					Server: rep.Info().Host, AppliedSeq: applied, LagSeq: lag,
+				})
+			}
+			sort.Slice(rstat.Replicas, func(i, j int) bool {
+				return rstat.Replicas[i].Server < rstat.Replicas[j].Server
+			})
+			st.Regions = append(st.Regions, rstat)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(st.Regions, func(i, j int) bool { return st.Regions[i].Name < st.Regions[j].Name })
+
+	// Servers: every boot-time server plus any registered later. A server
+	// is live when it is reachable and still registered with the master —
+	// a crashed or fenced-off host shows up dead even if its process limps.
+	seen := make(map[string]bool, len(c.Servers))
+	servers := append([]*RegionServer(nil), c.Servers...)
+	for _, rs := range servers {
+		seen[rs.Host()] = true
+	}
+	for host, rs := range registered {
+		if !seen[host] {
+			servers = append(servers, rs)
+		}
+	}
+	for _, rs := range servers {
+		host := rs.Host()
+		_, isRegistered := registered[host]
+		ss := ops.ServerStatus{
+			Host:          host,
+			Live:          isRegistered && !c.Net.IsDown(host),
+			Fenced:        rs.fencedPeek(),
+			Regions:       rs.RegionCount(),
+			MemstoreBytes: int64(rs.MemstoreBytes()),
+		}
+		ss.Watermark = watermarkState(rs.serverLimits(), ss.MemstoreBytes)
+		st.Servers = append(st.Servers, ss)
+	}
+	sort.Slice(st.Servers, func(i, j int) bool { return st.Servers[i].Host < st.Servers[j].Host })
+	return st
+}
+
+// fencedPeek reports self-fence state without the transition side effects
+// (metering, journaling) SelfFenced performs — a status scrape must observe,
+// never perturb.
+func (rs *RegionServer) fencedPeek() bool {
+	rs.leaseMu.Lock()
+	defer rs.leaseMu.Unlock()
+	return rs.lease > 0 && time.Since(rs.lastBeat) > rs.lease
+}
+
+// watermarkState classifies buffered bytes against the configured memstore
+// watermarks: "" (none configured), "ok", "low" (delaying), "high"
+// (rejecting).
+func watermarkState(lim ServerLimits, total int64) string {
+	if lim.MemstoreLowWatermarkBytes <= 0 && lim.MemstoreHighWatermarkBytes <= 0 {
+		return ""
+	}
+	if lim.MemstoreHighWatermarkBytes > 0 && total >= int64(lim.MemstoreHighWatermarkBytes) {
+		return "high"
+	}
+	if lim.MemstoreLowWatermarkBytes > 0 && total >= int64(lim.MemstoreLowWatermarkBytes) {
+		return "low"
+	}
+	return "ok"
+}

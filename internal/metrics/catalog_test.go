@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// declaredMetricNames parses this package's sources and returns the string
+// value of every exported metric-name constant.
+func declaredMetricNames(t *testing.T) map[string]string {
+	t.Helper()
+	fset := token.NewFileSet()
+	names := make(map[string]string) // const identifier -> string value
+	for _, file := range []string{"metrics.go", "histogram.go"} {
+		f, err := parser.ParseFile(fset, file, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if !id.IsExported() || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						continue
+					}
+					v, err := strconv.Unquote(lit.Value)
+					if err != nil {
+						t.Fatal(err)
+					}
+					names[id.Name] = v
+				}
+			}
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("parsed no metric constants")
+	}
+	return names
+}
+
+// TestCatalogCoversConstants: every declared metric-name constant appears
+// in the catalog exactly once, and nothing in the catalog is orphaned.
+func TestCatalogCoversConstants(t *testing.T) {
+	declared := declaredMetricNames(t)
+	catalog := make(map[string]CatalogEntry)
+	for _, e := range Catalog() {
+		if _, dup := catalog[e.Name]; dup {
+			t.Errorf("catalog lists %q twice", e.Name)
+		}
+		catalog[e.Name] = e
+	}
+
+	for ident, name := range declared {
+		want := name
+		if strings.HasSuffix(name, ".") {
+			// A histogram-family prefix is cataloged with its placeholder.
+			want = name + "<method>"
+		}
+		if _, ok := catalog[want]; !ok {
+			t.Errorf("constant %s = %q missing from Catalog()", ident, want)
+		}
+		delete(catalog, want)
+	}
+	for name := range catalog {
+		t.Errorf("catalog entry %q matches no declared constant", name)
+	}
+}
+
+// TestCatalogNamingConvention: every metric follows subsystem.noun_verb —
+// a lowercase subsystem prefix, a dot, and lowercase snake_case.
+func TestCatalogNamingConvention(t *testing.T) {
+	re := regexp.MustCompile(`^[a-z]+\.[a-z][a-z0-9_]*(\.<method>)?$`)
+	kinds := map[string]bool{"counter": true, "gauge": true, "histogram": true}
+	for _, e := range Catalog() {
+		name := strings.Replace(e.Name, ".<method>", "", 1)
+		if !re.MatchString(name) && !re.MatchString(e.Name) {
+			t.Errorf("metric %q violates subsystem.noun_verb naming", e.Name)
+		}
+		if !kinds[e.Kind] {
+			t.Errorf("metric %q has unknown kind %q", e.Name, e.Kind)
+		}
+		if e.Help == "" {
+			t.Errorf("metric %q has no help text", e.Name)
+		}
+	}
+}
+
+// TestCatalogMatchesDoc: docs/METRICS.md is exactly what WriteCatalog
+// renders. Regenerate with UPDATE_METRICS_DOC=1.
+func TestCatalogMatchesDoc(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCatalog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("..", "..", "docs", "METRICS.md")
+	if os.Getenv("UPDATE_METRICS_DOC") != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with UPDATE_METRICS_DOC=1 go test ./internal/metrics/ -run Catalog)", err)
+	}
+	if !bytes.Equal(got, buf.Bytes()) {
+		t.Fatal("docs/METRICS.md is stale; regenerate with UPDATE_METRICS_DOC=1 go test ./internal/metrics/ -run Catalog")
+	}
+}

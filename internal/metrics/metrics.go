@@ -30,12 +30,12 @@ const (
 	RegionsPruned       = "shc.regions_pruned"
 	FiltersPushed       = "shc.filters_pushed"
 	FiltersUnhandled    = "shc.filters_unhandled"
-	ConnectionsCreated  = "conn.created"
-	ConnectionsReused   = "conn.reused"
+	ConnectionsCreated  = "conn.connections_created"
+	ConnectionsReused   = "conn.connections_reused"
 	TokensFetched       = "security.tokens_fetched"
 	TokensRenewed       = "security.tokens_renewed"
 	TokensCacheHits     = "security.token_cache_hits"
-	MemoryCharged       = "engine.memory_bytes"
+	MemoryCharged       = "engine.memory_charged_bytes"
 	MemoryHeld          = "engine.memory_held_bytes"
 	MemoryPeak          = "engine.memory_peak_bytes"
 	BatchesStreamed     = "exec.batches_streamed"
@@ -45,7 +45,7 @@ const (
 	ColumnarPages       = "hbase.columnar_pages"
 	PagesPrefetched     = "hbase.pages_prefetched"
 	FusedPages          = "hbase.fused_pages"
-	TasksLaunched       = "engine.tasks"
+	TasksLaunched       = "engine.tasks_launched"
 	TasksLocal          = "engine.tasks_local"
 	WALAppends          = "wal.appends"
 	MemstoreFlushes     = "hbase.memstore_flushes"
@@ -60,11 +60,11 @@ const (
 	FaultsInjected      = "rpc.faults_injected"
 	RPCHedges           = "rpc.hedges"
 	RPCHedgeWins        = "rpc.hedge_wins"
-	ServerShed          = "server.shed"
+	ServerShed          = "server.requests_shed"
 	ServerQueuePeak     = "server.queue_depth_peak"
-	BreakerOpens        = "breaker.opens"
-	QueriesCancelled    = "queries.cancelled"
-	TasksCancelled      = "tasks.cancelled"
+	BreakerOpens        = "breaker.circuit_opens"
+	QueriesCancelled    = "engine.queries_cancelled"
+	TasksCancelled      = "exec.tasks_cancelled"
 	RegionsFenced       = "hbase.regions_fenced"
 	RegionsDrained      = "hbase.regions_drained"
 	FencedRejects       = "rpc.fenced_rejects"

@@ -1,0 +1,133 @@
+// Exposition and quantile edge-case tests live in an external test package
+// so they can drive ops.ValidateExposition against real WriteExposition
+// output without an import cycle.
+package metrics_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/shc-go/shc/internal/metrics"
+	"github.com/shc-go/shc/internal/ops"
+)
+
+// TestWriteExpositionUnderConcurrentScopedWriters scrapes a registry while
+// scoped meters hammer it from many goroutines — the ops-endpoint situation:
+// /metrics runs mid-query. Every intermediate scrape must be structurally
+// well-formed, and the final totals exact. Run under -race this also proves
+// the registry's scrape path takes no unsynchronized reads.
+func TestWriteExpositionUnderConcurrentScopedWriters(t *testing.T) {
+	base := metrics.NewRegistry()
+	const writers, rounds = 8, 400
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scope := metrics.NewRegistry()
+			ctx := metrics.WithScope(context.Background(), scope)
+			m := metrics.Scoped(ctx, base)
+			<-start
+			for i := 0; i < rounds; i++ {
+				m.Inc(metrics.RPCCalls)
+				m.Add(metrics.RPCBytesReceived, 128)
+				m.Observe(metrics.HistQueryLatency, time.Duration(i+1)*time.Microsecond)
+				m.SetMax(metrics.ServerQueuePeak, int64(i))
+				m.Inc(fmt.Sprintf("test.writer_%d_rounds", w))
+			}
+			if got := scope.Get(metrics.RPCCalls); got != rounds {
+				t.Errorf("writer %d scope rpc.calls = %d, want %d", w, got, rounds)
+			}
+		}(w)
+	}
+
+	close(start)
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		base.WriteExposition(&buf)
+		if buf.Len() == 0 {
+			continue // nothing recorded yet
+		}
+		if err := ops.ValidateExposition(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("scrape %d malformed under concurrent writers: %v\n%s", i, err, buf.String())
+		}
+	}
+	wg.Wait()
+
+	if got := base.Get(metrics.RPCCalls); got != writers*rounds {
+		t.Errorf("base rpc.calls = %d, want %d", got, writers*rounds)
+	}
+	if got := base.Histogram(metrics.HistQueryLatency).Count(); got != writers*rounds {
+		t.Errorf("base latency count = %d, want %d", got, writers*rounds)
+	}
+	var buf bytes.Buffer
+	base.WriteExposition(&buf)
+	if err := ops.ValidateExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("final exposition malformed: %v", err)
+	}
+}
+
+// TestQuantileAtBucketEdges pins the interpolation behaviour exactly at
+// bucket boundaries, where off-by-one bucket selection or unclamped
+// interpolation would show up.
+func TestQuantileAtBucketEdges(t *testing.T) {
+	// Every observation exactly on a bucket's upper bound: the top quantile
+	// must return that bound exactly (hi is clamped to the observed max),
+	// and interpolation inside the bucket stays within (lo, bound].
+	var h metrics.Histogram
+	const bound = 64 * time.Microsecond // bucket 6: (32µs, 64µs]
+	for i := 0; i < 100; i++ {
+		h.Observe(bound)
+	}
+	if got := h.Quantile(1); got != bound {
+		t.Errorf("Quantile(1) = %v, want exactly %v", got, bound)
+	}
+	if got := h.Quantile(0.5); got <= 32*time.Microsecond || got > bound {
+		t.Errorf("Quantile(0.5) = %v, want within (32µs, %v]", got, bound)
+	}
+
+	// A single observation below the first bound interpolates toward it but
+	// never past the max.
+	var lo metrics.Histogram
+	lo.Observe(500 * time.Nanosecond)
+	if got := lo.Quantile(1); got != 500*time.Nanosecond {
+		t.Errorf("single sub-bucket observation: Quantile(1) = %v, want 500ns", got)
+	}
+
+	// An overflow-bucket observation reports the max, not a bucket bound.
+	var of metrics.Histogram
+	of.Observe(10 * time.Hour)
+	for _, q := range []float64{0.01, 0.5, 1} {
+		if got := of.Quantile(q); got != 10*time.Hour {
+			t.Errorf("overflow Quantile(%v) = %v, want 10h", q, got)
+		}
+	}
+
+	// Observations on successive power-of-two bounds: quantiles are
+	// monotonic in q and never exceed the max.
+	var m metrics.Histogram
+	maxD := time.Duration(0)
+	for i := 0; i < 10; i++ {
+		d := time.Microsecond << i
+		m.Observe(d)
+		if d > maxD {
+			maxD = d
+		}
+	}
+	prev := time.Duration(0)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		got := m.Quantile(q)
+		if got < prev {
+			t.Errorf("Quantile(%v) = %v < previous %v; not monotonic", q, got, prev)
+		}
+		if got > maxD {
+			t.Errorf("Quantile(%v) = %v exceeds max %v", q, got, maxD)
+		}
+		prev = got
+	}
+}

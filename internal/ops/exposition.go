@@ -1,0 +1,144 @@
+package ops
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks a Prometheus text-exposition payload for
+// well-formedness: every line parses (comment, blank, or sample), sample
+// values are numeric, no metric/label pair appears twice, and no metric is
+// TYPE-declared twice. This is what the CI scrape step runs against a live
+// /metrics endpoint — a cheap structural check, not a full openmetrics
+// parser.
+func ValidateExposition(r io.Reader) error {
+	types := map[string]string{}
+	seen := map[string]bool{}
+	samples := 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE comment: %q", lineNo, line)
+				}
+				name, kind := fields[2], fields[3]
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, kind)
+				}
+				if prev, ok := types[name]; ok {
+					return fmt.Errorf("line %d: metric %s TYPE declared twice (%s, %s)", lineNo, name, prev, kind)
+				}
+				types[name] = kind
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil && value != "+Inf" && value != "-Inf" && value != "NaN" {
+			return fmt.Errorf("line %d: non-numeric value %q", lineNo, value)
+		}
+		key := name + "{" + labels + "}"
+		if seen[key] {
+			return fmt.Errorf("line %d: duplicate sample %s", lineNo, key)
+		}
+		seen[key] = true
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("exposition contains no samples")
+	}
+	return nil
+}
+
+// parseSample splits one sample line into metric name, canonical label
+// string, and value text.
+func parseSample(line string) (name, labels, value string, err error) {
+	rest := line
+	// Metric name: [a-zA-Z_:][a-zA-Z0-9_:]*
+	i := 0
+	for i < len(rest) && isNameChar(rest[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return "", "", "", fmt.Errorf("malformed sample: %q", line)
+	}
+	name, rest = rest[:i], rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return "", "", "", fmt.Errorf("unterminated label set: %q", line)
+		}
+		labels, rest = rest[1:end], rest[end+1:]
+		for _, pair := range splitLabels(labels) {
+			eq := strings.Index(pair, "=")
+			if eq <= 0 {
+				return "", "", "", fmt.Errorf("malformed label %q in %q", pair, line)
+			}
+			v := pair[eq+1:]
+			if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return "", "", "", fmt.Errorf("unquoted label value %q in %q", pair, line)
+			}
+		}
+	}
+	fields := strings.Fields(rest)
+	// Value, optionally followed by a timestamp.
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", "", fmt.Errorf("expected value after metric in %q", line)
+	}
+	return name, labels, fields[0], nil
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				if part := strings.TrimSpace(s[start:i]); part != "" {
+					out = append(out, part)
+				}
+				start = i + 1
+			}
+		}
+	}
+	if part := strings.TrimSpace(s[start:]); part != "" {
+		out = append(out, part)
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package ops
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/shc-go/shc/internal/metrics"
+)
+
+func TestValidateExpositionAcceptsRegistryOutput(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Add(metrics.RPCCalls, 42)
+	reg.Add(metrics.RowsScanned, 1000)
+	reg.SetMax(metrics.MemoryPeak, 1<<20)
+	for i := 0; i < 100; i++ {
+		reg.Observe(metrics.HistQueryLatency, time.Duration(i)*time.Millisecond)
+		reg.Observe(metrics.HistRPCLatencyPrefix+"Scan", time.Duration(i)*time.Microsecond)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteExposition(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := ValidateExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("registry exposition rejected: %v\n%s", err, buf.String())
+	}
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload string
+		wantErr string
+	}{
+		{"empty", "", "no samples"},
+		{"duplicate sample", "a 1\na 2\n", "duplicate sample"},
+		{"duplicate labeled sample", "a{le=\"1\"} 1\na{le=\"1\"} 2\n", "duplicate sample"},
+		{"non-numeric value", "a bogus\n", "non-numeric value"},
+		{"missing value", "a_metric\n", "expected value"},
+		{"bad name", "{le=\"1\"} 1\n", "malformed sample"},
+		{"unterminated labels", "a{le=\"1\" 1\n", "unterminated label set"},
+		{"unquoted label value", "a{le=1} 1\n", "unquoted label value"},
+		{"double TYPE", "# TYPE a counter\n# TYPE a gauge\na 1\n", "declared twice"},
+		{"unknown type", "# TYPE a widget\na 1\n", "unknown metric type"},
+		{"malformed TYPE", "# TYPE a\na 1\n", "malformed TYPE"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateExposition(strings.NewReader(tc.payload))
+			if err == nil {
+				t.Fatalf("accepted malformed payload %q", tc.payload)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateExpositionAcceptsDistinctLabels(t *testing.T) {
+	payload := "# TYPE h histogram\n" +
+		"h_bucket{le=\"0.001\"} 5\n" +
+		"h_bucket{le=\"0.002\"} 9\n" +
+		"h_bucket{le=\"+Inf\"} 10\n" +
+		"h_sum 0.5\nh_count 10\n"
+	if err := ValidateExposition(strings.NewReader(payload)); err != nil {
+		t.Fatalf("valid histogram rejected: %v", err)
+	}
+}

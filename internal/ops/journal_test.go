@@ -1,0 +1,125 @@
+package ops
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJournalSeqAndCause(t *testing.T) {
+	j := NewJournal(16)
+	fenced := j.Append(Event{Type: EventServerFenced, Server: "rs1"})
+	if fenced != 1 {
+		t.Fatalf("first seq = %d, want 1", fenced)
+	}
+	promoted := j.Append(Event{Type: EventReplicaPromoted, Region: "r1", Server: "rs2", Cause: fenced})
+	if promoted != 2 {
+		t.Fatalf("second seq = %d, want 2", promoted)
+	}
+	events := j.Find(EventReplicaPromoted)
+	if len(events) != 1 {
+		t.Fatalf("got %d ReplicaPromoted events, want 1", len(events))
+	}
+	if events[0].Cause != fenced {
+		t.Fatalf("cause = %d, want %d", events[0].Cause, fenced)
+	}
+	root, ok := j.Get(events[0].Cause)
+	if !ok || root.Type != EventServerFenced || root.Server != "rs1" {
+		t.Fatalf("cause walk landed on %+v, want the ServerFenced event", root)
+	}
+	if events[0].Time.IsZero() {
+		t.Fatal("append did not stamp a time")
+	}
+}
+
+func TestJournalRingEviction(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Append(Event{Type: EventRegionSplit})
+	}
+	if j.Len() != 4 {
+		t.Fatalf("len = %d, want 4", j.Len())
+	}
+	if j.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", j.Dropped())
+	}
+	if j.LastSeq() != 10 {
+		t.Fatalf("last seq = %d, want 10", j.LastSeq())
+	}
+	events := j.Events(Filter{})
+	if len(events) != 4 || events[0].Seq != 7 || events[3].Seq != 10 {
+		t.Fatalf("retained seqs = %v, want [7..10]", seqs(events))
+	}
+	if _, ok := j.Get(3); ok {
+		t.Fatal("evicted event still retrievable")
+	}
+}
+
+func TestJournalFilters(t *testing.T) {
+	j := NewJournal(0)
+	j.Append(Event{Type: EventServerFenced, Server: "rs1"})
+	j.Append(Event{Type: EventRegionReassigned, Region: "r1", Server: "rs2"})
+	j.Append(Event{Type: EventRegionReassigned, Region: "r2", Server: "rs2"})
+	j.Append(Event{Type: EventRegionSplit, Region: "r1"})
+
+	if got := j.Events(Filter{Types: []EventType{EventRegionReassigned}}); len(got) != 2 {
+		t.Fatalf("type filter: got %d, want 2", len(got))
+	}
+	if got := j.Events(Filter{Region: "r1"}); len(got) != 2 {
+		t.Fatalf("region filter: got %d, want 2", len(got))
+	}
+	if got := j.Events(Filter{Server: "rs2"}); len(got) != 2 {
+		t.Fatalf("server filter: got %d, want 2", len(got))
+	}
+	if got := j.Events(Filter{SinceSeq: 2}); len(got) != 2 || got[0].Seq != 3 {
+		t.Fatalf("since filter: got %v", seqs(got))
+	}
+	if got := j.Events(Filter{Last: 1}); len(got) != 1 || got[0].Seq != 4 {
+		t.Fatalf("last filter: got %v", seqs(got))
+	}
+	if got := j.Events(Filter{Types: []EventType{EventRegionReassigned}, Server: "rs2", Last: 1}); len(got) != 1 || got[0].Region != "r2" {
+		t.Fatalf("combined filter: got %+v", got)
+	}
+}
+
+func TestJournalSinkWritesJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(2)
+	j.SetSink(&buf)
+	j.Append(Event{Type: EventServerFenced, Server: "rs1"})
+	j.Append(Event{Type: EventRegionSplit, Region: "r1"})
+	j.Append(Event{Type: EventRegionSplit, Region: "r2"}) // evicts from ring, still sunk
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("sink got %d lines, want 3", len(lines))
+	}
+	for _, line := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("sink line %q is not JSON: %v", line, err)
+		}
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	if seq := j.Append(Event{Type: EventServerFenced}); seq != 0 {
+		t.Fatalf("nil append returned seq %d, want 0", seq)
+	}
+	if j.Events(Filter{}) != nil || j.Len() != 0 || j.LastSeq() != 0 || j.Dropped() != 0 {
+		t.Fatal("nil journal accessors not zero")
+	}
+	if _, ok := j.Get(1); ok {
+		t.Fatal("nil journal Get returned ok")
+	}
+	j.SetSink(&bytes.Buffer{}) // must not panic
+}
+
+func seqs(events []Event) []uint64 {
+	out := make([]uint64, len(events))
+	for i, e := range events {
+		out[i] = e.Seq
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package ops
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/shc-go/shc/internal/metrics"
+)
+
+func startTestServer(t *testing.T, cfg ServerConfig) *Server {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	s, err := StartServer(cfg)
+	if err != nil {
+		t.Fatalf("start ops server: %v", err)
+	}
+	return s
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestOpsServerEndpoints(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Add(metrics.RPCCalls, 7)
+	reg.Observe(metrics.HistQueryLatency, 3*time.Millisecond)
+
+	j := NewJournal(16)
+	fenced := j.Append(Event{Type: EventServerFenced, Server: "rs1"})
+	j.Append(Event{Type: EventReplicaPromoted, Region: "r1", Server: "rs2", Cause: fenced})
+
+	stats := NewStatsTable(8)
+	stats.Record(QuerySample{Fingerprint: "abc", Shape: "Scan(t)", Duration: time.Millisecond, Rows: 10})
+
+	s := startTestServer(t, ServerConfig{
+		Metrics: reg,
+		Journal: j,
+		Stats:   stats,
+		Status: func() ClusterStatus {
+			return ClusterStatus{
+				Servers: []ServerStatus{{Host: "rs2", Live: true, Regions: 1}},
+				Regions: []RegionStatus{{Name: "r1", Table: "t", Server: "rs2", Epoch: 2}},
+			}
+		},
+	})
+	defer s.Close()
+
+	code, body := get(t, s.URL()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "shc_rpc_calls 7") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if err := ValidateExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics not well-formed: %v", err)
+	}
+
+	code, body = get(t, s.URL()+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body = get(t, s.URL()+"/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz status %d", code)
+	}
+	var st ClusterStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/statusz not JSON: %v", err)
+	}
+	if len(st.Servers) != 1 || st.Servers[0].Host != "rs2" || st.Regions[0].Epoch != 2 {
+		t.Fatalf("bad /statusz: %+v", st)
+	}
+
+	code, body = get(t, s.URL()+"/events?type=ReplicaPromoted")
+	if code != http.StatusOK {
+		t.Fatalf("/events status %d", code)
+	}
+	var ev struct {
+		LastSeq uint64  `json:"last_seq"`
+		Events  []Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &ev); err != nil {
+		t.Fatalf("/events not JSON: %v", err)
+	}
+	if ev.LastSeq != 2 || len(ev.Events) != 1 || ev.Events[0].Cause != fenced {
+		t.Fatalf("bad /events: %+v", ev)
+	}
+
+	code, body = get(t, s.URL()+"/queries?n=5")
+	if code != http.StatusOK {
+		t.Fatalf("/queries status %d", code)
+	}
+	var qs struct {
+		Queries []QueryStat `json:"queries"`
+	}
+	if err := json.Unmarshal([]byte(body), &qs); err != nil {
+		t.Fatalf("/queries not JSON: %v", err)
+	}
+	if len(qs.Queries) != 1 || qs.Queries[0].Fingerprint != "abc" || qs.Queries[0].Rows != 10 {
+		t.Fatalf("bad /queries: %+v", qs)
+	}
+
+	if code, _ = get(t, s.URL()+"/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+	if code, _ = get(t, s.URL()+"/events?since=notanumber"); code != http.StatusBadRequest {
+		t.Fatalf("bad since param returned %d, want 400", code)
+	}
+}
+
+func TestOpsServerUnhealthy(t *testing.T) {
+	s := startTestServer(t, ServerConfig{
+		Health: func() error { return fmt.Errorf("no live servers") },
+	})
+	defer s.Close()
+	code, body := get(t, s.URL()+"/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "no live servers") {
+		t.Fatalf("/healthz = %d %q, want 503", code, body)
+	}
+}
+
+func TestOpsServerEmptySources(t *testing.T) {
+	s := startTestServer(t, ServerConfig{})
+	defer s.Close()
+	for _, path := range []string{"/healthz", "/statusz", "/events", "/queries"} {
+		code, _ := get(t, s.URL()+path)
+		if code != http.StatusOK {
+			t.Fatalf("%s with nil sources = %d", path, code)
+		}
+	}
+}
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// base, tolerating runtime background goroutines that need a moment to
+// exit after a connection closes.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s", n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestOpsServerCloseLeaksNothing(t *testing.T) {
+	base := runtime.NumGoroutine()
+	reg := metrics.NewRegistry()
+	reg.Inc(metrics.RPCCalls)
+	s := startTestServer(t, ServerConfig{Metrics: reg})
+	addr := s.Addr()
+	if code, _ := get(t, s.URL()+"/metrics"); code != http.StatusOK {
+		t.Fatal("scrape before close failed")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		t.Fatal("listener still accepting after Close")
+	}
+	waitGoroutines(t, base)
+}
+
+func TestOpsServerCloseMidScrape(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s := startTestServer(t, ServerConfig{Metrics: metrics.NewRegistry()})
+
+	// A client that connects and sends only half a request is an active
+	// connection graceful shutdown cannot drain; Close must hard-stop it
+	// instead of hanging or leaking the serve goroutine.
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /metrics HTTP/1.1\r\nHost: ops\r\n")); err != nil {
+		t.Fatalf("partial write: %v", err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung on a mid-scrape connection")
+	}
+	conn.Close()
+	waitGoroutines(t, base)
+}

@@ -1,0 +1,233 @@
+package ops
+
+import (
+	"sync"
+	"time"
+
+	"github.com/shc-go/shc/internal/metrics"
+)
+
+// QuerySample is one executed statement's contribution to the fingerprint
+// table.
+type QuerySample struct {
+	// Fingerprint is the statement-shape hash (plan.Fingerprint); Shape is
+	// its human-readable normalized form, kept for display.
+	Fingerprint string
+	Shape       string
+	Duration    time.Duration
+	Rows        int64
+	Bytes       int64
+	Retries     int64
+	Shed        int64
+	Err         bool
+}
+
+// QueryStat is the aggregated state for one statement fingerprint.
+type QueryStat struct {
+	Fingerprint string `json:"fingerprint"`
+	Shape       string `json:"shape"`
+	Count       int64  `json:"count"`
+	Errors      int64  `json:"errors,omitempty"`
+	Rows        int64  `json:"rows"`
+	Bytes       int64  `json:"bytes,omitempty"`
+	Retries     int64  `json:"retries,omitempty"`
+	Shed        int64  `json:"shed,omitempty"`
+	// TotalMs is the summed wall time — what "top" orders by.
+	TotalMs int64 `json:"total_ms"`
+	P50Ms   int64 `json:"p50_ms"`
+	P95Ms   int64 `json:"p95_ms"`
+	P99Ms   int64 `json:"p99_ms"`
+	MaxMs   int64 `json:"max_ms"`
+	// SlowCount and LastSlow key the slow-query log by fingerprint: how many
+	// runs of this shape crossed the threshold, and the most recent log line.
+	SlowCount int64  `json:"slow_count,omitempty"`
+	LastSlow  string `json:"last_slow,omitempty"`
+}
+
+// statEntry is the live aggregate behind one QueryStat.
+type statEntry struct {
+	shape     string
+	count     int64
+	errors    int64
+	rows      int64
+	bytes     int64
+	retries   int64
+	shed      int64
+	total     time.Duration
+	slowCount int64
+	lastSlow  string
+	hist      metrics.Histogram
+}
+
+// DefaultStatsSize bounds the fingerprint table when the caller does not.
+const DefaultStatsSize = 256
+
+// StatsTable aggregates per-fingerprint runtime statistics — the workload
+// view Shark-style runtime re-optimization and the ROADMAP item-2 plan
+// cache both need, and the substance of the ops endpoint's /queries. It is
+// bounded top-K: when full, a new fingerprint evicts the least-run entry,
+// so a scan of distinct ad-hoc shapes cannot grow it without bound.
+type StatsTable struct {
+	mu      sync.Mutex
+	entries map[string]*statEntry
+	max     int
+	evicted int64
+}
+
+// NewStatsTable creates a table retaining at most max fingerprints
+// (DefaultStatsSize when max <= 0).
+func NewStatsTable(max int) *StatsTable {
+	if max <= 0 {
+		max = DefaultStatsSize
+	}
+	return &StatsTable{entries: make(map[string]*statEntry), max: max}
+}
+
+// Record folds one executed statement into its fingerprint's aggregate.
+func (t *StatsTable) Record(s QuerySample) {
+	if t == nil || s.Fingerprint == "" {
+		return
+	}
+	t.mu.Lock()
+	e := t.entryLocked(s.Fingerprint, s.Shape)
+	e.count++
+	if s.Err {
+		e.errors++
+	}
+	e.rows += s.Rows
+	e.bytes += s.Bytes
+	e.retries += s.Retries
+	e.shed += s.Shed
+	e.total += s.Duration
+	t.mu.Unlock()
+	// The histogram is internally atomic; observing outside the table lock
+	// keeps Record cheap on the query path.
+	e.hist.Observe(s.Duration)
+}
+
+// RecordSlow attaches one slow-query log line to its fingerprint.
+func (t *StatsTable) RecordSlow(fingerprint, shape, line string) {
+	if t == nil || fingerprint == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entryLocked(fingerprint, shape)
+	e.slowCount++
+	e.lastSlow = line
+}
+
+// entryLocked resolves (or creates, evicting if full) the fingerprint's
+// entry. Caller holds t.mu.
+func (t *StatsTable) entryLocked(fp, shape string) *statEntry {
+	if e, ok := t.entries[fp]; ok {
+		if e.shape == "" {
+			e.shape = shape
+		}
+		return e
+	}
+	if len(t.entries) >= t.max {
+		var coldKey string
+		var cold *statEntry
+		for k, e := range t.entries {
+			if cold == nil || e.count < cold.count {
+				coldKey, cold = k, e
+			}
+		}
+		delete(t.entries, coldKey)
+		t.evicted++
+	}
+	e := &statEntry{shape: shape}
+	t.entries[fp] = e
+	return e
+}
+
+// snapshot renders one entry. Caller holds t.mu.
+func (e *statEntry) snapshot(fp string) QueryStat {
+	ms := func(d time.Duration) int64 { return d.Milliseconds() }
+	return QueryStat{
+		Fingerprint: fp,
+		Shape:       e.shape,
+		Count:       e.count,
+		Errors:      e.errors,
+		Rows:        e.rows,
+		Bytes:       e.bytes,
+		Retries:     e.retries,
+		Shed:        e.shed,
+		TotalMs:     ms(e.total),
+		P50Ms:       ms(e.hist.Quantile(0.50)),
+		P95Ms:       ms(e.hist.Quantile(0.95)),
+		P99Ms:       ms(e.hist.Quantile(0.99)),
+		MaxMs:       ms(e.hist.Max()),
+		SlowCount:   e.slowCount,
+		LastSlow:    e.lastSlow,
+	}
+}
+
+// Top returns up to n fingerprints ordered by total wall time, heaviest
+// first (n <= 0 = all).
+func (t *StatsTable) Top(n int) []QueryStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]QueryStat, 0, len(t.entries))
+	for fp, e := range t.entries {
+		out = append(out, e.snapshot(fp))
+	}
+	t.mu.Unlock()
+	// Insertion sort by (TotalMs, Count, Fingerprint) — the table is small.
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && heavier(out[k], out[k-1]); k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func heavier(a, b QueryStat) bool {
+	if a.TotalMs != b.TotalMs {
+		return a.TotalMs > b.TotalMs
+	}
+	if a.Count != b.Count {
+		return a.Count > b.Count
+	}
+	return a.Fingerprint < b.Fingerprint
+}
+
+// Get returns the aggregate for one fingerprint.
+func (t *StatsTable) Get(fingerprint string) (QueryStat, bool) {
+	if t == nil {
+		return QueryStat{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[fingerprint]
+	if !ok {
+		return QueryStat{}, false
+	}
+	return e.snapshot(fingerprint), true
+}
+
+// Len reports how many fingerprints the table retains.
+func (t *StatsTable) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// Evicted reports how many fingerprints the bounded table has dropped.
+func (t *StatsTable) Evicted() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted
+}

@@ -1,0 +1,122 @@
+package ops
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestStatsTableAggregates(t *testing.T) {
+	tab := NewStatsTable(8)
+	for i := 0; i < 3; i++ {
+		tab.Record(QuerySample{
+			Fingerprint: "abc", Shape: "Scan(t)->Filter(?)",
+			Duration: 10 * time.Millisecond, Rows: 100, Bytes: 4096, Retries: 1,
+		})
+	}
+	tab.Record(QuerySample{Fingerprint: "abc", Duration: 40 * time.Millisecond, Rows: 5, Shed: 2, Err: true})
+
+	st, ok := tab.Get("abc")
+	if !ok {
+		t.Fatal("fingerprint missing")
+	}
+	if st.Count != 4 || st.Rows != 305 || st.Bytes != 3*4096 || st.Retries != 3 || st.Shed != 2 || st.Errors != 1 {
+		t.Fatalf("bad aggregate: %+v", st)
+	}
+	if st.Shape != "Scan(t)->Filter(?)" {
+		t.Fatalf("shape = %q", st.Shape)
+	}
+	if st.TotalMs != 70 {
+		t.Fatalf("total = %dms, want 70", st.TotalMs)
+	}
+	if st.MaxMs < 40 {
+		t.Fatalf("max = %dms, want >= 40", st.MaxMs)
+	}
+	if st.P99Ms < st.P50Ms {
+		t.Fatalf("p99 %d < p50 %d", st.P99Ms, st.P50Ms)
+	}
+}
+
+func TestStatsTableTopOrdering(t *testing.T) {
+	tab := NewStatsTable(8)
+	tab.Record(QuerySample{Fingerprint: "light", Duration: time.Millisecond})
+	for i := 0; i < 5; i++ {
+		tab.Record(QuerySample{Fingerprint: "heavy", Duration: 100 * time.Millisecond})
+	}
+	tab.Record(QuerySample{Fingerprint: "mid", Duration: 50 * time.Millisecond})
+
+	top := tab.Top(2)
+	if len(top) != 2 {
+		t.Fatalf("top(2) returned %d", len(top))
+	}
+	if top[0].Fingerprint != "heavy" || top[1].Fingerprint != "mid" {
+		t.Fatalf("order = [%s %s], want [heavy mid]", top[0].Fingerprint, top[1].Fingerprint)
+	}
+	if all := tab.Top(0); len(all) != 3 {
+		t.Fatalf("top(0) returned %d, want all 3", len(all))
+	}
+}
+
+func TestStatsTableEvictsColdest(t *testing.T) {
+	tab := NewStatsTable(2)
+	tab.Record(QuerySample{Fingerprint: "hot", Duration: time.Millisecond})
+	tab.Record(QuerySample{Fingerprint: "hot", Duration: time.Millisecond})
+	tab.Record(QuerySample{Fingerprint: "cold", Duration: time.Millisecond})
+	tab.Record(QuerySample{Fingerprint: "new", Duration: time.Millisecond})
+
+	if tab.Len() != 2 {
+		t.Fatalf("len = %d, want 2", tab.Len())
+	}
+	if tab.Evicted() != 1 {
+		t.Fatalf("evicted = %d, want 1", tab.Evicted())
+	}
+	if _, ok := tab.Get("cold"); ok {
+		t.Fatal("coldest entry survived eviction")
+	}
+	if _, ok := tab.Get("hot"); !ok {
+		t.Fatal("hottest entry was evicted")
+	}
+}
+
+func TestStatsTableBounded(t *testing.T) {
+	tab := NewStatsTable(16)
+	for i := 0; i < 200; i++ {
+		tab.Record(QuerySample{Fingerprint: fmt.Sprintf("fp-%d", i), Duration: time.Millisecond})
+	}
+	if tab.Len() != 16 {
+		t.Fatalf("len = %d, want 16", tab.Len())
+	}
+}
+
+func TestStatsTableSlowLog(t *testing.T) {
+	tab := NewStatsTable(0)
+	tab.Record(QuerySample{Fingerprint: "abc", Shape: "Scan(t)", Duration: time.Second})
+	tab.RecordSlow("abc", "Scan(t)", "slow-query dur=1s shape=Scan(t)")
+	tab.RecordSlow("abc", "Scan(t)", "slow-query dur=2s shape=Scan(t)")
+
+	st, _ := tab.Get("abc")
+	if st.SlowCount != 2 {
+		t.Fatalf("slow count = %d, want 2", st.SlowCount)
+	}
+	if st.LastSlow != "slow-query dur=2s shape=Scan(t)" {
+		t.Fatalf("last slow = %q", st.LastSlow)
+	}
+}
+
+func TestStatsTableNilSafe(t *testing.T) {
+	var tab *StatsTable
+	tab.Record(QuerySample{Fingerprint: "x"})
+	tab.RecordSlow("x", "", "line")
+	if tab.Top(5) != nil || tab.Len() != 0 || tab.Evicted() != 0 {
+		t.Fatal("nil table accessors not zero")
+	}
+	if _, ok := tab.Get("x"); ok {
+		t.Fatal("nil table Get returned ok")
+	}
+	// Empty fingerprints are dropped, not aggregated under "".
+	real := NewStatsTable(4)
+	real.Record(QuerySample{Duration: time.Millisecond})
+	if real.Len() != 0 {
+		t.Fatal("empty fingerprint was recorded")
+	}
+}

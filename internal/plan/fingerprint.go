@@ -1,0 +1,166 @@
+package plan
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// Fingerprint normalizes an optimized logical plan to its statement shape —
+// the plan rendered with every literal masked to '?' and IN lists collapsed
+// — and hashes it. Queries that differ only in their constants share a
+// fingerprint, which is what lets the ops plane aggregate per-statement
+// stats (and, later, key a plan cache) without retaining query text. The
+// fingerprint is the FNV-1a hash of the shape as 16 hex digits.
+func Fingerprint(p LogicalPlan) (fp, shape string) {
+	shape = Shape(p)
+	h := fnv.New64a()
+	h.Write([]byte(shape))
+	return fmt.Sprintf("%016x", h.Sum64()), shape
+}
+
+// Shape renders the plan one-line with literals masked: each node as
+// Name[detail], children parenthesized, e.g.
+// "Project[v AS v](Filter[(k > ?)](Scan[t cols=[k,v]]))".
+func Shape(p LogicalPlan) string {
+	head := nodeShape(p)
+	kids := p.Children()
+	if len(kids) == 0 {
+		return head
+	}
+	parts := make([]string, len(kids))
+	for i, c := range kids {
+		parts[i] = Shape(c)
+	}
+	return head + "(" + strings.Join(parts, ",") + ")"
+}
+
+// nodeShape mirrors each node's String() with expressions normalized and
+// non-structural constants (limit counts) masked.
+func nodeShape(p LogicalPlan) string {
+	switch n := p.(type) {
+	case *ScanNode:
+		var b strings.Builder
+		fmt.Fprintf(&b, "Scan[%s", n.Relation.Name())
+		if n.Alias != "" {
+			fmt.Fprintf(&b, " AS %s", n.Alias)
+		}
+		if n.Projection != nil {
+			fmt.Fprintf(&b, " cols=[%s]", strings.Join(n.Projection, ","))
+		}
+		if len(n.Pushed) > 0 {
+			parts := make([]string, len(n.Pushed))
+			for i, e := range n.Pushed {
+				parts[i] = exprShape(e)
+			}
+			fmt.Fprintf(&b, " pushed=[%s]", strings.Join(parts, " AND "))
+		}
+		b.WriteByte(']')
+		return b.String()
+	case *FilterNode:
+		return "Filter[" + exprShape(n.Cond) + "]"
+	case *ProjectNode:
+		parts := make([]string, len(n.Exprs))
+		for i, ne := range n.Exprs {
+			parts[i] = exprShape(ne.Expr) + " AS " + ne.Name
+		}
+		return "Project[" + strings.Join(parts, ", ") + "]"
+	case *JoinNode:
+		parts := make([]string, len(n.LeftKeys))
+		for i := range n.LeftKeys {
+			parts[i] = exprShape(n.LeftKeys[i]) + " = " + exprShape(n.RightKeys[i])
+		}
+		return fmt.Sprintf("Join[%s %s]", n.Type, strings.Join(parts, " AND "))
+	case *AggregateNode:
+		groups := make([]string, len(n.GroupBy))
+		for i, g := range n.GroupBy {
+			groups[i] = exprShape(g.Expr)
+		}
+		aggs := make([]string, len(n.Aggs))
+		for i, a := range n.Aggs {
+			arg := "*"
+			if a.Arg != nil {
+				arg = exprShape(a.Arg)
+			}
+			aggs[i] = fmt.Sprintf("%s(%s)", a.Kind, arg)
+		}
+		return fmt.Sprintf("Aggregate[group=[%s] aggs=[%s]]",
+			strings.Join(groups, ","), strings.Join(aggs, ", "))
+	case *UnionNode:
+		return "Union"
+	case *SortNode:
+		parts := make([]string, len(n.Orders))
+		for i, o := range n.Orders {
+			dir := " ASC"
+			if o.Desc {
+				dir = " DESC"
+			}
+			parts[i] = exprShape(o.Expr) + dir
+		}
+		return "Sort[" + strings.Join(parts, ", ") + "]"
+	case *LimitNode:
+		return "Limit[?]"
+	default:
+		return p.String()
+	}
+}
+
+// exprShape renders an expression with every literal masked to '?'. An IN
+// list of literals collapses to a single '?' regardless of length, so
+// "k IN (1,2)" and "k IN (1,2,3)" share a shape the way pg_stat_statements
+// normalizes them.
+func exprShape(e Expr) string {
+	switch x := e.(type) {
+	case *Literal:
+		return "?"
+	case *ColumnRef:
+		return x.Name
+	case *Comparison:
+		return fmt.Sprintf("(%s %s %s)", exprShape(x.L), x.Op, exprShape(x.R))
+	case *And:
+		return fmt.Sprintf("(%s AND %s)", exprShape(x.L), exprShape(x.R))
+	case *Or:
+		return fmt.Sprintf("(%s OR %s)", exprShape(x.L), exprShape(x.R))
+	case *Not:
+		return "NOT " + exprShape(x.E)
+	case *In:
+		op := "IN"
+		if x.Negate {
+			op = "NOT IN"
+		}
+		list := "?"
+		for _, v := range x.Values {
+			if _, lit := v.(*Literal); !lit {
+				parts := make([]string, len(x.Values))
+				for i, ve := range x.Values {
+					parts[i] = exprShape(ve)
+				}
+				list = strings.Join(parts, ", ")
+				break
+			}
+		}
+		return fmt.Sprintf("(%s %s (%s))", exprShape(x.E), op, list)
+	case *Like:
+		return fmt.Sprintf("(%s LIKE ?)", exprShape(x.E))
+	case *IsNull:
+		if x.Negate {
+			return fmt.Sprintf("(%s IS NOT NULL)", exprShape(x.E))
+		}
+		return fmt.Sprintf("(%s IS NULL)", exprShape(x.E))
+	case *Arithmetic:
+		return fmt.Sprintf("(%s %s %s)", exprShape(x.L), x.Op, exprShape(x.R))
+	case *CaseWhen:
+		var b strings.Builder
+		b.WriteString("CASE")
+		for _, w := range x.Whens {
+			fmt.Fprintf(&b, " WHEN %s THEN %s", exprShape(w.Cond), exprShape(w.Then))
+		}
+		if x.Else != nil {
+			fmt.Fprintf(&b, " ELSE %s", exprShape(x.Else))
+		}
+		b.WriteString(" END")
+		return b.String()
+	default:
+		return e.String()
+	}
+}

@@ -151,6 +151,20 @@ func (n *Network) SetDown(host string, down bool) error {
 	return nil
 }
 
+// IsDown reports whether a host is currently marked unreachable. Unknown
+// hosts read as down — to every caller they are equally absent.
+func (n *Network) IsDown(host string) bool {
+	n.mu.RLock()
+	ep, ok := n.hosts[host]
+	n.mu.RUnlock()
+	if !ok {
+		return true
+	}
+	ep.mu.RLock()
+	defer ep.mu.RUnlock()
+	return ep.down
+}
+
 // Hosts lists registered host names (unordered).
 func (n *Network) Hosts() []string {
 	n.mu.RLock()

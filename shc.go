@@ -174,7 +174,7 @@ func WithHedgedReads(delay time.Duration) hbase.ClientOption {
 func WithBreaker(b hbase.HostBreaker) hbase.ClientOption { return hbase.WithBreaker(b) }
 
 // NewBreaker builds the per-host circuit breaker with default thresholds,
-// reporting breaker.opens into meter.
+// reporting breaker.circuit_opens into meter.
 func NewBreaker(meter *Metrics) *conncache.Breaker {
 	return conncache.NewBreaker(conncache.BreakerConfig{}, meter)
 }
