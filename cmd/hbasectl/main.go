@@ -96,6 +96,11 @@ func cmdStatus(args []string) {
 		log.Fatal(err)
 	}
 	fmt.Printf("cluster status at %s\n\n", st.Time.Format(time.RFC3339))
+	fmt.Printf("master: %s (epoch %d)", st.Master.Host, st.Master.Epoch)
+	if len(st.Master.Standbys) > 0 {
+		fmt.Printf(", standbys: %v", st.Master.Standbys)
+	}
+	fmt.Printf("\n\n")
 	fmt.Printf("%-20s %-6s %-8s %8s %10s %s\n", "SERVER", "LIVE", "FENCED", "REGIONS", "MEMSTORE", "WATERMARK")
 	for _, s := range st.Servers {
 		fmt.Printf("%-20s %-6v %-8v %8d %9dB %s\n", s.Host, s.Live, s.Fenced, s.Regions, s.MemstoreBytes, s.Watermark)
@@ -126,7 +131,7 @@ func cmdStatus(args []string) {
 func cmdEvents(args []string) {
 	fs := flag.NewFlagSet("events", flag.ExitOnError)
 	opsURL := opsFlag(fs)
-	typ := fs.String("type", "", "comma-separated event types to keep (e.g. ServerFenced,ReplicaPromoted)")
+	typ := fs.String("type", "", "comma-separated event types to keep (e.g. ServerFenced,ReplicaPromoted,MasterElected,MasterFailover)")
 	region := fs.String("region", "", "keep only events touching this region")
 	server := fs.String("server", "", "keep only events touching this server")
 	since := fs.Uint64("since", 0, "keep only events with seq greater than this")

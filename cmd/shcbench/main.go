@@ -56,7 +56,7 @@ type benchFile struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|table2|ablation|streaming|vector|chaos|partition|replica|overload|trace-overhead|ingest")
+	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|table2|ablation|streaming|vector|chaos|partition|replica|overload|trace-overhead|ingest|masterha")
 	scales := flag.String("scales", "1,2,3,4,5,6", "comma-separated scale factors (the 5..30 GB axis)")
 	servers := flag.Int("servers", 5, "region servers / executor hosts")
 	runs := flag.Int("runs", 1, "average each measurement over N runs")
@@ -129,9 +129,10 @@ func main() {
 	run("overload", func() (any, error) { return bench.Overload(p) })
 	run("trace-overhead", func() (any, error) { return bench.TraceOverhead(p) })
 	run("ingest", func() (any, error) { return bench.Ingest(p) })
+	run("masterha", func() (any, error) { return bench.MasterHA(p) })
 
 	switch *exp {
-	case "all", "table1", "fig4", "fig5", "fig6", "fig7", "table2", "ablation", "streaming", "vector", "chaos", "partition", "replica", "overload", "trace-overhead", "ingest":
+	case "all", "table1", "fig4", "fig5", "fig6", "fig7", "table2", "ablation", "streaming", "vector", "chaos", "partition", "replica", "overload", "trace-overhead", "ingest", "masterha":
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}

@@ -147,6 +147,12 @@ func (c *Client) token() (string, error) {
 	return c.tokens.Token(c.clusterName)
 }
 
+// ErrNoMaster reports that the coordination service currently knows no
+// elected master — the masterless window between a leader's death and a
+// standby's takeover. It is retryable: the window closes as soon as a
+// standby wins the election.
+var ErrNoMaster = errors.New("hbase: no master elected")
+
 func (c *Client) master() (string, error) {
 	c.mu.Lock()
 	host := c.masterHost
@@ -159,7 +165,7 @@ func (c *Client) master() (string, error) {
 		return "", err
 	}
 	if leader == "" {
-		return "", fmt.Errorf("hbase: no master elected")
+		return "", ErrNoMaster
 	}
 	c.mu.Lock()
 	c.masterHost = leader
@@ -349,27 +355,45 @@ func (c *Client) readRegion(ctx context.Context, ri *RegionInfo, method string, 
 	return nil, err
 }
 
-// callMaster sends a meta request to the current master. If the cached
-// master is unreachable (failover), it re-reads the leader from the
-// coordination service once and retries — how clients survive the
-// master-failover mechanism of the paper's §VI-B.
+// callMaster sends a meta request to the current master, riding out a master
+// failover under the client's retry policy — how clients survive the
+// master-failover mechanism of the paper's §VI-B. Two failure shapes recur
+// until a standby finishes taking over: the cached leader stops answering
+// (invalidate it, re-read the election, count a rediscovery), and the
+// election is empty (ErrNoMaster — back off and re-read, instead of failing
+// the caller during a window that closes by itself). Non-transient errors
+// return immediately.
 func (c *Client) callMaster(ctx context.Context, method string, req rpc.Message) (rpc.Message, error) {
-	host, err := c.master()
-	if err != nil {
-		return nil, err
+	meter := metrics.Scoped(ctx, c.net.Meter())
+	var err error
+	for attempt := 1; ; attempt++ {
+		var host string
+		host, err = c.master()
+		if err == nil {
+			var resp rpc.Message
+			resp, err = c.call(ctx, host, method, req)
+			if err == nil || !isUnreachable(err) {
+				return resp, err
+			}
+			// The leader we knew stopped answering: drop the cached host so
+			// the next attempt re-reads the election from the coordination
+			// service (a rediscovery).
+			c.mu.Lock()
+			if c.masterHost == host {
+				c.masterHost = ""
+			}
+			c.mu.Unlock()
+		} else if !errors.Is(err, ErrNoMaster) {
+			return nil, err
+		}
+		if attempt >= c.retry.MaxAttempts {
+			return nil, err
+		}
+		meter.Inc(metrics.MasterRediscoveries)
+		if perr := c.RetryPause(ctx, attempt); perr != nil {
+			return nil, perr
+		}
 	}
-	resp, err := c.call(ctx, host, method, req)
-	if err == nil || !isUnreachable(err) {
-		return resp, err
-	}
-	c.mu.Lock()
-	c.masterHost = ""
-	c.mu.Unlock()
-	host, rerr := c.master()
-	if rerr != nil {
-		return nil, err
-	}
-	return c.call(ctx, host, method, req)
 }
 
 func isUnreachable(err error) bool {

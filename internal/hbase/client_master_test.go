@@ -1,0 +1,110 @@
+package hbase
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/shc-go/shc/internal/metrics"
+)
+
+// TestClientMasterRediscoveryAfterTakeover hardens the client against the
+// master failover: a cached leader address that stops answering is dropped,
+// the client re-reads the election node, and the meta operation lands on the
+// new leader — all inside one call, metered as client.master_rediscoveries.
+func TestClientMasterRediscoveryAfterTakeover(t *testing.T) {
+	c := bootHACluster(t, 2, 2)
+	client := c.NewClient()
+	defer client.Close()
+	// Prime the client's master cache on the boot leader.
+	if err := client.CreateTable(TableDescriptor{Name: "t", Families: []string{"cf"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	zombie, err := c.CrashMaster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitTakeover(t, c, zombie)
+
+	// The cached address points at the corpse; the call must shed it and
+	// find the new leader on its own.
+	tables, err := client.ListTables()
+	if err != nil {
+		t.Fatalf("ListTables across failover: %v", err)
+	}
+	if len(tables) != 1 || tables[0] != "t" {
+		t.Errorf("tables = %v, want [t]", tables)
+	}
+	if got := c.Meter.Get(metrics.MasterRediscoveries); got == 0 {
+		t.Error("client.master_rediscoveries = 0, want > 0")
+	}
+}
+
+// TestClientMasterlessWindowBackoff pins the client's behaviour while NO
+// master leads: each attempt sees ErrNoMaster, backs off per the retry
+// policy, and the final error is ErrNoMaster (retryable — callers with their
+// own loops keep trying). Once a master appears the same client succeeds.
+func TestClientMasterlessWindowBackoff(t *testing.T) {
+	c := bootCluster(t, 2)
+	var slept []time.Duration
+	client := c.NewClient(WithRetryPolicy(RetryPolicy{
+		MaxAttempts: 3,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	}))
+	defer client.Close()
+	if err := client.CreateTable(TableDescriptor{Name: "t", Families: []string{"cf"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the only master: the cluster is masterless until a new one boots.
+	if _, err := c.CrashMaster(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := client.ListTables()
+	if !errors.Is(err, ErrNoMaster) {
+		t.Fatalf("masterless ListTables err = %v, want ErrNoMaster", err)
+	}
+	if !IsRetryable(err) {
+		t.Error("ErrNoMaster must be retryable")
+	}
+	if len(slept) != 2 {
+		t.Errorf("backoffs before giving up = %d, want 2 (MaxAttempts-1)", len(slept))
+	}
+	if got := c.Meter.Get(metrics.MasterRediscoveries); got != 2 {
+		t.Errorf("client.master_rediscoveries = %d, want 2", got)
+	}
+
+	// The window closes: a replacement master elects itself and the same
+	// client — no reset, no new session — recovers on the next call.
+	nm, err := NewMaster("test-master2", c.Net, c.ZK, StoreConfig{}, c.Meter, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nm.RecoverFrom(c.Servers); err != nil {
+		t.Fatal(err)
+	}
+	tables, err := client.ListTables()
+	if err != nil {
+		t.Fatalf("ListTables after window closed: %v", err)
+	}
+	if len(tables) != 1 || tables[0] != "t" {
+		t.Errorf("tables = %v, want [t]", tables)
+	}
+}
+
+// TestClientMasterCacheSurvivesHealthyLeader guards against over-eager cache
+// invalidation: meta calls against a healthy leader never increment the
+// rediscovery counter.
+func TestClientMasterCacheSurvivesHealthyLeader(t *testing.T) {
+	c := bootCluster(t, 2)
+	client := c.NewClient()
+	defer client.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := client.ListTables(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Meter.Get(metrics.MasterRediscoveries); got != 0 {
+		t.Errorf("client.master_rediscoveries = %d against a healthy master, want 0", got)
+	}
+}

@@ -3,6 +3,8 @@ package hbase
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/shc-go/shc/internal/metrics"
 	"github.com/shc-go/shc/internal/ops"
@@ -16,6 +18,10 @@ type ClusterConfig struct {
 	Name string
 	// NumServers is the number of region servers; defaults to 3.
 	NumServers int
+	// Masters is the total number of master processes: one active leader
+	// plus Masters-1 hot standbys whose watch loops take over automatically
+	// when the leader's session dies. Defaults to 1 (no standbys).
+	Masters int
 	// Store tunes per-region storage behaviour.
 	Store StoreConfig
 	// RPC tunes the simulated network cost model.
@@ -29,16 +35,36 @@ type ClusterConfig struct {
 // Cluster bundles one simulated HBase deployment: a ZooKeeper ensemble, an
 // RPC network, a master, and a set of region servers on distinct hosts.
 type Cluster struct {
-	Name    string
-	Net     *rpc.Network
-	ZK      *zk.Server
-	Master  *Master
-	Servers []*RegionServer
-	Meter   *metrics.Registry
+	Name string
+	Net  *rpc.Network
+	ZK   *zk.Server
+	// Master is the boot master — the first leader elected. After a
+	// failover it may be a dead (or zombie) process; use ActiveMaster for
+	// the current leader.
+	Master *Master
+	// Standbys holds the hot standby masters booted alongside the leader
+	// (cfg.Masters - 1 of them), in boot order. A standby that takes over
+	// stays in this slice; ActiveMaster tracks who leads.
+	Standbys []*Master
+	Servers  []*RegionServer
+	Meter    *metrics.Registry
 	// Journal is the cluster's structured event journal: every lifecycle
 	// transition (fencing, reassignment, promotion, splits, backpressure)
 	// is appended here with a causality link to its trigger.
 	Journal *ops.Journal
+
+	// active is the master currently holding leadership, updated by standby
+	// takeover callbacks; nil means the boot master still leads.
+	active atomic.Pointer[Master]
+
+	// dutyMu guards the heartbeat/janitor duty configuration and the stop
+	// functions of whichever master's loops are currently running, so
+	// takeover can re-arm them on the new leader.
+	dutyMu       sync.Mutex
+	dutyHB       time.Duration
+	dutyJanitor  time.Duration
+	dutyStops    []func()
+	standbyStops []func()
 
 	partMu     sync.Mutex
 	partitions map[string][]*rpc.FaultRule // host -> active partition rules
@@ -85,7 +111,106 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		c.Servers = append(c.Servers, rs)
 	}
+	// Hot standbys boot after the region servers so a takeover's resolve()
+	// snapshot always sees the full roster. Each standby's watch loop runs
+	// from boot: the cluster survives a master crash with no test or
+	// operator intervention.
+	for i := 2; i <= cfg.Masters; i++ {
+		host := fmt.Sprintf("%s-master%d", cfg.Name, i)
+		sb, err := NewStandbyMaster(host, c.Net, c.ZK, cfg.Store, cfg.Meter, cfg.Validate)
+		if err != nil {
+			return nil, fmt.Errorf("hbase: boot standby master %s: %w", host, err)
+		}
+		sb.SetJournal(c.Journal)
+		c.Standbys = append(c.Standbys, sb)
+		stop := sb.StartStandby(c.serverSnapshot, c.masterTookOver)
+		c.standbyStops = append(c.standbyStops, stop)
+	}
 	return c, nil
+}
+
+// serverSnapshot is the resolve function standby takeovers rebuild meta
+// from: every region server the cluster booted, reachable or not (the new
+// master's first heartbeat round settles the dead ones).
+func (c *Cluster) serverSnapshot() []*RegionServer {
+	return append([]*RegionServer(nil), c.Servers...)
+}
+
+// masterTookOver records the new leader and re-arms whatever duty loops
+// (heartbeats, janitor) were running on the deposed master.
+func (c *Cluster) masterTookOver(nm *Master) {
+	c.active.Store(nm)
+	c.dutyMu.Lock()
+	defer c.dutyMu.Unlock()
+	if c.dutyHB > 0 {
+		c.dutyStops = append(c.dutyStops, nm.StartHeartbeats(c.dutyHB))
+	}
+	if c.dutyJanitor > 0 {
+		c.dutyStops = append(c.dutyStops, nm.StartJanitor(c.dutyJanitor))
+	}
+}
+
+// ActiveMaster returns the master currently holding leadership: the boot
+// master until a standby takes over.
+func (c *Cluster) ActiveMaster() *Master {
+	if m := c.active.Load(); m != nil {
+		return m
+	}
+	return c.Master
+}
+
+// StartDuties runs the active master's heartbeat and janitor loops on the
+// given intervals (zero disables either) and re-arms them automatically on
+// every takeover, so a master crash does not silently stop failure detection
+// and housekeeping. The returned stop function halts the loops of whichever
+// master currently runs them and disables re-arming.
+func (c *Cluster) StartDuties(heartbeat, janitor time.Duration) (stop func()) {
+	m := c.ActiveMaster()
+	c.dutyMu.Lock()
+	c.dutyHB, c.dutyJanitor = heartbeat, janitor
+	if heartbeat > 0 {
+		c.dutyStops = append(c.dutyStops, m.StartHeartbeats(heartbeat))
+	}
+	if janitor > 0 {
+		c.dutyStops = append(c.dutyStops, m.StartJanitor(janitor))
+	}
+	c.dutyMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.dutyMu.Lock()
+			stops := c.dutyStops
+			c.dutyStops = nil
+			c.dutyHB, c.dutyJanitor = 0, 0
+			c.dutyMu.Unlock()
+			for _, s := range stops {
+				s()
+			}
+		})
+	}
+}
+
+// StopStandbys ends every standby watch loop (for orderly shutdown; a
+// standby that already took over has exited its loop on its own).
+func (c *Cluster) StopStandbys() {
+	for _, s := range c.standbyStops {
+		s()
+	}
+}
+
+// CrashMaster kills the active master's process: its host drops off the
+// network and ZooKeeper expires its session, which deletes the ephemeral
+// leader node and fires every standby's watch. From that instant takeover is
+// automatic — no test or operator involvement. The crashed master object
+// survives as a zombie: reviving its host and calling coordination methods
+// on it is how tests prove master-epoch fencing holds.
+func (c *Cluster) CrashMaster() (*Master, error) {
+	m := c.ActiveMaster()
+	if err := c.Net.SetDown(m.Host(), true); err != nil {
+		return nil, err
+	}
+	c.ZK.ExpireSession(m.zsess())
+	return m, nil
 }
 
 // Hosts lists the region-server host names in boot order.
@@ -170,9 +295,9 @@ func (c *Cluster) PartitionServer(host string, mode PartitionMode) error {
 	var rules []*rpc.FaultRule
 	switch mode {
 	case PartitionFromMaster:
-		rules = []*rpc.FaultRule{{Host: host, Caller: c.Master.Host(), Drop: true}}
+		rules = []*rpc.FaultRule{{Host: host, Caller: c.ActiveMaster().Host(), Drop: true}}
 	case PartitionFromClients:
-		rules = []*rpc.FaultRule{{Host: host, ExceptCaller: c.Master.Host(), Drop: true}}
+		rules = []*rpc.FaultRule{{Host: host, ExceptCaller: c.ActiveMaster().Host(), Drop: true}}
 	case PartitionTotal:
 		rules = []*rpc.FaultRule{{Host: host, Drop: true}}
 	default:

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -22,6 +23,20 @@ const (
 	zkRoot       = "/hbase"
 	zkMasterPath = "/hbase/master"
 	zkServers    = "/hbase/rs"
+	// The master epoch is the control plane's fencing token: a persistent
+	// counter every elected master CAS-bumps before doing anything else. A
+	// deposed master still holds its old epoch, so every coordination write
+	// it attempts fails the fenceCheck — the master-level twin of the
+	// per-region ownership epochs below.
+	zkMasterEpoch = "/hbase/master-epoch"
+	// Hot standbys advertise themselves ephemerally under /hbase/standbys;
+	// the roster is what /statusz shows and what an operator checks before
+	// trusting the cluster to survive a master loss.
+	zkStandbys = "/hbase/standbys"
+	// The last master to win an election records itself persistently here,
+	// so its successor can name who it deposed even though the ephemeral
+	// leader node died with the predecessor.
+	zkMasterLast = "/hbase/master-last"
 	// Region-ownership epochs live under their own subtree; each region's
 	// current epoch is the decimal string at /shc/regions/<id>/epoch. The
 	// coordination service, not the master process, is the source of truth:
@@ -45,8 +60,16 @@ type Master struct {
 	net      *rpc.Network
 	meter    *metrics.Registry
 	cfg      StoreConfig
-	sess     *zk.Session
+	zkSrv    *zk.Server
 	validate TokenValidator
+	// sess is the master's coordination session. Atomic because fenceCheck
+	// replaces an expired session in place (the zombie re-dialing ZooKeeper)
+	// while heartbeat and janitor goroutines read it concurrently.
+	sess atomic.Pointer[zk.Session]
+	// epoch is the master fencing epoch this process adopted when it won its
+	// election; fenceCheck compares it against the coordination service's
+	// current value before every coordination write.
+	epoch atomic.Uint64
 	// journal receives structured lifecycle events (fencing, reassignment,
 	// promotion, splits, janitor passes). Atomic so emission sites never
 	// contend on m.mu ordering; a nil journal swallows events.
@@ -69,6 +92,11 @@ type Master struct {
 	// split transaction; returning an error aborts the split mid-flight,
 	// simulating a master crash at that exact point.
 	splitHook func(stage string) error
+	// drainHook, when set (tests only), runs at each named stage of a drain
+	// ("deregistered" after the server leaves the roster, then "move" before
+	// each region relocation); returning an error aborts the drain there,
+	// simulating the master dying mid-drain.
+	drainHook func(stage string) error
 }
 
 type tableState struct {
@@ -81,11 +109,12 @@ type tableState struct {
 	replicas map[string][]*Region
 }
 
-// NewMaster creates the master on host, registers its RPC handlers, elects
-// itself leader in ZooKeeper, and publishes its address for clients.
-func NewMaster(host string, net *rpc.Network, zkSrv *zk.Server, cfg StoreConfig, meter *metrics.Registry, validate TokenValidator) (*Master, error) {
+// newMaster builds a master process on host — RPC handlers registered,
+// coordination session open, shared znode trees ensured — without deciding
+// whether it leads. NewMaster and NewStandbyMaster layer the election on top.
+func newMaster(host string, net *rpc.Network, zkSrv *zk.Server, cfg StoreConfig, meter *metrics.Registry, validate TokenValidator) (*Master, error) {
 	m := &Master{
-		host: host, net: net, meter: meter, cfg: cfg, validate: validate,
+		host: host, net: net, meter: meter, cfg: cfg, zkSrv: zkSrv, validate: validate,
 		tables: make(map[string]*tableState), missed: make(map[string]int),
 		deathThreshold: 1,
 	}
@@ -103,30 +132,273 @@ func NewMaster(host string, net *rpc.Network, zkSrv *zk.Server, cfg StoreConfig,
 			return nil, err
 		}
 	}
-	m.sess = zkSrv.NewSession()
-	if ok, _ := m.sess.Exists(zkRoot); !ok {
-		if err := m.sess.Create(zkRoot, nil, false); err != nil {
-			return nil, err
-		}
-		if err := m.sess.Create(zkServers, nil, false); err != nil {
-			return nil, err
-		}
-	}
-	for _, path := range []string{zkEpochRoot, zkEpochRegions, zkSplits} {
-		if ok, _ := m.sess.Exists(path); !ok {
-			if err := m.sess.Create(path, nil, false); err != nil {
+	m.sess.Store(zkSrv.NewSession())
+	for _, path := range []string{zkRoot, zkServers, zkStandbys, zkEpochRoot, zkEpochRegions, zkSplits} {
+		if ok, _ := m.zsess().Exists(path); !ok {
+			if err := m.zsess().Create(path, nil, false); err != nil {
 				return nil, err
 			}
 		}
 	}
-	won, err := m.sess.ElectLeader(zkMasterPath, host)
+	if ok, _ := m.zsess().Exists(zkMasterEpoch); !ok {
+		if err := m.zsess().Create(zkMasterEpoch, []byte("0"), false); err != nil && !errors.Is(err, zk.ErrNodeExists) {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// NewMaster creates the master on host, registers its RPC handlers, elects
+// itself leader in ZooKeeper, and publishes its address for clients.
+func NewMaster(host string, net *rpc.Network, zkSrv *zk.Server, cfg StoreConfig, meter *metrics.Registry, validate TokenValidator) (*Master, error) {
+	m, err := newMaster(host, net, zkSrv, cfg, meter, validate)
+	if err != nil {
+		return nil, err
+	}
+	won, err := m.zsess().ElectLeader(zkMasterPath, host)
 	if err != nil {
 		return nil, err
 	}
 	if !won {
 		return nil, fmt.Errorf("hbase: another master already leads")
 	}
+	if _, err := m.becomeActive(); err != nil {
+		return nil, err
+	}
 	return m, nil
+}
+
+// NewStandbyMaster creates a hot standby master: fully constructed — RPC
+// handlers live, coordination session open — but not leading. It advertises
+// itself ephemerally under /hbase/standbys and does nothing until
+// StartStandby's watch loop promotes it.
+func NewStandbyMaster(host string, net *rpc.Network, zkSrv *zk.Server, cfg StoreConfig, meter *metrics.Registry, validate TokenValidator) (*Master, error) {
+	m, err := newMaster(host, net, zkSrv, cfg, meter, validate)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.zsess().Create(zkStandbys+"/"+host, []byte(host), true); err != nil && !errors.Is(err, zk.ErrNodeExists) {
+		return nil, err
+	}
+	return m, nil
+}
+
+// zsess returns the master's current coordination session.
+func (m *Master) zsess() *zk.Session { return m.sess.Load() }
+
+// MasterEpoch returns the master fencing epoch this process adopted when it
+// last won an election (0 for a standby that never led).
+func (m *Master) MasterEpoch() uint64 { return m.epoch.Load() }
+
+// Standbys lists the hosts currently advertising as hot standbys.
+func (m *Master) Standbys() []string {
+	names, err := m.zsess().Children(zkStandbys)
+	if err != nil {
+		return nil
+	}
+	return names
+}
+
+// becomeActive adopts leadership this master just won: it CAS-bumps the
+// persistent master epoch (the fencing token every coordination write is
+// checked against), records itself as the last-known leader, and meters the
+// election. It returns the host of the predecessor it replaced ("" when this
+// is the cluster's first master).
+func (m *Master) becomeActive() (string, error) {
+	next, err := m.bumpMasterEpoch()
+	if err != nil {
+		return "", err
+	}
+	m.epoch.Store(next)
+	sess := m.zsess()
+	var prev string
+	if data, err := sess.Get(zkMasterLast); err == nil {
+		prev = string(data)
+	}
+	if ok, _ := sess.Exists(zkMasterLast); ok {
+		_ = sess.Set(zkMasterLast, []byte(m.host))
+	} else {
+		_ = sess.Create(zkMasterLast, []byte(m.host), false)
+	}
+	m.meter.Inc(metrics.MasterElections)
+	return prev, nil
+}
+
+// bumpMasterEpoch advances the persistent master epoch by one with a
+// compare-and-swap loop: concurrent winners (an election race that ZooKeeper
+// itself already serializes, but belt-and-braces) each get a distinct epoch.
+func (m *Master) bumpMasterEpoch() (uint64, error) {
+	sess := m.zsess()
+	for {
+		data, ver, err := sess.GetVersion(zkMasterEpoch)
+		if errors.Is(err, zk.ErrNoNode) {
+			if cerr := sess.Create(zkMasterEpoch, []byte("1"), false); cerr == nil {
+				return 1, nil
+			} else if !errors.Is(cerr, zk.ErrNodeExists) {
+				return 0, cerr
+			}
+			continue
+		}
+		if err != nil {
+			return 0, err
+		}
+		cur, _ := strconv.ParseUint(string(data), 10, 64)
+		next := cur + 1
+		if err := sess.SetIf(zkMasterEpoch, []byte(strconv.FormatUint(next, 10)), ver); err != nil {
+			if errors.Is(err, zk.ErrBadVersion) {
+				continue
+			}
+			return 0, err
+		}
+		return next, nil
+	}
+}
+
+// ErrMasterFenced reports a coordination write rejected because the issuing
+// master is no longer the leader, or leads at a stale master epoch — a
+// deposed zombie whose actions must die un-acknowledged.
+var ErrMasterFenced = errors.New("hbase: master fenced by master epoch")
+
+// fenceCheck gates every coordination write: this master must still be the
+// leader ZooKeeper knows AND hold the current master epoch. A deposed master
+// — even one that never noticed its session expire during a long pause —
+// fails here before it can touch meta, bump region epochs, journal splits,
+// or command servers. An expired session is re-dialed first, so the verdict
+// comes from the coordination service's current truth, not a dead socket.
+func (m *Master) fenceCheck() error {
+	err := m.fenceVerdict()
+	if errors.Is(err, zk.ErrExpired) || errors.Is(err, zk.ErrClosed) {
+		m.sess.Store(m.zkSrv.NewSession())
+		err = m.fenceVerdict()
+	}
+	if err == nil {
+		return nil
+	}
+	m.meter.Inc(metrics.MasterFencedWrites)
+	return err
+}
+
+// fenceVerdict performs one leadership + master-epoch comparison against the
+// coordination service.
+func (m *Master) fenceVerdict() error {
+	sess := m.zsess()
+	leader, err := sess.Leader(zkMasterPath)
+	if err != nil {
+		return err
+	}
+	if leader != m.host {
+		return fmt.Errorf("%w: %s is not the leader (%q is)", ErrMasterFenced, m.host, leader)
+	}
+	data, err := sess.Get(zkMasterEpoch)
+	if err != nil {
+		return err
+	}
+	if cur, _ := strconv.ParseUint(string(data), 10, 64); cur != m.epoch.Load() {
+		return fmt.Errorf("%w: %s holds master epoch %d, cluster is at %d", ErrMasterFenced, m.host, m.epoch.Load(), cur)
+	}
+	return nil
+}
+
+// StartStandby begins the standby's watch-driven takeover loop: it watches
+// the ephemeral leader znode, and when the leader vanishes — session death,
+// expiry, crash — it runs the election. On a win it bumps the master epoch,
+// journals MasterElected, rebuilds meta from the live region servers
+// (resolve), settles orphaned split journals with the election as their
+// causal root, journals MasterFailover, and finally calls onActive so the
+// cluster can re-arm heartbeat/janitor duty loops on the new leader. On a
+// loss it goes back to watching. The returned stop function ends the loop.
+func (m *Master) StartStandby(resolve func() []*RegionServer, onActive func(*Master)) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		for {
+			sess := m.zsess()
+			// Watch before reading: a delete that lands between the read and
+			// the watch registration would otherwise never wake us.
+			watch, err := sess.Watch(zkMasterPath)
+			if err != nil {
+				if !m.standbyReconnect(done) {
+					return
+				}
+				continue
+			}
+			leader, err := sess.Leader(zkMasterPath)
+			if err != nil {
+				if !m.standbyReconnect(done) {
+					return
+				}
+				continue
+			}
+			if leader == m.host {
+				return // promoted; the watch loop's job is done
+			}
+			if leader == "" {
+				won, err := m.takeOver(resolve)
+				if won && err == nil {
+					if onActive != nil {
+						onActive(m)
+					}
+					return
+				}
+				if err != nil && (errors.Is(err, zk.ErrExpired) || errors.Is(err, zk.ErrClosed)) {
+					if !m.standbyReconnect(done) {
+						return
+					}
+				}
+				// Lost the election (or a transient error): fall through and
+				// wait for the next leadership change.
+			}
+			select {
+			case <-watch:
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// standbyReconnect replaces an expired standby session, unless the loop is
+// stopping. It reports whether the loop should continue.
+func (m *Master) standbyReconnect(done chan struct{}) bool {
+	select {
+	case <-done:
+		return false
+	default:
+	}
+	m.sess.Store(m.zkSrv.NewSession())
+	return true
+}
+
+// takeOver runs one election attempt and, on a win, the full takeover
+// sequence. It reports whether this master now leads.
+func (m *Master) takeOver(resolve func() []*RegionServer) (bool, error) {
+	won, err := m.zsess().ElectLeader(zkMasterPath, m.host)
+	if err != nil || !won {
+		return false, err
+	}
+	prev, err := m.becomeActive()
+	if err != nil {
+		return true, err
+	}
+	m.meter.Inc(metrics.MasterTakeovers)
+	// MasterElected is journaled before any recovery action so rolled
+	// forward/back splits and re-fenced servers can carry its seq as Cause.
+	elected := m.jrn().Append(ops.Event{
+		Type: ops.EventMasterElected, Server: m.host, Epoch: m.epoch.Load(),
+		Detail: "standby won election, deposed " + prev,
+	})
+	if resolve != nil {
+		if err := m.recoverFromCaused(resolve(), elected); err != nil {
+			return true, err
+		}
+	}
+	m.jrn().Append(ops.Event{
+		Type: ops.EventMasterFailover, Server: m.host, Epoch: m.epoch.Load(), Cause: elected,
+		Detail: "takeover complete: meta rebuilt, split journals settled",
+	})
+	_ = m.zsess().Delete(zkStandbys + "/" + m.host)
+	return true, nil
 }
 
 // Host returns the master's host name.
@@ -152,13 +424,20 @@ func (m *Master) jrn() *ops.Journal { return m.journal.Load() }
 // ephemeral leader node vanishes and a standby can win the next election).
 // The caller should also mark the host down on the network.
 func (m *Master) Resign() {
-	m.sess.Close()
+	m.zsess().Close()
 }
 
 // RecoverFrom rebuilds the master's meta state after a failover by asking
 // each region server what it hosts — the simulator's stand-in for reading
 // hbase:meta. It also registers the servers with this master.
 func (m *Master) RecoverFrom(servers []*RegionServer) error {
+	return m.recoverFromCaused(servers, 0)
+}
+
+// recoverFromCaused is RecoverFrom with journal provenance: cause (a
+// MasterElected seq during automatic takeover) links every split the
+// recovery settles back to the election that triggered it.
+func (m *Master) recoverFromCaused(servers []*RegionServer, cause uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.servers = nil
@@ -167,8 +446,8 @@ func (m *Master) RecoverFrom(servers []*RegionServer) error {
 	maxID := 0
 	for _, rs := range servers {
 		m.servers = append(m.servers, rs)
-		if ok, _ := m.sess.Exists(zkServers + "/" + rs.Host()); !ok {
-			if err := m.sess.Create(zkServers+"/"+rs.Host(), nil, false); err != nil {
+		if ok, _ := m.zsess().Exists(zkServers + "/" + rs.Host()); !ok {
+			if err := m.zsess().Create(zkServers+"/"+rs.Host(), nil, false); err != nil {
 				return err
 			}
 		}
@@ -200,9 +479,36 @@ func (m *Master) RecoverFrom(servers []*RegionServer) error {
 	if maxID > m.nextID {
 		m.nextID = maxID
 	}
+	// A region whose primary died with its server — the master crashed
+	// before (or during) the promotion round — is re-learned as secondaries
+	// only. Settle the orphaned promotion now: the freshest surviving copy
+	// takes over under a bumped epoch, exactly as the heartbeat death path
+	// would have done.
+	for name, ts := range m.tables {
+		for id, reps := range ts.replicas {
+			if _, ok := ts.regions[id]; ok || len(reps) == 0 {
+				continue
+			}
+			info := reps[0].Info()
+			info.ID, info.Table = id, name
+			promoted := m.promoteLocked(ts, info)
+			if promoted == nil {
+				continue // every copy's host is gone; nothing to serve from
+			}
+			ts.regions[id] = promoted
+			m.meter.Inc(metrics.RegionsReassigned)
+			m.meter.Inc(metrics.RegionsFenced)
+			pi := promoted.Info()
+			m.jrn().Append(ops.Event{
+				Type: ops.EventReplicaPromoted, Region: id, Table: name,
+				Server: pi.Host, Epoch: pi.Epoch, Cause: cause,
+				Detail: "orphaned promotion settled during master recovery",
+			})
+		}
+	}
 	// A predecessor may have died mid-split: settle any journaled split
 	// transactions against the hosted state just re-learned.
-	m.recoverSplitsLocked(0)
+	m.recoverSplitsLocked(cause)
 	return nil
 }
 
@@ -223,22 +529,22 @@ func regionSeq(id string) int {
 // /shc/regions/<id>/epoch (creating the region node on first use).
 func (m *Master) persistEpoch(id string, epoch uint64) error {
 	node := zkEpochRegions + "/" + id
-	if ok, _ := m.sess.Exists(node); !ok {
-		if err := m.sess.Create(node, nil, false); err != nil {
+	if ok, _ := m.zsess().Exists(node); !ok {
+		if err := m.zsess().Create(node, nil, false); err != nil {
 			return err
 		}
 	}
 	path := node + "/epoch"
 	data := []byte(strconv.FormatUint(epoch, 10))
-	if ok, _ := m.sess.Exists(path); !ok {
-		return m.sess.Create(path, data, false)
+	if ok, _ := m.zsess().Exists(path); !ok {
+		return m.zsess().Create(path, data, false)
 	}
-	return m.sess.Set(path, data)
+	return m.zsess().Set(path, data)
 }
 
 // loadEpoch reads a region's persisted epoch (0 when never assigned).
 func (m *Master) loadEpoch(id string) uint64 {
-	data, err := m.sess.Get(zkEpochRegions + "/" + id + "/epoch")
+	data, err := m.zsess().Get(zkEpochRegions + "/" + id + "/epoch")
 	if err != nil {
 		return 0
 	}
@@ -284,10 +590,10 @@ func (m *Master) AddServer(rs *RegionServer) error {
 		rs.SetJournal(j)
 	}
 	rs.heartbeat()
-	if ok, _ := m.sess.Exists(zkServers + "/" + rs.Host()); ok {
+	if ok, _ := m.zsess().Exists(zkServers + "/" + rs.Host()); ok {
 		return nil
 	}
-	return m.sess.Create(zkServers+"/"+rs.Host(), nil, false)
+	return m.zsess().Create(zkServers+"/"+rs.Host(), nil, false)
 }
 
 // SetDeathThreshold sets how many consecutive missed heartbeats declare a
@@ -314,7 +620,10 @@ func (m *Master) pingServer(host string) error {
 		return err
 	}
 	defer conn.Close()
-	_, err = conn.CallContext(ctx, MethodPing, Ping{})
+	// The probe is stamped with the master's fencing epoch: a server that
+	// has heard from a newer master rejects it, so a deposed master cannot
+	// keep leases alive even if it somehow slips past its own fenceCheck.
+	_, err = conn.CallContext(ctx, MethodPing, Ping{Master: m.host, MasterEpoch: m.epoch.Load()})
 	return err
 }
 
@@ -327,6 +636,9 @@ func (m *Master) pingServer(host string) error {
 // Tests call this directly after scripting a failure, which keeps recovery
 // deterministic; long-running deployments drive it from StartHeartbeats.
 func (m *Master) CheckServers() ([]string, error) {
+	if err := m.fenceCheck(); err != nil {
+		return nil, err
+	}
 	m.mu.Lock()
 	hosts := make([]string, len(m.servers))
 	for i, rs := range m.servers {
@@ -366,7 +678,7 @@ func (m *Master) CheckServers() ([]string, error) {
 	m.servers = survivors
 	for _, rs := range victims {
 		m.meter.Inc(metrics.ServersDeclaredDead)
-		_ = m.sess.Delete(zkServers + "/" + rs.Host())
+		_ = m.zsess().Delete(zkServers + "/" + rs.Host())
 		// The fencing decision is the root cause every recovery action that
 		// follows links back to.
 		cause := m.jrn().Append(ops.Event{
@@ -622,6 +934,9 @@ func (m *Master) leastLoadedExcludingLocked(exclude map[string]bool) *RegionServ
 // meta, ErrFenced after). This is the rolling-restart primitive: drain,
 // restart the process, AddServer to rejoin.
 func (m *Master) DrainServer(host string) error {
+	if err := m.fenceCheck(); err != nil {
+		return err
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	idx := -1
@@ -640,10 +955,16 @@ func (m *Master) DrainServer(host string) error {
 	victim := m.servers[idx]
 	m.servers = append(m.servers[:idx:idx], m.servers[idx+1:]...)
 	delete(m.missed, host)
-	_ = m.sess.Delete(zkServers + "/" + host)
+	_ = m.zsess().Delete(zkServers + "/" + host)
 	cause := m.jrn().Append(ops.Event{Type: ops.EventServerDrained, Server: host})
+	if err := m.drainStageLocked("deregistered"); err != nil {
+		return err
+	}
 	infos := victim.RegionInfos() // sorted: deterministic drain order
 	for _, info := range infos {
+		if err := m.drainStageLocked("move"); err != nil {
+			return err
+		}
 		r := victim.RemoveRegion(regionKey(info.ID, info.Replica))
 		if r == nil {
 			continue
@@ -732,6 +1053,9 @@ func (m *Master) CreateTable(desc TableDescriptor, splitKeys [][]byte) error {
 	if err := desc.Validate(); err != nil {
 		return err
 	}
+	if err := m.fenceCheck(); err != nil {
+		return err
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if len(m.servers) == 0 {
@@ -792,6 +1116,9 @@ func (m *Master) leastLoadedLocked() *RegionServer {
 
 // DeleteTable drops a table and unhosts its regions.
 func (m *Master) DeleteTable(name string) error {
+	if err := m.fenceCheck(); err != nil {
+		return err
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	ts, ok := m.tables[name]
@@ -906,6 +1233,24 @@ type splitJournal struct {
 	Epoch    uint64 `json:"epoch"`
 }
 
+// SetDrainHook installs a test-only hook that runs at each named stage of a
+// drain ("deregistered", "move"); returning an error aborts the drain there,
+// simulating the master dying mid-drain with the server already off the
+// roster and only some regions moved. nil removes it.
+func (m *Master) SetDrainHook(fn func(stage string) error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.drainHook = fn
+}
+
+// locked
+func (m *Master) drainStageLocked(stage string) error {
+	if m.drainHook == nil {
+		return nil
+	}
+	return m.drainHook(stage)
+}
+
 // SetSplitHook installs a test-only hook that runs after each named stage of
 // a split transaction ("journaled", "split", "daughters-added",
 // "meta-updated"); returning an error aborts the split there, simulating the
@@ -930,10 +1275,10 @@ func (m *Master) writeSplitJournal(j *splitJournal) error {
 		return err
 	}
 	node := zkSplits + "/" + j.Parent
-	if ok, _ := m.sess.Exists(node); ok {
-		return m.sess.Set(node, data)
+	if ok, _ := m.zsess().Exists(node); ok {
+		return m.zsess().Set(node, data)
 	}
-	return m.sess.Create(node, data, false)
+	return m.zsess().Create(node, data, false)
 }
 
 // SplitRegion splits one region at its computed midpoint, keeping both
@@ -954,6 +1299,12 @@ func (m *Master) SplitRegion(table, regionID string) error {
 // split's events to the triggering event (a janitor pass), reason says why
 // it ran ("manual", "overgrown", "hot").
 func (m *Master) splitRegionCaused(table, regionID string, cause uint64, reason string) error {
+	// Splits are the highest-stakes coordination write — a zombie master
+	// journaling a split against regions a successor owns would tear the
+	// keyspace — so each one re-verifies leadership.
+	if err := m.fenceCheck(); err != nil {
+		return err
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.splitRegionLocked(table, regionID, cause, reason)
@@ -1045,8 +1396,8 @@ func (m *Master) splitRegionLocked(table, regionID string, cause uint64, reason 
 	delete(ts.replicas, regionID)
 	ts.regions[lowID] = low
 	ts.regions[highID] = high
-	_ = m.sess.Delete(zkEpochRegions + "/" + regionID + "/epoch")
-	_ = m.sess.Delete(zkEpochRegions + "/" + regionID)
+	_ = m.zsess().Delete(zkEpochRegions + "/" + regionID + "/epoch")
+	_ = m.zsess().Delete(zkEpochRegions + "/" + regionID)
 	if err := m.splitStageLocked("meta-updated"); err != nil {
 		return err
 	}
@@ -1054,7 +1405,7 @@ func (m *Master) splitRegionLocked(table, regionID string, cause uint64, reason 
 	m.ensureReplicasPlacedLocked(ts, high, placement)
 
 	// Stage 4: the transaction is complete; retire the journal.
-	_ = m.sess.Delete(zkSplits + "/" + regionID)
+	_ = m.zsess().Delete(zkSplits + "/" + regionID)
 	m.jrn().Append(ops.Event{
 		Type: ops.EventRegionSplit, Region: regionID, Table: table,
 		Server: host.Host(), Epoch: next, Cause: cause,
@@ -1070,25 +1421,25 @@ func (m *Master) splitRegionLocked(table, regionID string, cause uint64, reason 
 // adopting the journal epoch). Run by a recovering master after rebuilding
 // meta, and by every janitor pass.
 func (m *Master) recoverSplitsLocked(cause uint64) {
-	parents, err := m.sess.Children(zkSplits)
+	parents, err := m.zsess().Children(zkSplits)
 	if err != nil || len(parents) == 0 {
 		return
 	}
 	sort.Strings(parents) // deterministic recovery order
 	for _, parent := range parents {
-		data, err := m.sess.Get(zkSplits + "/" + parent)
+		data, err := m.zsess().Get(zkSplits + "/" + parent)
 		if err != nil {
 			continue
 		}
 		var j splitJournal
 		if err := json.Unmarshal(data, &j); err != nil {
 			// An unreadable journal is unrecoverable dead weight; drop it.
-			_ = m.sess.Delete(zkSplits + "/" + parent)
+			_ = m.zsess().Delete(zkSplits + "/" + parent)
 			continue
 		}
 		ts := m.tables[j.Table]
 		if ts == nil {
-			_ = m.sess.Delete(zkSplits + "/" + parent)
+			_ = m.zsess().Delete(zkSplits + "/" + parent)
 			continue
 		}
 		_, lowOK := ts.regions[j.LowID]
@@ -1121,11 +1472,11 @@ func (m *Master) rollForwardSplitLocked(ts *tableState, j *splitJournal, cause u
 		}
 	}
 	delete(ts.replicas, j.Parent)
-	_ = m.sess.Delete(zkEpochRegions + "/" + j.Parent + "/epoch")
-	_ = m.sess.Delete(zkEpochRegions + "/" + j.Parent)
+	_ = m.zsess().Delete(zkEpochRegions + "/" + j.Parent + "/epoch")
+	_ = m.zsess().Delete(zkEpochRegions + "/" + j.Parent)
 	m.ensureReplicasLocked(ts, ts.regions[j.LowID])
 	m.ensureReplicasLocked(ts, ts.regions[j.HighID])
-	_ = m.sess.Delete(zkSplits + "/" + j.Parent)
+	_ = m.zsess().Delete(zkSplits + "/" + j.Parent)
 	m.meter.Inc(metrics.SplitsRolledForward)
 	m.jrn().Append(ops.Event{
 		Type: ops.EventSplitRolledForward, Region: j.Parent, Table: j.Table,
@@ -1162,14 +1513,14 @@ func (m *Master) rollBackSplitLocked(ts *tableState, j *splitJournal, cause uint
 			}
 		}
 		delete(ts.replicas, id)
-		_ = m.sess.Delete(zkEpochRegions + "/" + id + "/epoch")
-		_ = m.sess.Delete(zkEpochRegions + "/" + id)
+		_ = m.zsess().Delete(zkEpochRegions + "/" + id + "/epoch")
+		_ = m.zsess().Delete(zkEpochRegions + "/" + id)
 	}
 	if parent, ok := ts.regions[j.Parent]; ok {
 		parent.AdoptEpoch(j.Epoch)
 		_ = m.persistEpoch(j.Parent, j.Epoch)
 	}
-	_ = m.sess.Delete(zkSplits + "/" + j.Parent)
+	_ = m.zsess().Delete(zkSplits + "/" + j.Parent)
 	m.meter.Inc(metrics.SplitsRolledBack)
 	m.jrn().Append(ops.Event{
 		Type: ops.EventSplitRolledBack, Region: j.Parent, Table: j.Table,
@@ -1192,6 +1543,11 @@ func (m *Master) SetHotWriteThreshold(n int64) {
 func (m *Master) SplitHotRegions() (int, error) { return m.splitHot(0) }
 
 func (m *Master) splitHot(cause uint64) (int, error) {
+	// Gated up front, not just per split: even sampling drains the regions'
+	// write-load counters, which a deposed master has no business doing.
+	if err := m.fenceCheck(); err != nil {
+		return 0, err
+	}
 	type target struct{ table, region string }
 	m.mu.Lock()
 	threshold := m.hotWriteThreshold
@@ -1223,6 +1579,9 @@ func (m *Master) splitHot(cause uint64) (int, error) {
 // settle any orphaned split journals, split overgrown regions, split hot
 // regions, and rebalance.
 func (m *Master) JanitorPass() {
+	if err := m.fenceCheck(); err != nil {
+		return
+	}
 	m.meter.Inc(metrics.JanitorRuns)
 	// One JanitorAction event anchors the pass; every split, rollback, and
 	// balance move it performs carries this seq as its Cause.
@@ -1260,6 +1619,9 @@ func (m *Master) StartJanitor(interval time.Duration) (stop func()) {
 func (m *Master) SplitOvergrownRegions() (int, error) { return m.splitOvergrown(0) }
 
 func (m *Master) splitOvergrown(cause uint64) (int, error) {
+	if err := m.fenceCheck(); err != nil {
+		return 0, err
+	}
 	type target struct{ table, region string }
 	m.mu.Lock()
 	var targets []target
@@ -1286,6 +1648,9 @@ func (m *Master) splitOvergrown(cause uint64) (int, error) {
 func (m *Master) Balance() int { return m.balance(0) }
 
 func (m *Master) balance(cause uint64) int {
+	if err := m.fenceCheck(); err != nil {
+		return 0
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if len(m.servers) < 2 {

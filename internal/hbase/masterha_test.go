@@ -1,0 +1,282 @@
+package hbase
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/shc-go/shc/internal/metrics"
+	"github.com/shc-go/shc/internal/ops"
+)
+
+// bootHACluster boots a cluster with standby masters whose watch loops are
+// already running.
+func bootHACluster(t *testing.T, servers, masters int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(ClusterConfig{Name: "test", NumServers: servers, Masters: masters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.StopStandbys)
+	return c
+}
+
+// awaitTakeover polls until a master other than old leads, failing the test
+// if no standby takes over within the deadline.
+func awaitTakeover(t *testing.T, c *Cluster, old *Master) *Master {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := c.ActiveMaster(); m != old {
+			return m
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("no standby took over")
+	return nil
+}
+
+// TestMasterHAStandbyTakeover is the tentpole's happy path: the active
+// master crashes, a standby's watch fires, it wins the election, bumps the
+// master epoch, rebuilds meta from the region servers, and journals the
+// MasterElected → MasterFailover causal pair — all without any test
+// intervention beyond the crash itself.
+func TestMasterHAStandbyTakeover(t *testing.T) {
+	c := bootHACluster(t, 3, 3)
+	client := c.NewClient()
+	defer client.Close()
+	if err := client.CreateTable(TableDescriptor{Name: "t", Families: []string{"cf"}}, [][]byte{[]byte("m")}); err != nil {
+		t.Fatal(err)
+	}
+	var cells []Cell
+	for i := 0; i < 20; i++ {
+		cells = append(cells, cell(fmt.Sprintf("row-%02d", i), "cf", "q", 1, "x"))
+	}
+	if err := client.Put("t", cells); err != nil {
+		t.Fatal(err)
+	}
+
+	boot := c.ActiveMaster()
+	oldEpoch := boot.MasterEpoch()
+	if oldEpoch == 0 {
+		t.Fatal("boot master holds no master epoch")
+	}
+	if got := len(boot.Standbys()); got != 2 {
+		t.Fatalf("standby roster = %d hosts, want 2", got)
+	}
+
+	zombie, err := c.CrashMaster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm := awaitTakeover(t, c, zombie)
+
+	if nm.MasterEpoch() <= oldEpoch {
+		t.Errorf("new master epoch = %d, want > %d", nm.MasterEpoch(), oldEpoch)
+	}
+	// The winner withdrew its standby advert; the loser still stands by.
+	if got := len(nm.Standbys()); got != 1 {
+		t.Errorf("standby roster after takeover = %d hosts, want 1", got)
+	}
+	// Meta was rebuilt: the table and both regions survived the failover.
+	regions, err := nm.TableRegions("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 2 {
+		t.Fatalf("recovered regions = %d, want 2", len(regions))
+	}
+	// The causal pair: MasterFailover points at the MasterElected that
+	// started the takeover.
+	elected := c.Journal.Find(ops.EventMasterElected)
+	if len(elected) != 1 {
+		t.Fatalf("MasterElected events = %d, want 1", len(elected))
+	}
+	if elected[0].Server != nm.Host() || elected[0].Epoch != nm.MasterEpoch() {
+		t.Errorf("MasterElected = %+v, want server %s epoch %d", elected[0], nm.Host(), nm.MasterEpoch())
+	}
+	failover := c.Journal.Find(ops.EventMasterFailover)
+	if len(failover) != 1 {
+		t.Fatalf("MasterFailover events = %d, want 1", len(failover))
+	}
+	if failover[0].Cause != elected[0].Seq {
+		t.Errorf("MasterFailover.Cause = %d, want %d", failover[0].Cause, elected[0].Seq)
+	}
+	// Clients fail over transparently: the cached dead master is dropped and
+	// the new leader discovered on retry.
+	client.InvalidateRegions("t")
+	results, err := client.ScanTable("t", &Scan{})
+	if err != nil {
+		t.Fatalf("scan after takeover: %v", err)
+	}
+	if len(results) != 20 {
+		t.Fatalf("rows after takeover = %d, want 20", len(results))
+	}
+	if got := c.Meter.Get(metrics.MasterTakeovers); got != 1 {
+		t.Errorf("master.takeovers = %d, want 1", got)
+	}
+}
+
+// TestMasterHAZombieFencedWrites revives a deposed master and proves the
+// fenced control plane: every coordination write it attempts dies
+// un-acknowledged with ErrMasterFenced, metered as master.fenced_writes,
+// while the real leader keeps operating.
+func TestMasterHAZombieFencedWrites(t *testing.T) {
+	c := bootHACluster(t, 2, 2)
+	client := c.NewClient()
+	defer client.Close()
+	if err := client.CreateTable(TableDescriptor{Name: "t", Families: []string{"cf"}}, [][]byte{[]byte("m")}); err != nil {
+		t.Fatal(err)
+	}
+
+	zombie, err := c.CrashMaster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm := awaitTakeover(t, c, zombie)
+
+	// The zombie wakes from its GC pause: network restored, session expired,
+	// completely unaware it was deposed.
+	if err := c.Net.SetDown(zombie.Host(), false); err != nil {
+		t.Fatal(err)
+	}
+	regions, err := nm.TableRegions("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := zombie.SplitRegion("t", regions[0].ID); !errors.Is(err, ErrMasterFenced) {
+		t.Errorf("zombie SplitRegion err = %v, want ErrMasterFenced", err)
+	}
+	if _, err := zombie.CheckServers(); !errors.Is(err, ErrMasterFenced) {
+		t.Errorf("zombie CheckServers err = %v, want ErrMasterFenced", err)
+	}
+	if err := zombie.CreateTable(TableDescriptor{Name: "t2", Families: []string{"cf"}}, nil); !errors.Is(err, ErrMasterFenced) {
+		t.Errorf("zombie CreateTable err = %v, want ErrMasterFenced", err)
+	}
+	if err := zombie.DrainServer(c.Servers[0].Host()); !errors.Is(err, ErrMasterFenced) {
+		t.Errorf("zombie DrainServer err = %v, want ErrMasterFenced", err)
+	}
+	// Duty passes spin harmlessly: no error surfaces, nothing happens.
+	zombie.JanitorPass()
+	if got := c.Meter.Get(metrics.MasterFencedWrites); got < 5 {
+		t.Errorf("master.fenced_writes = %d, want >= 5", got)
+	}
+	// The zombie's attempts changed nothing: the real leader still serves
+	// the original single-table meta and can still coordinate.
+	if tables := nm.Tables(); len(tables) != 1 || tables[0] != "t" {
+		t.Errorf("tables after zombie attempts = %v, want [t]", tables)
+	}
+	if _, err := nm.CheckServers(); err != nil {
+		t.Errorf("real leader heartbeat round: %v", err)
+	}
+}
+
+// TestMasterHAPingEpochFence exercises the server-side half of fencing: a
+// region server that has heard a newer master's heartbeat rejects probes
+// stamped with an older master epoch, so a deposed master cannot keep a
+// server's lease alive even if it bypassed its own fence check.
+func TestMasterHAPingEpochFence(t *testing.T) {
+	c := bootCluster(t, 1)
+	rs := c.Servers[0]
+
+	ping := func(epoch uint64) error {
+		conn, err := c.Net.Dial(rs.Host())
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		_, err = conn.Call(MethodPing, Ping{Master: "m", MasterEpoch: epoch})
+		return err
+	}
+	if err := ping(2); err != nil {
+		t.Fatalf("epoch-2 ping: %v", err)
+	}
+	if err := ping(1); !errors.Is(err, ErrFenced) {
+		t.Errorf("stale epoch-1 ping err = %v, want ErrFenced", err)
+	}
+	if err := ping(3); err != nil {
+		t.Errorf("newer epoch-3 ping: %v", err)
+	}
+	// Bare probes (epoch 0, as tests and tools send) always pass.
+	if err := ping(0); err != nil {
+		t.Errorf("bare ping: %v", err)
+	}
+}
+
+// TestMasterHATakeoverReArmsDuties proves a master crash does not silently
+// stop failure detection: the heartbeat loop re-arms on the new leader, so
+// a region-server death AFTER the failover is still detected and recovered
+// with no manual CheckServers call.
+func TestMasterHATakeoverReArmsDuties(t *testing.T) {
+	c := bootHACluster(t, 3, 2)
+	stop := c.StartDuties(2*time.Millisecond, 0)
+	defer stop()
+	client := c.NewClient()
+	defer client.Close()
+	if err := client.CreateTable(TableDescriptor{Name: "t", Families: []string{"cf"}}, [][]byte{[]byte("m")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Put("t", []Cell{cell("row-1", "cf", "q", 1, "x")}); err != nil {
+		t.Fatal(err)
+	}
+
+	zombie, err := c.CrashMaster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm := awaitTakeover(t, c, zombie)
+
+	// Now kill the region server hosting the row. Only the re-armed
+	// heartbeat loop can notice and reassign.
+	regions, err := nm.TableRegions("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CrashServer(regions[0].Host); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		client.InvalidateRegions("t")
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		res, _, err := client.BulkGetFresh(ctx, "t", [][]byte{[]byte("row-1")}, nil, 1, TimeRange{})
+		cancel()
+		if err == nil && len(res) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("row never recovered after post-takeover server crash: %v", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestMasterHACrashDuringElectionRace floods the cluster with a crash while
+// two standbys race for the vacant leadership: exactly one wins, exactly one
+// takeover is journaled, and the epoch advances exactly once per election.
+func TestMasterHACrashDuringElectionRace(t *testing.T) {
+	c := bootHACluster(t, 2, 4) // three rival standbys
+	client := c.NewClient()
+	defer client.Close()
+	if err := client.CreateTable(TableDescriptor{Name: "t", Families: []string{"cf"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	zombie, err := c.CrashMaster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm := awaitTakeover(t, c, zombie)
+	// Give losing standbys a beat to finish their election attempts.
+	time.Sleep(20 * time.Millisecond)
+	if got := c.Meter.Get(metrics.MasterTakeovers); got != 1 {
+		t.Errorf("master.takeovers = %d, want exactly 1", got)
+	}
+	if got := len(c.Journal.Find(ops.EventMasterElected)); got != 1 {
+		t.Errorf("MasterElected events = %d, want exactly 1", got)
+	}
+	if nm.MasterEpoch() != 2 {
+		t.Errorf("epoch after one failover = %d, want 2", nm.MasterEpoch())
+	}
+}

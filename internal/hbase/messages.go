@@ -107,11 +107,18 @@ type Ack struct{}
 // WireSize implements rpc.Message.
 func (Ack) WireSize() int { return 1 }
 
-// Ping is the master's heartbeat probe to a region server.
-type Ping struct{}
+// Ping is the master's heartbeat probe to a region server. Master names the
+// probing master and MasterEpoch carries its fencing epoch: a server that
+// has been probed by a newer master rejects stale-epoch pings, so a deposed
+// master cannot keep a server's lease alive. Zero values (bare probes from
+// tests) bypass the check.
+type Ping struct {
+	Master      string
+	MasterEpoch uint64
+}
 
 // WireSize implements rpc.Message.
-func (Ping) WireSize() int { return 1 }
+func (p Ping) WireSize() int { return 9 + len(p.Master) }
 
 // ScanRequest runs a Scan against one region. Epoch carries the routing
 // epoch (see PutRequest). Replica selects which copy answers: 0 (the

@@ -41,6 +41,11 @@ type RegionServer struct {
 	// journal receives the server's lifecycle events (self-fencing,
 	// memstore backpressure); nil swallows them.
 	journal atomic.Pointer[ops.Journal]
+	// maxMasterEpoch is the highest master fencing epoch any heartbeat has
+	// carried. Probes stamped with an older epoch come from a deposed master
+	// and are rejected, so a zombie master cannot keep this server's lease
+	// alive (defense in depth behind the master's own fenceCheck).
+	maxMasterEpoch atomic.Uint64
 
 	admMu sync.RWMutex
 	adm   *admission
@@ -470,8 +475,26 @@ func (rs *RegionServer) regionFor(id string, epoch uint64, replica int) (*Region
 // liveness traffic, not client requests, so they bypass token auth the way
 // HBase's own server-to-server RPCs use a separate trust path.
 func (rs *RegionServer) handlePing(_ context.Context, req rpc.Message) (rpc.Message, error) {
-	if _, ok := req.(Ping); !ok {
+	p, ok := req.(Ping)
+	if !ok {
 		return nil, fmt.Errorf("hbase: %s: bad request type %T", MethodPing, req)
+	}
+	// Probes stamped with a master epoch participate in control-plane
+	// fencing: once any probe has carried epoch E, probes below E come from
+	// a deposed master and must not refresh the lease. Unstamped probes
+	// (epoch 0, bare test traffic) bypass the check.
+	if p.MasterEpoch > 0 {
+		for {
+			seen := rs.maxMasterEpoch.Load()
+			if p.MasterEpoch < seen {
+				rs.meter.Inc(metrics.FencedRejects)
+				return nil, fmt.Errorf("%w: ping from deposed master %s at epoch %d, cluster at %d",
+					ErrFenced, p.Master, p.MasterEpoch, seen)
+			}
+			if p.MasterEpoch == seen || rs.maxMasterEpoch.CompareAndSwap(seen, p.MasterEpoch) {
+				break
+			}
+		}
 	}
 	rs.heartbeat()
 	rs.meter.Inc(metrics.Heartbeats)

@@ -92,5 +92,5 @@ func IsRetryable(err error) bool {
 		return false
 	}
 	return errors.Is(err, ErrNotServing) || errors.Is(err, ErrFenced) || errors.Is(err, ErrServerBusy) ||
-		errors.Is(err, ErrMemstoreFull) || isUnreachable(err)
+		errors.Is(err, ErrMemstoreFull) || errors.Is(err, ErrNoMaster) || isUnreachable(err)
 }

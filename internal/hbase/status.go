@@ -21,7 +21,12 @@ func (c *Cluster) Status() ops.ClusterStatus {
 		},
 	}
 
-	m := c.Master
+	m := c.ActiveMaster()
+	st.Master = ops.MasterStatus{
+		Host:     m.Host(),
+		Epoch:    m.MasterEpoch(),
+		Standbys: m.Standbys(),
+	}
 	m.mu.Lock()
 	registered := make(map[string]*RegionServer, len(m.servers))
 	for _, rs := range m.servers {

@@ -71,6 +71,10 @@ func Catalog() []CatalogEntry {
 		{RowsScanned, "counter", "Rows read inside region servers."},
 		{ServersDeclaredDead, "counter", "Servers declared dead by heartbeat rounds."},
 		{EpochBumps, "counter", "Region epoch increments (fencing events)."},
+		{MasterElections, "counter", "Master leader elections won (boot and failover)."},
+		{MasterTakeovers, "counter", "Standby masters that took over after leader loss."},
+		{MasterFencedWrites, "counter", "Coordination writes rejected because the issuing master was deposed."},
+		{MasterRediscoveries, "counter", "Client re-reads of the master election after losing the cached leader."},
 		{HotSplits, "counter", "Splits triggered by write-hot regions."},
 		{JanitorRuns, "counter", "Master janitor maintenance passes."},
 		{Promotions, "counter", "Replicas promoted to primary during failover."},

@@ -92,6 +92,10 @@ const (
 	BulkLoadCells       = "hbase.bulk_load_cells"
 	MutatorFlushes      = "client.mutator_flushes"
 	MultiPuts           = "client.multi_puts"
+	MasterElections     = "master.elections"
+	MasterTakeovers     = "master.takeovers"
+	MasterFencedWrites  = "master.fenced_writes"
+	MasterRediscoveries = "client.master_rediscoveries"
 )
 
 // Registry is a concurrency-safe set of named monotonic counters, gauges

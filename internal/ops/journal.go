@@ -51,6 +51,15 @@ const (
 	EventMemstoreBackpressure EventType = "MemstoreBackpressure"
 	// EventCircuitOpen: a client circuit breaker opened against a host.
 	EventCircuitOpen EventType = "CircuitOpen"
+	// EventMasterElected: a master won the leader election (Epoch is its
+	// master fencing epoch). Recovery actions a takeover performs — split
+	// journals settled, servers re-declared dead — carry this event's seq
+	// as their Cause.
+	EventMasterElected EventType = "MasterElected"
+	// EventMasterFailover: a standby finished taking over from a lost
+	// leader; Cause links back to the MasterElected event that started the
+	// takeover.
+	EventMasterFailover EventType = "MasterFailover"
 )
 
 // Event is one journal entry. Seq is assigned by the journal and strictly

@@ -7,10 +7,19 @@ import "time"
 // state to see failovers, splits, and backpressure at a glance.
 type ClusterStatus struct {
 	Time     time.Time      `json:"time"`
+	Master   MasterStatus   `json:"master"`
 	Servers  []ServerStatus `json:"servers"`
 	Regions  []RegionStatus `json:"regions"`
 	Journal  JournalStatus  `json:"journal"`
 	Draining []string       `json:"draining,omitempty"`
+}
+
+// MasterStatus identifies the control plane: which master currently leads,
+// at which fencing epoch, and which hot standbys are waiting to take over.
+type MasterStatus struct {
+	Host     string   `json:"host"`
+	Epoch    uint64   `json:"epoch"`
+	Standbys []string `json:"standbys,omitempty"`
 }
 
 // ServerStatus is one region server's liveness and load.

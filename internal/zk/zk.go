@@ -23,7 +23,9 @@ var (
 	ErrNodeExists = errors.New("zk: node already exists")
 	ErrNotEmpty   = errors.New("zk: node has children")
 	ErrClosed     = errors.New("zk: session closed")
+	ErrExpired    = errors.New("zk: session expired")
 	ErrBadPath    = errors.New("zk: invalid path")
+	ErrBadVersion = errors.New("zk: version mismatch")
 )
 
 // EventType describes what happened to a watched znode.
@@ -70,10 +72,11 @@ func NewServer() *Server {
 // are removed when the session closes, which is how region servers and the
 // master advertise liveness.
 type Session struct {
-	srv    *Server
-	id     int64
-	mu     sync.Mutex
-	closed bool
+	srv     *Server
+	id      int64
+	mu      sync.Mutex
+	closed  bool
+	expired bool
 }
 
 // NewSession opens a session against the server.
@@ -122,6 +125,9 @@ func (sess *Session) check() error {
 	defer sess.mu.Unlock()
 	if sess.closed {
 		return ErrClosed
+	}
+	if sess.expired {
+		return ErrExpired
 	}
 	return nil
 }
@@ -193,6 +199,55 @@ func (sess *Session) Set(path string, data []byte) error {
 	n := s.lookup(parts)
 	if n == nil {
 		return fmt.Errorf("%w: %q", ErrNoNode, path)
+	}
+	n.data = append([]byte(nil), data...)
+	n.version++
+	s.fire(path, EventDataChanged)
+	return nil
+}
+
+// GetVersion returns the data stored at path along with the node's version,
+// for use with SetIf. A freshly created node has version 0; every Set or
+// SetIf increments it.
+func (sess *Session) GetVersion(path string) ([]byte, int64, error) {
+	if err := sess.check(); err != nil {
+		return nil, 0, err
+	}
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	s := sess.srv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.lookup(parts)
+	if n == nil {
+		return nil, 0, fmt.Errorf("%w: %q", ErrNoNode, path)
+	}
+	return append([]byte(nil), n.data...), n.version, nil
+}
+
+// SetIf replaces the data at path only if the node's version still equals
+// version — ZooKeeper's conditional setData, the compare-and-swap that lets
+// concurrent masters race for an epoch bump with exactly one winner. It
+// returns ErrBadVersion when another writer got there first.
+func (sess *Session) SetIf(path string, data []byte, version int64) error {
+	if err := sess.check(); err != nil {
+		return err
+	}
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	s := sess.srv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.lookup(parts)
+	if n == nil {
+		return fmt.Errorf("%w: %q", ErrNoNode, path)
+	}
+	if n.version != version {
+		return fmt.Errorf("%w: %q at version %d, expected %d", ErrBadVersion, path, n.version, version)
 	}
 	n.data = append([]byte(nil), data...)
 	n.version++
@@ -300,6 +355,30 @@ func (sess *Session) Close() {
 	sess.mu.Unlock()
 
 	s := sess.srv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.removeEphemerals(s.root, "", sess.id)
+}
+
+// ExpireSession expires a session server-side: its ephemeral nodes are
+// removed (firing watches, exactly as if the client had died) and every
+// later operation through the session fails with ErrExpired. This models a
+// client that paused — a GC stall, a partition — long enough for ZooKeeper
+// to time the session out while the process itself is still running: the
+// canonical zombie. Unlike Close, the client did not choose this; it finds
+// out the hard way on its next call.
+func (s *Server) ExpireSession(sess *Session) {
+	if sess == nil || sess.srv != s {
+		return
+	}
+	sess.mu.Lock()
+	if sess.closed || sess.expired {
+		sess.mu.Unlock()
+		return
+	}
+	sess.expired = true
+	sess.mu.Unlock()
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.removeEphemerals(s.root, "", sess.id)

@@ -182,6 +182,82 @@ func TestLeaderElection(t *testing.T) {
 	}
 }
 
+func TestSetIfCompareAndSwap(t *testing.T) {
+	s := NewServer()
+	sess := s.NewSession()
+	defer sess.Close()
+	mustCreate(t, sess, "/epoch", false)
+
+	data, ver, err := sess.GetVersion("/epoch")
+	if err != nil || len(data) != 0 || ver != 0 {
+		t.Fatalf("GetVersion = %q, %d, %v", data, ver, err)
+	}
+	if err := sess.SetIf("/epoch", []byte("1"), ver); err != nil {
+		t.Fatal(err)
+	}
+	// A second writer holding the stale version must lose the race.
+	if err := sess.SetIf("/epoch", []byte("99"), ver); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("stale SetIf: %v", err)
+	}
+	data, ver, _ = sess.GetVersion("/epoch")
+	if string(data) != "1" || ver != 1 {
+		t.Errorf("after CAS: %q at version %d", data, ver)
+	}
+	// Plain Set also bumps the version, invalidating outstanding CAS holders.
+	if err := sess.Set("/epoch", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.SetIf("/epoch", []byte("3"), ver); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("SetIf after Set: %v", err)
+	}
+	if _, _, err := sess.GetVersion("/missing"); !errors.Is(err, ErrNoNode) {
+		t.Errorf("GetVersion missing: %v", err)
+	}
+	if err := sess.SetIf("/missing", nil, 0); !errors.Is(err, ErrNoNode) {
+		t.Errorf("SetIf missing: %v", err)
+	}
+}
+
+func TestExpireSessionRemovesEphemeralsAndRejectsOps(t *testing.T) {
+	s := NewServer()
+	zombie := s.NewSession()
+	other := s.NewSession()
+	defer other.Close()
+
+	ok, err := zombie.ElectLeader("/master", "m1")
+	if err != nil || !ok {
+		t.Fatalf("election: %v %v", ok, err)
+	}
+	// A watcher sees the expiry exactly like a crash: EventDeleted.
+	ch, _ := other.Watch("/master")
+	s.ExpireSession(zombie)
+	select {
+	case ev := <-ch:
+		if ev.Type != EventDeleted {
+			t.Errorf("event = %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("expiry did not fire the watch")
+	}
+	if id, _ := other.Leader("/master"); id != "" {
+		t.Errorf("leader after expiry = %q", id)
+	}
+	// The zombie finds out on its next call — every op fails ErrExpired.
+	if _, err := zombie.Get("/master"); !errors.Is(err, ErrExpired) {
+		t.Errorf("Get on expired: %v", err)
+	}
+	if ok, err := zombie.ElectLeader("/master", "m1"); ok || !errors.Is(err, ErrExpired) {
+		t.Errorf("ElectLeader on expired: %v %v", ok, err)
+	}
+	// Expiring twice, or expiring a foreign/closed session, is a no-op.
+	s.ExpireSession(zombie)
+	s.ExpireSession(nil)
+	NewServer().ExpireSession(other)
+	if _, err := other.Get("/"); err != nil {
+		t.Errorf("other session must stay usable: %v", err)
+	}
+}
+
 func mustCreate(t *testing.T, sess *Session, path string, ephemeral bool) {
 	t.Helper()
 	if err := sess.Create(path, nil, ephemeral); err != nil {
